@@ -1,0 +1,492 @@
+// Package repro's root benchmark suite regenerates every table and
+// figure of the paper's evaluation. Each benchmark runs the full
+// machinery behind its table/figure (dataset generation + analysis for
+// §3, simulated-testbed experiments for §4) and reports the headline
+// numbers as custom metrics so `go test -bench . -benchmem` doubles as
+// a compact reproduction run. cmd/report produces the full prose
+// version (EXPERIMENTS.md).
+package repro
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/devices"
+	"repro/internal/engine"
+	"repro/internal/homenet"
+	"repro/internal/localengine"
+	"repro/internal/loopdetect"
+	"repro/internal/perm"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// benchEco caches the paper-scale dataset (408 services, 320K applets).
+var benchEco = sync.OnceValue(func() *dataset.Ecosystem {
+	return dataset.Generate(dataset.GenConfig{Seed: 7, Scale: 1})
+})
+
+var benchSnap = sync.OnceValue(func() *dataset.Snapshot {
+	return benchEco().At(dataset.RefWeekIndex)
+})
+
+// --- §3 tables and figures -------------------------------------------
+
+func BenchmarkTable1ServiceBreakdown(b *testing.B) {
+	s := benchSnap()
+	b.ResetTimer()
+	var rows []analysis.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Table1(s)
+	}
+	b.ReportMetric(rows[0].TriggerACPc, "cat1_trigAC_%")
+	b.ReportMetric(rows[0].ServicePct, "cat1_services_%")
+}
+
+func BenchmarkTable2DatasetScale(b *testing.B) {
+	s := benchSnap()
+	b.ResetTimer()
+	var t2 analysis.Table2
+	for i := 0; i < b.N; i++ {
+		t2 = analysis.Table2Summary(s, dataset.NumWeeks)
+	}
+	b.ReportMetric(float64(t2.Applets), "applets")
+	b.ReportMetric(float64(t2.Adoptions), "adoptions")
+	b.ReportMetric(float64(t2.Contributors), "contributors")
+}
+
+func BenchmarkTable3TopIoT(b *testing.B) {
+	s := benchSnap()
+	b.ResetTimer()
+	var t3 analysis.Table3
+	for i := 0; i < b.N; i++ {
+		t3 = analysis.Table3TopIoT(s, 7)
+	}
+	b.ReportMetric(float64(t3.TriggerServices[0].AddCount), "top_trigger_svc_adds")
+	b.ReportMetric(float64(t3.ActionServices[0].AddCount), "top_action_svc_adds")
+}
+
+func BenchmarkFigure2Heatmap(b *testing.B) {
+	s := benchSnap()
+	b.ResetTimer()
+	var h analysis.Heatmap
+	for i := 0; i < b.N; i++ {
+		h = analysis.Fig2Heatmap(s)
+	}
+	b.ReportMetric(100*h.RowShare(dataset.CatSmartHome), "smarthome_row_%")
+}
+
+func BenchmarkFigure3AddCountDistribution(b *testing.B) {
+	s := benchSnap()
+	b.ResetTimer()
+	var f analysis.Fig3
+	for i := 0; i < b.N; i++ {
+		f = analysis.Fig3Distribution(s)
+	}
+	b.ReportMetric(100*f.Top1Share, "top1%_share_%")
+	b.ReportMetric(100*f.Top10Share, "top10%_share_%")
+}
+
+func BenchmarkGrowthTimeline(b *testing.B) {
+	eco := benchEco()
+	b.ResetTimer()
+	var pts []analysis.GrowthPoint
+	for i := 0; i < b.N; i++ {
+		pts = analysis.GrowthTimeline(eco)
+	}
+	svc, trig, act, adds := analysis.GrowthRates(pts, 3, 21)
+	b.ReportMetric(svc, "services_growth_%")
+	b.ReportMetric(trig, "triggers_growth_%")
+	b.ReportMetric(act, "actions_growth_%")
+	b.ReportMetric(adds, "adds_growth_%")
+}
+
+func BenchmarkUserContribution(b *testing.B) {
+	s := benchSnap()
+	b.ResetTimer()
+	var uc analysis.UserContribution
+	for i := 0; i < b.N; i++ {
+		uc = analysis.UserContributionStats(s)
+	}
+	b.ReportMetric(uc.UserMadeAddPct, "user_made_adds_%")
+	b.ReportMetric(100*uc.Top1UserAppletShare, "top1%_users_applets_%")
+}
+
+func BenchmarkPermOverPrivilege(b *testing.B) {
+	s := benchSnap()
+	b.ResetTimer()
+	var rep perm.Report
+	for i := 0; i < b.N; i++ {
+		rep = perm.Analyze(s)
+	}
+	b.ReportMetric(100*rep.ExcessRatio, "unused_scopes_%")
+	b.ReportMetric(rep.MeanGranted, "scopes_granted_mean")
+}
+
+func BenchmarkDatasetGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dataset.Generate(dataset.GenConfig{Seed: uint64(i), Scale: 0.05})
+	}
+}
+
+func BenchmarkCrawlMethodology(b *testing.B) {
+	var cs *core.CrawlStudy
+	for i := 0; i < b.N; i++ {
+		var err error
+		cs, err = core.RunCrawlStudy(uint64(i), 0.005, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cs.Stats.Requests), "http_requests")
+	b.ReportMetric(float64(cs.AppletsCrawled), "applets_recovered")
+}
+
+// --- §4 tables and figures -------------------------------------------
+
+// measureT2A runs trials of one applet on a fresh testbed and returns
+// the latency samples in seconds.
+func measureT2A(b *testing.B, cfg testbed.Config, spec testbed.AppletSpec, trials int) []float64 {
+	b.Helper()
+	tb := testbed.New(cfg)
+	var out []float64
+	tb.Run(func() {
+		lats, err := tb.MeasureT2A(spec, testbed.T2AOptions{Trials: trials})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		out = stats.Durations(lats)
+	})
+	return out
+}
+
+func BenchmarkFigure4T2ALatency(b *testing.B) {
+	var polled, alexa []float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i * 2)
+		polled = append(polled, measureT2A(b, testbed.Config{Seed: seed}, testbed.A2(), 10)...)
+		alexa = append(alexa, measureT2A(b, testbed.Config{Seed: seed + 1}, testbed.A5(), 10)...)
+	}
+	b.ReportMetric(stats.Percentile(polled, 25), "A1-A4_p25_s")
+	b.ReportMetric(stats.Percentile(polled, 50), "A1-A4_p50_s")
+	b.ReportMetric(stats.Percentile(polled, 75), "A1-A4_p75_s")
+	b.ReportMetric(stats.Max(polled), "A1-A4_max_s")
+	b.ReportMetric(stats.Percentile(alexa, 50), "A5-A7_p50_s")
+}
+
+func BenchmarkFigure5Scenarios(b *testing.B) {
+	var e1, e2, e3 []float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i * 3)
+		e1 = append(e1, measureT2A(b, testbed.Config{Seed: seed}, testbed.A2E1(), 6)...)
+		e2 = append(e2, measureT2A(b, testbed.Config{Seed: seed + 1}, testbed.A2E2(), 6)...)
+		e3 = append(e3, measureT2A(b, testbed.Config{
+			Seed: seed + 2, Poll: engine.FixedInterval{Interval: time.Second},
+		}, testbed.A2E2(), 6)...)
+	}
+	b.ReportMetric(stats.Percentile(e1, 50), "E1_p50_s")
+	b.ReportMetric(stats.Percentile(e2, 50), "E2_p50_s")
+	b.ReportMetric(stats.Percentile(e3, 50), "E3_p50_s")
+}
+
+func BenchmarkTable5Timeline(b *testing.B) {
+	var confirm float64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.Config{Seed: uint64(i)})
+		tb.Run(func() {
+			rows, err := tb.RunTimeline()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			confirm = rows[len(rows)-1].At.Seconds()
+		})
+	}
+	b.ReportMetric(confirm, "confirm_at_s")
+}
+
+func BenchmarkFigure6Sequential(b *testing.B) {
+	var res testbed.SequentialResult
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.Config{Seed: uint64(i)})
+		tb.Run(func() {
+			var err error
+			res, err = tb.RunSequential(testbed.A2(), 60, 5*time.Second)
+			if err != nil {
+				b.Error(err)
+			}
+		})
+	}
+	b.ReportMetric(float64(len(res.Clusters)), "clusters")
+	largest := 0
+	for _, c := range res.Clusters {
+		if len(c) > largest {
+			largest = len(c)
+		}
+	}
+	b.ReportMetric(float64(largest), "largest_cluster")
+}
+
+func BenchmarkFigure7Concurrent(b *testing.B) {
+	var diffs []float64
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.Config{Seed: uint64(i)})
+		tb.Run(func() {
+			res, err := tb.RunConcurrent(testbed.A3(), fig7Partner(tb), func(tb *testbed.Testbed) {
+				tb.Mail.Deliver("s@ext.sim", testbed.UserEmail, "shared", "")
+			}, 6)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for _, d := range res.Diff {
+				diffs = append(diffs, d.Seconds())
+			}
+		})
+	}
+	b.ReportMetric(stats.Min(diffs), "diff_min_s")
+	b.ReportMetric(stats.Max(diffs), "diff_max_s")
+}
+
+func fig7Partner(tb *testbed.Testbed) testbed.AppletSpec {
+	a := testbed.A6() // reuse the wemo-watcher wiring
+	a.ID = "fig7b"
+	base := a.Applet
+	a.Applet = func(tb *testbed.Testbed) engine.Applet {
+		ap := base(tb)
+		ap.ID = "fig7b"
+		ap.Trigger = engine.ServiceRef{
+			Service: "gmail", BaseURL: "http://" + testbed.HostGmail,
+			Slug: "new_email", ServiceKey: testbed.ServiceKey,
+			UserToken: tb.GmailToken,
+		}
+		return ap
+	}
+	a.Fire = nil
+	return a
+}
+
+func BenchmarkInfiniteLoops(b *testing.B) {
+	var explicit, implicit int
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.Config{
+			Seed: uint64(i), Poll: engine.FixedInterval{Interval: 15 * time.Second},
+		})
+		tb.Run(func() {
+			res, err := tb.RunExplicitLoop(30 * time.Minute)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			explicit = res.Executions
+		})
+		tb2 := testbed.New(testbed.Config{
+			Seed: uint64(i) + 1000, Poll: engine.FixedInterval{Interval: 15 * time.Second},
+		})
+		tb2.Run(func() {
+			res, err := tb2.RunImplicitLoop(30 * time.Minute)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			implicit = res.Executions
+		})
+	}
+	b.ReportMetric(float64(explicit), "explicit_execs_30m")
+	b.ReportMetric(float64(implicit), "implicit_execs_30m")
+}
+
+func BenchmarkLoopDetectionStatic(b *testing.B) {
+	// Static cycle detection over a growing applet population with one
+	// planted cycle.
+	causality := loopdetect.TestbedCausality(true)
+	var applets []engine.Applet
+	for i := 0; i < 200; i++ {
+		applets = append(applets, engine.Applet{
+			ID:      "benign-" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Trigger: engine.ServiceRef{Service: "wemo", Slug: "switched_on"},
+			Action:  engine.ServiceRef{Service: "gdrive", Slug: "save_file"},
+		})
+	}
+	applets = append(applets,
+		engine.Applet{ID: "cyc-x",
+			Trigger: engine.ServiceRef{Service: "gmail", Slug: "new_email"},
+			Action:  engine.ServiceRef{Service: "gsheets", Slug: "add_row"}},
+		engine.Applet{ID: "cyc-y",
+			Trigger: engine.ServiceRef{Service: "gsheets", Slug: "row_added"},
+			Action:  engine.ServiceRef{Service: "gmail", Slug: "send_email"}},
+	)
+	b.ResetTimer()
+	var cycles []loopdetect.Cycle
+	for i := 0; i < b.N; i++ {
+		cycles = loopdetect.FindCycles(applets, causality)
+	}
+	b.ReportMetric(float64(len(cycles)), "cycles_found")
+}
+
+// --- §6 ablations -----------------------------------------------------
+
+// BenchmarkAblationRealtimeHints shows the paper's realtime-API finding:
+// hints from a non-allow-listed service do not move the latency
+// distribution, because the engine ignores them.
+func BenchmarkAblationRealtimeHints(b *testing.B) {
+	var hinted, unhinted []float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i)
+		unhinted = append(unhinted, measureT2A(b,
+			testbed.Config{Seed: seed}, testbed.A2E2(), 6)...)
+		hinted = append(hinted, measureT2A(b,
+			testbed.Config{Seed: seed, OurServiceRealtime: true}, testbed.A2E2(), 6)...)
+	}
+	b.ReportMetric(stats.Percentile(unhinted, 50), "no_hints_p50_s")
+	b.ReportMetric(stats.Percentile(hinted, 50), "hints_p50_s")
+}
+
+// BenchmarkAblationPollingInterval sweeps the engine's polling interval,
+// quantifying the §6 latency/poll-cost trade-off that motivates smart
+// polling for top applets.
+func BenchmarkAblationPollingInterval(b *testing.B) {
+	intervals := []time.Duration{time.Second, 15 * time.Second, time.Minute, 4 * time.Minute}
+	for _, iv := range intervals {
+		iv := iv
+		b.Run(iv.String(), func(b *testing.B) {
+			var p50 float64
+			for i := 0; i < b.N; i++ {
+				lats := measureT2A(b, testbed.Config{
+					Seed: uint64(i), Poll: engine.FixedInterval{Interval: iv},
+				}, testbed.A2E2(), 6)
+				p50 = stats.Percentile(lats, 50)
+			}
+			b.ReportMetric(p50, "t2a_p50_s")
+			b.ReportMetric(3600/iv.Seconds(), "polls_per_applet_hour")
+		})
+	}
+}
+
+// BenchmarkAblationLocalVsCloud compares the same applet executed by the
+// centralized cloud engine and by the §6 local engine.
+func BenchmarkAblationLocalVsCloud(b *testing.B) {
+	var cloudP50 float64
+	for i := 0; i < b.N; i++ {
+		lats := measureT2A(b, testbed.Config{Seed: uint64(i)}, testbed.A2(), 6)
+		cloudP50 = stats.Percentile(lats, 50)
+	}
+	// Local execution measured on the same device pair.
+	tb := testbed.New(testbed.Config{Seed: 99})
+	le := localEngineForBench(tb)
+	var localT2A time.Duration
+	tb.Run(func() {
+		gate := tb.Clock.NewGate()
+		tb.Hue.Subscribe(func(ev devices.Event) {
+			if ev.Type == "light_on" {
+				gate.Open()
+			}
+		})
+		start := tb.Clock.Now()
+		tb.Wemo.Press()
+		gate.Wait()
+		localT2A = tb.Clock.Since(start)
+	})
+	_ = le
+	b.ReportMetric(cloudP50, "cloud_p50_s")
+	b.ReportMetric(localT2A.Seconds(), "local_t2a_s")
+}
+
+// localEngineForBench wires a local engine executing A2 entirely on the
+// home LAN.
+func localEngineForBench(tb *testbed.Testbed) *localengine.Engine {
+	le := localengine.New(tb.Clock, stats.Constant(0.002), tb.RNG.Split("bench-local"))
+	le.Attach(&tb.Wemo.Bus)
+	if err := le.Install(localengine.Rule{
+		ID:    "A2-local",
+		Match: func(ev devices.Event) bool { return ev.Type == "switched_on" },
+		Execute: func(devices.Event) error {
+			on := true
+			return tb.Hue.SetLampState("1", devices.StateChange{On: &on})
+		},
+	}); err != nil {
+		panic(err)
+	}
+	return le
+}
+
+// BenchmarkAblationSmartPolling implements §6's proposal — spend the
+// same polling budget unevenly, fast-polling the top applets that
+// dominate usage — and reports the hot applet's latency against the
+// uniform baseline at identical polls/hour.
+func BenchmarkAblationSmartPolling(b *testing.B) {
+	// 20 applets share a uniform 200s budget; smart gives the one hot
+	// applet 30% of the budget.
+	const nApplets = 20
+	uniform := 200 * time.Second
+	smart := engine.NewBudgetedSmart([]string{"A2"}, nApplets, uniform, 0.3)
+
+	var uniP50, smartP50 float64
+	for i := 0; i < b.N; i++ {
+		uni := measureT2A(b, testbed.Config{
+			Seed: uint64(i), Poll: engine.FixedInterval{Interval: uniform},
+		}, testbed.A2(), 8)
+		uniP50 = stats.Percentile(uni, 50)
+		sm := measureT2A(b, testbed.Config{
+			Seed: uint64(i) + 500, Poll: smart,
+		}, testbed.A2(), 8)
+		smartP50 = stats.Percentile(sm, 50)
+	}
+	b.ReportMetric(uniP50, "uniform_p50_s")
+	b.ReportMetric(smartP50, "smart_p50_s")
+	b.ReportMetric(smart.Fast.Seconds(), "hot_interval_s")
+	b.ReportMetric(smart.Slow.Seconds(), "cold_interval_s")
+}
+
+// BenchmarkHomenetFrameCodec measures the custom proxy↔server protocol's
+// serialization throughput.
+func BenchmarkHomenetFrameCodec(b *testing.B) {
+	msg := &homenet.Message{
+		Type: homenet.MsgEvent, Device: "hue-1", EventType: "light_on",
+		Attrs: map[string]string{"lamp": "1", "bri": "254", "hue": "46920"},
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := homenet.WriteFrame(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := homenet.ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkEngineEventThroughput measures how many trigger events per
+// second one engine applet pipeline sustains in the simulator (poll,
+// dedup, dispatch, ack).
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	tb := testbed.New(testbed.Config{
+		Seed: 1, Poll: engine.FixedInterval{Interval: time.Second}, DispatchDelay: -1,
+	})
+	events := 0
+	tb.Run(func() {
+		if err := tb.Engine.Install(testbed.A2().Applet(tb)); err != nil {
+			b.Fatal(err)
+		}
+		tb.Clock.Sleep(2 * time.Second)
+		for i := 0; i < b.N; i++ {
+			tb.Wemo.SetState(false, "bench")
+			tb.Wemo.SetState(true, "bench")
+			events++
+			if events%100 == 0 {
+				tb.Clock.Sleep(2 * time.Second)
+			}
+		}
+		tb.Clock.Sleep(time.Minute)
+		tb.Engine.Stop()
+	})
+}

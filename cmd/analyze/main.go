@@ -1,0 +1,67 @@
+// Command analyze computes the paper's §3 tables and figures from a
+// crawl snapshot stored by cmd/crawl:
+//
+//	analyze -snapshot snapshots/week20.json.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/crawler"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		path = flag.String("snapshot", "snapshot.json.gz", "snapshot file from cmd/crawl")
+		topK = flag.Int("top", 7, "entries per Table 3 list")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	snap, err := crawler.LoadSnapshot(*path)
+	if err != nil {
+		log.Error("load", "err", err)
+		os.Exit(1)
+	}
+	s := snap.ToDataset().At(0)
+
+	fmt.Printf("Snapshot of %s: %d services, %d triggers, %d actions, %d applets, %d adds\n\n",
+		snap.Date.Format("2006-01-02"), len(s.Services), len(s.Triggers),
+		len(s.Actions), len(s.Applets), s.TotalAddCount())
+
+	fmt.Println("Table 1 — service-category breakdown")
+	fmt.Print(analysis.FormatTable1(analysis.Table1(s)))
+
+	svcPct, usagePct := analysis.IoTShares(s)
+	fmt.Printf("\nIoT services: %.1f%%  IoT applet usage: %.1f%%\n", svcPct, usagePct)
+
+	top := analysis.Table3TopIoT(s, *topK)
+	fmt.Println("\nTable 3 — top IoT services by add count")
+	fmt.Printf("%-40s %12s\n", "Trigger service", "Adds")
+	for _, e := range top.TriggerServices {
+		fmt.Printf("%-40s %12d\n", e.Name, e.AddCount)
+	}
+	fmt.Printf("%-40s %12s\n", "Action service", "Adds")
+	for _, e := range top.ActionServices {
+		fmt.Printf("%-40s %12d\n", e.Name, e.AddCount)
+	}
+
+	f3 := analysis.Fig3Distribution(s)
+	fmt.Printf("\nFig 3 — top 1%% of applets hold %.1f%% of adds; top 10%% hold %.1f%%\n",
+		100*f3.Top1Share, 100*f3.Top10Share)
+
+	uc := analysis.UserContributionStats(s)
+	fmt.Printf("User-made applets: %.1f%%; adds on user-made: %.1f%%\n",
+		uc.UserMadeAppletPct, uc.UserMadeAddPct)
+
+	h := analysis.Fig2Heatmap(s)
+	fmt.Println("\nFig 2 — trigger-category row shares of total adds")
+	for c := dataset.Category(1); c <= dataset.NumCategories; c++ {
+		fmt.Printf("%2d. %-44s %5.1f%%\n", int(c), c, 100*h.RowShare(c))
+	}
+}

@@ -1,0 +1,129 @@
+// Command experiment runs one of the paper's §4 controlled experiments
+// on the simulated testbed and prints the results:
+//
+//	experiment -run fig4 -trials 50
+//	experiment -run fig5
+//	experiment -run fig6 -triggers 60
+//	experiment -run fig7
+//	experiment -run table5
+//	experiment -run loops -window 1h
+//	experiment -run realtime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		which  = flag.String("run", "fig4", "experiment: fig4, fig5, fig6, fig7, table5, loops, realtime, all")
+		trials = flag.Int("trials", 0, "trial count override (0 = paper defaults)")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+		trig   = flag.Int("triggers", 60, "sequential activations for fig6")
+		window = flag.Duration("window", time.Hour, "observation window for loops")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	cfg := core.PerfConfig{
+		Seed:        *seed,
+		Fig4Trials:  *trials,
+		Fig5Trials:  *trials,
+		Fig7Trials:  *trials,
+		SeqTriggers: *trig,
+		LoopWindow:  *window,
+	}
+	start := time.Now()
+	res, err := core.RunPerformance(cfg)
+	if err != nil {
+		log.Error("experiment", "err", err)
+		os.Exit(1)
+	}
+	log.Info("experiments complete", "wall", time.Since(start).Round(time.Millisecond))
+
+	printSummary := func(name string, xs []float64) {
+		if len(xs) == 0 {
+			return
+		}
+		fmt.Printf("%-28s %s\n", name, stats.Summarize(xs))
+	}
+
+	switch *which {
+	case "fig4", "all":
+		fmt.Println("Fig 4 — T2A latency (seconds)")
+		var ids []string
+		for id := range res.Fig4 {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			printSummary(id, res.Fig4[id])
+		}
+		if *which != "all" {
+			return
+		}
+		fallthrough
+	case "fig5":
+		fmt.Println("\nFig 5 — A2 under E1/E2/E3 (seconds)")
+		for _, sc := range []string{"E1", "E2", "E3"} {
+			printSummary(sc, res.Fig5[sc])
+		}
+		if *which != "all" {
+			return
+		}
+		fallthrough
+	case "table5":
+		fmt.Println("\nTable 5 — A2-under-E2 timeline")
+		for _, row := range res.Table5 {
+			fmt.Printf("%8.2fs  %s\n", row.At.Seconds(), row.Event)
+		}
+		if *which != "all" {
+			return
+		}
+		fallthrough
+	case "fig6":
+		fmt.Printf("\nFig 6 — %d activations → %d actions in %d clusters:\n",
+			len(res.Fig6.TriggerTimes), len(res.Fig6.ActionTimes), len(res.Fig6.Clusters))
+		for i, cl := range res.Fig6.Clusters {
+			fmt.Printf("  cluster %d at %.0fs: %d actions\n", i+1, cl[0], len(cl))
+		}
+		if *which != "all" {
+			return
+		}
+		fallthrough
+	case "fig7":
+		fmt.Println("\nFig 7 — T2A difference between same-trigger applets (seconds)")
+		diffs := make([]float64, len(res.Fig7.Diff))
+		for i, d := range res.Fig7.Diff {
+			diffs[i] = d.Seconds()
+		}
+		printSummary("difference", diffs)
+		if *which != "all" {
+			return
+		}
+		fallthrough
+	case "realtime":
+		fmt.Println("\nRealtime API study (seconds)")
+		printSummary("without hints", res.RealtimeUnhinted)
+		printSummary("with hints", res.RealtimeHinted)
+		if *which != "all" {
+			return
+		}
+		fallthrough
+	case "loops":
+		fmt.Printf("\nInfinite loops over %s:\n", res.ExplicitLoop.Window)
+		fmt.Printf("  explicit: %d executions\n", res.ExplicitLoop.Executions)
+		fmt.Printf("  implicit: %d executions\n", res.ImplicitLoop.Executions)
+	default:
+		log.Error("unknown experiment", "run", *which)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+// Command homeproxy runs the paper's local proxy ❸ as a live daemon: it
+// hosts the simulated home devices (WeMo switch, Hue hub, Echo Dot),
+// dials out to the service server (cmd/ourserviced) over the custom
+// framed TCP protocol, forwards device events upstream, and executes
+// downstream device commands. A small HTTP surface stands in for the
+// physical world:
+//
+//	homeproxy -server localhost:9444 -addr :8079
+//	curl -X POST localhost:8079/sim/press
+//	curl -X POST 'localhost:8079/sim/say?text=Alexa,+trigger+movie+night'
+//	curl        localhost:8079/sim/lamp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/homenet"
+	"repro/internal/simtime"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "localhost:9444", "service server link address")
+		addr   = flag.String("addr", ":8079", "HTTP address for the simulated-world controls")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	link, err := homenet.DialProxy(*server, 30, time.Second)
+	if err != nil {
+		log.Error("dial server", "err", err)
+		os.Exit(1)
+	}
+	log.Info("connected to service server", "server", *server)
+
+	clock := simtime.NewReal()
+	sw := devices.NewWemoSwitch(clock, "wemo-1")
+	hub := devices.NewHueHub(clock, "1", "2")
+	echo := devices.NewEchoDot(clock, "echo-1")
+
+	proxy := homenet.NewProxy(link)
+	proxy.Register("wemo-1", homenet.AdapterFunc(
+		func(cmd string, args map[string]string) (map[string]string, error) {
+			sw.SetState(cmd == "on", "proxy")
+			return map[string]string{"on": fmt.Sprint(sw.On())}, nil
+		}))
+	proxy.Register("hue", homenet.AdapterFunc(
+		func(cmd string, args map[string]string) (map[string]string, error) {
+			lamp := args["lamp"]
+			if lamp == "" {
+				lamp = "1"
+			}
+			switch cmd {
+			case "blink":
+				return nil, hub.Blink(lamp)
+			default:
+				var ch devices.StateChange
+				switch args["on"] {
+				case "true":
+					v := true
+					ch.On = &v
+				case "false":
+					v := false
+					ch.On = &v
+				}
+				return nil, hub.SetLampState(lamp, ch)
+			}
+		}))
+	proxy.Forward(&sw.Bus)
+	proxy.Forward(&hub.Bus)
+	proxy.Forward(&echo.Bus)
+	proxy.Start()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sim/press", func(w http.ResponseWriter, r *http.Request) {
+		sw.Press()
+		fmt.Fprintf(w, "wemo on=%v\n", sw.On())
+	})
+	mux.HandleFunc("POST /sim/say", func(w http.ResponseWriter, r *http.Request) {
+		ok := echo.Say(r.URL.Query().Get("text"))
+		fmt.Fprintf(w, "recognized=%v\n", ok)
+	})
+	mux.HandleFunc("GET /sim/lamp", func(w http.ResponseWriter, r *http.Request) {
+		s, _ := hub.LampState("1")
+		fmt.Fprintf(w, "%+v\n", s)
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Info("homeproxy controls listening", "addr", *addr)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	link.Close()
+	srv.Close()
+}

@@ -1,0 +1,108 @@
+// Command iftttd runs the IFTTT engine as a live daemon: it loads applet
+// definitions from a JSON file, polls their trigger services over real
+// HTTP, dispatches actions, and serves the realtime notification
+// endpoint.
+//
+// Applet file format (JSON array of engine.Applet):
+//
+//	[{"ID":"a1","UserID":"u1",
+//	  "Trigger":{"Service":"wemo","BaseURL":"http://localhost:8081",
+//	             "Slug":"switched_on","ServiceKey":"k"},
+//	  "Action":{"Service":"hue","BaseURL":"http://localhost:8082",
+//	            "Slug":"turn_on_lights","ServiceKey":"k"}}]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address for the realtime endpoint")
+		applets  = flag.String("applets", "", "path to a JSON file of applets to install")
+		interval = flag.Duration("poll", 0, "fixed polling interval (0 = paper-calibrated model)")
+		seed     = flag.Uint64("seed", 1, "RNG seed for polling jitter")
+		realtime = flag.String("realtime", "alexa", "comma-separated services whose realtime hints are honoured")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	var poll engine.PollPolicy
+	if *interval > 0 {
+		poll = engine.FixedInterval{Interval: *interval}
+	}
+	rtServices := map[string]bool{}
+	for _, s := range splitComma(*realtime) {
+		rtServices[s] = true
+	}
+
+	clock := simtime.NewReal()
+	eng := engine.New(engine.Config{
+		Clock:            clock,
+		RNG:              stats.NewRNG(*seed),
+		Doer:             &http.Client{Timeout: 30 * time.Second},
+		Poll:             poll,
+		RealtimeServices: rtServices,
+		Logger:           log,
+		Trace: func(ev engine.TraceEvent) {
+			log.Debug("trace", "kind", ev.Kind, "applet", ev.AppletID, "n", ev.N, "err", ev.Err)
+		},
+	})
+
+	if *applets != "" {
+		data, err := os.ReadFile(*applets)
+		if err != nil {
+			log.Error("read applets", "err", err)
+			os.Exit(1)
+		}
+		var defs []engine.Applet
+		if err := json.Unmarshal(data, &defs); err != nil {
+			log.Error("parse applets", "err", err)
+			os.Exit(1)
+		}
+		for _, a := range defs {
+			if err := eng.Install(a); err != nil {
+				log.Error("install", "applet", a.ID, "err", err)
+				os.Exit(1)
+			}
+			log.Info("installed", "applet", a.ID, "name", a.Name)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	go func() {
+		log.Info("iftttd listening", "addr", *addr)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Info("shutting down")
+	eng.Stop()
+	srv.Close()
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

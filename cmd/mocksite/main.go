@@ -1,0 +1,39 @@
+// Command mocksite generates a calibrated ecosystem dataset and serves
+// it as an ifttt.com-like website for the crawler:
+//
+//	mocksite -addr :8090 -scale 0.05 -week 20
+package main
+
+import (
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/mocksite"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8090", "listen address")
+		seed    = flag.Uint64("seed", 1, "dataset seed")
+		scale   = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size: 320K applets)")
+		week    = flag.Int("week", dataset.RefWeekIndex, "snapshot week to serve (0-24)")
+		idSpace = flag.Int("idspace", 0, "applet ID space size (0 = full 900000)")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	log.Info("generating dataset", "seed", *seed, "scale", *scale)
+	eco := dataset.Generate(dataset.GenConfig{Seed: *seed, Scale: *scale, IDSpace: *idSpace})
+	snap := eco.At(*week)
+	site := mocksite.New(snap)
+	log.Info("serving snapshot", "week", snap.Week, "date", snap.Date.Format("2006-01-02"),
+		"services", len(snap.Services), "applets", len(snap.Applets), "addr", *addr)
+
+	if err := http.ListenAndServe(*addr, site.Handler()); err != nil {
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Command ourserviced runs the paper's self-implemented partner service
+// ❺ as a live daemon: it waits for the home proxy (cmd/homeproxy) to
+// dial in over the custom framed TCP protocol, then serves the IFTTT
+// partner API backed by the proxy's devices.
+//
+//	ourserviced -link :9444 -addr :8085 -key dev-service-key
+//
+// Point cmd/iftttd applets at http://host:8085 with service name
+// "ourservice".
+package main
+
+import (
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/homenet"
+	"repro/internal/services"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		linkAddr = flag.String("link", ":9444", "TCP address to accept the home proxy on")
+		addr     = flag.String("addr", ":8085", "HTTP address for the partner API")
+		key      = flag.String("key", "dev-service-key", "IFTTT service key")
+		wait     = flag.Duration("wait", 5*time.Minute, "how long to wait for the proxy")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	ln, err := homenet.Listen(*linkAddr)
+	if err != nil {
+		log.Error("listen", "err", err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+	log.Info("waiting for home proxy", "addr", ln.Addr())
+	link, err := ln.Accept(*wait)
+	if err != nil {
+		log.Error("accept proxy", "err", err)
+		os.Exit(1)
+	}
+	log.Info("home proxy connected")
+
+	clock := simtime.NewReal()
+	env := &services.Env{Clock: clock, RNG: stats.NewRNG(1), ServiceKey: *key}
+	svc := services.NewOurService(services.OurServiceConfig{Env: env, Link: link})
+
+	log.Info("ourservice listening", "addr", *addr,
+		"triggers", svc.TriggerSlugs(), "actions", svc.ActionSlugs())
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	}
+}

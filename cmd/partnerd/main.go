@@ -1,0 +1,153 @@
+// Command partnerd runs one simulated partner service as a live HTTP
+// daemon, backed by in-memory devices or web apps. It exposes the IFTTT
+// partner API (triggers/actions/status) plus a small /sim/ surface to
+// drive the backing device — press the switch, deliver an email — so a
+// full live deployment (partnerd × N + iftttd) can be exercised by hand
+// or by scripts.
+//
+//	partnerd -service hue   -addr :8081
+//	partnerd -service wemo  -addr :8082
+//	partnerd -service alexa -addr :8083
+//	partnerd -service gmail -addr :8084
+//
+// Drive examples:
+//
+//	curl -X POST 'localhost:8082/sim/press'
+//	curl -X POST 'localhost:8083/sim/say?text=Alexa,+trigger+party+mode'
+//	curl -X POST 'localhost:8084/sim/deliver?subject=hi&body=yo'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/devices"
+	"repro/internal/service"
+	"repro/internal/services"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/webapps"
+)
+
+func main() {
+	var (
+		name = flag.String("service", "wemo", "service to run: hue, wemo, alexa, smartthings, nest, gmail, gdrive, gsheets, weather, rss")
+		addr = flag.String("addr", ":8081", "listen address")
+		key  = flag.String("key", "dev-service-key", "IFTTT service key the engine must present")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	clock := simtime.NewReal()
+	env := &services.Env{Clock: clock, RNG: stats.NewRNG(1), ServiceKey: *key}
+
+	svc, sim, err := build(*name, env, clock)
+	if err != nil {
+		log.Error("build service", "err", err)
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	for path, h := range sim {
+		mux.HandleFunc("POST "+path, h)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Info("partnerd listening", "service", *name, "addr", *addr,
+			"triggers", svc.TriggerSlugs(), "actions", svc.ActionSlugs())
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	srv.Close()
+}
+
+// build wires the chosen service with its backing device or web app and
+// returns the /sim/ drive handlers.
+func build(name string, env *services.Env, clock simtime.Clock) (*service.Service, map[string]http.HandlerFunc, error) {
+	sim := map[string]http.HandlerFunc{}
+	switch name {
+	case "hue":
+		hub := devices.NewHueHub(clock, "1", "2")
+		sim["/sim/state"] = func(w http.ResponseWriter, r *http.Request) {
+			s, _ := hub.LampState("1")
+			fmt.Fprintf(w, "%+v\n", s)
+		}
+		return services.NewHueService(env, hub), sim, nil
+	case "wemo":
+		sw := devices.NewWemoSwitch(clock, "wemo-1")
+		sim["/sim/press"] = func(w http.ResponseWriter, r *http.Request) {
+			sw.Press()
+			fmt.Fprintf(w, "on=%v\n", sw.On())
+		}
+		return services.NewWemoService(env, sw), sim, nil
+	case "alexa":
+		echo := devices.NewEchoDot(clock, "echo-1")
+		sim["/sim/say"] = func(w http.ResponseWriter, r *http.Request) {
+			ok := echo.Say(r.URL.Query().Get("text"))
+			fmt.Fprintf(w, "recognized=%v\n", ok)
+		}
+		return services.NewAlexaService(env, echo), sim, nil
+	case "smartthings":
+		hub := devices.NewSmartThingsHub(clock)
+		hub.Attach(devices.NewOutlet(clock, "outlet-1"))
+		sensor := devices.NewSensor(clock, "motion-1", "motion")
+		hub.Attach(sensor)
+		sim["/sim/motion"] = func(w http.ResponseWriter, r *http.Request) {
+			sensor.SetValue(r.URL.Query().Get("value"))
+			fmt.Fprintln(w, "ok")
+		}
+		return services.NewSmartThingsService(env, hub), sim, nil
+	case "nest":
+		th := devices.NewThermostat(clock, "nest-1")
+		sim["/sim/ambient"] = func(w http.ResponseWriter, r *http.Request) {
+			var c float64
+			fmt.Sscanf(r.URL.Query().Get("c"), "%f", &c)
+			th.SetAmbient(c)
+			fmt.Fprintf(w, "ambient=%.1f mode=%s\n", th.Ambient(), th.Mode())
+		}
+		return services.NewNestService(env, th), sim, nil
+	case "gmail":
+		mail := webapps.NewGmail(clock)
+		sim["/sim/deliver"] = func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			mail.Deliver("ext@example.com", "user@mail.sim", q.Get("subject"), q.Get("body"))
+			fmt.Fprintln(w, "delivered")
+		}
+		return services.NewGmailService(env, mail, "user@mail.sim", nil), sim, nil
+	case "gdrive":
+		drive := webapps.NewDrive(clock)
+		return services.NewDriveService(env, drive, "u1"), sim, nil
+	case "gsheets":
+		sheets := webapps.NewSheets(clock, nil)
+		return services.NewSheetsService(env, sheets, "u1"), sim, nil
+	case "weather":
+		weather := webapps.NewWeather(clock)
+		sim["/sim/condition"] = func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			weather.SetCondition(q.Get("location"), q.Get("condition"))
+			fmt.Fprintln(w, "ok")
+		}
+		return services.NewWeatherService(env, weather), sim, nil
+	case "rss":
+		feed := webapps.NewRSS(clock)
+		sim["/sim/publish"] = func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			feed.Publish(q.Get("title"), q.Get("url"))
+			fmt.Fprintln(w, "ok")
+		}
+		return services.NewRSSService(env, feed), sim, nil
+	}
+	return nil, nil, fmt.Errorf("unknown service %q", name)
+}

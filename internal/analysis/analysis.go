@@ -1,0 +1,336 @@
+// Package analysis computes the paper's §3 tables and figures from an
+// ecosystem snapshot: the Table 1 category breakdown, the Table 2 scale
+// summary, the Table 3 top IoT lists, the Fig 2 category-pair heat map,
+// the Fig 3 add-count distribution, the §3.2 growth timeline, and the
+// user-contribution shares. It operates on dataset.Snapshot values,
+// whether generated directly or reconstructed by the crawler.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Table1Row is one category row of Table 1.
+type Table1Row struct {
+	Category    dataset.Category
+	ServicePct  float64 // share of services in this category
+	TriggerACPc float64 // share of adds whose trigger is in this category
+	ActionACPct float64 // share of adds whose action is in this category
+}
+
+// Table1 computes the service-category breakdown.
+func Table1(s *dataset.Snapshot) []Table1Row {
+	var svcCount [dataset.NumCategories + 1]int
+	for _, svc := range s.Services {
+		svcCount[svc.Category]++
+	}
+	var trigAC, actAC [dataset.NumCategories + 1]int64
+	var total int64
+	for _, a := range s.Applets {
+		ts := s.Eco.TriggerService(a.Applet)
+		as := s.Eco.ActionService(a.Applet)
+		if ts == nil || as == nil {
+			continue
+		}
+		trigAC[ts.Category] += a.AddCount
+		actAC[as.Category] += a.AddCount
+		total += a.AddCount
+	}
+	rows := make([]Table1Row, 0, dataset.NumCategories)
+	for c := dataset.Category(1); c <= dataset.NumCategories; c++ {
+		row := Table1Row{Category: c}
+		if len(s.Services) > 0 {
+			row.ServicePct = 100 * float64(svcCount[c]) / float64(len(s.Services))
+		}
+		if total > 0 {
+			row.TriggerACPc = 100 * float64(trigAC[c]) / float64(total)
+			row.ActionACPct = 100 * float64(actAC[c]) / float64(total)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// IoTShares reports the paper's headline numbers: the fraction of
+// services that are IoT-related and the fraction of applet usage (add
+// count) involving an IoT trigger or action (§1: 52% and 16%).
+func IoTShares(s *dataset.Snapshot) (servicePct, usagePct float64) {
+	iotSvc := 0
+	for _, svc := range s.Services {
+		if svc.Category.IsIoT() {
+			iotSvc++
+		}
+	}
+	var iotAdds, total int64
+	for _, a := range s.Applets {
+		ts := s.Eco.TriggerService(a.Applet)
+		as := s.Eco.ActionService(a.Applet)
+		if ts == nil || as == nil {
+			continue
+		}
+		if ts.Category.IsIoT() || as.Category.IsIoT() {
+			iotAdds += a.AddCount
+		}
+		total += a.AddCount
+	}
+	if len(s.Services) > 0 {
+		servicePct = 100 * float64(iotSvc) / float64(len(s.Services))
+	}
+	if total > 0 {
+		usagePct = 100 * float64(iotAdds) / float64(total)
+	}
+	return servicePct, usagePct
+}
+
+// Table2 summarizes dataset scale (our side of the paper's comparison
+// with Ur et al.'s 2015 dataset).
+type Table2 struct {
+	Applets      int
+	Channels     int // partner services ("channels" in the old naming)
+	Triggers     int
+	Actions      int
+	Adoptions    int64
+	Contributors int // user channels with at least one applet
+	Snapshots    int
+}
+
+// Table2Summary computes the scale row for one snapshot.
+func Table2Summary(s *dataset.Snapshot, numSnapshots int) Table2 {
+	contributors := make(map[int]bool)
+	for _, a := range s.Applets {
+		if !a.ServiceMade() {
+			contributors[a.AuthorChannel] = true
+		}
+	}
+	return Table2{
+		Applets:      len(s.Applets),
+		Channels:     len(s.Services),
+		Triggers:     len(s.Triggers),
+		Actions:      len(s.Actions),
+		Adoptions:    s.TotalAddCount(),
+		Contributors: len(contributors),
+		Snapshots:    numSnapshots,
+	}
+}
+
+// RankedEntry is one row of a Table 3 top list.
+type RankedEntry struct {
+	Name     string
+	AddCount int64
+}
+
+// Table3 holds the top IoT trigger services, action services, triggers,
+// and actions by add count.
+type Table3 struct {
+	TriggerServices []RankedEntry
+	ActionServices  []RankedEntry
+	Triggers        []RankedEntry
+	Actions         []RankedEntry
+}
+
+// Table3TopIoT computes the top-k IoT lists.
+func Table3TopIoT(s *dataset.Snapshot, k int) Table3 {
+	trigSvc := make(map[string]int64)
+	actSvc := make(map[string]int64)
+	trig := make(map[string]int64)
+	act := make(map[string]int64)
+	for _, a := range s.Applets {
+		ts := s.Eco.TriggerService(a.Applet)
+		as := s.Eco.ActionService(a.Applet)
+		if ts != nil && ts.Category.IsIoT() {
+			trigSvc[ts.Name] += a.AddCount
+			trig[s.Eco.TriggerByID(a.TriggerID).Name] += a.AddCount
+		}
+		if as != nil && as.Category.IsIoT() {
+			actSvc[as.Name] += a.AddCount
+			act[s.Eco.ActionByID(a.ActionID).Name] += a.AddCount
+		}
+	}
+	return Table3{
+		TriggerServices: topK(trigSvc, k),
+		ActionServices:  topK(actSvc, k),
+		Triggers:        topK(trig, k),
+		Actions:         topK(act, k),
+	}
+}
+
+func topK(m map[string]int64, k int) []RankedEntry {
+	entries := make([]RankedEntry, 0, len(m))
+	for name, c := range m {
+		entries = append(entries, RankedEntry{Name: name, AddCount: c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].AddCount != entries[j].AddCount {
+			return entries[i].AddCount > entries[j].AddCount
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// Heatmap is the Fig 2 matrix: add count by (trigger category, action
+// category); index 0 is unused.
+type Heatmap [dataset.NumCategories + 1][dataset.NumCategories + 1]int64
+
+// Fig2Heatmap computes the interaction heat map.
+func Fig2Heatmap(s *dataset.Snapshot) Heatmap {
+	var m Heatmap
+	for _, a := range s.Applets {
+		ts := s.Eco.TriggerService(a.Applet)
+		as := s.Eco.ActionService(a.Applet)
+		if ts == nil || as == nil {
+			continue
+		}
+		m[ts.Category][as.Category] += a.AddCount
+	}
+	return m
+}
+
+// RowShare returns the fraction of the matrix's mass in row t.
+func (h *Heatmap) RowShare(t dataset.Category) float64 {
+	var row, total int64
+	for tc := 1; tc <= dataset.NumCategories; tc++ {
+		for ac := 1; ac <= dataset.NumCategories; ac++ {
+			total += h[tc][ac]
+			if tc == int(t) {
+				row += h[tc][ac]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row) / float64(total)
+}
+
+// Fig3 summarizes the add-count-per-applet distribution.
+type Fig3 struct {
+	// Counts are the per-applet adds sorted descending (the Fig 3
+	// curve).
+	Counts []int64
+	// Top1Share and Top10Share are the concentration headlines.
+	Top1Share, Top10Share float64
+}
+
+// Fig3Distribution computes the ranked add-count curve.
+func Fig3Distribution(s *dataset.Snapshot) Fig3 {
+	counts := make([]int64, 0, len(s.Applets))
+	xs := make([]float64, 0, len(s.Applets))
+	for _, a := range s.Applets {
+		counts = append(counts, a.AddCount)
+		xs = append(xs, float64(a.AddCount))
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	f := Fig3{Counts: counts}
+	if len(xs) > 0 {
+		f.Top1Share = stats.TopShare(xs, 0.01)
+		f.Top10Share = stats.TopShare(xs, 0.10)
+	}
+	return f
+}
+
+// UserContribution reports the §3.2 authorship statistics.
+type UserContribution struct {
+	Channels             int
+	UserMadeAppletPct    float64
+	UserMadeAddPct       float64
+	Top1UserAppletShare  float64
+	Top10UserAppletShare float64
+}
+
+// UserContributionStats computes who makes the applets and who gets the
+// installs.
+func UserContributionStats(s *dataset.Snapshot) UserContribution {
+	perUser := make(map[int]float64)
+	var userMade, total int
+	var userAdds, totalAdds int64
+	for _, a := range s.Applets {
+		total++
+		totalAdds += a.AddCount
+		if a.ServiceMade() {
+			continue
+		}
+		userMade++
+		userAdds += a.AddCount
+		perUser[a.AuthorChannel]++
+	}
+	uc := UserContribution{Channels: len(s.Channels)}
+	if total > 0 {
+		uc.UserMadeAppletPct = 100 * float64(userMade) / float64(total)
+	}
+	if totalAdds > 0 {
+		uc.UserMadeAddPct = 100 * float64(userAdds) / float64(totalAdds)
+	}
+	if len(perUser) > 0 {
+		xs := make([]float64, 0, len(perUser))
+		for _, n := range perUser {
+			xs = append(xs, n)
+		}
+		uc.Top1UserAppletShare = stats.TopShare(xs, 0.01)
+		uc.Top10UserAppletShare = stats.TopShare(xs, 0.10)
+	}
+	return uc
+}
+
+// GrowthPoint is one week of the §3.2 growth timeline.
+type GrowthPoint struct {
+	Week     int
+	Services int
+	Triggers int
+	Actions  int
+	Applets  int
+	Adds     int64
+}
+
+// GrowthTimeline computes the weekly series across all snapshots.
+func GrowthTimeline(eco *dataset.Ecosystem) []GrowthPoint {
+	pts := make([]GrowthPoint, 0, len(eco.Weeks))
+	for w := range eco.Weeks {
+		s := eco.At(w)
+		pts = append(pts, GrowthPoint{
+			Week:     w,
+			Services: len(s.Services),
+			Triggers: len(s.Triggers),
+			Actions:  len(s.Actions),
+			Applets:  len(s.Applets),
+			Adds:     s.TotalAddCount(),
+		})
+	}
+	return pts
+}
+
+// GrowthRates compares two weeks of the timeline, returning percentage
+// growth for services, triggers, actions and adds (the paper compares
+// 2016-11-24 with 2017-04-01: +11%, +31%, +27%, +19%).
+func GrowthRates(pts []GrowthPoint, from, to int) (services, triggers, actions, adds float64) {
+	pct := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		return 100 * (b - a) / a
+	}
+	f, t := pts[from], pts[to]
+	return pct(float64(f.Services), float64(t.Services)),
+		pct(float64(f.Triggers), float64(t.Triggers)),
+		pct(float64(f.Actions), float64(t.Actions)),
+		pct(float64(f.Adds), float64(t.Adds))
+}
+
+// FormatTable1 renders Table 1 as fixed-width text for reports.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-46s %9s %9s %9s\n", "Service Category", "%Services", "TrigAC%", "ActAC%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%2d. %-42s %8.1f%% %8.1f%% %8.1f%%\n",
+			int(r.Category), r.Category, r.ServicePct, r.TriggerACPc, r.ActionACPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// fullEco is the paper-scale dataset; generating it once keeps the suite
+// fast while validating calibration at the real population sizes.
+var fullEco = sync.OnceValue(func() *dataset.Ecosystem {
+	return dataset.Generate(dataset.GenConfig{Seed: 7, Scale: 1})
+})
+
+func refSnap() *dataset.Snapshot { return fullEco().At(dataset.RefWeekIndex) }
+
+func TestTable1ServiceShares(t *testing.T) {
+	rows := Table1(refSnap())
+	if len(rows) != dataset.NumCategories {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, row := range rows {
+		want := dataset.ServiceShares[i]
+		if math.Abs(row.ServicePct-want) > 2.5 {
+			t.Errorf("cat %d service share = %.1f%%, want ≈%.1f%%", i+1, row.ServicePct, want)
+		}
+	}
+}
+
+func TestTable1ACShares(t *testing.T) {
+	rows := Table1(refSnap())
+	for i, row := range rows {
+		wantT := dataset.TriggerACShares[i]
+		wantA := dataset.ActionACShares[i]
+		if math.Abs(row.TriggerACPc-wantT) > 3.0 {
+			t.Errorf("cat %d trigger AC = %.1f%%, want ≈%.1f%%", i+1, row.TriggerACPc, wantT)
+		}
+		if math.Abs(row.ActionACPct-wantA) > 3.0 {
+			t.Errorf("cat %d action AC = %.1f%%, want ≈%.1f%%", i+1, row.ActionACPct, wantA)
+		}
+	}
+}
+
+func TestIoTShares(t *testing.T) {
+	// §1/§3.2 headline: 52% of services, 16% of applet usage.
+	svcPct, usagePct := IoTShares(refSnap())
+	if svcPct < 46 || svcPct > 58 {
+		t.Errorf("IoT service share = %.1f%%, want ≈52%%", svcPct)
+	}
+	if usagePct < 11 || usagePct > 23 {
+		t.Errorf("IoT usage share = %.1f%%, want ≈16%%", usagePct)
+	}
+}
+
+func TestTable2Scale(t *testing.T) {
+	s := refSnap()
+	tab := Table2Summary(s, dataset.NumWeeks)
+	within := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol*want {
+			t.Errorf("%s = %.0f, want ≈%.0f", name, got, want)
+		}
+	}
+	within("applets", float64(tab.Applets), dataset.RefApplets, 0.02)
+	within("channels(services)", float64(tab.Channels), dataset.RefServices, 0.06)
+	within("triggers", float64(tab.Triggers), dataset.RefTriggers, 0.05)
+	within("actions", float64(tab.Actions), dataset.RefActions, 0.05)
+	within("adoptions", float64(tab.Adoptions), dataset.RefAddCount, 0.035)
+	if tab.Snapshots != 25 {
+		t.Errorf("snapshots = %d", tab.Snapshots)
+	}
+	// ~135K contributors (not every channel lands an applet at exactly
+	// the population size, so the tolerance is loose).
+	if tab.Contributors < 80_000 || tab.Contributors > 140_000 {
+		t.Errorf("contributors = %d, want ≈135K", tab.Contributors)
+	}
+}
+
+func TestTable3TopEntries(t *testing.T) {
+	top := Table3TopIoT(refSnap(), 7)
+	if len(top.TriggerServices) != 7 || len(top.ActionServices) != 7 {
+		t.Fatalf("top lists truncated: %d/%d", len(top.TriggerServices), len(top.ActionServices))
+	}
+	if top.TriggerServices[0].Name != "Amazon Alexa" {
+		t.Errorf("top trigger service = %q, want Amazon Alexa", top.TriggerServices[0].Name)
+	}
+	if got := top.TriggerServices[0].AddCount; got < 1_000_000 || got > 1_500_000 {
+		t.Errorf("Alexa trigger adds = %d, want ≈1.2M", got)
+	}
+	if top.ActionServices[0].Name != "Philips Hue" {
+		t.Errorf("top action service = %q, want Philips Hue", top.ActionServices[0].Name)
+	}
+	if got := top.ActionServices[0].AddCount; got < 1_000_000 || got > 1_500_000 {
+		t.Errorf("Hue action adds = %d, want ≈1.2M", got)
+	}
+	if !strings.Contains(top.Triggers[0].Name, "say_a_phrase") {
+		t.Errorf("top trigger = %q, want Alexa's say_a_phrase", top.Triggers[0].Name)
+	}
+	if !strings.Contains(top.Actions[0].Name, "turn_on_lights") {
+		t.Errorf("top action = %q, want Hue's turn_on_lights", top.Actions[0].Name)
+	}
+}
+
+func TestFig2HeatmapMarginalsAndHotspots(t *testing.T) {
+	s := refSnap()
+	h := Fig2Heatmap(s)
+	// Row marginals must match the Table 1 trigger AC shares.
+	for c := dataset.Category(1); c <= dataset.NumCategories; c++ {
+		got := 100 * h.RowShare(c)
+		want := dataset.TriggerACShares[c-1]
+		if math.Abs(got-want) > 3.0 {
+			t.Errorf("row %d share = %.1f%%, want ≈%.1f%%", c, got, want)
+		}
+	}
+	// Hotspot structure: for IoT trigger rows, the hot action columns
+	// (1, 5, 9) hold more mass than the matching independence baseline.
+	var iotRowMass, iotHotMass int64
+	for tc := dataset.CatSmartHome; tc <= dataset.CatCar; tc++ {
+		for ac := dataset.Category(1); ac <= dataset.NumCategories; ac++ {
+			iotRowMass += h[tc][ac]
+			if ac == dataset.CatSmartHome || ac == dataset.CatPhone || ac == dataset.CatPersonal {
+				iotHotMass += h[tc][ac]
+			}
+		}
+	}
+	baseline := (dataset.ActionACShares[0] + dataset.ActionACShares[4] + dataset.ActionACShares[8]) / 100
+	if frac := float64(iotHotMass) / float64(iotRowMass); frac < baseline*1.2 {
+		t.Errorf("IoT-trigger hotspot mass = %.2f of row, independence = %.2f — boost missing", frac, baseline)
+	}
+}
+
+func TestFig3HeavyTail(t *testing.T) {
+	f := Fig3Distribution(refSnap())
+	if len(f.Counts) == 0 || f.Counts[0] < f.Counts[len(f.Counts)-1] {
+		t.Fatal("counts not descending")
+	}
+	if math.Abs(f.Top1Share-0.841) > 0.04 {
+		t.Errorf("top-1%% share = %.3f, want ≈0.841", f.Top1Share)
+	}
+	if math.Abs(f.Top10Share-0.976) > 0.03 {
+		t.Errorf("top-10%% share = %.3f, want ≈0.976", f.Top10Share)
+	}
+}
+
+func TestUserContribution(t *testing.T) {
+	uc := UserContributionStats(refSnap())
+	if math.Abs(uc.UserMadeAppletPct-98) > 1.0 {
+		t.Errorf("user-made applets = %.1f%%, want ≈98%%", uc.UserMadeAppletPct)
+	}
+	if math.Abs(uc.UserMadeAddPct-86) > 4.0 {
+		t.Errorf("user-made adds = %.1f%%, want ≈86%%", uc.UserMadeAddPct)
+	}
+	if uc.Top1UserAppletShare < 0.10 || uc.Top1UserAppletShare > 0.30 {
+		t.Errorf("top-1%% users = %.2f of applets, want ≈0.18", uc.Top1UserAppletShare)
+	}
+	if uc.Top10UserAppletShare < 0.35 || uc.Top10UserAppletShare > 0.65 {
+		t.Errorf("top-10%% users = %.2f of applets, want ≈0.49", uc.Top10UserAppletShare)
+	}
+}
+
+func TestGrowthTimeline(t *testing.T) {
+	pts := GrowthTimeline(fullEco())
+	if len(pts) != dataset.NumWeeks {
+		t.Fatalf("points = %d", len(pts))
+	}
+	svc, trig, act, adds := GrowthRates(pts, 3, 21)
+	if svc < 5 || svc > 18 {
+		t.Errorf("service growth = %.1f%%, want ≈11%%", svc)
+	}
+	if trig < 22 || trig > 40 {
+		t.Errorf("trigger growth = %.1f%%, want ≈31%%", trig)
+	}
+	if act < 18 || act > 36 {
+		t.Errorf("action growth = %.1f%%, want ≈27%%", act)
+	}
+	if adds < 12 || adds > 27 {
+		t.Errorf("adds growth = %.1f%%, want ≈19%%", adds)
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	out := FormatTable1(Table1(refSnap()))
+	if !strings.Contains(out, "Smarthome devices") || !strings.Contains(out, "Email") {
+		t.Fatalf("formatted table missing rows:\n%s", out)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != dataset.NumCategories+1 {
+		t.Fatalf("lines = %d", got)
+	}
+}

@@ -1,0 +1,279 @@
+// Package core is the library's front door: it orchestrates the full
+// reproduction of the paper's measurements on top of the underlying
+// packages. RunPerformance executes the §4 controlled experiments
+// (Fig 4, Fig 5, Table 5, Fig 6, Fig 7, the realtime-API study, and the
+// infinite loops) on fresh simulated testbeds; RunEcosystem generates a
+// calibrated dataset and computes the §3 tables and figures; and
+// RunCrawlStudy exercises the crawling methodology end to end against
+// the mock site. Format helpers render results for EXPERIMENTS.md.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/devices"
+	"repro/internal/engine"
+	"repro/internal/perm"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// PerfConfig tunes RunPerformance. Zero values give the paper's trial
+// counts.
+type PerfConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Fig4Trials is the per-applet trial count (paper: 50).
+	Fig4Trials int
+	// Fig5Trials is the per-scenario trial count (paper: 20).
+	Fig5Trials int
+	// Fig7Trials is the concurrent-pair trial count (paper: 20).
+	Fig7Trials int
+	// SeqTriggers is the number of sequential activations for Fig 6.
+	SeqTriggers int
+	// LoopWindow is the observation window for the infinite loops.
+	LoopWindow time.Duration
+}
+
+func (c *PerfConfig) fill() {
+	if c.Fig4Trials <= 0 {
+		c.Fig4Trials = 50
+	}
+	if c.Fig5Trials <= 0 {
+		c.Fig5Trials = 20
+	}
+	if c.Fig7Trials <= 0 {
+		c.Fig7Trials = 20
+	}
+	if c.SeqTriggers <= 0 {
+		c.SeqTriggers = 60
+	}
+	if c.LoopWindow <= 0 {
+		c.LoopWindow = time.Hour
+	}
+}
+
+// PerfResults carries every §4 experiment outcome.
+type PerfResults struct {
+	// Fig4 maps applet ID (A1..A7) to its T2A latency samples in
+	// seconds.
+	Fig4 map[string][]float64
+	// Fig5 maps scenario (E1, E2, E3) to A2's T2A samples in seconds.
+	Fig5 map[string][]float64
+	// Table5 is the instrumented A2-under-E2 execution timeline.
+	Table5 []testbed.TimelineRow
+	// Fig6 is the sequential-activation clustering result.
+	Fig6 testbed.SequentialResult
+	// Fig7 is the concurrent-applet divergence result.
+	Fig7 testbed.ConcurrentResult
+	// RealtimeHinted and RealtimeUnhinted are A2-under-E2 samples with
+	// and without the service sending realtime hints; the paper found
+	// no difference because the engine ignores non-allow-listed hints.
+	RealtimeHinted, RealtimeUnhinted []float64
+	// ExplicitLoop and ImplicitLoop count runaway executions in
+	// LoopWindow.
+	ExplicitLoop, ImplicitLoop testbed.LoopResult
+}
+
+// RunPerformance executes the §4 experiment suite. Each experiment gets
+// a fresh testbed so state cannot leak between them.
+func RunPerformance(cfg PerfConfig) (*PerfResults, error) {
+	cfg.fill()
+	res := &PerfResults{
+		Fig4: make(map[string][]float64),
+		Fig5: make(map[string][]float64),
+	}
+
+	// Fig 4: A1–A7 against official services under the paper's poll
+	// model.
+	specs := append(testbed.Group14(), testbed.Group57()...)
+	for i, spec := range specs {
+		tb := testbed.New(testbed.Config{Seed: cfg.Seed + uint64(i)})
+		var err error
+		tb.Run(func() {
+			var lats []time.Duration
+			lats, err = tb.MeasureT2A(spec, testbed.T2AOptions{Trials: cfg.Fig4Trials})
+			res.Fig4[spec.ID] = stats.Durations(lats)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", spec.ID, err)
+		}
+	}
+
+	// Fig 5: E1/E2 swap in the self-implemented service; E3 also swaps
+	// the engine's polling for a 1-second interval.
+	scenarios := []struct {
+		name string
+		spec testbed.AppletSpec
+		poll engine.PollPolicy
+	}{
+		{"E1", testbed.A2E1(), nil},
+		{"E2", testbed.A2E2(), nil},
+		{"E3", testbed.A2E2(), engine.FixedInterval{Interval: time.Second}},
+	}
+	for i, sc := range scenarios {
+		tb := testbed.New(testbed.Config{Seed: cfg.Seed + 100 + uint64(i), Poll: sc.poll})
+		var err error
+		tb.Run(func() {
+			var lats []time.Duration
+			lats, err = tb.MeasureT2A(sc.spec, testbed.T2AOptions{Trials: cfg.Fig5Trials})
+			res.Fig5[sc.name] = stats.Durations(lats)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", sc.name, err)
+		}
+	}
+
+	// Table 5: one instrumented execution of A2 under E2.
+	{
+		tb := testbed.New(testbed.Config{Seed: cfg.Seed + 200})
+		var err error
+		tb.Run(func() { res.Table5, err = tb.RunTimeline() })
+		if err != nil {
+			return nil, fmt.Errorf("table5: %w", err)
+		}
+	}
+
+	// Fig 6: sequential activations every 5 s.
+	{
+		tb := testbed.New(testbed.Config{Seed: cfg.Seed + 300})
+		var err error
+		tb.Run(func() {
+			res.Fig6, err = tb.RunSequential(testbed.A2(), cfg.SeqTriggers, 5*time.Second)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6: %w", err)
+		}
+	}
+
+	// Fig 7: two applets sharing the Gmail trigger.
+	{
+		tb := testbed.New(testbed.Config{Seed: cfg.Seed + 400})
+		var err error
+		tb.Run(func() {
+			res.Fig7, err = tb.RunConcurrent(testbed.A3(), concurrentPartner(tb), fireSharedEmail, cfg.Fig7Trials)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7: %w", err)
+		}
+	}
+
+	// Realtime API study: hints from a non-allow-listed service change
+	// nothing.
+	for _, hinted := range []bool{false, true} {
+		tb := testbed.New(testbed.Config{Seed: cfg.Seed + 500, OurServiceRealtime: hinted})
+		var err error
+		tb.Run(func() {
+			var lats []time.Duration
+			lats, err = tb.MeasureT2A(testbed.A2E2(), testbed.T2AOptions{Trials: cfg.Fig5Trials})
+			if hinted {
+				res.RealtimeHinted = stats.Durations(lats)
+			} else {
+				res.RealtimeUnhinted = stats.Durations(lats)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("realtime study: %w", err)
+		}
+	}
+
+	// Infinite loops, on a fast-polling engine so the window bounds the
+	// experiment rather than the polling gap.
+	{
+		tb := testbed.New(testbed.Config{Seed: cfg.Seed + 600, Poll: engine.FixedInterval{Interval: 15 * time.Second}})
+		var err error
+		tb.Run(func() { res.ExplicitLoop, err = tb.RunExplicitLoop(cfg.LoopWindow) })
+		if err != nil {
+			return nil, fmt.Errorf("explicit loop: %w", err)
+		}
+	}
+	{
+		tb := testbed.New(testbed.Config{Seed: cfg.Seed + 700, Poll: engine.FixedInterval{Interval: 15 * time.Second}})
+		var err error
+		tb.Run(func() { res.ImplicitLoop, err = tb.RunImplicitLoop(cfg.LoopWindow) })
+		if err != nil {
+			return nil, fmt.Errorf("implicit loop: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// concurrentPartner is the second applet of the Fig 7 pair: same Gmail
+// trigger, WeMo action.
+func concurrentPartner(tb *testbed.Testbed) testbed.AppletSpec {
+	return testbed.AppletSpec{
+		ID: "A3b", Name: "new gmail → activate wemo",
+		Applet: func(tb *testbed.Testbed) engine.Applet {
+			ap := engine.Applet{
+				ID: "A3b", UserID: testbed.UserID, Name: "A3b",
+				Trigger: engine.ServiceRef{
+					Service: "gmail", BaseURL: "http://" + testbed.HostGmail,
+					Slug: "new_email", ServiceKey: testbed.ServiceKey,
+					UserToken: tb.GmailToken,
+				},
+				Action: engine.ServiceRef{
+					Service: "wemo", BaseURL: "http://" + testbed.HostWemo,
+					Slug: "turn_on", ServiceKey: testbed.ServiceKey,
+				},
+			}
+			return ap
+		},
+		Prepare: func(tb *testbed.Testbed) { tb.Wemo.SetState(false, "controller") },
+		Watch: func(tb *testbed.Testbed, w *testbed.Watcher) {
+			tb.Wemo.Subscribe(func(ev devices.Event) {
+				if ev.Type == "switched_on" && ev.Attrs["via"] != "physical" {
+					w.Bump()
+				}
+			})
+		},
+	}
+}
+
+func fireSharedEmail(tb *testbed.Testbed) {
+	tb.Mail.Deliver("s@ext.sim", testbed.UserEmail, "shared trigger", "")
+}
+
+// EcoResults carries every §3 analysis outcome.
+type EcoResults struct {
+	Eco *dataset.Ecosystem
+
+	Table1   []analysis.Table1Row
+	Table2   analysis.Table2
+	Table3   analysis.Table3
+	IoTSvc   float64 // % of services that are IoT (paper: 52%)
+	IoTUsage float64 // % of adds involving IoT (paper: 16%)
+	Fig2     analysis.Heatmap
+	Fig3     analysis.Fig3
+	Users    analysis.UserContribution
+	Growth   []analysis.GrowthPoint
+	// GrowthPct holds (services, triggers, actions, adds) growth
+	// between the paper's comparison weeks.
+	GrowthPct [4]float64
+	// Perm is the §6 permission over-privilege analysis.
+	Perm perm.Report
+}
+
+// RunEcosystem generates a calibrated dataset at the given scale (1.0 =
+// paper size) and computes the §3 tables and figures.
+func RunEcosystem(seed uint64, scale float64) *EcoResults {
+	eco := dataset.Generate(dataset.GenConfig{Seed: seed, Scale: scale})
+	snap := eco.At(dataset.RefWeekIndex)
+	res := &EcoResults{
+		Eco:    eco,
+		Table1: analysis.Table1(snap),
+		Table2: analysis.Table2Summary(snap, dataset.NumWeeks),
+		Table3: analysis.Table3TopIoT(snap, 7),
+		Fig2:   analysis.Fig2Heatmap(snap),
+		Fig3:   analysis.Fig3Distribution(snap),
+		Users:  analysis.UserContributionStats(snap),
+		Growth: analysis.GrowthTimeline(eco),
+		Perm:   perm.Analyze(snap),
+	}
+	res.IoTSvc, res.IoTUsage = analysis.IoTShares(snap)
+	s, t, a, ad := analysis.GrowthRates(res.Growth, 3, 21)
+	res.GrowthPct = [4]float64{s, t, a, ad}
+	return res
+}

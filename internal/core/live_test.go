@@ -1,0 +1,133 @@
+package core
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/engine"
+	"repro/internal/httpx"
+	"repro/internal/proto"
+	"repro/internal/service"
+	"repro/internal/services"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// TestLiveDeploymentEndToEnd exercises the whole stack the way the
+// cmd/iftttd + cmd/partnerd deployment runs it: real wall clock, real
+// HTTP over loopback, two partner services, the engine polling them,
+// and a realtime hint accelerating an allow-listed trigger.
+func TestLiveDeploymentEndToEnd(t *testing.T) {
+	clock := simtime.NewReal()
+	const key = "live-key"
+
+	// Engine first (its URL is needed for realtime hints), with a
+	// placeholder handler swapped in below.
+	var eng *engine.Engine
+	engineSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		eng.Handler().ServeHTTP(w, r)
+	}))
+	defer engineSrv.Close()
+
+	env := &services.Env{
+		Clock: clock, RNG: stats.NewRNG(1), ServiceKey: key,
+		Realtime: &service.RealtimeConfig{
+			URL:        engineSrv.URL + proto.RealtimePath,
+			Client:     httpx.NewClient(http.DefaultClient, clock, 0),
+			ServiceKey: key,
+		},
+	}
+	sw := devices.NewWemoSwitch(clock, "wemo-1")
+	hub := devices.NewHueHub(clock, "1")
+	echo := devices.NewEchoDot(clock, "echo-1")
+
+	wemoSrv := httptest.NewServer(services.NewWemoService(env, sw).Handler())
+	defer wemoSrv.Close()
+	hueSrv := httptest.NewServer(services.NewHueService(env, hub).Handler())
+	defer hueSrv.Close()
+	alexaSrv := httptest.NewServer(services.NewAlexaService(env, echo).Handler())
+	defer alexaSrv.Close()
+
+	eng = engine.New(engine.Config{
+		Clock: clock,
+		RNG:   stats.NewRNG(2),
+		Doer:  &http.Client{Timeout: 10 * time.Second},
+		// Slow regular polling so the realtime contrast is visible,
+		// but not so slow the polled case times the test out.
+		Poll:             engine.FixedInterval{Interval: 700 * time.Millisecond},
+		RealtimeServices: map[string]bool{"alexa": true},
+		RealtimeDelay:    20 * time.Millisecond,
+		DispatchDelay:    -1,
+	})
+	defer eng.Stop()
+
+	// Applet 1: polled path (wemo → hue).
+	if err := eng.Install(engine.Applet{
+		ID: "live-a2", UserID: "u1",
+		Trigger: engine.ServiceRef{Service: "wemo", BaseURL: wemoSrv.URL,
+			Slug: "switched_on", ServiceKey: key},
+		Action: engine.ServiceRef{Service: "hue", BaseURL: hueSrv.URL,
+			Slug: "turn_on_lights", Fields: map[string]string{"lamp": "1"},
+			ServiceKey: key},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Applet 2: realtime path (alexa → hue color).
+	if err := eng.Install(engine.Applet{
+		ID: "live-a5", UserID: "u1",
+		Trigger: engine.ServiceRef{Service: "alexa", BaseURL: alexaSrv.URL,
+			Slug: "say_phrase", Fields: map[string]string{"phrase": "blue"},
+			ServiceKey: key},
+		Action: engine.ServiceRef{Service: "hue", BaseURL: hueSrv.URL,
+			Slug: "change_color", Fields: map[string]string{"lamp": "1", "color": "blue"},
+			ServiceKey: key},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let first polls create the subscriptions.
+	time.Sleep(1200 * time.Millisecond)
+
+	lampOn := make(chan devices.Event, 8)
+	hub.Subscribe(func(ev devices.Event) { lampOn <- ev })
+
+	// Fire the polled applet.
+	sw.Press()
+	waitFor(t, lampOn, 5*time.Second, func(ev devices.Event) bool {
+		return ev.Type == "light_on"
+	})
+	if s, _ := hub.LampState("1"); !s.On {
+		t.Fatal("lamp not on after polled applet")
+	}
+
+	// Fire the realtime applet; the hint should beat the 700ms poll.
+	start := time.Now()
+	echo.Say("Alexa, trigger blue")
+	waitFor(t, lampOn, 5*time.Second, func(ev devices.Event) bool {
+		return ev.Attrs["hue"] == "46920"
+	})
+	if elapsed := time.Since(start); elapsed > 600*time.Millisecond {
+		t.Errorf("realtime path took %v, want < regular polling interval", elapsed)
+	}
+	if s, _ := hub.LampState("1"); s.Hue != services.HueColors["blue"] {
+		t.Fatalf("lamp hue = %d", s.Hue)
+	}
+}
+
+func waitFor(t *testing.T, ch <-chan devices.Event, timeout time.Duration, ok func(devices.Event) bool) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev := <-ch:
+			if ok(ev) {
+				return
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for device event")
+		}
+	}
+}

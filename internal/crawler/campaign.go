@@ -1,0 +1,66 @@
+package crawler
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/dataset"
+)
+
+// SnapshotSource is anything that can be pointed at a different weekly
+// snapshot between crawls; internal/mocksite satisfies it.
+type SnapshotSource interface {
+	SetSnapshot(*dataset.Snapshot)
+}
+
+// Campaign reproduces the paper's collection methodology end to end:
+// "Every week from November 2016 to April 2017, we used the tool to take
+// a 'snapshot' of the IFTTT ecosystem." It crawls every week of the
+// ecosystem through the site, optionally persisting each snapshot under
+// dir as weekNN.json.gz, and returns them in week order.
+func (c *Crawler) Campaign(site SnapshotSource, eco *dataset.Ecosystem, dir string) ([]*Snapshot, error) {
+	snaps := make([]*Snapshot, 0, len(eco.Weeks))
+	for w := range eco.Weeks {
+		site.SetSnapshot(eco.At(w))
+		snap, err := c.Crawl()
+		if err != nil {
+			return snaps, fmt.Errorf("crawler: week %d: %w", w, err)
+		}
+		snap.Date = eco.Weeks[w]
+		if dir != "" {
+			path := filepath.Join(dir, fmt.Sprintf("week%02d.json.gz", w))
+			if err := SaveSnapshot(path, snap); err != nil {
+				return snaps, err
+			}
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps, nil
+}
+
+// CampaignGrowth compares the first and last campaign snapshots the way
+// §3.2 compares its endpoints, returning percentage growth for
+// services, applets, and adds.
+func CampaignGrowth(snaps []*Snapshot) (services, applets, adds float64, err error) {
+	if len(snaps) < 2 {
+		return 0, 0, 0, fmt.Errorf("crawler: campaign growth needs >= 2 snapshots")
+	}
+	first, last := snaps[0], snaps[len(snaps)-1]
+	pct := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		return 100 * (b - a) / a
+	}
+	var firstAdds, lastAdds int64
+	for _, a := range first.Applets {
+		firstAdds += a.AddCount
+	}
+	for _, a := range last.Applets {
+		lastAdds += a.AddCount
+	}
+	return pct(float64(len(first.Services)), float64(len(last.Services))),
+		pct(float64(len(first.Applets)), float64(len(last.Applets))),
+		pct(float64(firstAdds), float64(lastAdds)),
+		nil
+}

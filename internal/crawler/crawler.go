@@ -1,0 +1,289 @@
+// Package crawler reproduces the paper's data-collection methodology
+// (§3.1): parse the partner-service index to list all services, then
+// systematically enumerate six-digit applet IDs and scrape every
+// published applet's page for its name, description, trigger, trigger
+// service, action, action service, and add count. A weekly driver takes
+// repeated snapshots, and a JSON store persists them.
+//
+// The crawler runs over live HTTP (against internal/mocksite or any
+// compatible site) with a worker pool and a politeness rate limit.
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/simtime"
+)
+
+// CatalogRecord is one trigger or action scraped from a service page.
+type CatalogRecord struct {
+	Slug string `json:"slug"`
+	Name string `json:"name"`
+}
+
+// ServiceRecord is one scraped partner service.
+type ServiceRecord struct {
+	Slug     string          `json:"slug"`
+	Name     string          `json:"name"`
+	Category int             `json:"category"`
+	Triggers []CatalogRecord `json:"triggers"`
+	Actions  []CatalogRecord `json:"actions"`
+}
+
+// AppletRecord is one scraped applet page.
+type AppletRecord struct {
+	ID                 int    `json:"id"`
+	Name               string `json:"name"`
+	Description        string `json:"description"`
+	TriggerSlug        string `json:"trigger_slug"`
+	TriggerServiceSlug string `json:"trigger_service_slug"`
+	ActionSlug         string `json:"action_slug"`
+	ActionServiceSlug  string `json:"action_service_slug"`
+	AddCount           int64  `json:"add_count"`
+	AuthorChannel      int    `json:"author_channel"`
+}
+
+// Stats counts crawl activity.
+type Stats struct {
+	Requests int   `json:"requests"`
+	NotFound int   `json:"not_found"`
+	Errors   int   `json:"errors"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// Snapshot is the result of one full crawl.
+type Snapshot struct {
+	Date     time.Time       `json:"date"`
+	Services []ServiceRecord `json:"services"`
+	Applets  []AppletRecord  `json:"applets"`
+	Stats    Stats           `json:"stats"`
+}
+
+// Config tunes a crawl.
+type Config struct {
+	// BaseURL is the site root (no trailing slash).
+	BaseURL string
+	// Doer issues the requests (e.g. http.DefaultClient).
+	Doer httpx.Doer
+	// Clock paces the rate limiter; nil means the real clock.
+	Clock simtime.Clock
+	// Concurrency is the worker-pool size; zero means 16.
+	Concurrency int
+	// IDLow/IDHigh bound the applet ID enumeration, [IDLow, IDHigh).
+	// Zero values mean the paper's full six-digit space.
+	IDLow, IDHigh int
+	// RatePerSec caps the request rate across all workers; zero means
+	// unlimited.
+	RatePerSec float64
+	// Logger receives progress output; nil disables it.
+	Logger *slog.Logger
+}
+
+// Crawler scrapes one site.
+type Crawler struct {
+	cfg     Config
+	limiter *rateLimiter
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New creates a crawler. It panics if BaseURL or Doer is missing.
+func New(cfg Config) *Crawler {
+	if cfg.BaseURL == "" || cfg.Doer == nil {
+		panic("crawler: BaseURL and Doer required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.NewReal()
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 16
+	}
+	if cfg.IDLow <= 0 {
+		cfg.IDLow = 100_000
+	}
+	if cfg.IDHigh <= cfg.IDLow {
+		cfg.IDHigh = 1_000_000
+	}
+	c := &Crawler{cfg: cfg}
+	if cfg.RatePerSec > 0 {
+		c.limiter = newRateLimiter(cfg.Clock, cfg.RatePerSec)
+	}
+	return c
+}
+
+// fetch GETs a URL and returns the body, or found=false on 404.
+func (c *Crawler) fetch(url string) (body []byte, found bool, err error) {
+	if c.limiter != nil {
+		c.limiter.wait()
+	}
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.cfg.Doer.Do(req)
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		c.stats.Errors++
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, httpx.MaxBodyBytes))
+	c.mu.Lock()
+	c.stats.Bytes += int64(len(data))
+	c.mu.Unlock()
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return data, true, nil
+	case http.StatusNotFound:
+		c.mu.Lock()
+		c.stats.NotFound++
+		c.mu.Unlock()
+		return nil, false, nil
+	default:
+		c.mu.Lock()
+		c.stats.Errors++
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("crawler: GET %s: status %d", url, resp.StatusCode)
+	}
+}
+
+// Crawl performs one full snapshot: service index, every service page,
+// and the applet ID enumeration.
+func (c *Crawler) Crawl() (*Snapshot, error) {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+
+	snap := &Snapshot{Date: c.cfg.Clock.Now()}
+
+	// Phase 1: service index.
+	body, found, err := c.fetch(c.cfg.BaseURL + "/services")
+	if err != nil {
+		return nil, fmt.Errorf("crawler: service index: %w", err)
+	}
+	if !found {
+		return nil, fmt.Errorf("crawler: service index missing")
+	}
+	slugs := parseServiceIndex(body)
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("crawl: service index", "services", len(slugs))
+	}
+
+	// Phase 2: service pages (worker pool).
+	services := make([]ServiceRecord, len(slugs))
+	errs := make([]error, len(slugs))
+	c.forEach(len(slugs), func(i int) {
+		b, ok, err := c.fetch(c.cfg.BaseURL + "/services/" + slugs[i])
+		if err != nil || !ok {
+			errs[i] = fmt.Errorf("service %s: %v", slugs[i], err)
+			return
+		}
+		services[i] = parseServicePage(slugs[i], b)
+	})
+	for _, rec := range services {
+		if rec.Slug != "" {
+			snap.Services = append(snap.Services, rec)
+		}
+	}
+
+	// Phase 3: applet ID enumeration.
+	var mu sync.Mutex
+	n := c.cfg.IDHigh - c.cfg.IDLow
+	c.forEach(n, func(i int) {
+		id := c.cfg.IDLow + i
+		b, ok, err := c.fetch(fmt.Sprintf("%s/applets/%d", c.cfg.BaseURL, id))
+		if err != nil || !ok {
+			return
+		}
+		rec, perr := parseAppletPage(id, b)
+		if perr != nil {
+			return
+		}
+		mu.Lock()
+		snap.Applets = append(snap.Applets, rec)
+		mu.Unlock()
+	})
+	sort.Slice(snap.Applets, func(i, j int) bool { return snap.Applets[i].ID < snap.Applets[j].ID })
+
+	c.mu.Lock()
+	snap.Stats = c.stats
+	c.mu.Unlock()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("crawl: done",
+			"applets", len(snap.Applets), "requests", snap.Stats.Requests)
+	}
+	return snap, nil
+}
+
+// forEach runs fn(0..n-1) across the worker pool.
+func (c *Crawler) forEach(n int, fn func(i int)) {
+	workers := c.cfg.Concurrency
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// rateLimiter is a simple pacing limiter: requests are spaced at least
+// 1/rate apart across all workers.
+type rateLimiter struct {
+	clock    simtime.Clock
+	interval time.Duration
+
+	mu   sync.Mutex
+	next time.Time
+}
+
+func newRateLimiter(clock simtime.Clock, ratePerSec float64) *rateLimiter {
+	return &rateLimiter{
+		clock:    clock,
+		interval: time.Duration(float64(time.Second) / ratePerSec),
+	}
+}
+
+func (r *rateLimiter) wait() {
+	r.mu.Lock()
+	now := r.clock.Now()
+	if r.next.Before(now) {
+		r.next = now
+	}
+	sleepUntil := r.next
+	r.next = r.next.Add(r.interval)
+	r.mu.Unlock()
+	if d := sleepUntil.Sub(now); d > 0 {
+		r.clock.Sleep(d)
+	}
+}

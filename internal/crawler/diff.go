@@ -1,0 +1,81 @@
+package crawler
+
+// DiffResult summarizes how the ecosystem changed between two crawl
+// snapshots — the week-over-week view behind the paper's §3.2 growth
+// numbers.
+type DiffResult struct {
+	// NewServices and RemovedServices are slugs present in only one
+	// snapshot.
+	NewServices, RemovedServices []string
+	// NewApplets and RemovedApplets count applet IDs present in only
+	// one snapshot.
+	NewApplets, RemovedApplets int
+	// AddGrowth is (later adds − earlier adds) / earlier adds, over
+	// applets present in both.
+	AddGrowth float64
+	// TriggerGrowth and ActionGrowth compare catalog sizes.
+	TriggerGrowth, ActionGrowth float64
+}
+
+// Diff compares an earlier snapshot with a later one.
+func Diff(earlier, later *Snapshot) DiffResult {
+	var d DiffResult
+
+	eSvcs := make(map[string]bool, len(earlier.Services))
+	for _, s := range earlier.Services {
+		eSvcs[s.Slug] = true
+	}
+	lSvcs := make(map[string]bool, len(later.Services))
+	for _, s := range later.Services {
+		lSvcs[s.Slug] = true
+		if !eSvcs[s.Slug] {
+			d.NewServices = append(d.NewServices, s.Slug)
+		}
+	}
+	for slug := range eSvcs {
+		if !lSvcs[slug] {
+			d.RemovedServices = append(d.RemovedServices, slug)
+		}
+	}
+
+	eApplets := make(map[int]int64, len(earlier.Applets))
+	for _, a := range earlier.Applets {
+		eApplets[a.ID] = a.AddCount
+	}
+	var commonEarlier, commonLater int64
+	lApplets := make(map[int]bool, len(later.Applets))
+	for _, a := range later.Applets {
+		lApplets[a.ID] = true
+		if prev, ok := eApplets[a.ID]; ok {
+			commonEarlier += prev
+			commonLater += a.AddCount
+		} else {
+			d.NewApplets++
+		}
+	}
+	for id := range eApplets {
+		if !lApplets[id] {
+			d.RemovedApplets++
+		}
+	}
+	if commonEarlier > 0 {
+		d.AddGrowth = float64(commonLater-commonEarlier) / float64(commonEarlier)
+	}
+
+	countCatalog := func(s *Snapshot) (trigs, acts int) {
+		for _, svc := range s.Services {
+			trigs += len(svc.Triggers)
+			acts += len(svc.Actions)
+		}
+		return trigs, acts
+	}
+	et, ea := countCatalog(earlier)
+	lt, la := countCatalog(later)
+	if et > 0 {
+		d.TriggerGrowth = float64(lt-et) / float64(et)
+	}
+	if ea > 0 {
+		d.ActionGrowth = float64(la-ea) / float64(ea)
+	}
+	return d
+}

@@ -1,0 +1,119 @@
+package crawler
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The scrapers are regexp-based, as a real measurement crawler over a
+// stable page layout would be. html/template escapes text content, so
+// captured strings pass through htmlUnescape.
+
+var (
+	reServiceLink = regexp.MustCompile(`href="/services/([^"]+)"`)
+
+	reServiceName = regexp.MustCompile(`class="service-name">([^<]*)<`)
+	reServiceCat  = regexp.MustCompile(`class="service-category" data-category="(\d+)"`)
+	reTriggerItem = regexp.MustCompile(`<li class="trigger" data-slug="([^"]*)">([^<]*)<`)
+	reActionItem  = regexp.MustCompile(`<li class="action" data-slug="([^"]*)">([^<]*)<`)
+
+	reAppletName  = regexp.MustCompile(`class="applet-name">([^<]*)<`)
+	reAppletDesc  = regexp.MustCompile(`class="applet-description">([^<]*)<`)
+	reTrigName    = regexp.MustCompile(`class="trigger-name" data-slug="([^"]*)"`)
+	reTrigService = regexp.MustCompile(`class="trigger-service" data-slug="([^"]*)"`)
+	reActName     = regexp.MustCompile(`class="action-name" data-slug="([^"]*)"`)
+	reActService  = regexp.MustCompile(`class="action-service" data-slug="([^"]*)"`)
+	reAddCount    = regexp.MustCompile(`class="add-count" data-count="(\d+)"`)
+	reAuthor      = regexp.MustCompile(`class="author" data-channel="(\d+)"`)
+)
+
+// htmlUnescape reverses the entity escaping html/template applies to
+// text content.
+var htmlUnescaper = strings.NewReplacer(
+	"&lt;", "<",
+	"&gt;", ">",
+	"&#34;", `"`,
+	"&#39;", "'",
+	"&amp;", "&", // must come last
+)
+
+func htmlUnescape(s string) string { return htmlUnescaper.Replace(s) }
+
+// parseServiceIndex extracts the service slugs from the index page, in
+// page order, deduplicated.
+func parseServiceIndex(body []byte) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range reServiceLink.FindAllSubmatch(body, -1) {
+		slug := string(m[1])
+		if !seen[slug] {
+			seen[slug] = true
+			out = append(out, slug)
+		}
+	}
+	return out
+}
+
+// parseServicePage extracts one service's metadata and catalog.
+func parseServicePage(slug string, body []byte) ServiceRecord {
+	rec := ServiceRecord{Slug: slug}
+	if m := reServiceName.FindSubmatch(body); m != nil {
+		rec.Name = htmlUnescape(string(m[1]))
+	}
+	if m := reServiceCat.FindSubmatch(body); m != nil {
+		rec.Category, _ = strconv.Atoi(string(m[1]))
+	}
+	for _, m := range reTriggerItem.FindAllSubmatch(body, -1) {
+		rec.Triggers = append(rec.Triggers, CatalogRecord{
+			Slug: string(m[1]), Name: htmlUnescape(string(m[2])),
+		})
+	}
+	for _, m := range reActionItem.FindAllSubmatch(body, -1) {
+		rec.Actions = append(rec.Actions, CatalogRecord{
+			Slug: string(m[1]), Name: htmlUnescape(string(m[2])),
+		})
+	}
+	return rec
+}
+
+// parseAppletPage extracts one applet's fields; it errors when any
+// required field is missing, so malformed pages are dropped rather than
+// polluting the dataset.
+func parseAppletPage(id int, body []byte) (AppletRecord, error) {
+	rec := AppletRecord{ID: id}
+	grab := func(re *regexp.Regexp, dst *string, what string) error {
+		m := re.FindSubmatch(body)
+		if m == nil {
+			return fmt.Errorf("crawler: applet %d: missing %s", id, what)
+		}
+		*dst = htmlUnescape(string(m[1]))
+		return nil
+	}
+	if err := grab(reAppletName, &rec.Name, "name"); err != nil {
+		return rec, err
+	}
+	_ = grab(reAppletDesc, &rec.Description, "description") // optional
+	if err := grab(reTrigName, &rec.TriggerSlug, "trigger"); err != nil {
+		return rec, err
+	}
+	if err := grab(reTrigService, &rec.TriggerServiceSlug, "trigger service"); err != nil {
+		return rec, err
+	}
+	if err := grab(reActName, &rec.ActionSlug, "action"); err != nil {
+		return rec, err
+	}
+	if err := grab(reActService, &rec.ActionServiceSlug, "action service"); err != nil {
+		return rec, err
+	}
+	m := reAddCount.FindSubmatch(body)
+	if m == nil {
+		return rec, fmt.Errorf("crawler: applet %d: missing add count", id)
+	}
+	rec.AddCount, _ = strconv.ParseInt(string(m[1]), 10, 64)
+	if m := reAuthor.FindSubmatch(body); m != nil {
+		rec.AuthorChannel, _ = strconv.Atoi(string(m[1]))
+	}
+	return rec, nil
+}

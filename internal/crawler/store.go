@@ -1,0 +1,125 @@
+package crawler
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// SaveSnapshot writes a crawl snapshot as gzipped JSON. The paper's
+// six-month campaign stored one such file per week (~12 GB of raw HTML
+// each; ours stores the parsed records).
+func SaveSnapshot(path string, snap *Snapshot) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("crawler: mkdir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("crawler: create %s: %w", path, err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(snap); err != nil {
+		zw.Close()
+		return fmt.Errorf("crawler: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("crawler: close gzip: %w", err)
+	}
+	return f.Sync()
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: open %s: %w", path, err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: gzip %s: %w", path, err)
+	}
+	defer zr.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(zr).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("crawler: decode %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// ToDataset reconstructs a dataset.Ecosystem (with one snapshot week)
+// from crawled records so that internal/analysis runs identically on
+// scraped data and on ground truth. The reconstruction mirrors what the
+// paper's offline analysis had to do with its crawled pages.
+func (s *Snapshot) ToDataset() *dataset.Ecosystem {
+	eco := &dataset.Ecosystem{RefWeek: 0}
+	eco.Weeks = append(eco.Weeks, s.Date)
+
+	svcID := make(map[string]int, len(s.Services))
+	trigID := make(map[[2]string]int)
+	actID := make(map[[2]string]int)
+
+	// Deterministic order regardless of crawl scheduling.
+	services := append([]ServiceRecord(nil), s.Services...)
+	sort.Slice(services, func(i, j int) bool { return services[i].Slug < services[j].Slug })
+
+	tid, aid := 0, 0
+	for i, rec := range services {
+		id := i + 1
+		svcID[rec.Slug] = id
+		svc := dataset.Service{
+			ID: id, Slug: rec.Slug, Name: rec.Name,
+			Category: dataset.Category(rec.Category),
+		}
+		for _, t := range rec.Triggers {
+			tid++
+			eco.Triggers = append(eco.Triggers, dataset.Trigger{
+				ID: tid, ServiceID: id, Slug: t.Slug, Name: t.Name,
+			})
+			svc.Triggers = append(svc.Triggers, tid)
+			trigID[[2]string{rec.Slug, t.Slug}] = tid
+		}
+		for _, a := range rec.Actions {
+			aid++
+			eco.Actions = append(eco.Actions, dataset.Action{
+				ID: aid, ServiceID: id, Slug: a.Slug, Name: a.Name,
+			})
+			svc.Actions = append(svc.Actions, aid)
+			actID[[2]string{rec.Slug, a.Slug}] = aid
+		}
+		eco.Services = append(eco.Services, svc)
+	}
+
+	channels := make(map[int]bool)
+	for _, a := range s.Applets {
+		t, tok := trigID[[2]string{a.TriggerServiceSlug, a.TriggerSlug}]
+		act, aok := actID[[2]string{a.ActionServiceSlug, a.ActionSlug}]
+		if !tok || !aok {
+			// Applet references a catalog entry its service page did
+			// not list; drop it, as the paper's pipeline would.
+			continue
+		}
+		eco.Applets = append(eco.Applets, dataset.Applet{
+			ID: a.ID, Name: a.Name, Description: a.Description,
+			TriggerID: t, ActionID: act,
+			AuthorChannel: a.AuthorChannel,
+			RefAddCount:   a.AddCount,
+		})
+		if a.AuthorChannel > 0 {
+			channels[a.AuthorChannel] = true
+		}
+	}
+	for id := range channels {
+		eco.Channels = append(eco.Channels, dataset.Channel{ID: id, Name: fmt.Sprintf("user%05d", id)})
+	}
+	sort.Slice(eco.Channels, func(i, j int) bool { return eco.Channels[i].ID < eco.Channels[j].ID })
+	eco.Reindex()
+	return eco
+}

@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// testEco caches a mid-scale ecosystem shared across tests.
+var testEco = sync.OnceValue(func() *Ecosystem { return Generate(GenConfig{Seed: 1, Scale: 0.1}) })
+
+func TestScalePopulations(t *testing.T) {
+	s := testEco().At(RefWeekIndex)
+	checks := []struct {
+		name      string
+		got, want int
+		tol       float64
+	}{
+		{"services", len(s.Services), RefServices / 10, 0.10},
+		{"triggers", len(s.Triggers), RefTriggers / 10, 0.10},
+		{"actions", len(s.Actions), RefActions / 10, 0.10},
+		{"applets", len(s.Applets), RefApplets / 10, 0.05},
+		{"channels", len(s.Channels), RefChannels / 10, 0.10},
+	}
+	for _, c := range checks {
+		if math.Abs(float64(c.got-c.want)) > c.tol*float64(c.want) {
+			t.Errorf("%s = %d, want ≈%d", c.name, c.got, c.want)
+		}
+	}
+	total := s.TotalAddCount()
+	want := int64(RefAddCount / 10)
+	if math.Abs(float64(total-want)) > 0.05*float64(want) {
+		t.Errorf("total adds = %d, want ≈%d", total, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(GenConfig{Seed: 9, Scale: 0.01})
+	b := Generate(GenConfig{Seed: 9, Scale: 0.01})
+	if len(a.Applets) != len(b.Applets) {
+		t.Fatal("same seed, different applet counts")
+	}
+	for i := range a.Applets {
+		if a.Applets[i] != b.Applets[i] {
+			t.Fatalf("same seed diverged at applet %d", i)
+		}
+	}
+	// Different seeds must differ somewhere structural (the ranked add
+	// counts themselves are seed-independent by construction).
+	c := Generate(GenConfig{Seed: 10, Scale: 0.01})
+	same := len(a.Applets) == len(c.Applets)
+	if same {
+		for i := range a.Applets {
+			if a.Applets[i].TriggerID != c.Applets[i].TriggerID ||
+				a.Applets[i].ID != c.Applets[i].ID {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestAppletIDsAreSixDigitAndUnique(t *testing.T) {
+	seen := make(map[int]bool, len(testEco().Applets))
+	for _, a := range testEco().Applets {
+		if a.ID < 100_000 || a.ID > 999_999 {
+			t.Fatalf("applet ID %d not six digits", a.ID)
+		}
+		if seen[a.ID] {
+			t.Fatalf("duplicate applet ID %d", a.ID)
+		}
+		seen[a.ID] = true
+	}
+}
+
+func TestAppletReferencesResolve(t *testing.T) {
+	for _, a := range testEco().Applets {
+		if testEco().TriggerByID(a.TriggerID) == nil {
+			t.Fatalf("applet %d has dangling trigger %d", a.ID, a.TriggerID)
+		}
+		if testEco().ActionByID(a.ActionID) == nil {
+			t.Fatalf("applet %d has dangling action %d", a.ID, a.ActionID)
+		}
+		if testEco().TriggerService(&a) == nil || testEco().ActionService(&a) == nil {
+			t.Fatalf("applet %d has dangling service", a.ID)
+		}
+	}
+}
+
+func TestBirthWeeksConsistent(t *testing.T) {
+	for _, a := range testEco().Applets {
+		trig := testEco().TriggerByID(a.TriggerID)
+		act := testEco().ActionByID(a.ActionID)
+		if a.BirthWeek < trig.BirthWeek || a.BirthWeek < act.BirthWeek {
+			t.Fatalf("applet %d born before its trigger/action", a.ID)
+		}
+	}
+	for _, trig := range testEco().Triggers {
+		svc := testEco().ServiceByID(trig.ServiceID)
+		if trig.BirthWeek < svc.BirthWeek {
+			t.Fatalf("trigger %d born before its service", trig.ID)
+		}
+	}
+}
+
+func TestSnapshotsGrowMonotonically(t *testing.T) {
+	prevApplets, prevSvcs := -1, -1
+	var prevAdds int64 = -1
+	for w := 0; w < NumWeeks; w++ {
+		s := testEco().At(w)
+		if len(s.Applets) < prevApplets || len(s.Services) < prevSvcs || s.TotalAddCount() < prevAdds {
+			t.Fatalf("week %d shrank", w)
+		}
+		prevApplets, prevSvcs, prevAdds = len(s.Applets), len(s.Services), s.TotalAddCount()
+	}
+}
+
+// testEcoFull is the paper-scale dataset (408 services, 320K applets);
+// growth statistics are only faithful at full scale because the anchor
+// services are pinned to week 0.
+var testEcoFull = sync.OnceValue(func() *Ecosystem { return Generate(GenConfig{Seed: 2, Scale: 1}) })
+
+func TestGrowthRatesMatchPaper(t *testing.T) {
+	// Paper §3.2: services +11%, triggers +31%, actions +27%, adds +19%
+	// between 2016-11-24-ish (week 3) and 2017-04-01 (week 21).
+	from, to := testEcoFull().At(3), testEcoFull().At(21)
+	rate := func(a, b int) float64 { return float64(b-a) / float64(a) * 100 }
+	if r := rate(len(from.Services), len(to.Services)); r < 5 || r > 18 {
+		t.Errorf("service growth = %.1f%%, want ≈11%%", r)
+	}
+	if r := rate(len(from.Triggers), len(to.Triggers)); r < 22 || r > 40 {
+		t.Errorf("trigger growth = %.1f%%, want ≈31%%", r)
+	}
+	if r := rate(len(from.Actions), len(to.Actions)); r < 18 || r > 36 {
+		t.Errorf("action growth = %.1f%%, want ≈27%%", r)
+	}
+	ar := float64(to.TotalAddCount()-from.TotalAddCount()) / float64(from.TotalAddCount()) * 100
+	if ar < 12 || ar > 27 {
+		t.Errorf("adds growth = %.1f%%, want ≈19%%", ar)
+	}
+}
+
+func TestSnapshotClamping(t *testing.T) {
+	if testEco().At(-5).Week != 0 {
+		t.Error("negative week not clamped")
+	}
+	if testEco().At(999).Week != NumWeeks-1 {
+		t.Error("overlarge week not clamped")
+	}
+}
+
+func TestAnchorAppletsPresent(t *testing.T) {
+	s := testEco().At(RefWeekIndex)
+	var topName string
+	var topCount int64
+	for _, a := range s.Applets {
+		if a.AddCount > topCount {
+			topCount = a.AddCount
+			topName = a.Name
+		}
+	}
+	if topName != "Say a phrase to turn on your lights" {
+		t.Errorf("top applet = %q, want the Alexa→Hue anchor", topName)
+	}
+}
+
+func TestCategoryHelpers(t *testing.T) {
+	if !CatSmartHome.IsIoT() || !CatCar.IsIoT() {
+		t.Error("IoT categories misclassified")
+	}
+	if CatPhone.IsIoT() || CatEmail.IsIoT() {
+		t.Error("non-IoT categories misclassified")
+	}
+	if CatSmartHome.String() == "Unknown" || Category(99).String() != "Unknown" {
+		t.Error("String labels wrong")
+	}
+}
+
+func TestServiceMade(t *testing.T) {
+	svcMade := 0
+	for _, a := range testEco().Applets {
+		if a.ServiceMade() {
+			svcMade++
+		}
+	}
+	frac := float64(svcMade) / float64(len(testEco().Applets))
+	if frac < 0.005 || frac > 0.05 {
+		t.Errorf("service-made applet fraction = %.3f, want ≈0.02", frac)
+	}
+}

@@ -1,0 +1,896 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// growthAppletPop is the applet-population share of the §3.2 add-count
+// growth: population × per-applet installs = GrowthAdds, split evenly in
+// log space (see Ecosystem.addScale).
+var growthAppletPop = math.Sqrt(GrowthAdds)
+
+// GenConfig tunes Generate.
+type GenConfig struct {
+	// Seed makes the dataset reproducible.
+	Seed uint64
+	// Scale multiplies every population size; 1.0 reproduces the paper
+	// (408 services, 320K applets, 23M adds). Tests use small scales.
+	Scale float64
+	// IDSpace is the size of the six-digit applet ID space applets are
+	// scattered over (IDs run from 100000 to 100000+IDSpace-1). Zero
+	// means the full 900 000, matching the paper's enumeration; small
+	// crawler tests shrink it.
+	IDSpace int
+}
+
+// Generate builds a calibrated synthetic ecosystem. See the package
+// comment for the statistics it reproduces.
+func Generate(cfg GenConfig) *Ecosystem {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	g := &generator{
+		cfg: cfg,
+		rng: stats.NewRNG(cfg.Seed),
+		eco: &Ecosystem{RefWeek: RefWeekIndex},
+	}
+	g.weeks()
+	g.services()
+	g.triggersAndActions()
+	g.channels()
+	g.applets()
+	g.eco.index()
+	return g.eco
+}
+
+type generator struct {
+	cfg GenConfig
+	rng *stats.RNG
+	eco *Ecosystem
+
+	// scaled population targets at the reference week.
+	nServices, nTriggers, nActions, nApplets, nChannels int
+	totalAdds                                           int64
+
+	// anchor lookup: service slug → index into eco.Services;
+	// trigger/action (svc, slug) → catalog ID.
+	svcBySlug map[string]int
+	trigBySvc map[[2]string]int
+	actBySvc  map[[2]string]int
+
+	// per-category catalogs for applet sampling.
+	trigsByCat [NumCategories + 1][]int
+	actsByCat  [NumCategories + 1][]int
+}
+
+func (g *generator) scaleInt(n int) int {
+	v := int(math.Round(float64(n) * g.cfg.Scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// grow returns the population at the final week given the reference
+// population and the paper's growth multiplier over GrowthWeeks.
+func grow(ref int, multiplier float64, fromWeek, toWeek int) int {
+	weekly := math.Pow(multiplier, 1.0/GrowthWeeks)
+	return int(math.Round(float64(ref) * math.Pow(weekly, float64(toWeek-fromWeek))))
+}
+
+// birthWeekFor draws a birth week such that the population at each week
+// follows the growth curve: the fraction born by week w is
+// (1+r)^(w-final) of the final population.
+func (g *generator) birthWeekFor(multiplier float64) int {
+	weekly := math.Pow(multiplier, 1.0/GrowthWeeks)
+	final := NumWeeks - 1
+	u := g.rng.Float64()
+	// Population(w) = N_final * weekly^(w-final); born-by-w fraction is
+	// that ratio. Invert the CDF.
+	for w := 0; w < final; w++ {
+		if u < math.Pow(weekly, float64(w-final)) {
+			return w
+		}
+	}
+	return final
+}
+
+func (g *generator) weeks() {
+	start := time.Date(2016, time.November, 5, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < NumWeeks; i++ {
+		g.eco.Weeks = append(g.eco.Weeks, start.AddDate(0, 0, 7*i))
+	}
+	g.nServices = g.scaleInt(RefServices)
+	if g.nServices < NumCategories {
+		g.nServices = NumCategories
+	}
+	g.nTriggers = g.scaleInt(RefTriggers)
+	g.nActions = g.scaleInt(RefActions)
+	g.nApplets = g.scaleInt(RefApplets)
+	g.nChannels = g.scaleInt(RefChannels)
+	g.totalAdds = int64(math.Round(float64(RefAddCount) * g.cfg.Scale))
+}
+
+// largestRemainder allocates total across weights exactly.
+func largestRemainder(weights []float64, total int) []int {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	alloc := make([]int, len(weights))
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := w / sum * float64(total)
+		alloc[i] = int(math.Floor(exact))
+		assigned += alloc[i]
+		fracs[i] = frac{i, exact - math.Floor(exact)}
+	}
+	// Hand out the remainder to the largest fractional parts.
+	for assigned < total {
+		best := -1
+		for j := range fracs {
+			if best < 0 || fracs[j].f > fracs[best].f {
+				best = j
+			}
+		}
+		alloc[fracs[best].i]++
+		fracs[best].f = -1
+		assigned++
+	}
+	return alloc
+}
+
+var serviceNameLeft = []string{
+	"Acme", "Nimbus", "Hearth", "Luma", "Verdant", "Quark", "Atlas",
+	"Pebble", "Cobalt", "Ember", "Aero", "Solstice", "Vireo", "Tidal",
+	"Orchid", "Kite", "Brook", "Cedar", "Flint", "Gale",
+}
+
+var serviceNameRight = [NumCategories + 1][]string{
+	{},
+	{"Light", "Cam", "Thermostat", "Lock", "Doorbell", "Sprinkler", "Plug", "Sensor", "Blinds", "Vacuum", "EggTray", "Garage", "Fridge", "AC", "Washer"},
+	{"Hub", "Bridge", "Home", "Connect"},
+	{"Band", "Watch", "Tracker", "Ring"},
+	{"Drive", "Auto", "Car", "Dash"},
+	{"Phone", "Mobile", "Launcher", "Battery"},
+	{"Box", "Vault", "Sync", "Store"},
+	{"News", "Stream", "Portal", "Weather", "Scores"},
+	{"Feed", "Reader", "Digest"},
+	{"Notes", "Tasks", "Reminder", "Planner", "Journal"},
+	{"Gram", "Book", "Share", "Snap", "Blog"},
+	{"Chat", "Ping", "Talk", "Meet"},
+	{"Clock", "Locator", "Zone"},
+	{"Mail", "Inbox", "Post"},
+	{"Labs", "Tools", "Things", "Misc"},
+}
+
+func (g *generator) services() {
+	perCat := largestRemainder(ServiceShares[:], g.nServices)
+	// Small scales can starve a category entirely; every category must
+	// exist (the pair matrix may direct applets anywhere). Steal the
+	// slot from the largest category.
+	for i := range perCat {
+		if perCat[i] == 0 {
+			largest := 0
+			for j := range perCat {
+				if perCat[j] > perCat[largest] {
+					largest = j
+				}
+			}
+			perCat[largest]--
+			perCat[i] = 1
+		}
+	}
+
+	// Anchors claim their category slots first.
+	g.svcBySlug = make(map[string]int)
+	id := 0
+	remaining := make([]int, NumCategories+1)
+	for i, n := range perCat {
+		remaining[i+1] = n
+	}
+	for _, a := range anchorServices {
+		id++
+		g.svcBySlug[a.Slug] = len(g.eco.Services)
+		g.eco.Services = append(g.eco.Services, Service{
+			ID: id, Slug: a.Slug, Name: a.Name, Category: a.Category, BirthWeek: 0,
+		})
+		if remaining[a.Category] > 0 {
+			remaining[a.Category]--
+		}
+	}
+
+	// Fill each category with synthetic services; those added to reach
+	// the final-week population get later birth weeks.
+	finalServices := grow(g.nServices, GrowthServices, RefWeekIndex, NumWeeks-1)
+	extra := finalServices - g.nServices
+	for cat := Category(1); cat <= NumCategories; cat++ {
+		n := remaining[cat]
+		if extra > 0 {
+			// Spread the post-reference growth proportionally.
+			bonus := int(math.Round(float64(extra) * ServiceShares[cat-1] / 100))
+			n += bonus
+		}
+		for i := 0; i < n; i++ {
+			id++
+			left := serviceNameLeft[g.rng.IntN(len(serviceNameLeft))]
+			right := serviceNameRight[cat][g.rng.IntN(len(serviceNameRight[cat]))]
+			name := fmt.Sprintf("%s %s", left, right)
+			slug := fmt.Sprintf("svc_%d_%d", cat, id)
+			birth := g.birthWeekFor(GrowthServices)
+			if i == 0 {
+				// Guarantee every category exists from week 0 so the
+				// pair matrix always has a catalog to draw from.
+				birth = 0
+			}
+			g.eco.Services = append(g.eco.Services, Service{
+				ID: id, Slug: slug, Name: name, Category: cat, BirthWeek: birth,
+			})
+		}
+	}
+}
+
+var triggerVerbs = []string{
+	"new", "updated", "detected", "above_threshold", "below_threshold",
+	"started", "stopped", "opened", "closed", "arrived",
+}
+
+var actionVerbs = []string{
+	"turn_on", "turn_off", "notify", "log", "post", "save", "set",
+	"send", "toggle", "archive",
+}
+
+func (g *generator) triggersAndActions() {
+	g.trigBySvc = make(map[[2]string]int)
+	g.actBySvc = make(map[[2]string]int)
+
+	tid, aid := 0, 0
+	addTrigger := func(svcIdx int, slug string, birth int) {
+		tid++
+		svc := &g.eco.Services[svcIdx]
+		g.eco.Triggers = append(g.eco.Triggers, Trigger{
+			ID: tid, ServiceID: svc.ID, Slug: slug,
+			Name:      slug + " (" + svc.Name + ")",
+			BirthWeek: birth,
+		})
+		svc.Triggers = append(svc.Triggers, tid)
+		g.trigBySvc[[2]string{svc.Slug, slug}] = tid
+		if birth <= RefWeekIndex {
+			g.trigsByCat[svc.Category] = append(g.trigsByCat[svc.Category], tid)
+		}
+	}
+	addAction := func(svcIdx int, slug string, birth int) {
+		aid++
+		svc := &g.eco.Services[svcIdx]
+		g.eco.Actions = append(g.eco.Actions, Action{
+			ID: aid, ServiceID: svc.ID, Slug: slug,
+			Name:      slug + " (" + svc.Name + ")",
+			BirthWeek: birth,
+		})
+		svc.Actions = append(svc.Actions, aid)
+		g.actBySvc[[2]string{svc.Slug, slug}] = aid
+		if birth <= RefWeekIndex {
+			g.actsByCat[svc.Category] = append(g.actsByCat[svc.Category], aid)
+		}
+	}
+
+	// Anchor triggers/actions exist from week 0.
+	for _, a := range anchorServices {
+		idx := g.svcBySlug[a.Slug]
+		for _, t := range a.Triggers {
+			addTrigger(idx, t, 0)
+		}
+		for _, act := range a.Actions {
+			addAction(idx, act, 0)
+		}
+	}
+
+	// Guarantee every category offers at least one trigger and one
+	// action from week 0 (the pair matrix may direct applets to any
+	// category).
+	firstSvcOfCat := func(cat Category) int {
+		for i := range g.eco.Services {
+			if g.eco.Services[i].Category == cat && g.eco.Services[i].BirthWeek == 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	for cat := Category(1); cat <= NumCategories; cat++ {
+		idx := firstSvcOfCat(cat)
+		if idx < 0 {
+			continue
+		}
+		if len(g.trigsByCat[cat]) == 0 {
+			addTrigger(idx, fmt.Sprintf("baseline_trigger_%d", cat), 0)
+		}
+		if len(g.actsByCat[cat]) == 0 {
+			addAction(idx, fmt.Sprintf("baseline_action_%d", cat), 0)
+		}
+	}
+
+	// Distribute the remaining catalog across services, weighted so
+	// every service gets at least one entry and bigger categories get
+	// richer services.
+	finalTriggers := grow(g.nTriggers, GrowthTriggers, RefWeekIndex, NumWeeks-1)
+	finalActions := grow(g.nActions, GrowthActions, RefWeekIndex, NumWeeks-1)
+	// Draw the birth week first, then find a service that already
+	// exists: clamping the other way would shift the population curve
+	// rightward and overstate growth.
+	nSvc := len(g.eco.Services)
+	pickSvc := func(birth int) (int, int) {
+		for try := 0; try < 32; try++ {
+			i := g.rng.IntN(nSvc)
+			if g.eco.Services[i].BirthWeek <= birth {
+				return i, birth
+			}
+		}
+		i := g.rng.IntN(nSvc)
+		if b := g.eco.Services[i].BirthWeek; birth < b {
+			birth = b
+		}
+		return i, birth
+	}
+	for tid < finalTriggers {
+		svcIdx, birth := pickSvc(g.birthWeekFor(GrowthTriggers))
+		slug := fmt.Sprintf("%s_%d", triggerVerbs[g.rng.IntN(len(triggerVerbs))], tid)
+		addTrigger(svcIdx, slug, birth)
+	}
+	for aid < finalActions {
+		svcIdx, birth := pickSvc(g.birthWeekFor(GrowthActions))
+		slug := fmt.Sprintf("%s_%d", actionVerbs[g.rng.IntN(len(actionVerbs))], aid)
+		addAction(svcIdx, slug, birth)
+	}
+}
+
+func (g *generator) channels() {
+	final := grow(g.nChannels, GrowthAdds, RefWeekIndex, NumWeeks-1)
+	for i := 1; i <= final; i++ {
+		g.eco.Channels = append(g.eco.Channels, Channel{
+			ID:        i,
+			Name:      fmt.Sprintf("user%05d", i),
+			BirthWeek: g.birthWeekFor(GrowthAdds),
+		})
+	}
+}
+
+// pairMatrix builds the Fig 2 trigger×action category matrix fitted to
+// the raw Table 1 percentage marginals (used as the shape fallback once
+// synthetic quotas drain).
+func pairMatrix() [NumCategories + 1][NumCategories + 1]float64 {
+	return fitMatrix(TriggerACShares, ActionACShares)
+}
+
+// fitMatrix builds a trigger×action matrix with the Fig 2 hotspot
+// structure whose row sums match rowTarget and column sums match
+// colTarget: outer product seed, hotspot boost, then iterative
+// proportional fitting. Row and column totals are normalized to a common
+// mass first (IPF needs consistent marginals).
+func fitMatrix(rowTarget, colTarget [NumCategories]float64) [NumCategories + 1][NumCategories + 1]float64 {
+	rows, cols := rowTarget, colTarget
+	rowSum, colSum := 0.0, 0.0
+	for c := 0; c < NumCategories; c++ {
+		rowSum += rows[c]
+		colSum += cols[c]
+	}
+	if rowSum <= 0 || colSum <= 0 {
+		return [NumCategories + 1][NumCategories + 1]float64{}
+	}
+	for c := 0; c < NumCategories; c++ {
+		cols[c] *= rowSum / colSum
+	}
+
+	var m [NumCategories + 1][NumCategories + 1]float64
+	for t := 1; t <= NumCategories; t++ {
+		for a := 1; a <= NumCategories; a++ {
+			m[t][a] = rows[t-1] * cols[a-1]
+			if m[t][a] <= 0 {
+				m[t][a] = 1e-9
+			}
+		}
+	}
+	for t := CatSmartHome; t <= CatCar; t++ {
+		for _, a := range iotTriggerHotActionCats {
+			m[t][a] *= hotCellBoost
+		}
+	}
+	for a := CatSmartHome; a <= CatCar; a++ {
+		for _, t := range iotActionHotTriggerCats {
+			m[t][a] *= hotCellBoost
+		}
+	}
+	for it := 0; it < ipfIterations; it++ {
+		for t := 1; t <= NumCategories; t++ {
+			row := 0.0
+			for a := 1; a <= NumCategories; a++ {
+				row += m[t][a]
+			}
+			if row > 0 {
+				f := rows[t-1] / row
+				for a := 1; a <= NumCategories; a++ {
+					m[t][a] *= f
+				}
+			}
+		}
+		for a := 1; a <= NumCategories; a++ {
+			col := 0.0
+			for t := 1; t <= NumCategories; t++ {
+				col += m[t][a]
+			}
+			if col > 0 {
+				f := cols[a-1] / col
+				for t := 1; t <= NumCategories; t++ {
+					m[t][a] *= f
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (g *generator) applets() {
+	finalApplets := grow(g.nApplets, growthAppletPop, RefWeekIndex, NumWeeks-1)
+	if finalApplets < len(anchorApplets) {
+		finalApplets = len(anchorApplets)
+	}
+
+	// Six-digit IDs sampled without replacement — the crawler's
+	// enumeration methodology depends on the sparse ID space.
+	idSpace := g.cfg.IDSpace
+	if idSpace <= 0 {
+		idSpace = 900_000
+	}
+	if idSpace < finalApplets {
+		idSpace = finalApplets
+	}
+	ids := g.rng.Perm(idSpace)
+
+	// Anchor applets first: fixed counts, week 0.
+	var anchorTotal int64
+	anchorCount := 0
+	for _, a := range anchorApplets {
+		count := int64(math.Round(float64(a.AddCount) * g.cfg.Scale))
+		if count < 1 {
+			count = 1
+		}
+		tid, ok := g.trigBySvc[[2]string{a.TrigSvc, a.TrigSlug}]
+		if !ok {
+			panic("dataset: anchor trigger missing: " + a.TrigSvc + "/" + a.TrigSlug)
+		}
+		aid, ok := g.actBySvc[[2]string{a.ActSvc, a.ActSlug}]
+		if !ok {
+			panic("dataset: anchor action missing: " + a.ActSvc + "/" + a.ActSlug)
+		}
+		g.eco.Applets = append(g.eco.Applets, Applet{
+			ID:            100_000 + ids[anchorCount],
+			Name:          a.Name,
+			Description:   a.Name,
+			TriggerID:     tid,
+			ActionID:      aid,
+			AuthorChannel: 1 + g.rng.IntN(len(g.eco.Channels)),
+			BirthWeek:     0,
+			RefAddCount:   count,
+		})
+		anchorTotal += count
+		anchorCount++
+	}
+
+	// Remaining add mass, heavy-tailed so the combined distribution
+	// reproduces Fig 3's top-1% share.
+	nRest := finalApplets - anchorCount
+	restAdds := g.totalAdds - anchorTotal
+	if restAdds < int64(nRest) {
+		restAdds = int64(nRest)
+	}
+	// The synthetic applets occupy global ranks below the anchors, so
+	// their head cannot displace Table 3's pinned top entries: use the
+	// tail of a two-piece Zipf over (anchors + synthetics), with the
+	// head and tail exponents solved so the combined distribution
+	// reproduces BOTH Fig 3 concentration targets (top 1% -> 84.1%,
+	// top 10% -> 97.6%).
+	var anchorCounts []int64
+	for i := 0; i < anchorCount; i++ {
+		anchorCounts = append(anchorCounts, g.eco.Applets[i].RefAddCount)
+	}
+	weights := calibratePieceZipf(nRest, anchorCounts, restAdds,
+		AppletTop1Share, AppletTop10Share)
+	counts := countsFromWeights(weights, restAdds)
+
+	// Category-pair targets for the synthetic mass: the Table 1
+	// marginals minus what the anchors already contribute, refit as a
+	// matrix (subtracting inside individual cells would overshoot the
+	// few cells the anchors concentrate in and leave their rows
+	// over-weighted).
+	total := float64(g.totalAdds)
+	var anchorTrig, anchorAct [NumCategories + 1]float64
+	for i, a := range anchorApplets {
+		tc := g.eco.ServiceByIDSlow(g.eco.Triggers[g.trigBySvc[[2]string{a.TrigSvc, a.TrigSlug}]-1].ServiceID).Category
+		ac := g.eco.ServiceByIDSlow(g.eco.Actions[g.actBySvc[[2]string{a.ActSvc, a.ActSlug}]-1].ServiceID).Category
+		anchorTrig[tc] += float64(g.eco.Applets[i].RefAddCount)
+		anchorAct[ac] += float64(g.eco.Applets[i].RefAddCount)
+	}
+	var trigTarget, actTarget [NumCategories]float64
+	for c := 0; c < NumCategories; c++ {
+		trigTarget[c] = math.Max(TriggerACShares[c]/100*total-anchorTrig[c+1], 0)
+		actTarget[c] = math.Max(ActionACShares[c]/100*total-anchorAct[c+1], 0)
+	}
+	matrix := fitMatrix(trigTarget, actTarget)
+	var deficit [NumCategories + 1][NumCategories + 1]float64
+	for t := 1; t <= NumCategories; t++ {
+		for a := 1; a <= NumCategories; a++ {
+			deficit[t][a] = matrix[t][a]
+		}
+	}
+
+	// Per-category trigger/action popularity (heavy-tailed within the
+	// category) for picking concrete catalog entries. Catalogs are
+	// sorted by birth so the Zipf head lands on the oldest entries —
+	// older triggers have had longer to accumulate applets.
+	trigChoice := make([]*stats.WeightedChoice, NumCategories+1)
+	actChoice := make([]*stats.WeightedChoice, NumCategories+1)
+	for c := 1; c <= NumCategories; c++ {
+		sortByBirth(g.trigsByCat[c], func(id int) int { return g.eco.Triggers[id-1].BirthWeek })
+		sortByBirth(g.actsByCat[c], func(id int) int { return g.eco.Actions[id-1].BirthWeek })
+		if n := len(g.trigsByCat[c]); n > 0 {
+			trigChoice[c] = stats.NewWeightedChoice(stats.ZipfWeights(n, 1.0))
+		}
+		if n := len(g.actsByCat[c]); n > 0 {
+			actChoice[c] = stats.NewWeightedChoice(stats.ZipfWeights(n, 1.0))
+		}
+	}
+
+	// User-channel popularity for authorship.
+	chExp := stats.CalibrateZipf(len(g.eco.Channels), 0.01, UserTop1Share)
+	channelChoice := stats.NewWeightedChoice(stats.ZipfWeights(len(g.eco.Channels), chExp))
+
+	// Service-made quota: (1-UserMadeAddFrac) of adds, collected from
+	// the head ranks (where the mass is), plus a population quota of
+	// (1-UserMadeAppletFrac) of applets collected uniformly.
+	serviceAddTarget := (1 - UserMadeAddFrac) * float64(g.totalAdds)
+	serviceAppletTarget := int(math.Round((1 - UserMadeAppletFrac) * float64(finalApplets)))
+	headN := nRest / 100
+	if headN < 1 {
+		headN = 1
+	}
+	var headMass float64
+	for _, c := range counts[:headN] {
+		headMass += float64(c)
+	}
+	headProb := serviceAddTarget / math.Max(headMass, 1)
+	if headProb > 1 {
+		headProb = 1
+	}
+	var serviceAdds float64
+	serviceApplets := 0
+	var assignedAdds float64
+
+	flat := flatten(&deficit)
+	for rank := 0; rank < nRest; rank++ {
+		count := counts[rank]
+		t, a := samplePair(g.rng, flat, &deficit)
+		flatConsume(flat, &deficit, t, a, float64(count))
+
+		// Draw the applet's birth first, then a trigger/action that
+		// already exists at that week (retrying keeps the population
+		// curve faithful; see pickSvc).
+		birth := g.birthWeekFor(growthAppletPop)
+		tidID := g.trigsByCat[t][trigChoice[t].Draw(g.rng)]
+		for try := 0; try < 32 && g.eco.Triggers[tidID-1].BirthWeek > birth; try++ {
+			tidID = g.trigsByCat[t][trigChoice[t].Draw(g.rng)]
+		}
+		aidID := g.actsByCat[a][actChoice[a].Draw(g.rng)]
+		for try := 0; try < 32 && g.eco.Actions[aidID-1].BirthWeek > birth; try++ {
+			aidID = g.actsByCat[a][actChoice[a].Draw(g.rng)]
+		}
+
+		// Service-made authorship satisfies two quotas: 14% of the add
+		// mass (filled from the head, where the mass lives) and 2% of
+		// the applet population (topped up from the tail, whose counts
+		// are negligible).
+		author := 0
+		// Two quota-tracking draws: one fills the add-mass quota from
+		// the head ranks, one fills the population quota uniformly.
+		byAdds := rank < headN && serviceAdds < serviceAddTarget &&
+			g.rng.Float64() < headProb
+		byCount := serviceApplets < serviceAppletTarget &&
+			g.rng.Float64() < float64(serviceAppletTarget-serviceApplets)/math.Max(float64(nRest-rank), 1)
+		if byAdds || byCount {
+			serviceAdds += float64(count)
+			serviceApplets++
+		} else {
+			author = 1 + channelChoice.Draw(g.rng)
+		}
+		assignedAdds += float64(count)
+
+		trig := &g.eco.Triggers[tidID-1]
+		act := &g.eco.Actions[aidID-1]
+		if trig.BirthWeek > birth {
+			birth = trig.BirthWeek
+		}
+		if act.BirthWeek > birth {
+			birth = act.BirthWeek
+		}
+		g.eco.Applets = append(g.eco.Applets, Applet{
+			ID:            100_000 + ids[anchorCount+rank],
+			Name:          fmt.Sprintf("If %s then %s", trig.Slug, act.Slug),
+			Description:   fmt.Sprintf("Connects %s to %s", trig.Name, act.Name),
+			TriggerID:     trig.ID,
+			ActionID:      act.ID,
+			AuthorChannel: author,
+			BirthWeek:     birth,
+			RefAddCount:   count,
+		})
+	}
+}
+
+// pieceZipfWeights builds a two-piece Zipf over total ranks: w_i = i^-s1
+// for i <= knee, continuing as c*i^-s2 beyond (continuous at the knee).
+// Two exponents give the generator two degrees of freedom: one pins the
+// top-1% concentration, the other the top-10%.
+func pieceZipfWeights(total, knee int, s1, s2 float64) []float64 {
+	w := make([]float64, total)
+	for i := 1; i <= knee && i <= total; i++ {
+		w[i-1] = math.Pow(float64(i), -s1)
+	}
+	if knee < total {
+		c := math.Pow(float64(knee), s2-s1)
+		for i := knee + 1; i <= total; i++ {
+			w[i-1] = c * math.Pow(float64(i), -s2)
+		}
+	}
+	return w
+}
+
+// zipfRangeSum approximates sum_{i=a}^{b} i^-s: the first terms exactly,
+// the remainder with a midpoint integral (error far below the
+// calibration tolerance for the populations involved).
+func zipfRangeSum(a, b int, s float64) float64 {
+	if a > b {
+		return 0
+	}
+	const exactTerms = 1024
+	sum := 0.0
+	exactEnd := b
+	if exactEnd > a+exactTerms {
+		exactEnd = a + exactTerms
+	}
+	for i := a; i <= exactEnd; i++ {
+		sum += math.Pow(float64(i), -s)
+	}
+	if exactEnd < b {
+		lo, hi := float64(exactEnd)+0.5, float64(b)+0.5
+		if math.Abs(s-1) < 1e-9 {
+			sum += math.Log(hi / lo)
+		} else {
+			sum += (math.Pow(lo, 1-s) - math.Pow(hi, 1-s)) / (s - 1)
+		}
+	}
+	return sum
+}
+
+// pieceModel evaluates the two-piece Zipf analytically, so calibration
+// never materializes the full weight vector.
+type pieceModel struct {
+	total, knee, k int // population, knee rank, anchor count
+	s1, s2, c      float64
+}
+
+func newPieceModel(total, knee, k int, s1, s2 float64) pieceModel {
+	return pieceModel{
+		total: total, knee: knee, k: k, s1: s1, s2: s2,
+		c: math.Pow(float64(knee), s2-s1),
+	}
+}
+
+// rangeMass sums weights over global ranks [a, b].
+func (m pieceModel) rangeMass(a, b int) float64 {
+	if a > b {
+		return 0
+	}
+	mass := 0.0
+	if a <= m.knee {
+		hi := b
+		if hi > m.knee {
+			hi = m.knee
+		}
+		mass += zipfRangeSum(a, hi, m.s1)
+	}
+	if b > m.knee {
+		lo := a
+		if lo <= m.knee {
+			lo = m.knee + 1
+		}
+		mass += m.c * zipfRangeSum(lo, b, m.s2)
+	}
+	return mass
+}
+
+// share computes the fraction of total mass held by the top frac of the
+// combined population: fixed anchors plus the synthetic ranks (global
+// ranks k+1..total) carrying restAdds of mass.
+func (m pieceModel) share(anchorsDesc []int64, anchorTotal float64, restAdds int64, frac float64) float64 {
+	synTotal := m.rangeMass(m.k+1, m.total)
+	scale := float64(restAdds) / synTotal
+	topN := int(math.Ceil(frac * float64(m.total-m.k+len(anchorsDesc))))
+
+	// The largest topN items = top j anchors + top (topN-j) synthetic
+	// ranks for the j that maximizes the total (both sequences are
+	// descending, so the optimum is the greedy merge).
+	best := 0.0
+	anchorPrefix := 0.0
+	for j := 0; j <= len(anchorsDesc) && j <= topN; j++ {
+		if j > 0 {
+			anchorPrefix += float64(anchorsDesc[j-1])
+		}
+		syn := scale * m.rangeMass(m.k+1, m.k+topN-j)
+		if v := anchorPrefix + syn; v > best {
+			best = v
+		}
+	}
+	return best / (anchorTotal + float64(restAdds))
+}
+
+// calibratePieceZipf solves, by nested bisection on the analytic model,
+// for the two exponents of a two-piece Zipf (knee at the top-10% rank)
+// such that the combined distribution hits both Fig 3 targets, and
+// returns the synthetic weights (the piecewise curve shifted past the
+// anchor ranks).
+func calibratePieceZipf(nRest int, anchors []int64, restAdds int64, t1, t10 float64) []float64 {
+	k := len(anchors)
+	total := nRest + k
+	knee := total / 10
+	if knee < k+1 {
+		knee = k + 1
+	}
+	sorted := append([]int64(nil), anchors...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	var anchorTotal float64
+	for _, c := range sorted {
+		anchorTotal += float64(c)
+	}
+
+	share := func(s1, s2, frac float64) float64 {
+		return newPieceModel(total, knee, k, s1, s2).
+			share(sorted, anchorTotal, restAdds, frac)
+	}
+	// Inner: for a fixed tail exponent, pin the top-1% share with the
+	// head exponent (monotone increasing in s1).
+	solveHead := func(s2 float64) float64 {
+		lo, hi := 0.3, 4.0
+		for i := 0; i < 30; i++ {
+			mid := (lo + hi) / 2
+			if share(mid, s2, 0.01) < t1 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+	// Outer: pin the top-10% share with the tail exponent (a steeper
+	// tail concentrates more mass inside the top 10%).
+	lo, hi := 0.5, 8.0
+	var s1, s2 float64
+	for i := 0; i < 30; i++ {
+		s2 = (lo + hi) / 2
+		s1 = solveHead(s2)
+		if share(s1, s2, 0.10) < t10 {
+			lo = s2
+		} else {
+			hi = s2
+		}
+	}
+	s2 = (lo + hi) / 2
+	s1 = solveHead(s2)
+	return pieceZipfWeights(total, knee, s1, s2)[k:]
+}
+
+// sortByBirth orders catalog IDs by ascending birth week.
+func sortByBirth(ids []int, birth func(id int) int) {
+	sort.Slice(ids, func(i, j int) bool { return birth(ids[i]) < birth(ids[j]) })
+}
+
+// countsFromWeights turns non-negative weights into integer counts that
+// sum exactly to total, preserving the weights' shape.
+func countsFromWeights(w []float64, total int64) []int64 {
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	counts := make([]int64, len(w))
+	var assigned int64
+	for i, x := range w {
+		counts[i] = int64(math.Floor(x / sum * float64(total)))
+		assigned += counts[i]
+	}
+	for i := 0; assigned < total; i = (i + 1) % len(counts) {
+		counts[i]++
+		assigned++
+	}
+	return counts
+}
+
+// ServiceByIDSlow resolves a service before the index is built.
+func (e *Ecosystem) ServiceByIDSlow(id int) *Service {
+	for i := range e.Services {
+		if e.Services[i].ID == id {
+			return &e.Services[i]
+		}
+	}
+	return nil
+}
+
+// flatten snapshots the deficit matrix into a weighted sampler refreshed
+// as cells drain.
+type flatState struct {
+	weights []float64
+	cells   [][2]int
+	// consumed tracks mass assigned since the last rebuild; the
+	// sampler is refreshed once it grows past rebuildEvery so the head
+	// ranks (huge counts) update the quotas promptly while the long
+	// tail amortizes rebuild cost.
+	consumed     float64
+	rebuildEvery float64
+	choice       *stats.WeightedChoice
+}
+
+func flatten(deficit *[NumCategories + 1][NumCategories + 1]float64) *flatState {
+	f := &flatState{}
+	total := 0.0
+	for t := 1; t <= NumCategories; t++ {
+		for a := 1; a <= NumCategories; a++ {
+			f.cells = append(f.cells, [2]int{t, a})
+			f.weights = append(f.weights, math.Max(deficit[t][a], 0))
+			total += math.Max(deficit[t][a], 0)
+		}
+	}
+	f.rebuildEvery = total / 2000
+	f.rebuild(deficit)
+	return f
+}
+
+func (f *flatState) rebuild(deficit *[NumCategories + 1][NumCategories + 1]float64) {
+	any := false
+	for i, c := range f.cells {
+		w := deficit[c[0]][c[1]]
+		if w < 0 {
+			w = 0
+		}
+		f.weights[i] = w
+		if w > 0 {
+			any = true
+		}
+	}
+	if !any {
+		// Tail regime: all quotas met; fall back to the matrix shape.
+		m := pairMatrix()
+		for i, c := range f.cells {
+			f.weights[i] = m[c[0]][c[1]] + 1e-9
+		}
+	}
+	f.choice = stats.NewWeightedChoice(f.weights)
+	f.consumed = 0
+}
+
+func samplePair(g *stats.RNG, f *flatState, deficit *[NumCategories + 1][NumCategories + 1]float64) (int, int) {
+	if f.consumed > f.rebuildEvery {
+		f.rebuild(deficit)
+	}
+	c := f.cells[f.choice.Draw(g)]
+	return c[0], c[1]
+}
+
+func flatConsume(f *flatState, deficit *[NumCategories + 1][NumCategories + 1]float64, t, a int, amount float64) {
+	deficit[t][a] -= amount
+	f.consumed += amount
+}

@@ -1,0 +1,292 @@
+// Package dataset models the IFTTT ecosystem the paper crawled (§3): 14
+// service categories, partner services with triggers and actions, user
+// channels, and applets with install ("add") counts, evolving across 25
+// weekly snapshots from November 2016 to April 2017.
+//
+// Generate builds a synthetic ecosystem whose aggregate statistics are
+// calibrated to every number the paper reports: the Table 1 category
+// breakdown, the Table 2 scale, the Table 3 top IoT services/triggers/
+// actions, the Fig 2 trigger×action category pairing structure, the
+// Fig 3 heavy-tailed add-count distribution, the §3.2 growth rates, and
+// the user-contribution shares. The mock ifttt.com frontend
+// (internal/mocksite) serves pages from a Snapshot, and the crawler
+// (internal/crawler) re-derives the statistics by scraping them — the
+// paper's methodology, end to end.
+package dataset
+
+import "time"
+
+// Category is one of the 14 service categories of Table 1.
+type Category int
+
+// The Table 1 categories, in paper order.
+const (
+	CatSmartHome Category = iota + 1 // 1. smart home devices
+	CatHub                           // 2. smart home hub / integration
+	CatWearable                      // 3. wearables
+	CatCar                           // 4. connected cars
+	CatPhone                         // 5. smartphones
+	CatCloud                         // 6. cloud storage
+	CatOnline                        // 7. online services & content
+	CatRSS                           // 8. RSS feeds, recommendations
+	CatPersonal                      // 9. personal data & schedule
+	CatSocial                        // 10. social networking, blogging
+	CatMessaging                     // 11. SMS, IM, collaboration, VoIP
+	CatTimeLoc                       // 12. time and location
+	CatEmail                         // 13. email
+	CatOther                         // 14. other
+)
+
+// NumCategories is the number of Table 1 categories.
+const NumCategories = 14
+
+// IsIoT reports whether the category is IoT-related (categories 1–4,
+// §3.2: "Service Category 1 to 4 relate to IoT devices").
+func (c Category) IsIoT() bool { return c >= CatSmartHome && c <= CatCar }
+
+var categoryNames = [NumCategories + 1]string{
+	"",
+	"Smarthome devices",
+	"Smarthome hub / integration",
+	"Wearables",
+	"Connected cars",
+	"Smartphones",
+	"Cloud storage",
+	"Online service and content providers",
+	"RSS feeds, online recommendation",
+	"Personal data & schedule manager",
+	"Social networking, blogging, sharing",
+	"SMS, instant messaging, team collaboration",
+	"Time and location",
+	"Email",
+	"Other",
+}
+
+// String returns the Table 1 row label.
+func (c Category) String() string {
+	if c < 1 || c > NumCategories {
+		return "Unknown"
+	}
+	return categoryNames[c]
+}
+
+// Service is one partner service.
+type Service struct {
+	ID        int
+	Slug      string
+	Name      string
+	Category  Category
+	BirthWeek int
+	// Triggers and Actions hold the IDs of the service's triggers and
+	// actions.
+	Triggers []int
+	Actions  []int
+}
+
+// Trigger is one trigger offered by a service.
+type Trigger struct {
+	ID        int
+	ServiceID int
+	Slug      string
+	Name      string
+	BirthWeek int
+}
+
+// Action is one action offered by a service.
+type Action struct {
+	ID        int
+	ServiceID int
+	Slug      string
+	Name      string
+	BirthWeek int
+}
+
+// Channel is a user channel publishing home-made applets.
+type Channel struct {
+	ID        int
+	Name      string
+	BirthWeek int
+}
+
+// Applet is one published applet.
+type Applet struct {
+	// ID is the six-digit identifier the paper's crawler enumerated.
+	ID          int
+	Name        string
+	Description string
+	TriggerID   int
+	ActionID    int
+	// AuthorChannel is the publishing user channel, or 0 when the
+	// applet is service-published.
+	AuthorChannel int
+	BirthWeek     int
+	// RefAddCount is the install count at the reference snapshot; a
+	// snapshot at another week scales it along the growth curve.
+	RefAddCount int64
+}
+
+// ServiceMade reports whether the applet was published by a service
+// rather than a user channel.
+func (a *Applet) ServiceMade() bool { return a.AuthorChannel == 0 }
+
+// Ecosystem is the full generated dataset: the final-week population
+// plus birth weeks, from which any weekly snapshot can be derived.
+type Ecosystem struct {
+	Services []Service
+	Triggers []Trigger
+	Actions  []Action
+	Channels []Channel
+	Applets  []Applet
+
+	// Weeks are the snapshot dates (25 of them, Nov 2016 – Apr 2017).
+	Weeks []time.Time
+	// RefWeek indexes the reference snapshot (2017-03-25) to which the
+	// applet add counts are calibrated.
+	RefWeek int
+
+	// byTrigger/byAction resolve catalog IDs.
+	triggerByID map[int]*Trigger
+	actionByID  map[int]*Action
+	serviceByID map[int]*Service
+}
+
+// Reindex rebuilds the ID lookup tables; callers that assemble an
+// Ecosystem by hand (e.g. the crawler's reconstruction) must call it
+// before resolving references.
+func (e *Ecosystem) Reindex() { e.index() }
+
+func (e *Ecosystem) index() {
+	e.triggerByID = make(map[int]*Trigger, len(e.Triggers))
+	for i := range e.Triggers {
+		e.triggerByID[e.Triggers[i].ID] = &e.Triggers[i]
+	}
+	e.actionByID = make(map[int]*Action, len(e.Actions))
+	for i := range e.Actions {
+		e.actionByID[e.Actions[i].ID] = &e.Actions[i]
+	}
+	e.serviceByID = make(map[int]*Service, len(e.Services))
+	for i := range e.Services {
+		e.serviceByID[e.Services[i].ID] = &e.Services[i]
+	}
+}
+
+// TriggerByID resolves a trigger.
+func (e *Ecosystem) TriggerByID(id int) *Trigger { return e.triggerByID[id] }
+
+// ActionByID resolves an action.
+func (e *Ecosystem) ActionByID(id int) *Action { return e.actionByID[id] }
+
+// ServiceByID resolves a service.
+func (e *Ecosystem) ServiceByID(id int) *Service { return e.serviceByID[id] }
+
+// TriggerService returns the service offering the applet's trigger.
+func (e *Ecosystem) TriggerService(a *Applet) *Service {
+	t := e.triggerByID[a.TriggerID]
+	if t == nil {
+		return nil
+	}
+	return e.serviceByID[t.ServiceID]
+}
+
+// ActionService returns the service offering the applet's action.
+func (e *Ecosystem) ActionService(a *Applet) *Service {
+	act := e.actionByID[a.ActionID]
+	if act == nil {
+		return nil
+	}
+	return e.serviceByID[act.ServiceID]
+}
+
+// Snapshot is the ecosystem as visible at one crawl week.
+type Snapshot struct {
+	Week int
+	Date time.Time
+	// Eco points back at the full dataset for catalog resolution.
+	Eco *Ecosystem
+	// Services, Triggers, Actions, Channels and Applets hold the
+	// entities born at or before the snapshot week. Applet add counts
+	// are scaled to the week.
+	Services []*Service
+	Triggers []*Trigger
+	Actions  []*Action
+	Channels []*Channel
+	Applets  []SnapshotApplet
+}
+
+// SnapshotApplet is an applet as observed in one weekly crawl.
+type SnapshotApplet struct {
+	*Applet
+	AddCount int64
+}
+
+// TotalAddCount sums the snapshot's installs.
+func (s *Snapshot) TotalAddCount() int64 {
+	var total int64
+	for _, a := range s.Applets {
+		total += a.AddCount
+	}
+	return total
+}
+
+// At derives the weekly snapshot for week w (0-based).
+func (e *Ecosystem) At(week int) *Snapshot {
+	if week < 0 {
+		week = 0
+	}
+	if week >= len(e.Weeks) {
+		week = len(e.Weeks) - 1
+	}
+	s := &Snapshot{Week: week, Date: e.Weeks[week], Eco: e}
+	for i := range e.Services {
+		if e.Services[i].BirthWeek <= week {
+			s.Services = append(s.Services, &e.Services[i])
+		}
+	}
+	for i := range e.Triggers {
+		if e.Triggers[i].BirthWeek <= week {
+			s.Triggers = append(s.Triggers, &e.Triggers[i])
+		}
+	}
+	for i := range e.Actions {
+		if e.Actions[i].BirthWeek <= week {
+			s.Actions = append(s.Actions, &e.Actions[i])
+		}
+	}
+	for i := range e.Channels {
+		if e.Channels[i].BirthWeek <= week {
+			s.Channels = append(s.Channels, &e.Channels[i])
+		}
+	}
+	scale := e.addScale(week)
+	for i := range e.Applets {
+		a := &e.Applets[i]
+		if a.BirthWeek > week {
+			continue
+		}
+		count := int64(float64(a.RefAddCount) * scale)
+		if count < 1 {
+			count = 1
+		}
+		s.Applets = append(s.Applets, SnapshotApplet{Applet: a, AddCount: count})
+	}
+	return s
+}
+
+// addScale maps a week to the per-applet add-count growth multiplier
+// relative to the reference week. Total adds grow as applet population ×
+// per-applet installs; each factor carries half (in log space) of the
+// §3.2 +19%, so their product matches the paper between the comparison
+// weeks.
+func (e *Ecosystem) addScale(week int) float64 {
+	// (1+r)^18 = sqrt(1.19)
+	const weeklyRate = 0.00484
+	diff := week - e.RefWeek
+	scale := 1.0
+	for i := 0; i < diff; i++ {
+		scale *= 1 + weeklyRate
+	}
+	for i := 0; i > diff; i-- {
+		scale /= 1 + weeklyRate
+	}
+	return scale
+}

@@ -1,0 +1,152 @@
+package dataset
+
+// This file pins every published statistic the generator is calibrated
+// against, with the table/figure it comes from.
+
+// Reference-snapshot scale (§3.2, snapshot of 2017-03-25).
+const (
+	RefServices  = 408
+	RefTriggers  = 1490
+	RefActions   = 957
+	RefApplets   = 320_000
+	RefAddCount  = 23_000_000
+	RefChannels  = 135_544
+	NumWeeks     = 25 // weekly snapshots, Nov 2016 – Apr 2017 (Table 2)
+	RefWeekIndex = 20 // 2017-03-25
+)
+
+// Growth between 2016-11-24/26 and 2017-04-01 (§3.2), expressed as the
+// total multiplier over the 18 intervening weeks.
+const (
+	GrowthServices = 1.11
+	GrowthTriggers = 1.31
+	GrowthActions  = 1.27
+	GrowthAdds     = 1.19
+	GrowthWeeks    = 18
+)
+
+// Heavy-tail calibration targets.
+const (
+	// Fig 3: top 1% (10%) of applets hold 84.1% (97.6%) of adds.
+	AppletTop1Share  = 0.841
+	AppletTop10Share = 0.976
+	// §3.2: top 1% (10%) of users contribute 18% (49%) of applets.
+	UserTop1Share = 0.18
+	// §3.2: 98% of applets are user-made…
+	UserMadeAppletFrac = 0.98
+	// …and 86% of adds belong to user-made applets.
+	UserMadeAddFrac = 0.86
+)
+
+// ServiceShares is Table 1's "% services" column, indexed by Category-1.
+var ServiceShares = [NumCategories]float64{
+	37.7, 9.3, 2.7, 2.0, 3.7, 2.5, 8.8, 2.2, 10.3, 5.6, 4.7, 1.2, 1.0, 8.3,
+}
+
+// TriggerACShares is Table 1's "Trigger AC %" column (share of total add
+// count held by applets whose trigger belongs to the category).
+var TriggerACShares = [NumCategories]float64{
+	6.4, 0.8, 1.6, 0.5, 11.0, 0.6, 20.0, 9.8, 11.2, 17.7, 0.8, 14.1, 4.4, 1.3,
+}
+
+// ActionACShares is Table 1's "Action AC %" column.
+var ActionACShares = [NumCategories]float64{
+	7.9, 1.0, 1.0, 0.1, 13.8, 13.6, 1.9, 0.1, 27.4, 17.3, 3.1, 0.0, 12.8, 0.2,
+}
+
+// Fig 2 hotspots: the paper reads off that IoT services trigger applets
+// whose actions sit in categories 1, 5 and 9, and act in applets whose
+// triggers sit in categories 1, 7, 9 and 12. The generator boosts those
+// cells before fitting the matrix to the Table 1 marginals.
+var (
+	iotTriggerHotActionCats = []Category{CatSmartHome, CatPhone, CatPersonal}
+	iotActionHotTriggerCats = []Category{CatSmartHome, CatOnline, CatPersonal, CatTimeLoc}
+	hotCellBoost            = 3.0
+	ipfIterations           = 60
+)
+
+// anchorService pins a real-world service by name (Table 3 and the
+// testbed's vendors).
+type anchorService struct {
+	Slug, Name string
+	Category   Category
+	Triggers   []string // slugs of pinned triggers
+	Actions    []string
+}
+
+// anchorServices are the named services of Table 3 (plus the Google
+// web-app suite used by anchor applets).
+var anchorServices = []anchorService{
+	{Slug: "amazon_alexa", Name: "Amazon Alexa", Category: CatSmartHome,
+		Triggers: []string{"say_a_phrase", "item_added_to_todo", "ask_whats_on_shopping_list", "item_added_to_shopping"}},
+	{Slug: "philips_hue", Name: "Philips Hue", Category: CatSmartHome,
+		Actions: []string{"turn_on_lights", "change_color", "blink_lights", "turn_on_color_loop"}},
+	{Slug: "fitbit", Name: "Fitbit", Category: CatWearable,
+		Triggers: []string{"daily_activity_summary", "new_sleep_logged"}},
+	{Slug: "nest_thermostat", Name: "Nest Thermostat", Category: CatSmartHome,
+		Triggers: []string{"temperature_rises_above"},
+		Actions:  []string{"set_temperature"}},
+	{Slug: "google_assistant", Name: "Google Assistant", Category: CatSmartHome,
+		Triggers: []string{"say_a_simple_phrase"}},
+	{Slug: "up_jawbone", Name: "UP by Jawbone", Category: CatWearable,
+		Triggers: []string{"new_sleep_is_logged"},
+		Actions:  []string{"log_a_mood"}},
+	{Slug: "nest_protect", Name: "Nest Protect", Category: CatSmartHome,
+		Triggers: []string{"smoke_alarm_emergency"}},
+	{Slug: "automatic", Name: "Automatic", Category: CatCar,
+		Triggers: []string{"car_is_parked"}},
+	{Slug: "lifx", Name: "LIFX", Category: CatSmartHome,
+		Actions: []string{"turn_lights_on", "turn_lights_off"}},
+	{Slug: "harmony_hub", Name: "Harmony Hub", Category: CatHub,
+		Actions: []string{"start_activity"}},
+	{Slug: "wemo_smart_plug", Name: "WeMo Smart Plug", Category: CatSmartHome,
+		Actions: []string{"turn_on_plug"}},
+	{Slug: "android_smartwatch", Name: "Android Smartwatch", Category: CatWearable,
+		Actions: []string{"send_a_notification"}},
+	{Slug: "google_sheets", Name: "Google Sheets", Category: CatCloud,
+		Actions: []string{"add_row_to_spreadsheet"}},
+	{Slug: "ifttt_notifications", Name: "Notifications", Category: CatPersonal,
+		Actions: []string{"send_a_notification_phone"}},
+	{Slug: "date_time", Name: "Date & Time", Category: CatTimeLoc,
+		Triggers: []string{"every_day_at", "every_hour_at"}},
+	{Slug: "weather_underground", Name: "Weather Underground", Category: CatOnline,
+		Triggers: []string{"tomorrows_low_drops_below", "sunset"}},
+	{Slug: "android_device", Name: "Android Device", Category: CatPhone,
+		Triggers: []string{"nfc_tag_scanned"}},
+}
+
+// anchorApplet pins one Table 3-contributing applet: its trigger and
+// action (service slug + trigger/action slug) and its reference add
+// count. The counts are chosen so the per-service totals reproduce
+// Table 3: Alexa 1.2M / Fitbit 0.2M / Nest 0.1M / Google Assistant
+// 0.1M / Jawbone 0.1M / Nest Protect 0.07M / Automatic 0.06M on the
+// trigger side; Hue 1.2M / LIFX 0.2M / Nest 0.2M / Harmony 0.2M / WeMo
+// Plug 0.1M / Android Watch 0.1M / Jawbone 0.09M on the action side.
+type anchorApplet struct {
+	Name              string
+	TrigSvc, TrigSlug string
+	ActSvc, ActSlug   string
+	AddCount          int64
+}
+
+var anchorApplets = []anchorApplet{
+	{"Say a phrase to turn on your lights", "amazon_alexa", "say_a_phrase", "philips_hue", "turn_on_lights", 700_000},
+	{"Added a todo? Change the light color", "amazon_alexa", "item_added_to_todo", "philips_hue", "change_color", 250_000},
+	{"Blink lights when you ask for the shopping list", "amazon_alexa", "ask_whats_on_shopping_list", "philips_hue", "blink_lights", 130_000},
+	{"Shopping item added — start the color loop", "amazon_alexa", "item_added_to_shopping", "philips_hue", "turn_on_color_loop", 120_000},
+	{"Daily activity summary to your watch", "fitbit", "daily_activity_summary", "android_smartwatch", "send_a_notification", 100_000},
+	{"Log your sleep to a spreadsheet", "fitbit", "new_sleep_logged", "google_sheets", "add_row_to_spreadsheet", 100_000},
+	{"OK Google: lights on", "google_assistant", "say_a_simple_phrase", "lifx", "turn_lights_on", 100_000},
+	{"Smoke alarm? Turn every light on", "nest_protect", "smoke_alarm_emergency", "lifx", "turn_lights_on", 70_000},
+	{"Turn the porch light off every morning", "date_time", "every_day_at", "lifx", "turn_lights_off", 30_000},
+	{"Jawbone sleep log to mood", "up_jawbone", "new_sleep_is_logged", "up_jawbone", "log_a_mood", 90_000},
+	{"Jawbone sleep to spreadsheet", "up_jawbone", "new_sleep_is_logged", "google_sheets", "add_row_to_spreadsheet", 10_000},
+	{"Remember where you parked", "automatic", "car_is_parked", "google_sheets", "add_row_to_spreadsheet", 60_000},
+	{"Too hot at home? Get notified", "nest_thermostat", "temperature_rises_above", "ifttt_notifications", "send_a_notification_phone", 100_000},
+	{"Cold tomorrow — preheat the house", "weather_underground", "tomorrows_low_drops_below", "nest_thermostat", "set_temperature", 120_000},
+	{"Warm the house every evening", "date_time", "every_hour_at", "nest_thermostat", "set_temperature", 80_000},
+	{"Scan NFC to start movie night", "android_device", "nfc_tag_scanned", "harmony_hub", "start_activity", 120_000},
+	{"Start the morning news at 7", "date_time", "every_day_at", "harmony_hub", "start_activity", 80_000},
+	{"Coffee maker on at dawn", "date_time", "every_day_at", "wemo_smart_plug", "turn_on_plug", 60_000},
+	{"Fan on at sunset", "weather_underground", "sunset", "wemo_smart_plug", "turn_on_plug", 40_000},
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRangeSumMatchesExact(t *testing.T) {
+	exact := func(a, b int, s float64) float64 {
+		sum := 0.0
+		for i := a; i <= b; i++ {
+			sum += math.Pow(float64(i), -s)
+		}
+		return sum
+	}
+	for _, s := range []float64{0.5, 1.0, 1.3, 2.2} {
+		for _, r := range [][2]int{{1, 10}, {1, 5000}, {100, 20000}, {7, 7}} {
+			got := zipfRangeSum(r[0], r[1], s)
+			want := exact(r[0], r[1], s)
+			if rel := math.Abs(got-want) / want; rel > 0.001 {
+				t.Errorf("zipfRangeSum(%d,%d,%.1f) = %.6f, exact %.6f (rel err %.5f)",
+					r[0], r[1], s, got, want, rel)
+			}
+		}
+	}
+	if zipfRangeSum(10, 5, 1.0) != 0 {
+		t.Error("empty range should sum to 0")
+	}
+}
+
+func TestPieceZipfWeightsShape(t *testing.T) {
+	const total, knee = 10_000, 1_000
+	w := pieceZipfWeights(total, knee, 0.9, 2.5)
+	for i := 1; i < total; i++ {
+		if w[i] > w[i-1] {
+			t.Fatalf("weights not non-increasing at rank %d", i+1)
+		}
+	}
+	// Continuity at the knee: the formula for both pieces agrees at
+	// i = knee.
+	c := math.Pow(float64(knee), 2.5-0.9)
+	atKnee := c * math.Pow(float64(knee), -2.5)
+	if math.Abs(w[knee-1]-atKnee) > 1e-12 {
+		t.Fatalf("discontinuity at knee: %g vs %g", w[knee-1], atKnee)
+	}
+}
+
+func TestPieceModelMatchesMaterializedWeights(t *testing.T) {
+	const total, knee, k = 50_000, 5_000, 19
+	s1, s2 := 0.85, 2.1
+	m := newPieceModel(total, knee, k, s1, s2)
+	w := pieceZipfWeights(total, knee, s1, s2)
+	sumRange := func(a, b int) float64 {
+		sum := 0.0
+		for i := a; i <= b; i++ {
+			sum += w[i-1]
+		}
+		return sum
+	}
+	for _, r := range [][2]int{{1, total}, {k + 1, total}, {k + 1, k + 500}, {4_000, 6_000}} {
+		got := m.rangeMass(r[0], r[1])
+		want := sumRange(r[0], r[1])
+		if rel := math.Abs(got-want) / want; rel > 0.001 {
+			t.Errorf("rangeMass(%d,%d) rel err %.5f", r[0], r[1], rel)
+		}
+	}
+}
+
+func TestCalibratePieceZipfHitsBothTargets(t *testing.T) {
+	anchors := make([]int64, 19)
+	for i := range anchors {
+		anchors[i] = int64(700_000 / (i + 1))
+	}
+	var anchorTotal int64
+	for _, a := range anchors {
+		anchorTotal += a
+	}
+	const nRest = 100_000
+	restAdds := int64(20_000_000)
+	w := calibratePieceZipf(nRest, anchors, restAdds, 0.841, 0.976)
+	if len(w) != nRest {
+		t.Fatalf("weights = %d", len(w))
+	}
+	counts := countsFromWeights(w, restAdds)
+	all := make([]int64, 0, nRest+len(anchors))
+	all = append(all, anchors...)
+	all = append(all, counts...)
+	top := func(frac float64) float64 { return topShare(all, frac) }
+	if got := top(0.01); math.Abs(got-0.841) > 0.02 {
+		t.Errorf("top1 = %.4f, want 0.841", got)
+	}
+	if got := top(0.10); math.Abs(got-0.976) > 0.02 {
+		t.Errorf("top10 = %.4f, want 0.976", got)
+	}
+}
+
+// topShare computes the share held by the top frac of values.
+func topShare(vals []int64, frac float64) float64 {
+	xs := make([]float64, len(vals))
+	var total float64
+	for i, v := range vals {
+		xs[i] = float64(v)
+		total += float64(v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
+	k := int(math.Ceil(frac * float64(len(xs))))
+	var top float64
+	for i := 0; i < k; i++ {
+		top += xs[i]
+	}
+	return top / total
+}
+
+// Property: countsFromWeights conserves the exact total for any
+// positive weight vector.
+func TestCountsFromWeightsProperty(t *testing.T) {
+	f := func(raw []uint16, totRaw uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, x := range raw {
+			w[i] = float64(x) + 1 // strictly positive
+		}
+		total := int64(totRaw % 1_000_000)
+		counts := countsFromWeights(w, total)
+		var sum int64
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

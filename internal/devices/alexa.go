@@ -1,0 +1,115 @@
+package devices
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// EchoDot simulates an Amazon Echo Dot running Alexa. The paper's test
+// controller actuates it by playing pre-recorded voice commands; Say is
+// the programmatic equivalent. The device recognises the trigger phrases
+// that back the paper's top Alexa triggers (Table 3): free-form trigger
+// phrases ("Alexa, trigger …"), todo-list additions, shopping-list
+// additions, and song playback (for applet A7).
+type EchoDot struct {
+	Bus
+	clock simtime.Clock
+	name  string
+
+	mu           sync.Mutex
+	todoList     []string
+	shoppingList []string
+	songsPlayed  []string
+}
+
+// NewEchoDot creates an Echo with empty lists.
+func NewEchoDot(clock simtime.Clock, name string) *EchoDot {
+	return &EchoDot{clock: clock, name: name}
+}
+
+// Name returns the device name.
+func (e *EchoDot) Name() string { return e.name }
+
+// Say processes one voice command. Recognised forms:
+//
+//	"alexa, trigger <phrase>"            → phrase_said event
+//	"alexa, add <item> to my todo list"  → item_added_todo event
+//	"alexa, add <item> to my shopping list" → item_added_shopping event
+//	"alexa, play <song>"                 → song_played event
+//	"alexa, what's on my shopping list"  → shopping_list_asked event
+//
+// Unrecognised commands are ignored (the device "mishears"), returning
+// false.
+func (e *EchoDot) Say(command string) bool {
+	c := strings.ToLower(strings.TrimSpace(command))
+	c = strings.TrimPrefix(c, "alexa,")
+	c = strings.TrimPrefix(c, "alexa")
+	c = strings.TrimSpace(c)
+
+	switch {
+	case strings.HasPrefix(c, "trigger "):
+		phrase := strings.TrimSpace(strings.TrimPrefix(c, "trigger "))
+		e.emit("phrase_said", map[string]string{"phrase": phrase})
+		return true
+
+	case strings.HasPrefix(c, "add ") && strings.HasSuffix(c, " to my todo list"):
+		item := strings.TrimSuffix(strings.TrimPrefix(c, "add "), " to my todo list")
+		e.mu.Lock()
+		e.todoList = append(e.todoList, item)
+		e.mu.Unlock()
+		e.emit("item_added_todo", map[string]string{"item": item})
+		return true
+
+	case strings.HasPrefix(c, "add ") && strings.HasSuffix(c, " to my shopping list"):
+		item := strings.TrimSuffix(strings.TrimPrefix(c, "add "), " to my shopping list")
+		e.mu.Lock()
+		e.shoppingList = append(e.shoppingList, item)
+		e.mu.Unlock()
+		e.emit("item_added_shopping", map[string]string{"item": item})
+		return true
+
+	case strings.HasPrefix(c, "play "):
+		song := strings.TrimSpace(strings.TrimPrefix(c, "play "))
+		e.mu.Lock()
+		e.songsPlayed = append(e.songsPlayed, song)
+		e.mu.Unlock()
+		e.emit("song_played", map[string]string{"song": song})
+		return true
+
+	case strings.HasPrefix(c, "what's on my shopping list"),
+		strings.HasPrefix(c, "whats on my shopping list"):
+		e.emit("shopping_list_asked", map[string]string{
+			"items": strings.Join(e.ShoppingList(), ", "),
+		})
+		return true
+	}
+	return false
+}
+
+func (e *EchoDot) emit(typ string, attrs map[string]string) {
+	attrs["device"] = e.name
+	e.publish(stamped(e.clock, Event{Device: e.name, Type: typ, Attrs: attrs}))
+}
+
+// TodoList returns a copy of the todo list.
+func (e *EchoDot) TodoList() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.todoList...)
+}
+
+// ShoppingList returns a copy of the shopping list.
+func (e *EchoDot) ShoppingList() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.shoppingList...)
+}
+
+// SongsPlayed returns a copy of the playback history.
+func (e *EchoDot) SongsPlayed() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.songsPlayed...)
+}

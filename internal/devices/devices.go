@@ -1,0 +1,59 @@
+// Package devices simulates the consumer IoT hardware of the paper's
+// testbed (§2.1): Philips Hue smart lights behind their hub, a WeMo
+// light switch, an Amazon Echo Dot (Alexa), and a Samsung SmartThings
+// hub. Each device holds real mutable state, exposes the same control
+// surface class as the physical product (a REST API for the Hue hub, a
+// UPnP/SOAP endpoint for the WeMo switch, voice commands for the Echo),
+// and pushes state-change events to subscribers — the role the paper's
+// home-LAN proxy relies on.
+package devices
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Event is a state change announced by a device.
+type Event struct {
+	// Device is the emitting device's name (e.g. "wemo-1").
+	Device string
+	// Type names the change (e.g. "switched_on", "phrase_said").
+	Type string
+	// Attrs carries event details as strings, ready to become trigger
+	// ingredients.
+	Attrs map[string]string
+	// Time is when the change happened.
+	Time time.Time
+}
+
+// Bus fans device events out to subscribers. The zero value is unusable;
+// embed via newBus. Handlers run synchronously on the emitting
+// goroutine, so they must be fast — the proxy hands off immediately.
+type Bus struct {
+	mu   sync.Mutex
+	subs []func(Event)
+}
+
+// Subscribe registers a handler for every subsequent event.
+func (b *Bus) Subscribe(fn func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs = append(b.subs, fn)
+}
+
+func (b *Bus) publish(ev Event) {
+	b.mu.Lock()
+	subs := append(([]func(Event))(nil), b.subs...)
+	b.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+}
+
+// stamped fills the event timestamp from a clock.
+func stamped(clock simtime.Clock, ev Event) Event {
+	ev.Time = clock.Now()
+	return ev
+}

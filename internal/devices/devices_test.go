@@ -1,0 +1,347 @@
+package devices
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func collect(b interface{ Subscribe(func(Event)) }) *[]Event {
+	var evs []Event
+	b.Subscribe(func(ev Event) { evs = append(evs, ev) })
+	return &evs
+}
+
+func TestHueSetLampState(t *testing.T) {
+	hub := NewHueHub(simtime.NewReal(), "1", "2")
+	evs := collect(hub)
+
+	on := true
+	hue := 46920 // blue
+	if err := hub.SetLampState("1", StateChange{On: &on, Hue: &hue}); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := hub.LampState("1")
+	if !ok || !s.On || s.Hue != 46920 {
+		t.Fatalf("state = %+v", s)
+	}
+	if len(*evs) != 1 || (*evs)[0].Type != "light_on" {
+		t.Fatalf("events = %+v", *evs)
+	}
+	// Lamp 2 untouched.
+	s2, _ := hub.LampState("2")
+	if s2.On {
+		t.Fatal("wrong lamp changed")
+	}
+}
+
+func TestHueUnknownLamp(t *testing.T) {
+	hub := NewHueHub(simtime.NewReal(), "1")
+	if err := hub.SetLampState("9", StateChange{}); err == nil {
+		t.Fatal("unknown lamp accepted")
+	}
+}
+
+func TestHueClamping(t *testing.T) {
+	hub := NewHueHub(simtime.NewReal(), "1")
+	bri, hue, sat := 9999, -5, 500
+	hub.SetLampState("1", StateChange{Bri: &bri, Hue: &hue, Sat: &sat})
+	s, _ := hub.LampState("1")
+	if s.Bri != 254 || s.Hue != 0 || s.Sat != 254 {
+		t.Fatalf("clamped state = %+v", s)
+	}
+}
+
+func TestHueBlink(t *testing.T) {
+	hub := NewHueHub(simtime.NewReal(), "1")
+	evs := collect(hub)
+	if err := hub.Blink("1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(*evs) != 2 || (*evs)[0].Type != "light_off" || (*evs)[1].Type != "light_on" {
+		t.Fatalf("blink events = %+v", *evs)
+	}
+}
+
+func TestHueRESTAPI(t *testing.T) {
+	hub := NewHueHub(simtime.NewReal(), "1", "2")
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	// List lights.
+	resp, err := http.Get(srv.URL + "/api/testuser/lights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all map[string]LampState
+	json.NewDecoder(resp.Body).Decode(&all)
+	resp.Body.Close()
+	if len(all) != 2 {
+		t.Fatalf("lights = %v", all)
+	}
+
+	// Set state over REST.
+	body := []byte(`{"on":true,"effect":"colorloop"}`)
+	req, _ := http.NewRequest("PUT", srv.URL+"/api/testuser/lights/2/state", bytes.NewReader(body))
+	resp2, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp2.StatusCode)
+	}
+	s, _ := hub.LampState("2")
+	if !s.On || s.Effect != "colorloop" {
+		t.Fatalf("state after REST = %+v", s)
+	}
+
+	// Unknown lamp 404s.
+	resp3, _ := http.Get(srv.URL + "/api/testuser/lights/9")
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown lamp status = %d", resp3.StatusCode)
+	}
+}
+
+func TestWemoPressTogglesAndEmits(t *testing.T) {
+	sw := NewWemoSwitch(simtime.NewReal(), "wemo-1")
+	evs := collect(sw)
+	sw.Press()
+	sw.Press()
+	if sw.On() {
+		t.Fatal("two presses should restore off")
+	}
+	if len(*evs) != 2 || (*evs)[0].Type != "switched_on" || (*evs)[1].Type != "switched_off" {
+		t.Fatalf("events = %+v", *evs)
+	}
+	if (*evs)[0].Attrs["via"] != "physical" {
+		t.Fatalf("via = %q", (*evs)[0].Attrs["via"])
+	}
+}
+
+func TestWemoNoEventWithoutChange(t *testing.T) {
+	sw := NewWemoSwitch(simtime.NewReal(), "wemo-1")
+	evs := collect(sw)
+	sw.SetState(false, "upnp") // already off
+	if len(*evs) != 0 {
+		t.Fatalf("no-op emitted %d events", len(*evs))
+	}
+}
+
+func TestWemoUPnPRoundTrip(t *testing.T) {
+	sw := NewWemoSwitch(simtime.NewReal(), "wemo-1")
+	srv := httptest.NewServer(sw.Handler())
+	defer srv.Close()
+
+	// Set on via SOAP.
+	resp, err := http.Post(srv.URL+"/upnp/control/basicevent1", "text/xml",
+		bytes.NewReader(SetBinaryStateEnvelope(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !sw.On() {
+		t.Fatal("switch not on after SOAP set")
+	}
+	on, err := ParseBinaryStateResponse(data)
+	if err != nil || !on {
+		t.Fatalf("response parse = %v, %v", on, err)
+	}
+
+	// Get state via SOAP.
+	getEnv := []byte(`<?xml version="1.0"?><s:Envelope xmlns:s="http://schemas.xmlsoap.org/soap/envelope/"><s:Body><u:GetBinaryState xmlns:u="urn:Belkin:service:basicevent:1"/></s:Body></s:Envelope>`)
+	resp2, err := http.Post(srv.URL+"/upnp/control/basicevent1", "text/xml", bytes.NewReader(getEnv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	on2, err := ParseBinaryStateResponse(data2)
+	if err != nil || !on2 {
+		t.Fatalf("get state = %v, %v", on2, err)
+	}
+}
+
+func TestWemoBadSoap(t *testing.T) {
+	sw := NewWemoSwitch(simtime.NewReal(), "w")
+	srv := httptest.NewServer(sw.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/upnp/control/basicevent1", "text/xml",
+		bytes.NewReader([]byte("<not-soap>")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad soap status = %d", resp.StatusCode)
+	}
+}
+
+func TestAlexaVoiceCommands(t *testing.T) {
+	echo := NewEchoDot(simtime.NewReal(), "echo-1")
+	evs := collect(echo)
+
+	cases := []struct {
+		say      string
+		wantType string
+		wantAttr [2]string
+		ok       bool
+	}{
+		{"Alexa, trigger party mode", "phrase_said", [2]string{"phrase", "party mode"}, true},
+		{"Alexa, add milk to my todo list", "item_added_todo", [2]string{"item", "milk"}, true},
+		{"Alexa, add eggs to my shopping list", "item_added_shopping", [2]string{"item", "eggs"}, true},
+		{"Alexa, play Bohemian Rhapsody", "song_played", [2]string{"song", "bohemian rhapsody"}, true},
+		{"Alexa, what's on my shopping list", "shopping_list_asked", [2]string{"items", "eggs"}, true},
+		{"Alexa, order a pizza", "", [2]string{"", ""}, false},
+	}
+	for _, c := range cases {
+		before := len(*evs)
+		got := echo.Say(c.say)
+		if got != c.ok {
+			t.Errorf("Say(%q) = %v, want %v", c.say, got, c.ok)
+			continue
+		}
+		if !c.ok {
+			if len(*evs) != before {
+				t.Errorf("unrecognised command emitted an event")
+			}
+			continue
+		}
+		ev := (*evs)[len(*evs)-1]
+		if ev.Type != c.wantType {
+			t.Errorf("Say(%q) type = %q, want %q", c.say, ev.Type, c.wantType)
+		}
+		if ev.Attrs[c.wantAttr[0]] != c.wantAttr[1] {
+			t.Errorf("Say(%q) attr %q = %q, want %q", c.say, c.wantAttr[0], ev.Attrs[c.wantAttr[0]], c.wantAttr[1])
+		}
+	}
+
+	if got := echo.TodoList(); len(got) != 1 || got[0] != "milk" {
+		t.Errorf("todo = %v", got)
+	}
+	if got := echo.ShoppingList(); len(got) != 1 || got[0] != "eggs" {
+		t.Errorf("shopping = %v", got)
+	}
+	if got := echo.SongsPlayed(); len(got) != 1 {
+		t.Errorf("songs = %v", got)
+	}
+}
+
+func TestSmartThingsHubRoutesCommandsAndEvents(t *testing.T) {
+	clock := simtime.NewReal()
+	hub := NewSmartThingsHub(clock)
+	evs := collect(hub)
+
+	outlet := NewOutlet(clock, "outlet-1")
+	sensor := NewSensor(clock, "motion-1", "motion")
+	hub.Attach(outlet)
+	hub.Attach(sensor)
+
+	if got := hub.Devices(); len(got) != 2 || got[0] != "motion-1" {
+		t.Fatalf("devices = %v", got)
+	}
+
+	if err := hub.Command("outlet-1", "on", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !outlet.On() {
+		t.Fatal("outlet not on")
+	}
+	sensor.SetValue("active")
+
+	if len(*evs) != 2 {
+		t.Fatalf("hub republished %d events, want 2", len(*evs))
+	}
+	for _, ev := range *evs {
+		if ev.Attrs["hub"] != "smartthings" {
+			t.Errorf("event missing hub tag: %+v", ev)
+		}
+	}
+
+	if v, err := hub.Attribute("outlet-1", "on"); err != nil || v != "true" {
+		t.Errorf("attribute = %q, %v", v, err)
+	}
+	if _, err := hub.Attribute("outlet-1", "bogus"); err == nil {
+		t.Error("bogus attribute accepted")
+	}
+	if err := hub.Command("ghost", "on", nil); err == nil {
+		t.Error("command to missing device accepted")
+	}
+	if err := hub.Command("motion-1", "on", nil); err == nil {
+		t.Error("sensor accepted a command")
+	}
+}
+
+func TestSensorNoEventWithoutChange(t *testing.T) {
+	s := NewSensor(simtime.NewReal(), "s", "contact")
+	evs := collect(s)
+	s.SetValue("open")
+	s.SetValue("open")
+	if len(*evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(*evs))
+	}
+}
+
+func TestBusMultipleSubscribers(t *testing.T) {
+	sw := NewWemoSwitch(simtime.NewReal(), "w")
+	a := collect(sw)
+	b := collect(sw)
+	sw.Press()
+	if len(*a) != 1 || len(*b) != 1 {
+		t.Fatalf("fanout failed: %d, %d", len(*a), len(*b))
+	}
+}
+
+func TestThermostatModesAndEvents(t *testing.T) {
+	th := NewThermostat(simtime.NewReal(), "nest-1")
+	evs := collect(th)
+
+	// Ambient rises above setpoint + hysteresis → cooling.
+	th.SetAmbient(25)
+	if th.Mode() != "cool" {
+		t.Fatalf("mode = %q, want cool", th.Mode())
+	}
+	// Raise the target above ambient → heating off… actually heat when
+	// target far above ambient.
+	th.SetTarget(30)
+	if th.Mode() != "heat" {
+		t.Fatalf("mode = %q, want heat", th.Mode())
+	}
+	// Converge inside the hysteresis band → off.
+	th.SetAmbient(30.2)
+	if th.Mode() != "off" {
+		t.Fatalf("mode = %q, want off", th.Mode())
+	}
+
+	types := map[string]int{}
+	for _, ev := range *evs {
+		types[ev.Type]++
+	}
+	if types["temperature_changed"] != 2 {
+		t.Errorf("temperature_changed = %d, want 2", types["temperature_changed"])
+	}
+	if types["target_changed"] != 1 {
+		t.Errorf("target_changed = %d, want 1", types["target_changed"])
+	}
+	if types["hvac_cool"] != 1 || types["hvac_heat"] != 1 || types["hvac_off"] != 1 {
+		t.Errorf("hvac events = %v", types)
+	}
+}
+
+func TestThermostatNoEventWithoutAmbientChange(t *testing.T) {
+	th := NewThermostat(simtime.NewReal(), "nest-1")
+	evs := collect(th)
+	th.SetAmbient(20) // unchanged
+	for _, ev := range *evs {
+		if ev.Type == "temperature_changed" {
+			t.Fatal("no-op ambient emitted temperature_changed")
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package devices
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// Attached is a device that can live behind a SmartThings hub: it has a
+// name, accepts named commands, and reports attribute state.
+type Attached interface {
+	// Name identifies the device on the hub.
+	Name() string
+	// Command executes a hub-routed command (e.g. "on", "off").
+	Command(cmd string, args map[string]string) error
+	// Attribute reads one state attribute.
+	Attribute(key string) (string, bool)
+}
+
+// SmartThingsHub simulates a Samsung SmartThings hub: a LAN controller
+// that fronts heterogeneous attached devices and re-publishes their
+// events on a single bus — the "general smart home hub / integration
+// solution" category of Table 1.
+type SmartThingsHub struct {
+	Bus
+	clock simtime.Clock
+
+	mu      sync.Mutex
+	devices map[string]Attached
+}
+
+// NewSmartThingsHub creates an empty hub.
+func NewSmartThingsHub(clock simtime.Clock) *SmartThingsHub {
+	return &SmartThingsHub{clock: clock, devices: make(map[string]Attached)}
+}
+
+// Attach registers a device. If the device exposes an event bus
+// (optional interface), its events are re-published by the hub.
+func (h *SmartThingsHub) Attach(d Attached) {
+	h.mu.Lock()
+	h.devices[d.Name()] = d
+	h.mu.Unlock()
+	if b, ok := d.(interface{ Subscribe(func(Event)) }); ok {
+		b.Subscribe(func(ev Event) {
+			ev.Attrs = cloneAttrs(ev.Attrs)
+			ev.Attrs["hub"] = "smartthings"
+			h.publish(ev)
+		})
+	}
+}
+
+func cloneAttrs(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Devices lists attached device names, sorted.
+func (h *SmartThingsHub) Devices() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.devices))
+	for name := range h.devices {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Command routes a command to an attached device.
+func (h *SmartThingsHub) Command(device, cmd string, args map[string]string) error {
+	h.mu.Lock()
+	d, ok := h.devices[device]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("smartthings: no device %q", device)
+	}
+	return d.Command(cmd, args)
+}
+
+// Attribute reads one attribute of an attached device.
+func (h *SmartThingsHub) Attribute(device, key string) (string, error) {
+	h.mu.Lock()
+	d, ok := h.devices[device]
+	h.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("smartthings: no device %q", device)
+	}
+	v, ok := d.Attribute(key)
+	if !ok {
+		return "", fmt.Errorf("smartthings: device %q has no attribute %q", device, key)
+	}
+	return v, nil
+}
+
+// Sensor is a simple attachable sensor (motion, contact, temperature…)
+// whose readings are set by the environment (tests, workload drivers).
+type Sensor struct {
+	Bus
+	clock simtime.Clock
+	name  string
+	kind  string
+
+	mu    sync.Mutex
+	value string
+}
+
+// NewSensor creates a sensor of the given kind ("motion", "contact",
+// "temperature", …).
+func NewSensor(clock simtime.Clock, name, kind string) *Sensor {
+	return &Sensor{clock: clock, name: name, kind: kind}
+}
+
+// Name returns the sensor name.
+func (s *Sensor) Name() string { return s.name }
+
+// Command returns an error: sensors are read-only.
+func (s *Sensor) Command(cmd string, args map[string]string) error {
+	return fmt.Errorf("sensor %q: unsupported command %q", s.name, cmd)
+}
+
+// Attribute reads "value" or "kind".
+func (s *Sensor) Attribute(key string) (string, bool) {
+	switch key {
+	case "kind":
+		return s.kind, true
+	case "value":
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.value, true
+	}
+	return "", false
+}
+
+// SetValue updates the reading and emits a sensor_changed event.
+func (s *Sensor) SetValue(v string) {
+	s.mu.Lock()
+	changed := s.value != v
+	s.value = v
+	s.mu.Unlock()
+	if !changed {
+		return
+	}
+	s.publish(stamped(s.clock, Event{
+		Device: s.name,
+		Type:   "sensor_changed",
+		Attrs:  map[string]string{"device": s.name, "kind": s.kind, "value": v},
+	}))
+}
+
+// Outlet is a switchable smart plug attached behind the hub.
+type Outlet struct {
+	Bus
+	clock simtime.Clock
+	name  string
+
+	mu sync.Mutex
+	on bool
+}
+
+// NewOutlet creates an outlet that is off.
+func NewOutlet(clock simtime.Clock, name string) *Outlet {
+	return &Outlet{clock: clock, name: name}
+}
+
+// Name returns the outlet name.
+func (o *Outlet) Name() string { return o.name }
+
+// Command handles "on" and "off".
+func (o *Outlet) Command(cmd string, args map[string]string) error {
+	switch cmd {
+	case "on":
+		o.set(true)
+	case "off":
+		o.set(false)
+	default:
+		return fmt.Errorf("outlet %q: unsupported command %q", o.name, cmd)
+	}
+	return nil
+}
+
+// Attribute reads "on".
+func (o *Outlet) Attribute(key string) (string, bool) {
+	if key != "on" {
+		return "", false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return fmt.Sprint(o.on), true
+}
+
+// On reports the current state.
+func (o *Outlet) On() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.on
+}
+
+func (o *Outlet) set(on bool) {
+	o.mu.Lock()
+	changed := o.on != on
+	o.on = on
+	o.mu.Unlock()
+	if !changed {
+		return
+	}
+	typ := "switched_off"
+	if on {
+		typ = "switched_on"
+	}
+	o.publish(stamped(o.clock, Event{
+		Device: o.name,
+		Type:   typ,
+		Attrs:  map[string]string{"device": o.name},
+	}))
+}

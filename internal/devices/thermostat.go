@@ -1,0 +1,122 @@
+package devices
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// Thermostat simulates a Nest-style smart thermostat: it tracks the
+// ambient temperature (set by the environment or a simulation driver),
+// holds a target setpoint, and reports heating/cooling state. It backs
+// the Nest Thermostat entries of the paper's Table 3 ("temperature
+// rises above" trigger, "set temperature" action).
+type Thermostat struct {
+	Bus
+	clock simtime.Clock
+	name  string
+
+	mu       sync.Mutex
+	ambient  float64 // °C
+	setpoint float64
+	mode     string // "heat", "cool", "off"
+}
+
+// NewThermostat creates a thermostat at 20 °C ambient with a 20 °C
+// setpoint, mode off.
+func NewThermostat(clock simtime.Clock, name string) *Thermostat {
+	return &Thermostat{clock: clock, name: name, ambient: 20, setpoint: 20, mode: "off"}
+}
+
+// Name returns the device name.
+func (t *Thermostat) Name() string { return t.name }
+
+// Ambient returns the current ambient temperature.
+func (t *Thermostat) Ambient() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ambient
+}
+
+// Setpoint returns the current target temperature.
+func (t *Thermostat) Setpoint() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.setpoint
+}
+
+// Mode returns "heat", "cool", or "off".
+func (t *Thermostat) Mode() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mode
+}
+
+// SetAmbient records a new ambient reading (the environment's input) and
+// emits a temperature_changed event; the thermostat also re-evaluates
+// its heating/cooling mode against the setpoint.
+func (t *Thermostat) SetAmbient(c float64) {
+	t.mu.Lock()
+	changed := t.ambient != c
+	t.ambient = c
+	modeEv := t.reevaluateLocked()
+	t.mu.Unlock()
+	if changed {
+		t.publish(stamped(t.clock, Event{
+			Device: t.name,
+			Type:   "temperature_changed",
+			Attrs: map[string]string{
+				"device":      t.name,
+				"temperature": fmt.Sprintf("%.1f", c),
+			},
+		}))
+	}
+	t.emitMode(modeEv)
+}
+
+// SetTarget changes the setpoint (the "set temperature" action) and
+// emits a target_changed event.
+func (t *Thermostat) SetTarget(c float64) {
+	t.mu.Lock()
+	t.setpoint = c
+	modeEv := t.reevaluateLocked()
+	t.mu.Unlock()
+	t.publish(stamped(t.clock, Event{
+		Device: t.name,
+		Type:   "target_changed",
+		Attrs: map[string]string{
+			"device": t.name,
+			"target": fmt.Sprintf("%.1f", c),
+		},
+	}))
+	t.emitMode(modeEv)
+}
+
+// reevaluateLocked updates the mode with a 0.5 °C hysteresis band and
+// returns the new mode when it changed ("" otherwise).
+func (t *Thermostat) reevaluateLocked() string {
+	want := "off"
+	switch {
+	case t.ambient < t.setpoint-0.5:
+		want = "heat"
+	case t.ambient > t.setpoint+0.5:
+		want = "cool"
+	}
+	if want == t.mode {
+		return ""
+	}
+	t.mode = want
+	return want
+}
+
+func (t *Thermostat) emitMode(mode string) {
+	if mode == "" {
+		return
+	}
+	t.publish(stamped(t.clock, Event{
+		Device: t.name,
+		Type:   "hvac_" + mode,
+		Attrs:  map[string]string{"device": t.name, "mode": mode},
+	}))
+}

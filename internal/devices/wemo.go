@@ -1,0 +1,154 @@
+package devices
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// WemoSwitch simulates a Belkin WeMo Light Switch. It can be actuated
+// two ways, matching the physical product: a person pressing the paddle
+// (Press / SetPhysical) and a network command over its UPnP SOAP
+// endpoint (Handler). Both paths emit switched_on / switched_off events.
+type WemoSwitch struct {
+	Bus
+	clock simtime.Clock
+	name  string
+
+	mu sync.Mutex
+	on bool
+}
+
+// NewWemoSwitch creates a switch that is off.
+func NewWemoSwitch(clock simtime.Clock, name string) *WemoSwitch {
+	return &WemoSwitch{clock: clock, name: name}
+}
+
+// Name returns the switch's device name.
+func (w *WemoSwitch) Name() string { return w.name }
+
+// On reports the current state.
+func (w *WemoSwitch) On() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.on
+}
+
+// Press toggles the paddle, as a human would.
+func (w *WemoSwitch) Press() {
+	w.SetState(!w.On(), "physical")
+}
+
+// SetState sets the binary state, recording how it was actuated.
+func (w *WemoSwitch) SetState(on bool, via string) {
+	w.mu.Lock()
+	changed := w.on != on
+	w.on = on
+	w.mu.Unlock()
+	if !changed {
+		return
+	}
+	typ := "switched_off"
+	if on {
+		typ = "switched_on"
+	}
+	w.publish(stamped(w.clock, Event{
+		Device: w.name,
+		Type:   typ,
+		Attrs:  map[string]string{"device": w.name, "via": via},
+	}))
+}
+
+// soapEnvelope is the UPnP control message shape used by WeMo's
+// basicevent service. Only the BinaryState body matters.
+type soapEnvelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Body    soapBody `xml:"Body"`
+}
+
+type soapBody struct {
+	SetBinaryState *binaryStateArg `xml:"SetBinaryState"`
+	GetBinaryState *struct{}       `xml:"GetBinaryState"`
+}
+
+type binaryStateArg struct {
+	BinaryState int `xml:"BinaryState"`
+}
+
+const soapResponseTemplate = `<?xml version="1.0" encoding="utf-8"?>
+<s:Envelope xmlns:s="http://schemas.xmlsoap.org/soap/envelope/">
+<s:Body><u:%sResponse xmlns:u="urn:Belkin:service:basicevent:1">
+<BinaryState>%d</BinaryState>
+</u:%sResponse></s:Body></s:Envelope>`
+
+// Handler exposes the switch's UPnP control endpoint:
+//
+//	POST /upnp/control/basicevent1
+//
+// with a SOAPACTION header of SetBinaryState or GetBinaryState and a
+// SOAP envelope body, the protocol the paper's local proxy uses for the
+// WeMo device.
+func (w *WemoSwitch) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /upnp/control/basicevent1", func(rw http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(rw, "read body", http.StatusBadRequest)
+			return
+		}
+		var env soapEnvelope
+		if err := xml.Unmarshal(data, &env); err != nil {
+			http.Error(rw, "bad soap envelope", http.StatusBadRequest)
+			return
+		}
+		rw.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+		switch {
+		case env.Body.SetBinaryState != nil:
+			w.SetState(env.Body.SetBinaryState.BinaryState != 0, "upnp")
+			fmt.Fprintf(rw, soapResponseTemplate, "SetBinaryState", boolToInt(w.On()), "SetBinaryState")
+		case env.Body.GetBinaryState != nil:
+			fmt.Fprintf(rw, soapResponseTemplate, "GetBinaryState", boolToInt(w.On()), "GetBinaryState")
+		default:
+			http.Error(rw, "unsupported action", http.StatusBadRequest)
+		}
+	})
+	return mux
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ParseBinaryStateResponse extracts the BinaryState value from a SOAP
+// response; the local proxy uses it when querying the switch.
+func ParseBinaryStateResponse(body []byte) (bool, error) {
+	var resp struct {
+		XMLName xml.Name `xml:"Envelope"`
+		Body    struct {
+			Inner struct {
+				BinaryState int `xml:"BinaryState"`
+			} `xml:",any"`
+		} `xml:"Body"`
+	}
+	if err := xml.Unmarshal(body, &resp); err != nil {
+		return false, fmt.Errorf("wemo: parse soap response: %w", err)
+	}
+	return resp.Body.Inner.BinaryState != 0, nil
+}
+
+// SetBinaryStateEnvelope builds the SOAP request body to set the switch
+// state; the local proxy sends it to the Handler.
+func SetBinaryStateEnvelope(on bool) []byte {
+	return []byte(fmt.Sprintf(`<?xml version="1.0" encoding="utf-8"?>
+<s:Envelope xmlns:s="http://schemas.xmlsoap.org/soap/envelope/" s:encodingStyle="http://schemas.xmlsoap.org/soap/encoding/">
+<s:Body><u:SetBinaryState xmlns:u="urn:Belkin:service:basicevent:1">
+<BinaryState>%d</BinaryState>
+</u:SetBinaryState></s:Body></s:Envelope>`, boolToInt(on)))
+}

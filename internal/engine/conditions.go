@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Conditions implement the feature the paper's conclusion flags as
+// future work: "We plan to study future IFTTT features such as queries
+// and conditions." A condition is evaluated between the trigger event
+// and the action dispatch; the action runs only when every condition on
+// the applet passes. This mirrors the filter step IFTTT later shipped.
+//
+// Conditions are part of the Applet definition; an applet with no
+// conditions behaves exactly as before.
+
+// Condition gates an applet execution.
+type Condition interface {
+	// Allows reports whether the action should run for an event with
+	// these ingredients at time now.
+	Allows(now time.Time, ingredients map[string]string) bool
+	// Describe returns a short human-readable form for logs.
+	Describe() string
+}
+
+// IngredientEquals passes when the named ingredient equals Value
+// (case-insensitive).
+type IngredientEquals struct {
+	Key, Value string
+}
+
+// Allows implements Condition.
+func (c IngredientEquals) Allows(_ time.Time, ing map[string]string) bool {
+	return strings.EqualFold(ing[c.Key], c.Value)
+}
+
+// Describe implements Condition.
+func (c IngredientEquals) Describe() string { return c.Key + " == " + c.Value }
+
+// IngredientContains passes when the named ingredient contains Substr
+// (case-insensitive).
+type IngredientContains struct {
+	Key, Substr string
+}
+
+// Allows implements Condition.
+func (c IngredientContains) Allows(_ time.Time, ing map[string]string) bool {
+	return strings.Contains(strings.ToLower(ing[c.Key]), strings.ToLower(c.Substr))
+}
+
+// Describe implements Condition.
+func (c IngredientContains) Describe() string { return c.Key + " contains " + c.Substr }
+
+// IngredientAbove passes when the named ingredient parses as a number
+// strictly greater than Threshold.
+type IngredientAbove struct {
+	Key       string
+	Threshold float64
+}
+
+// Allows implements Condition.
+func (c IngredientAbove) Allows(_ time.Time, ing map[string]string) bool {
+	v, err := strconv.ParseFloat(ing[c.Key], 64)
+	return err == nil && v > c.Threshold
+}
+
+// Describe implements Condition.
+func (c IngredientAbove) Describe() string {
+	return c.Key + " > " + strconv.FormatFloat(c.Threshold, 'g', -1, 64)
+}
+
+// TimeWindow passes when the event's wall-clock hour lies within
+// [FromHour, ToHour) in UTC. Windows may wrap midnight (From 22, To 6).
+type TimeWindow struct {
+	FromHour, ToHour int
+}
+
+// Allows implements Condition.
+func (c TimeWindow) Allows(now time.Time, _ map[string]string) bool {
+	h := now.UTC().Hour()
+	if c.FromHour <= c.ToHour {
+		return h >= c.FromHour && h < c.ToHour
+	}
+	return h >= c.FromHour || h < c.ToHour
+}
+
+// Describe implements Condition.
+func (c TimeWindow) Describe() string {
+	return "hour in [" + strconv.Itoa(c.FromHour) + "," + strconv.Itoa(c.ToHour) + ")"
+}
+
+// conditionsAllow evaluates all conditions; an empty list always passes.
+func conditionsAllow(conds []Condition, now time.Time, ingredients map[string]string) bool {
+	for _, c := range conds {
+		if !c.Allows(now, ingredients) {
+			return false
+		}
+	}
+	return true
+}

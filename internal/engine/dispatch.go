@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/httpx"
+	"repro/internal/proto"
+)
+
+// pollOnce performs one trigger poll for an applet and dispatches the
+// action for every previously unseen event, oldest first. Dispatch is
+// sequential within the applet, which is what shapes a backlog of
+// trigger events into the action clusters of Fig 6.
+func (e *Engine) pollOnce(ra *runningApplet) {
+	a := &ra.def
+	req := proto.TriggerPollRequest{
+		TriggerIdentity: ra.identity,
+		TriggerFields:   a.Trigger.Fields,
+		User:            proto.UserInfo{ID: a.UserID},
+		Source:          proto.Source{ID: a.ID},
+	}
+	if e.pollLimit > 0 {
+		limit := e.pollLimit
+		req.Limit = &limit
+	}
+	e.emit(TraceEvent{Kind: TracePollSent, AppletID: a.ID})
+
+	var resp proto.TriggerPollResponse
+	status, err := e.client.DoJSON("POST",
+		proto.TriggerURL(a.Trigger.BaseURL, a.Trigger.Slug), req, &resp,
+		httpx.WithHeader(proto.ServiceKeyHeader, a.Trigger.ServiceKey),
+		httpx.WithHeader("Authorization", "Bearer "+a.Trigger.UserToken),
+	)
+	if err != nil || status != http.StatusOK {
+		msg := "status " + http.StatusText(status)
+		if err != nil {
+			msg = err.Error()
+		}
+		e.emit(TraceEvent{Kind: TracePollFailed, AppletID: a.ID, Err: msg})
+		if e.log != nil {
+			e.log.Warn("trigger poll failed", "applet", a.ID, "err", msg)
+		}
+		return
+	}
+
+	// The wire order is newest first; execute unseen events oldest
+	// first so actions replay the trigger order.
+	fresh := make([]proto.TriggerEvent, 0, len(resp.Data))
+	ra.mu.Lock()
+	for i := len(resp.Data) - 1; i >= 0; i-- {
+		ev := resp.Data[i]
+		if ev.Meta.ID == "" || ra.seen[ev.Meta.ID] {
+			continue
+		}
+		ra.seen[ev.Meta.ID] = true
+		ra.seenFifo = append(ra.seenFifo, ev.Meta.ID)
+		fresh = append(fresh, ev)
+	}
+	for len(ra.seenFifo) > e.dedupCap {
+		delete(ra.seen, ra.seenFifo[0])
+		ra.seenFifo = ra.seenFifo[1:]
+	}
+	ra.mu.Unlock()
+
+	e.emit(TraceEvent{Kind: TracePollResult, AppletID: a.ID, N: len(fresh)})
+	if len(fresh) > 0 && e.dispatch > 0 {
+		e.clock.Sleep(e.dispatch)
+	}
+	for _, ev := range fresh {
+		if !conditionsAllow(a.Conditions, e.clock.Now(), ev.Ingredients) {
+			e.emit(TraceEvent{Kind: TraceConditionSkip, AppletID: a.ID, EventID: ev.Meta.ID})
+			continue
+		}
+		e.dispatchAction(ra, ev)
+	}
+}
+
+// dispatchAction POSTs one action execution, resolving {{ingredient}}
+// placeholders in the action fields from the trigger event.
+func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent) {
+	a := &ra.def
+	fields := make(map[string]string, len(a.Action.Fields))
+	for k, v := range a.Action.Fields {
+		fields[k] = expandIngredients(v, ev.Ingredients)
+	}
+	req := proto.ActionRequest{
+		ActionFields: fields,
+		User:         proto.UserInfo{ID: a.UserID},
+		Source:       proto.Source{ID: a.ID},
+	}
+	e.emit(TraceEvent{Kind: TraceActionSent, AppletID: a.ID, EventID: ev.Meta.ID})
+
+	var ack proto.ActionResponse
+	status, err := e.client.DoJSON("POST",
+		proto.ActionURL(a.Action.BaseURL, a.Action.Slug), req, &ack,
+		httpx.WithHeader(proto.ServiceKeyHeader, a.Action.ServiceKey),
+		httpx.WithHeader("Authorization", "Bearer "+a.Action.UserToken),
+	)
+	if err != nil || status != http.StatusOK {
+		msg := "status " + http.StatusText(status)
+		if err != nil {
+			msg = err.Error()
+		}
+		e.emit(TraceEvent{Kind: TraceActionFailed, AppletID: a.ID, EventID: ev.Meta.ID, Err: msg})
+		if e.log != nil {
+			e.log.Warn("action failed", "applet", a.ID, "err", msg)
+		}
+		return
+	}
+	e.emit(TraceEvent{Kind: TraceActionAcked, AppletID: a.ID, EventID: ev.Meta.ID})
+}
+
+// deleteSubscription tells the trigger service a subscription is gone.
+func (e *Engine) deleteSubscription(ra *runningApplet) {
+	a := &ra.def
+	url := fmt.Sprintf("%s%s%s/trigger_identity/%s",
+		a.Trigger.BaseURL, proto.TriggersPath, a.Trigger.Slug, ra.identity)
+	status, err := e.client.DoJSON("DELETE", url, nil, nil,
+		httpx.WithHeader(proto.ServiceKeyHeader, a.Trigger.ServiceKey))
+	if (err != nil || status >= 300) && e.log != nil {
+		e.log.Warn("subscription delete failed", "applet", a.ID, "status", status, "err", err)
+	}
+}
+
+// expandIngredients substitutes {{key}} placeholders with trigger event
+// ingredients; unknown keys expand to the empty string, mirroring
+// IFTTT's lenient template behaviour.
+func expandIngredients(tmpl string, ingredients map[string]string) string {
+	if !strings.Contains(tmpl, "{{") {
+		return tmpl
+	}
+	var b strings.Builder
+	for {
+		open := strings.Index(tmpl, "{{")
+		if open < 0 {
+			b.WriteString(tmpl)
+			return b.String()
+		}
+		end := strings.Index(tmpl[open:], "}}")
+		if end < 0 {
+			b.WriteString(tmpl)
+			return b.String()
+		}
+		b.WriteString(tmpl[:open])
+		key := strings.TrimSpace(tmpl[open+2 : open+end])
+		b.WriteString(ingredients[key])
+		tmpl = tmpl[open+end+2:]
+	}
+}
+
+// Handler exposes the engine's HTTP surface: the realtime notification
+// endpoint partner services POST hints to.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+proto.RealtimePath, e.handleRealtime)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, e.Stats())
+	})
+	return httpx.Chain(mux, httpx.RequestID)
+}
+
+// handleRealtime accepts a hint and — only for allow-listed services —
+// provokes an early poll after RealtimeDelay. For all other services the
+// hint is acknowledged and dropped: the paper found that "using the
+// real-time API brings no performance impact for our service … the
+// IFTTT engine has full control over trigger event queries and very
+// likely ignores real-time API's hints" (§4).
+func (e *Engine) handleRealtime(w http.ResponseWriter, r *http.Request) {
+	var n proto.RealtimeNotification
+	if err := httpx.ReadJSON(r, &n); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	for _, hint := range n.Data {
+		var targets []*runningApplet
+		switch {
+		case hint.TriggerIdentity != "":
+			e.mu.Lock()
+			if ra := e.identities[hint.TriggerIdentity]; ra != nil {
+				targets = append(targets, ra)
+			}
+			e.mu.Unlock()
+		case hint.UserID != "":
+			// A user-scoped hint covers every applet of that user.
+			e.mu.Lock()
+			for _, ra := range e.applets {
+				if ra.def.UserID == hint.UserID {
+					targets = append(targets, ra)
+				}
+			}
+			e.mu.Unlock()
+		}
+		for _, ra := range targets {
+			e.emit(TraceEvent{Kind: TraceHintReceived, AppletID: ra.def.ID})
+			if e.realtime == nil || !e.realtime[ra.def.Trigger.Service] {
+				continue // hint ignored
+			}
+			e.clock.AfterFunc(e.rtDelay, ra.poke)
+		}
+	}
+	httpx.WriteJSON(w, http.StatusOK, proto.StatusResponse{OK: true})
+}

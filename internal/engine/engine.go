@@ -1,0 +1,418 @@
+// Package engine implements the IFTTT engine ❼ of the paper's Figure 1:
+// the centralized component that executes applets by polling trigger
+// services and dispatching actions. Its externally visible behaviour
+// follows what the paper measured rather than any idealized design:
+//
+//   - Each applet is polled independently on its own schedule; responses
+//     for one applet are never piggybacked on another's (Fig 7).
+//   - The polling gap is long and highly variable (Fig 4: 25/50/75th
+//     percentiles of 58/84/122 s, tail up to 15 minutes). PollPolicy
+//     models it; the paper-calibrated model lives in policy.go.
+//   - A poll fetches up to k buffered events (k=50 by default), so
+//     sequentially activated triggers surface as clustered actions
+//     (Fig 6).
+//   - Realtime-API hints are honoured only for an allow-list of
+//     services (the paper observed Alexa-backed applets executing in
+//     seconds while identical self-hosted services saw full polling
+//     delays); for everyone else the hint is accepted and ignored.
+//   - No loop detection of any kind is performed (§4 "Infinite Loop");
+//     the detector in internal/loopdetect is a separate, optional
+//     extension reproducing §6's recommendation.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// ServiceRef points an applet at one trigger or action of a partner
+// service.
+type ServiceRef struct {
+	// Service is the partner service's name (e.g. "hue"); realtime
+	// allow-listing matches on it.
+	Service string
+	// BaseURL is the service's API root (e.g. "https://api.hue.sim").
+	BaseURL string
+	// Slug names the trigger or action under the base URL.
+	Slug string
+	// Fields are the user-chosen parameters.
+	Fields map[string]string
+	// ServiceKey authenticates the engine to the service.
+	ServiceKey string
+	// UserToken is the cached OAuth access token for the applet owner.
+	UserToken string
+}
+
+// Applet is one user-installed trigger-action rule.
+type Applet struct {
+	ID      string
+	Name    string
+	UserID  string
+	Trigger ServiceRef
+	Action  ServiceRef
+	// Conditions optionally gate execution (the "queries and
+	// conditions" feature the paper lists as future work); all must
+	// pass for the action to run. Nil means unconditional.
+	Conditions []Condition
+}
+
+// TriggerIdentity derives the stable subscription identity the engine
+// presents to the trigger service. It covers the applet and its trigger
+// configuration, so distinct applets — even with identical triggers —
+// poll distinct subscriptions, as the paper observed.
+func (a *Applet) TriggerIdentity() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", a.ID, a.Trigger.BaseURL, a.Trigger.Slug)
+	keys := make([]string, 0, len(a.Trigger.Fields))
+	for k := range a.Trigger.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "|%s=%s", k, a.Trigger.Fields[k])
+	}
+	return fmt.Sprintf("ti-%016x", h.Sum64())
+}
+
+// TraceKind labels engine trace events.
+type TraceKind string
+
+// Trace event kinds, in the order they occur during one execution.
+const (
+	TraceHintReceived TraceKind = "hint_received"
+	TracePollSent     TraceKind = "poll_sent"
+	TracePollResult   TraceKind = "poll_result"
+	TraceActionSent   TraceKind = "action_sent"
+	TraceActionAcked  TraceKind = "action_acked"
+	TraceActionFailed TraceKind = "action_failed"
+	TracePollFailed   TraceKind = "poll_failed"
+	TraceInstall      TraceKind = "install"
+	TraceRemove       TraceKind = "remove"
+	// TraceConditionSkip marks an event whose action was suppressed by
+	// the applet's conditions.
+	TraceConditionSkip TraceKind = "condition_skip"
+)
+
+// TraceEvent records one step of applet execution; the testbed's
+// latency instrumentation and Table 5's timeline are built from these.
+type TraceEvent struct {
+	Time     time.Time
+	Kind     TraceKind
+	AppletID string
+	// EventID is the trigger event being acted upon (action kinds).
+	EventID string
+	// N is the number of new events in a poll result.
+	N int
+	// Err holds failure detail for *_failed kinds.
+	Err string
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Clock drives all scheduling (virtual in experiments).
+	Clock simtime.Clock
+	// RNG seeds the polling jitter; required.
+	RNG *stats.RNG
+	// Doer issues HTTP requests (live client or simnet client).
+	Doer httpx.Doer
+	// Poll schedules the gap between polls of one applet. Nil means
+	// the paper-calibrated PaperPollModel.
+	Poll PollPolicy
+	// RealtimeServices lists service names whose realtime hints are
+	// honoured; hints from other services are accepted and ignored,
+	// matching the paper's observation.
+	RealtimeServices map[string]bool
+	// RealtimeDelay is the lag between an honoured hint and the poll
+	// it provokes. Zero means DefaultRealtimeDelay.
+	RealtimeDelay time.Duration
+	// Trace, when non-nil, observes every TraceEvent. It must be fast
+	// and safe for concurrent use.
+	Trace func(TraceEvent)
+	// Logger receives warnings; nil disables logging.
+	Logger *slog.Logger
+	// DedupWindow bounds remembered event IDs per applet; zero means
+	// DefaultDedupWindow.
+	DedupWindow int
+	// DispatchDelay models the engine's internal processing between
+	// receiving a poll result with fresh events and issuing the first
+	// action request (≈1 s in the paper's Table 5 timeline). Negative
+	// disables it; zero means DefaultDispatchDelay.
+	DispatchDelay time.Duration
+	// PollLimit is the k parameter sent in poll requests — the maximum
+	// buffered events a service returns per poll (§4 measured the
+	// production default as 50). Zero sends no limit (the service
+	// applies the protocol default, also 50).
+	PollLimit int
+}
+
+// DefaultRealtimeDelay approximates the hint-to-poll lag the paper
+// measured for Alexa-backed applets (a few seconds end to end).
+const DefaultRealtimeDelay = 1500 * time.Millisecond
+
+// DefaultDedupWindow bounds the per-applet seen-event memory. It must
+// exceed the poll batch limit, or re-served events would re-execute.
+const DefaultDedupWindow = 1024
+
+// DefaultDispatchDelay matches the ≈1 s poll-to-action-request gap of
+// the paper's Table 5 timeline.
+const DefaultDispatchDelay = time.Second
+
+// Engine executes applets.
+type Engine struct {
+	clock     simtime.Clock
+	client    *httpx.Client
+	poll      PollPolicy
+	realtime  map[string]bool
+	rtDelay   time.Duration
+	trace     func(TraceEvent)
+	log       *slog.Logger
+	dedupCap  int
+	dispatch  time.Duration
+	pollLimit int
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	applets map[string]*runningApplet
+	// identities indexes applets by trigger identity for hint routing.
+	identities map[string]*runningApplet
+	stopped    bool
+	counters   Stats
+}
+
+// Stats are the engine's monotonic operational counters, exposed on the
+// engine's HTTP surface at GET /v1/stats.
+type Stats struct {
+	Applets        int   `json:"applets"`
+	Polls          int64 `json:"polls"`
+	PollFailures   int64 `json:"poll_failures"`
+	EventsReceived int64 `json:"events_received"`
+	ActionsOK      int64 `json:"actions_ok"`
+	ActionsFailed  int64 `json:"actions_failed"`
+	HintsReceived  int64 `json:"hints_received"`
+	ConditionSkips int64 `json:"condition_skips"`
+}
+
+type runningApplet struct {
+	def      Applet
+	identity string
+
+	mu       sync.Mutex
+	stopper  simtime.Stopper // wakes the current sleep early
+	removed  bool
+	seen     map[string]bool
+	seenFifo []string
+}
+
+// New creates an engine. It panics if required config is missing.
+func New(cfg Config) *Engine {
+	if cfg.Clock == nil || cfg.RNG == nil || cfg.Doer == nil {
+		panic("engine: Clock, RNG and Doer are required")
+	}
+	poll := cfg.Poll
+	if poll == nil {
+		poll = NewPaperPollModel()
+	}
+	rtDelay := cfg.RealtimeDelay
+	if rtDelay <= 0 {
+		rtDelay = DefaultRealtimeDelay
+	}
+	dedup := cfg.DedupWindow
+	if dedup <= 0 {
+		dedup = DefaultDedupWindow
+	}
+	dispatch := cfg.DispatchDelay
+	if dispatch == 0 {
+		dispatch = DefaultDispatchDelay
+	}
+	if dispatch < 0 {
+		dispatch = 0
+	}
+	return &Engine{
+		clock:      cfg.Clock,
+		client:     httpx.NewClient(cfg.Doer, cfg.Clock, 1),
+		poll:       poll,
+		realtime:   cfg.RealtimeServices,
+		rtDelay:    rtDelay,
+		trace:      cfg.Trace,
+		log:        cfg.Logger,
+		dedupCap:   dedup,
+		dispatch:   dispatch,
+		pollLimit:  cfg.PollLimit,
+		rng:        cfg.RNG,
+		applets:    make(map[string]*runningApplet),
+		identities: make(map[string]*runningApplet),
+	}
+}
+
+func (e *Engine) emit(ev TraceEvent) {
+	e.mu.Lock()
+	switch ev.Kind {
+	case TracePollSent:
+		e.counters.Polls++
+	case TracePollFailed:
+		e.counters.PollFailures++
+	case TracePollResult:
+		e.counters.EventsReceived += int64(ev.N)
+	case TraceActionAcked:
+		e.counters.ActionsOK++
+	case TraceActionFailed:
+		e.counters.ActionsFailed++
+	case TraceHintReceived:
+		e.counters.HintsReceived++
+	case TraceConditionSkip:
+		e.counters.ConditionSkips++
+	}
+	e.mu.Unlock()
+	if e.trace != nil {
+		ev.Time = e.clock.Now()
+		e.trace(ev)
+	}
+}
+
+// Stats returns a snapshot of the engine's operational counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.counters
+	st.Applets = len(e.applets)
+	return st
+}
+
+// Install registers an applet and starts its polling loop. It returns an
+// error for duplicate IDs or after Stop.
+func (e *Engine) Install(a Applet) error {
+	if a.ID == "" {
+		return fmt.Errorf("engine: applet ID required")
+	}
+	ra := &runningApplet{
+		def:      a,
+		identity: a.TriggerIdentity(),
+		seen:     make(map[string]bool),
+	}
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: stopped")
+	}
+	if _, dup := e.applets[a.ID]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: applet %q already installed", a.ID)
+	}
+	e.applets[a.ID] = ra
+	e.identities[ra.identity] = ra
+	e.mu.Unlock()
+
+	e.emit(TraceEvent{Kind: TraceInstall, AppletID: a.ID})
+	e.clock.Go(func() { e.runApplet(ra) })
+	return nil
+}
+
+// Remove stops and forgets an applet, then notifies the trigger service
+// that the subscription is gone (the protocol's DELETE
+// /ifttt/v1/triggers/{slug}/trigger_identity/{id}), so the service can
+// drop its event buffer.
+func (e *Engine) Remove(id string) {
+	e.mu.Lock()
+	ra := e.applets[id]
+	if ra != nil {
+		delete(e.applets, id)
+		delete(e.identities, ra.identity)
+	}
+	e.mu.Unlock()
+	if ra == nil {
+		return
+	}
+	ra.mu.Lock()
+	ra.removed = true
+	st := ra.stopper
+	ra.mu.Unlock()
+	if st != nil {
+		st.Stop()
+	}
+	e.emit(TraceEvent{Kind: TraceRemove, AppletID: id})
+	e.clock.Go(func() { e.deleteSubscription(ra) })
+}
+
+// Applets returns the IDs of installed applets (unordered).
+func (e *Engine) Applets() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.applets))
+	for id := range e.applets {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stop halts all polling loops. The engine cannot be restarted.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	running := make([]*runningApplet, 0, len(e.applets))
+	for _, ra := range e.applets {
+		running = append(running, ra)
+	}
+	e.mu.Unlock()
+	for _, ra := range running {
+		ra.mu.Lock()
+		ra.removed = true
+		st := ra.stopper
+		ra.mu.Unlock()
+		if st != nil {
+			st.Stop()
+		}
+	}
+}
+
+// nextGap draws the next polling gap for an applet under the engine's
+// policy, serialized so the RNG stream stays deterministic.
+func (e *Engine) nextGap(ra *runningApplet) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.poll.NextGap(ra.def.ID, ra.def.Trigger.Service, e.rng)
+}
+
+// runApplet is the per-applet polling loop: sleep one gap (interruptible
+// by realtime hints and removal), then poll and dispatch.
+func (e *Engine) runApplet(ra *runningApplet) {
+	for {
+		gap := e.nextGap(ra)
+		st := e.clock.NewStopper()
+		ra.mu.Lock()
+		if ra.removed {
+			ra.mu.Unlock()
+			return
+		}
+		ra.stopper = st
+		ra.mu.Unlock()
+
+		e.clock.SleepOrStop(st, gap)
+
+		ra.mu.Lock()
+		removed := ra.removed
+		ra.stopper = nil
+		ra.mu.Unlock()
+		if removed {
+			return
+		}
+		e.pollOnce(ra)
+	}
+}
+
+// poke wakes an applet's loop so it polls now (realtime hint path).
+func (ra *runningApplet) poke() {
+	ra.mu.Lock()
+	st := ra.stopper
+	ra.mu.Unlock()
+	if st != nil {
+		st.Stop()
+	}
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// PollPolicy schedules the gap until an applet's next trigger poll. The
+// applet ID and service name are available so a policy can treat
+// services differently (as IFTTT evidently does for Alexa-class
+// services) or applets differently (the §6 smart-polling proposal).
+type PollPolicy interface {
+	NextGap(appletID, service string, g *stats.RNG) time.Duration
+}
+
+// FixedInterval polls every Interval, deterministically. The paper's E3
+// scenario ("our own engine … performs frequent polling, every 1
+// second") is FixedInterval{Interval: time.Second}.
+type FixedInterval struct {
+	Interval time.Duration
+}
+
+// NextGap returns the fixed interval.
+func (f FixedInterval) NextGap(_, _ string, _ *stats.RNG) time.Duration { return f.Interval }
+
+// PaperPollModel reproduces the polling behaviour the paper measured on
+// the production IFTTT engine: a long nominal gap with lognormal jitter,
+// occasionally inflated several-fold — presumably when the engine is
+// under high workload — producing the 14–15 minute tail of Fig 4 and
+// Fig 6.
+//
+// Calibration (see DESIGN.md §4 and EXPERIMENTS.md): with the defaults
+// below, a trigger fires uniformly inside a gap, so measured
+// trigger-to-action latency has 25/50/75th percentiles near the paper's
+// 58/84/122 s and a worst case of roughly 15 minutes.
+type PaperPollModel struct {
+	// Base is the nominal gap (default 150 s).
+	Base time.Duration
+	// Sigma is the lognormal jitter of the gap (default 0.45).
+	Sigma float64
+	// InflateProb is the chance a gap lands in the inflated regime
+	// (default 2%).
+	InflateProb float64
+	// Inflate samples the inflation multiplier (default uniform 4–6×).
+	Inflate stats.Dist
+	// Min and Max clamp the final gap (defaults 20 s and 15 min).
+	Min, Max time.Duration
+}
+
+// NewPaperPollModel returns the calibrated defaults. A trigger fires
+// uniformly inside the (size-biased) current gap, so with these values
+// the measured T2A latency lands near the paper's 58/84/122 s quartiles
+// with a worst case around 15 minutes; see EXPERIMENTS.md for the
+// measured calibration.
+func NewPaperPollModel() *PaperPollModel {
+	return &PaperPollModel{
+		Base:        140 * time.Second,
+		Sigma:       0.25,
+		InflateProb: 0.02,
+		Inflate:     stats.Uniform{Lo: 4, Hi: 6},
+		Min:         30 * time.Second,
+		Max:         15 * time.Minute,
+	}
+}
+
+// NextGap draws one polling gap.
+func (m *PaperPollModel) NextGap(_, _ string, g *stats.RNG) time.Duration {
+	gap := stats.Lognormal{Median: m.Base.Seconds(), Sigma: m.Sigma}.Sample(g)
+	if m.InflateProb > 0 && g.Float64() < m.InflateProb {
+		gap *= m.Inflate.Sample(g)
+	}
+	d := stats.Duration(gap)
+	if d < m.Min {
+		d = m.Min
+	}
+	if d > m.Max {
+		d = m.Max
+	}
+	return d
+}
+
+// PerService dispatches to a per-service policy with a fallback. It
+// models "IFTTT customizes the polling frequency … for some services
+// (such as Alexa) with timing requirements" (§4).
+type PerService struct {
+	// Overrides maps service name → policy.
+	Overrides map[string]PollPolicy
+	// Default applies to everything else.
+	Default PollPolicy
+}
+
+// NextGap picks the override for the service, else the default.
+func (p PerService) NextGap(appletID, service string, g *stats.RNG) time.Duration {
+	if pol, ok := p.Overrides[service]; ok {
+		return pol.NextGap(appletID, service, g)
+	}
+	return p.Default.NextGap(appletID, service, g)
+}
+
+// SmartPolicy is the §6 "poll smartly" proposal: because the top applets
+// dominate usage (Fig 3), a fixed global polling budget is better spent
+// polling them frequently and the long tail rarely. Hot applets poll
+// every Fast interval, everyone else every Slow interval.
+type SmartPolicy struct {
+	Hot        map[string]bool
+	Fast, Slow time.Duration
+}
+
+// NextGap returns Fast for hot applets and Slow otherwise.
+func (p SmartPolicy) NextGap(appletID, _ string, _ *stats.RNG) time.Duration {
+	if p.Hot[appletID] {
+		return p.Fast
+	}
+	return p.Slow
+}
+
+// NewBudgetedSmart builds a SmartPolicy that spends the same total poll
+// budget as a uniform policy polling n applets every uniformInterval,
+// but allocates hotShare of that budget to the hot applets. It returns
+// the policy and the resulting fast/slow intervals for reporting.
+func NewBudgetedSmart(hot []string, n int, uniformInterval time.Duration, hotShare float64) SmartPolicy {
+	if n < 1 || len(hot) == 0 || hotShare <= 0 || hotShare >= 1 {
+		panic("engine: NewBudgetedSmart parameters out of range")
+	}
+	if len(hot) >= n {
+		return SmartPolicy{Hot: toSet(hot), Fast: uniformInterval, Slow: uniformInterval}
+	}
+	// Budget in polls/sec: n / uniform.
+	budget := float64(n) / uniformInterval.Seconds()
+	hotBudget := budget * hotShare
+	coldBudget := budget - hotBudget
+	fast := time.Duration(float64(len(hot)) / hotBudget * float64(time.Second))
+	slow := time.Duration(float64(n-len(hot)) / coldBudget * float64(time.Second))
+	return SmartPolicy{Hot: toSet(hot), Fast: fast, Slow: slow}
+}
+
+func toSet(ids []string) map[string]bool {
+	m := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// TestEngineToleratesMalformedResponses points an applet at a service
+// that returns garbage; the engine must keep polling and must not
+// dispatch anything.
+func TestEngineToleratesMalformedResponses(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(21)
+	net := simnet.New(clock, rng.Split("net"))
+	net.AddHost("garbage.sim", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{not json at all`))
+	}))
+
+	var traces []TraceEvent
+	eng := New(Config{
+		Clock: clock, RNG: rng.Split("engine"),
+		Doer: net.Client("engine.sim"),
+		Poll: FixedInterval{Interval: 5 * time.Second},
+		Trace: func(ev TraceEvent) {
+			traces = append(traces, ev)
+		},
+	})
+	clock.Run(func() {
+		eng.Install(Applet{
+			ID: "g1", UserID: "u",
+			Trigger: ServiceRef{Service: "garbage", BaseURL: "http://garbage.sim", Slug: "t"},
+			Action:  ServiceRef{Service: "garbage", BaseURL: "http://garbage.sim", Slug: "a"},
+		})
+		clock.Sleep(time.Minute)
+		eng.Stop()
+	})
+	polls, failures, actions := 0, 0, 0
+	for _, ev := range traces {
+		switch ev.Kind {
+		case TracePollSent:
+			polls++
+		case TracePollFailed:
+			failures++
+		case TraceActionSent:
+			actions++
+		}
+	}
+	if polls < 5 {
+		t.Errorf("engine gave up polling: %d polls", polls)
+	}
+	if failures == 0 {
+		t.Error("malformed responses not surfaced as failures")
+	}
+	if actions != 0 {
+		t.Errorf("garbage provoked %d action dispatches", actions)
+	}
+}
+
+// TestEngineRetriesActionOn5xx verifies the httpx retry layer recovers
+// an action whose first attempt hits a transient server error.
+func TestEngineRetriesActionOn5xx(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(22)
+	net := simnet.New(clock, rng.Split("net"))
+
+	attempts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ifttt/v1/triggers/t", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"data":[{"k":"v","meta":{"id":"ev1","timestamp":1}}]}`))
+	})
+	mux.HandleFunc("POST /ifttt/v1/actions/a", func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts == 1 {
+			http.Error(w, "flaky", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"data":[{"id":"ok"}]}`))
+	})
+	net.AddHost("svc.sim", mux)
+
+	var acked int
+	eng := New(Config{
+		Clock: clock, RNG: rng.Split("engine"),
+		Doer: net.Client("engine.sim"),
+		Poll: FixedInterval{Interval: 5 * time.Second},
+		Trace: func(ev TraceEvent) {
+			if ev.Kind == TraceActionAcked {
+				acked++
+			}
+		},
+	})
+	clock.Run(func() {
+		eng.Install(Applet{
+			ID: "r1", UserID: "u",
+			Trigger: ServiceRef{Service: "svc", BaseURL: "http://svc.sim", Slug: "t"},
+			Action:  ServiceRef{Service: "svc", BaseURL: "http://svc.sim", Slug: "a"},
+		})
+		clock.Sleep(30 * time.Second)
+		eng.Stop()
+	})
+	if attempts < 2 {
+		t.Fatalf("action attempted %d times, want retry", attempts)
+	}
+	if acked != 1 {
+		t.Fatalf("acked = %d, want 1 after retry", acked)
+	}
+}

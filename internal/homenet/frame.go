@@ -1,0 +1,102 @@
+// Package homenet implements the home-LAN side of the paper's testbed
+// (Fig 1): the local proxy ❸ that bridges LAN-only IoT devices to the
+// partner service server ❺ over the WAN, using a custom framed protocol
+// ("We design a custom protocol between the local proxy and our service
+// server, both of which we have control", §2.1).
+//
+// The protocol is length-prefixed JSON over a reliable byte stream:
+// a 4-byte big-endian payload length followed by one JSON-encoded
+// Message. Two transports carry it: real TCP (live deployments and
+// integration tests) and a virtual-clock pair (simulated experiments).
+package homenet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes bounds a single frame; device events and commands are
+// tiny, so 1 MiB is a defensive ceiling, not a target.
+const MaxFrameBytes = 1 << 20
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	MsgEvent         MsgType = "event"          // proxy → server: device event
+	MsgCommand       MsgType = "command"        // server → proxy: device command
+	MsgCommandResult MsgType = "command_result" // proxy → server: command outcome
+	MsgPing          MsgType = "ping"           // either direction: liveness
+	MsgPong          MsgType = "pong"
+)
+
+// Message is the single frame payload shape; unused fields are omitted
+// on the wire.
+type Message struct {
+	Type MsgType `json:"type"`
+	// ID correlates a command with its result.
+	ID uint64 `json:"id,omitempty"`
+
+	// Event fields (MsgEvent).
+	Device    string            `json:"device,omitempty"`
+	EventType string            `json:"event_type,omitempty"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+	UnixNano  int64             `json:"unix_nano,omitempty"`
+
+	// Command fields (MsgCommand).
+	Command string            `json:"command,omitempty"`
+	Args    map[string]string `json:"args,omitempty"`
+
+	// Result fields (MsgCommandResult).
+	OK     bool              `json:"ok,omitempty"`
+	Error  string            `json:"error,omitempty"`
+	Result map[string]string `json:"result,omitempty"`
+}
+
+// WriteFrame encodes msg as one length-prefixed frame on w.
+func WriteFrame(w io.Writer, msg *Message) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("homenet: marshal frame: %w", err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("homenet: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("homenet: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("homenet: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r. It returns io.EOF unchanged on a
+// clean end of stream (no partial header).
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("homenet: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("homenet: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("homenet: read frame payload: %w", err)
+	}
+	var msg Message
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return nil, fmt.Errorf("homenet: decode frame: %w", err)
+	}
+	return &msg, nil
+}

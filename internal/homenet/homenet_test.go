@@ -1,0 +1,439 @@
+package homenet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{
+		Type: MsgEvent, Device: "wemo-1", EventType: "switched_on",
+		Attrs: map[string]string{"via": "physical"},
+	}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Device != in.Device || out.Attrs["via"] != "physical" {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(device, eventType, k, v string, id uint64) bool {
+		var buf bytes.Buffer
+		in := &Message{
+			Type: MsgCommand, ID: id, Device: device, Command: eventType,
+			Args: map[string]string{k: v},
+		}
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.ID == id && out.Device == device && out.Command == eventType && out.Args[k] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameMultipleSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		WriteFrame(&buf, &Message{Type: MsgPing, ID: uint64(i)})
+	}
+	for i := 0; i < 5; i++ {
+		msg, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.ID != uint64(i) {
+			t.Fatalf("frame %d has ID %d", i, msg.ID)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	big := &Message{Type: MsgEvent, Attrs: map[string]string{
+		"blob": strings.Repeat("x", MaxFrameBytes),
+	}}
+	if err := WriteFrame(io.Discard, big); err == nil {
+		t.Fatal("oversize frame written")
+	}
+	// Reader side: forged huge header.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversize header accepted")
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, &Message{Type: MsgPing})
+	data := buf.Bytes()
+	if _, err := ReadFrame(bytes.NewReader(data[:len(data)-2])); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func tcpPair(t *testing.T) (*TCPProxyLink, *TCPServerLink) {
+	t.Helper()
+	pc, sc := net.Pipe()
+	proxy := NewTCPProxyLink(pc)
+	server := NewTCPServerLink(sc)
+	t.Cleanup(func() { proxy.Close(); server.Close() })
+	return proxy, server
+}
+
+func TestTCPEventDelivery(t *testing.T) {
+	proxy, server := tcpPair(t)
+	got := make(chan string, 1)
+	server.SetEventHandler(func(device, eventType string, attrs map[string]string) {
+		got <- device + "/" + eventType + "/" + attrs["k"]
+	})
+	if err := proxy.SendEvent("hue-1", "light_on", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "hue-1/light_on/v" {
+			t.Fatalf("event = %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event not delivered")
+	}
+}
+
+func TestTCPCommandRoundTrip(t *testing.T) {
+	proxy, server := tcpPair(t)
+	proxy.SetCommandHandler(func(device, command string, args map[string]string) (map[string]string, error) {
+		if device != "wemo-1" || command != "on" {
+			t.Errorf("got %s/%s", device, command)
+		}
+		return map[string]string{"on": "true"}, nil
+	})
+	res, err := server.Command("wemo-1", "on", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["on"] != "true" {
+		t.Fatalf("result = %v", res)
+	}
+}
+
+func TestTCPCommandError(t *testing.T) {
+	proxy, server := tcpPair(t)
+	proxy.SetCommandHandler(func(device, command string, args map[string]string) (map[string]string, error) {
+		return nil, io.ErrUnexpectedEOF
+	})
+	if _, err := server.Command("d", "x", nil); err == nil {
+		t.Fatal("handler error not propagated")
+	}
+}
+
+func TestTCPCommandWithoutHandler(t *testing.T) {
+	_, server := tcpPair(t)
+	if _, err := server.Command("d", "x", nil); err == nil {
+		t.Fatal("command without handler succeeded")
+	}
+}
+
+func TestTCPConcurrentCommands(t *testing.T) {
+	proxy, server := tcpPair(t)
+	proxy.SetCommandHandler(func(device, command string, args map[string]string) (map[string]string, error) {
+		return map[string]string{"echo": args["n"]}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			res, err := server.Command("d", "echo", map[string]string{"n": n})
+			if err != nil {
+				t.Errorf("command: %v", err)
+				return
+			}
+			if res["echo"] != n {
+				t.Errorf("correlation broken: sent %s got %s", n, res["echo"])
+			}
+		}(string(rune('a' + i)))
+	}
+	wg.Wait()
+}
+
+func TestTCPCloseFailsPending(t *testing.T) {
+	proxy, server := tcpPair(t)
+	block := make(chan struct{})
+	proxy.SetCommandHandler(func(device, command string, args map[string]string) (map[string]string, error) {
+		<-block
+		return nil, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Command("d", "x", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	server.Close()
+	close(block)
+	if err := <-done; err == nil {
+		t.Fatal("pending command survived Close")
+	}
+}
+
+func TestSimPairEventAndCommand(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	proxyEnd, serverEnd := SimPair(clock, stats.Constant(0.05), stats.NewRNG(1))
+
+	var events []string
+	serverEnd.SetEventHandler(func(device, eventType string, attrs map[string]string) {
+		events = append(events, device+"/"+eventType)
+	})
+	proxyEnd.SetCommandHandler(func(device, command string, args map[string]string) (map[string]string, error) {
+		return map[string]string{"done": "1"}, nil
+	})
+
+	clock.Run(func() {
+		start := clock.Now()
+		if err := proxyEnd.SendEvent("hue-1", "light_on", nil); err != nil {
+			t.Errorf("SendEvent: %v", err)
+		}
+		res, err := serverEnd.Command("hue-1", "blink", map[string]string{"lamp": "1"})
+		if err != nil {
+			t.Errorf("Command: %v", err)
+		}
+		if res["done"] != "1" {
+			t.Errorf("result = %v", res)
+		}
+		// One-way 50ms each direction.
+		if got := clock.Since(start); got != 100*time.Millisecond {
+			t.Errorf("command RTT = %v, want 100ms", got)
+		}
+		clock.Sleep(time.Second)
+	})
+	if len(events) != 1 || events[0] != "hue-1/light_on" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestSimPairClosed(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	proxyEnd, serverEnd := SimPair(clock, nil, stats.NewRNG(2))
+	clock.Run(func() {
+		proxyEnd.Close()
+		if err := proxyEnd.SendEvent("d", "t", nil); err == nil {
+			t.Error("SendEvent on closed link succeeded")
+		}
+		if _, err := serverEnd.Command("d", "x", nil); err == nil {
+			t.Error("Command on closed link succeeded")
+		}
+	})
+}
+
+func TestProxyBridgesDevicesOverSimLink(t *testing.T) {
+	// Full Fig-1 LAN slice: Hue hub and WeMo switch on a simulated
+	// LAN, proxy forwarding events up and executing commands down.
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(3)
+	lan := simnet.New(clock, rng.Split("lan"))
+	lan.SetDefaultLink(simnet.LAN())
+
+	hub := devices.NewHueHub(clock, "1")
+	sw := devices.NewWemoSwitch(clock, "wemo-1")
+	lan.AddHost("hue-hub.lan", hub.Handler())
+	lan.AddHost("wemo-1.lan", sw.Handler())
+
+	proxyEnd, serverEnd := SimPair(clock, stats.Constant(0.02), rng.Split("link"))
+	proxy := NewProxy(proxyEnd)
+	proxy.Register("hue", &HueAdapter{
+		BaseURL: "http://hue-hub.lan", User: "proxyuser", Doer: lan.Client("proxy.lan"),
+	})
+	proxy.Register("wemo-1", &WemoAdapter{
+		BaseURL: "http://wemo-1.lan", Doer: lan.Client("proxy.lan"),
+	})
+	proxy.Forward(&sw.Bus)
+	proxy.Forward(&hub.Bus)
+	proxy.Start()
+
+	var mu sync.Mutex
+	var events []string
+	serverEnd.SetEventHandler(func(device, eventType string, attrs map[string]string) {
+		mu.Lock()
+		events = append(events, device+"/"+eventType)
+		mu.Unlock()
+	})
+
+	clock.Run(func() {
+		// Downstream: server turns the lamp blue via the proxy.
+		if _, err := serverEnd.Command("hue", "set_state",
+			map[string]string{"lamp": "1", "on": "true", "hue": "46920"}); err != nil {
+			t.Errorf("hue command: %v", err)
+		}
+		// Downstream: server switches the WeMo on via UPnP.
+		res, err := serverEnd.Command("wemo-1", "on", nil)
+		if err != nil {
+			t.Errorf("wemo command: %v", err)
+		} else if res["on"] != "true" {
+			t.Errorf("wemo result = %v", res)
+		}
+		// Upstream: a physical press flows to the server.
+		sw.Press() // off (was turned on above)
+		clock.Sleep(time.Second)
+	})
+
+	s, _ := hub.LampState("1")
+	if !s.On || s.Hue != 46920 {
+		t.Fatalf("lamp state = %+v", s)
+	}
+	if !sw.On() == true && sw.On() {
+		t.Fatal("unreachable")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Events: hue light_on (from command), wemo switched_on (command),
+	// wemo switched_off (press).
+	want := map[string]bool{}
+	for _, e := range events {
+		want[e] = true
+	}
+	for _, e := range []string{"hue-1/light_on", "wemo-1/switched_on", "wemo-1/switched_off"} {
+		if !want[e] {
+			t.Errorf("missing event %s in %v", e, events)
+		}
+	}
+}
+
+func TestProxyUnknownDevice(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	proxyEnd, serverEnd := SimPair(clock, nil, stats.NewRNG(4))
+	proxy := NewProxy(proxyEnd)
+	proxy.Start()
+	clock.Run(func() {
+		if _, err := serverEnd.Command("ghost", "on", nil); err == nil {
+			t.Error("command for unknown device succeeded")
+		}
+	})
+}
+
+func TestHueAdapterRequiresLamp(t *testing.T) {
+	a := &HueAdapter{BaseURL: "http://x", User: "u", Doer: nil}
+	if _, err := a.Execute("set_state", map[string]string{}); err == nil {
+		t.Fatal("missing lamp accepted")
+	}
+}
+
+func TestStateBodyFromArgs(t *testing.T) {
+	body := string(stateBodyFromArgs(map[string]string{
+		"on": "true", "hue": "100", "effect": "colorloop", "bri": "not-a-number",
+	}))
+	if !strings.Contains(body, `"on":true`) || !strings.Contains(body, `"hue":100`) ||
+		!strings.Contains(body, `"effect":"colorloop"`) {
+		t.Fatalf("body = %s", body)
+	}
+	if strings.Contains(body, "not-a-number") {
+		t.Fatalf("non-numeric bri leaked: %s", body)
+	}
+}
+
+func TestListenDialReconnect(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// First connection.
+	proxyCh := make(chan *TCPProxyLink, 1)
+	go func() {
+		p, err := DialProxy(ln.Addr(), 3, 10*time.Millisecond)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		proxyCh <- p
+	}()
+	server, err := ln.Accept(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := <-proxyCh
+	proxy.SetCommandHandler(func(device, cmd string, args map[string]string) (map[string]string, error) {
+		return map[string]string{"gen": "1"}, nil
+	})
+	res, err := server.Command("d", "x", nil)
+	if err != nil || res["gen"] != "1" {
+		t.Fatalf("first link: %v %v", res, err)
+	}
+
+	// Drop the link; the proxy reconnects and the server re-accepts.
+	proxy.Close()
+	server.Close()
+	go func() {
+		p, err := DialProxy(ln.Addr(), 5, 20*time.Millisecond)
+		if err != nil {
+			t.Errorf("redial: %v", err)
+			return
+		}
+		p.SetCommandHandler(func(device, cmd string, args map[string]string) (map[string]string, error) {
+			return map[string]string{"gen": "2"}, nil
+		})
+		proxyCh <- p
+	}()
+	server2, err := ln.Accept(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server2.Close()
+	p2 := <-proxyCh
+	defer p2.Close()
+	// The handler may land just after Accept; retry briefly.
+	var res2 map[string]string
+	for i := 0; i < 20; i++ {
+		res2, err = server2.Command("d", "x", nil)
+		if err == nil && res2["gen"] == "2" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if res2["gen"] != "2" {
+		t.Fatalf("second link: %v %v", res2, err)
+	}
+}
+
+func TestDialProxyFailsWithoutServer(t *testing.T) {
+	if _, err := DialProxy("127.0.0.1:1", 2, time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestListenerAcceptTimeout(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := ln.Accept(30 * time.Millisecond); err == nil {
+		t.Fatal("accept with no client succeeded")
+	}
+}

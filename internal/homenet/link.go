@@ -1,0 +1,449 @@
+package homenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// CommandHandler executes a device command on the proxy side and returns
+// result attributes.
+type CommandHandler func(device, command string, args map[string]string) (map[string]string, error)
+
+// EventHandler receives device events on the server side.
+type EventHandler func(device, eventType string, attrs map[string]string)
+
+// ProxyLink is the local proxy's end of the proxy↔server protocol.
+type ProxyLink interface {
+	// SendEvent forwards one device event upstream.
+	SendEvent(device, eventType string, attrs map[string]string) error
+	// SetCommandHandler installs the executor for inbound commands.
+	// It must be called before commands arrive.
+	SetCommandHandler(h CommandHandler)
+	// Close tears the link down.
+	Close() error
+}
+
+// ServerLink is the service server's end of the proxy↔server protocol.
+type ServerLink interface {
+	// Command executes a device command through the proxy and waits
+	// for its result.
+	Command(device, command string, args map[string]string) (map[string]string, error)
+	// SetEventHandler installs the receiver for device events.
+	SetEventHandler(h EventHandler)
+	// Close tears the link down.
+	Close() error
+}
+
+// ErrLinkClosed is returned for operations on a closed link.
+var ErrLinkClosed = errors.New("homenet: link closed")
+
+// ServerTap wraps a ServerLink so observers can watch the traffic the
+// service sees without disturbing it — the measurement vantage point ❺
+// of the paper's Table 5 instrumentation.
+type ServerTap struct {
+	ServerLink
+
+	mu      sync.Mutex
+	onEvent []func(device, eventType string)
+	inner   EventHandler
+}
+
+// NewServerTap wraps link.
+func NewServerTap(link ServerLink) *ServerTap {
+	t := &ServerTap{ServerLink: link}
+	link.SetEventHandler(t.dispatch)
+	return t
+}
+
+// SetEventHandler installs the service's handler behind the tap.
+func (t *ServerTap) SetEventHandler(h EventHandler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.inner = h
+}
+
+// Observe registers a read-only watcher for inbound device events.
+func (t *ServerTap) Observe(fn func(device, eventType string)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onEvent = append(t.onEvent, fn)
+}
+
+func (t *ServerTap) dispatch(device, eventType string, attrs map[string]string) {
+	t.mu.Lock()
+	observers := append(([]func(string, string))(nil), t.onEvent...)
+	inner := t.inner
+	t.mu.Unlock()
+	for _, fn := range observers {
+		fn(device, eventType)
+	}
+	if inner != nil {
+		inner(device, eventType, attrs)
+	}
+}
+
+// CommandTimeout bounds how long the server waits for a command result.
+const CommandTimeout = 10 * time.Second
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+// tcpEndpoint holds the shared machinery of both TCP link ends.
+type tcpEndpoint struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frames
+	mu      sync.Mutex
+	closed  bool
+}
+
+func (e *tcpEndpoint) send(msg *Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrLinkClosed
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	return WriteFrame(e.conn, msg)
+}
+
+func (e *tcpEndpoint) close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	return e.conn.Close()
+}
+
+// TCPProxyLink speaks the proxy side of the protocol over a net.Conn.
+type TCPProxyLink struct {
+	tcpEndpoint
+	mu      sync.Mutex
+	handler CommandHandler
+}
+
+// NewTCPProxyLink wraps an established connection and starts its read
+// loop.
+func NewTCPProxyLink(conn net.Conn) *TCPProxyLink {
+	l := &TCPProxyLink{tcpEndpoint: tcpEndpoint{conn: conn}}
+	go l.readLoop()
+	return l
+}
+
+// SetCommandHandler installs the command executor.
+func (l *TCPProxyLink) SetCommandHandler(h CommandHandler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handler = h
+}
+
+// SendEvent forwards a device event upstream.
+func (l *TCPProxyLink) SendEvent(device, eventType string, attrs map[string]string) error {
+	return l.send(&Message{
+		Type: MsgEvent, Device: device, EventType: eventType, Attrs: attrs,
+	})
+}
+
+// Close shuts the link down.
+func (l *TCPProxyLink) Close() error { return l.close() }
+
+func (l *TCPProxyLink) readLoop() {
+	for {
+		msg, err := ReadFrame(l.conn)
+		if err != nil {
+			l.close()
+			return
+		}
+		switch msg.Type {
+		case MsgCommand:
+			// Execute asynchronously so a slow device does not stall
+			// the read loop.
+			go l.execute(msg)
+		case MsgPing:
+			_ = l.send(&Message{Type: MsgPong, ID: msg.ID})
+		}
+	}
+}
+
+func (l *TCPProxyLink) execute(msg *Message) {
+	l.mu.Lock()
+	h := l.handler
+	l.mu.Unlock()
+	res := &Message{Type: MsgCommandResult, ID: msg.ID}
+	if h == nil {
+		res.Error = "proxy: no command handler"
+	} else if out, err := h(msg.Device, msg.Command, msg.Args); err != nil {
+		res.Error = err.Error()
+	} else {
+		res.OK = true
+		res.Result = out
+	}
+	_ = l.send(res)
+}
+
+// TCPServerLink speaks the server side of the protocol over a net.Conn.
+type TCPServerLink struct {
+	tcpEndpoint
+	mu      sync.Mutex
+	handler EventHandler
+	nextID  uint64
+	pending map[uint64]chan *Message
+}
+
+// NewTCPServerLink wraps an established connection and starts its read
+// loop.
+func NewTCPServerLink(conn net.Conn) *TCPServerLink {
+	l := &TCPServerLink{
+		tcpEndpoint: tcpEndpoint{conn: conn},
+		pending:     make(map[uint64]chan *Message),
+	}
+	go l.readLoop()
+	return l
+}
+
+// SetEventHandler installs the device event receiver.
+func (l *TCPServerLink) SetEventHandler(h EventHandler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handler = h
+}
+
+// Command sends a command and waits for the proxy's result.
+func (l *TCPServerLink) Command(device, command string, args map[string]string) (map[string]string, error) {
+	ch := make(chan *Message, 1)
+	l.mu.Lock()
+	l.nextID++
+	id := l.nextID
+	l.pending[id] = ch
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.pending, id)
+		l.mu.Unlock()
+	}()
+
+	if err := l.send(&Message{
+		Type: MsgCommand, ID: id, Device: device, Command: command, Args: args,
+	}); err != nil {
+		return nil, err
+	}
+	t := time.NewTimer(CommandTimeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		if res == nil {
+			return nil, ErrLinkClosed
+		}
+		if !res.OK {
+			return nil, fmt.Errorf("homenet: command %s/%s: %s", device, command, res.Error)
+		}
+		return res.Result, nil
+	case <-t.C:
+		return nil, fmt.Errorf("homenet: command %s/%s: timeout", device, command)
+	}
+}
+
+// Close shuts the link down and fails all pending commands.
+func (l *TCPServerLink) Close() error {
+	err := l.close()
+	l.mu.Lock()
+	for id, ch := range l.pending {
+		ch <- nil
+		delete(l.pending, id)
+	}
+	l.mu.Unlock()
+	return err
+}
+
+func (l *TCPServerLink) readLoop() {
+	for {
+		msg, err := ReadFrame(l.conn)
+		if err != nil {
+			l.Close()
+			return
+		}
+		switch msg.Type {
+		case MsgEvent:
+			l.mu.Lock()
+			h := l.handler
+			l.mu.Unlock()
+			if h != nil {
+				h(msg.Device, msg.EventType, msg.Attrs)
+			}
+		case MsgCommandResult:
+			l.mu.Lock()
+			ch := l.pending[msg.ID]
+			l.mu.Unlock()
+			if ch != nil {
+				ch <- msg
+			}
+		case MsgPing:
+			_ = l.send(&Message{Type: MsgPong, ID: msg.ID})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Simulated transport
+// ---------------------------------------------------------------------
+
+// simLink is a virtual-clock transport connecting one proxy end and one
+// server end with a modelled one-way latency. It carries the same
+// Message values the TCP transport frames, so protocol behaviour is
+// identical.
+type simLink struct {
+	clock   simtime.Clock
+	latency stats.Dist
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	closed  bool
+	cmdH    CommandHandler
+	evH     EventHandler
+	nextID  uint64
+	pending map[uint64]*simPending
+}
+
+type simPending struct {
+	gate simtime.Gate
+	res  *Message
+}
+
+// SimPair creates the two ends of a simulated proxy↔server link. latency
+// is the one-way delay in seconds (the home-LAN-to-WAN path of Fig 1).
+func SimPair(clock simtime.Clock, latency stats.Dist, rng *stats.RNG) (ProxyLink, ServerLink) {
+	l := &simLink{
+		clock:   clock,
+		latency: latency,
+		rng:     rng,
+		pending: make(map[uint64]*simPending),
+	}
+	return (*simProxyEnd)(l), (*simServerEnd)(l)
+}
+
+func (l *simLink) delay() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.latency == nil {
+		return 0
+	}
+	return stats.SampleDuration(l.latency, l.rng)
+}
+
+type simProxyEnd simLink
+
+func (p *simProxyEnd) SetCommandHandler(h CommandHandler) {
+	l := (*simLink)(p)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cmdH = h
+}
+
+func (p *simProxyEnd) SendEvent(device, eventType string, attrs map[string]string) error {
+	l := (*simLink)(p)
+	l.mu.Lock()
+	closed := l.closed
+	h := l.evH
+	l.mu.Unlock()
+	if closed {
+		return ErrLinkClosed
+	}
+	l.clock.AfterFunc(l.delay(), func() {
+		if h != nil {
+			h(device, eventType, attrs)
+		}
+	})
+	return nil
+}
+
+func (p *simProxyEnd) Close() error {
+	l := (*simLink)(p)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+type simServerEnd simLink
+
+func (s *simServerEnd) SetEventHandler(h EventHandler) {
+	l := (*simLink)(s)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.evH = h
+}
+
+func (s *simServerEnd) Command(device, command string, args map[string]string) (map[string]string, error) {
+	l := (*simLink)(s)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrLinkClosed
+	}
+	l.nextID++
+	id := l.nextID
+	p := &simPending{gate: l.clock.NewGate()}
+	l.pending[id] = p
+	cmdH := l.cmdH
+	l.mu.Unlock()
+
+	// Request travels one way, executes, result travels back.
+	l.clock.AfterFunc(l.delay(), func() {
+		res := &Message{Type: MsgCommandResult, ID: id}
+		if cmdH == nil {
+			res.Error = "proxy: no command handler"
+		} else if out, err := cmdH(device, command, args); err != nil {
+			res.Error = err.Error()
+		} else {
+			res.OK = true
+			res.Result = out
+		}
+		l.clock.AfterFunc(l.delay(), func() {
+			l.mu.Lock()
+			pend := l.pending[id]
+			if pend != nil {
+				pend.res = res
+				delete(l.pending, id)
+			}
+			l.mu.Unlock()
+			if pend != nil {
+				pend.gate.Open()
+			}
+		})
+	})
+
+	p.gate.Wait()
+	if p.res == nil || !p.res.OK {
+		msg := "link closed"
+		if p.res != nil {
+			msg = p.res.Error
+		}
+		return nil, fmt.Errorf("homenet: command %s/%s: %s", device, command, msg)
+	}
+	return p.res.Result, nil
+}
+
+func (s *simServerEnd) Close() error {
+	l := (*simLink)(s)
+	l.mu.Lock()
+	l.closed = true
+	pend := l.pending
+	l.pending = make(map[uint64]*simPending)
+	l.mu.Unlock()
+	for _, p := range pend {
+		p.gate.Open()
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package homenet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/devices"
+	"repro/internal/httpx"
+)
+
+// Adapter executes commands against one LAN device, translating the
+// proxy protocol into the device's native control protocol (Hue REST,
+// WeMo UPnP, …).
+type Adapter interface {
+	Execute(command string, args map[string]string) (map[string]string, error)
+}
+
+// AdapterFunc adapts a function to the Adapter interface.
+type AdapterFunc func(command string, args map[string]string) (map[string]string, error)
+
+// Execute calls the function.
+func (f AdapterFunc) Execute(command string, args map[string]string) (map[string]string, error) {
+	return f(command, args)
+}
+
+// Proxy is the paper's local proxy ❸: it lives in the home LAN, relays
+// device events upstream over its ProxyLink, and executes downstream
+// commands through per-device adapters.
+type Proxy struct {
+	link ProxyLink
+
+	// adapters is fixed after Start; commands look devices up by name.
+	adapters map[string]Adapter
+}
+
+// NewProxy creates a proxy on the given link. Register adapters and
+// forward buses, then call Start.
+func NewProxy(link ProxyLink) *Proxy {
+	return &Proxy{link: link, adapters: make(map[string]Adapter)}
+}
+
+// Register binds a device name to its adapter.
+func (p *Proxy) Register(device string, a Adapter) {
+	p.adapters[device] = a
+}
+
+// Forward relays every event from a device bus upstream. The paper's
+// testbed uses this push path for IoT devices.
+func (p *Proxy) Forward(bus interface{ Subscribe(func(devices.Event)) }) {
+	bus.Subscribe(func(ev devices.Event) {
+		// Copy attrs: the link may serialize asynchronously.
+		attrs := make(map[string]string, len(ev.Attrs)+1)
+		for k, v := range ev.Attrs {
+			attrs[k] = v
+		}
+		_ = p.link.SendEvent(ev.Device, ev.Type, attrs)
+	})
+}
+
+// Start installs the proxy as the link's command executor.
+func (p *Proxy) Start() {
+	p.link.SetCommandHandler(func(device, command string, args map[string]string) (map[string]string, error) {
+		a, ok := p.adapters[device]
+		if !ok {
+			return nil, fmt.Errorf("proxy: no adapter for device %q", device)
+		}
+		return a.Execute(command, args)
+	})
+}
+
+// HueAdapter drives a Hue hub through its REST Web API, the protocol the
+// paper's proxy uses for the Hue devices.
+type HueAdapter struct {
+	// BaseURL is the hub's API root (e.g. "http://hue-hub.lan").
+	BaseURL string
+	// User is the whitelisted API username path segment.
+	User string
+	// Doer issues the HTTP requests (live or simulated LAN).
+	Doer httpx.Doer
+}
+
+// Execute supports:
+//
+//	set_state: args on/bri/hue/sat/effect (strings), lamp selects the light
+//	blink:     args lamp
+func (h *HueAdapter) Execute(command string, args map[string]string) (map[string]string, error) {
+	lamp := args["lamp"]
+	if lamp == "" {
+		return nil, fmt.Errorf("hue adapter: lamp argument required")
+	}
+	switch command {
+	case "set_state":
+		return h.put(lamp, stateBodyFromArgs(args))
+	case "blink":
+		off := []byte(`{"on":false}`)
+		on := []byte(`{"on":true}`)
+		if _, err := h.put(lamp, off); err != nil {
+			return nil, err
+		}
+		return h.put(lamp, on)
+	}
+	return nil, fmt.Errorf("hue adapter: unsupported command %q", command)
+}
+
+func stateBodyFromArgs(args map[string]string) []byte {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	first := true
+	writeField := func(key, raw string, quote bool) {
+		if raw == "" {
+			return
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if quote {
+			fmt.Fprintf(&b, "%q:%q", key, raw)
+		} else {
+			fmt.Fprintf(&b, "%q:%s", key, raw)
+		}
+	}
+	writeField("on", args["on"], false)
+	for _, k := range []string{"bri", "hue", "sat"} {
+		if v := args[k]; v != "" {
+			if _, err := strconv.Atoi(v); err == nil {
+				writeField(k, v, false)
+			}
+		}
+	}
+	writeField("effect", args["effect"], true)
+	b.WriteByte('}')
+	return b.Bytes()
+}
+
+func (h *HueAdapter) put(lamp string, body []byte) (map[string]string, error) {
+	url := fmt.Sprintf("%s/api/%s/lights/%s/state", h.BaseURL, h.User, lamp)
+	req, err := http.NewRequest("PUT", url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.Doer.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("hue adapter: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("hue adapter: hub status %d", resp.StatusCode)
+	}
+	return map[string]string{"lamp": lamp}, nil
+}
+
+// WemoAdapter drives a WeMo switch through its UPnP SOAP endpoint.
+type WemoAdapter struct {
+	// BaseURL is the switch's endpoint root (e.g. "http://wemo-1.lan").
+	BaseURL string
+	// Doer issues the HTTP requests.
+	Doer httpx.Doer
+}
+
+// Execute supports "on" and "off".
+func (w *WemoAdapter) Execute(command string, args map[string]string) (map[string]string, error) {
+	var on bool
+	switch command {
+	case "on":
+		on = true
+	case "off":
+		on = false
+	default:
+		return nil, fmt.Errorf("wemo adapter: unsupported command %q", command)
+	}
+	req, err := http.NewRequest("POST", w.BaseURL+"/upnp/control/basicevent1",
+		bytes.NewReader(devices.SetBinaryStateEnvelope(on)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
+	req.Header.Set("SOAPACTION", `"urn:Belkin:service:basicevent:1#SetBinaryState"`)
+	resp, err := w.Doer.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("wemo adapter: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err != nil {
+		return nil, fmt.Errorf("wemo adapter: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wemo adapter: switch status %d", resp.StatusCode)
+	}
+	state, err := devices.ParseBinaryStateResponse(data)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]string{"on": strconv.FormatBool(state)}, nil
+}

@@ -1,0 +1,66 @@
+package homenet
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Listener waits for the home proxy to dial in. It is the
+// service-server ❺ side of a real (non-simulated) deployment: the proxy
+// dials out (typically through NAT), the server listens.
+type Listener struct {
+	ln net.Listener
+}
+
+// Listen binds addr (e.g. ":9444" or "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("homenet: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept waits up to timeout for one proxy connection and returns the
+// server end of the link. The listener keeps accepting; call Accept
+// again after a link drops to let the proxy reconnect.
+func (l *Listener) Accept(timeout time.Duration) (*TCPServerLink, error) {
+	if tl, ok := l.ln.(*net.TCPListener); ok && timeout > 0 {
+		if err := tl.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("homenet: accept: %w", err)
+	}
+	return NewTCPServerLink(conn), nil
+}
+
+// Close stops listening.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// DialProxy connects the local proxy ❸ to the service server and
+// returns the proxy end of the link, retrying with backoff until the
+// server is reachable or attempts are exhausted.
+func DialProxy(addr string, attempts int, backoff time.Duration) (*TCPProxyLink, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+		}
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err == nil {
+			return NewTCPProxyLink(conn), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("homenet: dial %s: %w", addr, lastErr)
+}

@@ -1,0 +1,172 @@
+// Package httpx holds the small HTTP conventions shared by every server
+// and client in the repository: JSON body handling with size limits, a
+// clock-aware client with retry, and common middleware. Both the live
+// (net/http over TCP) and simulated (internal/simnet) deployments go
+// through these helpers, which keeps protocol code identical across the
+// two modes.
+package httpx
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// MaxBodyBytes caps request and response bodies. The IFTTT partner
+// protocol exchanges small JSON documents; 4 MiB is generous (a poll
+// response carrying 50 trigger events is a few hundred KiB at most).
+const MaxBodyBytes = 4 << 20
+
+// ReadJSON decodes the request body into v, rejecting bodies over
+// MaxBodyBytes and trailing garbage.
+func ReadJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decode body: trailing data")
+	}
+	return nil
+}
+
+// WriteJSON encodes v with the given status code.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are out; nothing more we can do but surface it in
+		// the body for a human reading a capture.
+		fmt.Fprintf(w, `{"errors":[{"message":%q}]}`, err.Error())
+	}
+}
+
+// ErrorBody is the error envelope used by the IFTTT partner-service
+// protocol: a list of messages under an "errors" key.
+type ErrorBody struct {
+	Errors []ErrorMessage `json:"errors"`
+}
+
+// ErrorMessage is one entry of an ErrorBody.
+type ErrorMessage struct {
+	Message string `json:"message"`
+	// Status carries optional machine-readable detail; the real
+	// protocol uses it to distinguish user-token problems
+	// (SKIP vs retry semantics).
+	Status string `json:"status,omitempty"`
+}
+
+// WriteError writes the protocol error envelope.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	WriteJSON(w, status, ErrorBody{Errors: []ErrorMessage{{Message: msg}}})
+}
+
+// Doer issues HTTP requests. *http.Client satisfies it, as does the
+// simulated transport client.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Client is a JSON-oriented HTTP client with clock-aware retry. The zero
+// value is not usable; construct with NewClient.
+type Client struct {
+	doer    Doer
+	clock   simtime.Clock
+	retries int
+	backoff func(attempt int) time.Duration
+}
+
+// NewClient wraps doer with retry behaviour driven by clock. retries is
+// the number of re-attempts after the first try (0 = try once).
+func NewClient(doer Doer, clock simtime.Clock, retries int) *Client {
+	return &Client{
+		doer:    doer,
+		clock:   clock,
+		retries: retries,
+		backoff: func(attempt int) time.Duration {
+			return 250 * time.Millisecond << uint(attempt)
+		},
+	}
+}
+
+// RequestOpt mutates an outgoing request before it is sent (e.g. to add
+// auth headers).
+type RequestOpt func(*http.Request)
+
+// WithHeader returns an option that sets a header on the request.
+func WithHeader(key, value string) RequestOpt {
+	return func(r *http.Request) { r.Header.Set(key, value) }
+}
+
+// DoJSON sends body (marshalled as JSON when non-nil) and decodes the
+// response into out (when non-nil and the response has a body). It
+// retries on transport errors and 5xx responses. The returned status is
+// the final response's code; a non-2xx status is not an error at this
+// layer — callers interpret protocol semantics.
+func (c *Client) DoJSON(method, url string, body, out any, opts ...RequestOpt) (int, error) {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("marshal request: %w", err)
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.clock.Sleep(c.backoff(attempt - 1))
+		}
+		status, err := c.doOnce(method, url, payload, out, opts)
+		if err == nil && status < 500 {
+			return status, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("server status %d", status)
+		}
+	}
+	return 0, fmt.Errorf("%s %s: %w", method, url, lastErr)
+}
+
+func (c *Client) doOnce(method, url string, payload []byte, out any, opts []RequestOpt) (int, error) {
+	var rdr io.Reader
+	if payload != nil {
+		rdr = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		return 0, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	}
+	req.Header.Set("Accept", "application/json")
+	for _, opt := range opts {
+		opt(req)
+	}
+	resp, err := c.doer.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
+	if err != nil {
+		return 0, fmt.Errorf("read response: %w", err)
+	}
+	if out != nil && resp.StatusCode < 300 && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,171 @@
+package httpx
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+type payload struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestReadWriteJSONRoundTrip(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var p payload
+		if err := ReadJSON(r, &p); err != nil {
+			WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		p.Count++
+		WriteJSON(w, http.StatusOK, p)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := NewClient(srv.Client(), simtime.NewReal(), 0)
+	var out payload
+	status, err := c.DoJSON("POST", srv.URL, payload{Name: "x", Count: 1}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || out.Count != 2 || out.Name != "x" {
+		t.Fatalf("status=%d out=%+v", status, out)
+	}
+}
+
+func TestReadJSONRejectsTrailingData(t *testing.T) {
+	r := httptest.NewRequest("POST", "/", strings.NewReader(`{"name":"a"} {"extra":1}`))
+	var p payload
+	if err := ReadJSON(r, &p); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	r := httptest.NewRequest("POST", "/", strings.NewReader(`not json`))
+	var p payload
+	if err := ReadJSON(r, &p); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestClientRetriesOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		WriteJSON(w, http.StatusOK, payload{Name: "ok"})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.Client(), simtime.NewReal(), 3)
+	c.backoff = func(int) time.Duration { return 0 }
+	var out payload
+	status, err := c.DoJSON("GET", srv.URL, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || calls.Load() != 3 {
+		t.Fatalf("status=%d calls=%d", status, calls.Load())
+	}
+}
+
+func TestClientGivesUpAfterRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.Client(), simtime.NewReal(), 2)
+	c.backoff = func(int) time.Duration { return 0 }
+	if _, err := c.DoJSON("GET", srv.URL, nil, nil); err == nil {
+		t.Fatal("expected error after exhausting retries")
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusUnauthorized, "bad key")
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.Client(), simtime.NewReal(), 5)
+	status, err := c.DoJSON("GET", srv.URL, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusUnauthorized || calls.Load() != 1 {
+		t.Fatalf("status=%d calls=%d, want 401 after exactly 1 call", status, calls.Load())
+	}
+}
+
+func TestWithHeader(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get("IFTTT-Service-Key")
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.Client(), simtime.NewReal(), 0)
+	if _, err := c.DoJSON("GET", srv.URL, nil, nil, WithHeader("IFTTT-Service-Key", "k123")); err != nil {
+		t.Fatal(err)
+	}
+	if got != "k123" {
+		t.Fatalf("header = %q", got)
+	}
+}
+
+func TestMiddlewareChain(t *testing.T) {
+	log := slog.New(slog.NewTextHandler(&strings.Builder{}, nil))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(RequestIDHeader) == "" {
+			t.Error("request ID missing inside handler")
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	h := Chain(inner, RequestID, func(next http.Handler) http.Handler { return Logging(log, next) })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if rec.Header().Get(RequestIDHeader) == "" {
+		t.Fatal("request ID not echoed")
+	}
+}
+
+func TestRequestIDPreserved(t *testing.T) {
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(RequestIDHeader, "caller-chosen")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Header().Get(RequestIDHeader) != "caller-chosen" {
+		t.Fatal("caller-supplied request ID replaced")
+	}
+}
+
+func TestRecoverMiddleware(t *testing.T) {
+	h := Recover(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+}

@@ -1,0 +1,81 @@
+package httpx
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+)
+
+// requestCounter feeds RequestID middleware; monotonically increasing so
+// IDs are unique within a process without needing a random source.
+var requestCounter atomic.Uint64
+
+// RequestIDHeader carries the per-request correlation ID.
+const RequestIDHeader = "X-Request-ID"
+
+// RequestID assigns a correlation ID to requests that lack one and echoes
+// it on the response, mirroring the random request IDs the IFTTT engine
+// attaches to its polls.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = fmt.Sprintf("req-%d", requestCounter.Add(1))
+			r.Header.Set(RequestIDHeader, id)
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Recover converts handler panics into 500 responses so one bad applet
+// execution cannot take the whole simulated service down.
+func Recover(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if log != nil {
+					log.Error("handler panic", "path", r.URL.Path, "panic", v)
+				}
+				WriteError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures the status code for logging middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// Logging records one line per request at debug level.
+func Logging(log *slog.Logger, next http.Handler) http.Handler {
+	if log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Debug("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"id", r.Header.Get(RequestIDHeader))
+	})
+}
+
+// Chain applies middleware right-to-left: Chain(h, a, b) runs a(b(h)).
+func Chain(h http.Handler, mws ...func(http.Handler) http.Handler) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}

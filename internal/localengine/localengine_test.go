@@ -1,0 +1,198 @@
+package localengine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// localRig builds a local engine over a wemo switch and hue hub.
+func localRig() (*simtime.SimClock, *Engine, *devices.WemoSwitch, *devices.HueHub) {
+	clock := simtime.NewSimDefault()
+	sw := devices.NewWemoSwitch(clock, "wemo-1")
+	hub := devices.NewHueHub(clock, "1")
+	le := New(clock, stats.Constant(0.002), stats.NewRNG(1))
+	le.Attach(&sw.Bus)
+	le.Attach(&hub.Bus)
+	return clock, le, sw, hub
+}
+
+// wemoToHueRule is the local form of applet A2.
+func wemoToHueRule(hub *devices.HueHub) Rule {
+	return Rule{
+		ID:    "A2-local",
+		Match: func(ev devices.Event) bool { return ev.Type == "switched_on" },
+		Execute: func(devices.Event) error {
+			on := true
+			return hub.SetLampState("1", devices.StateChange{On: &on})
+		},
+	}
+}
+
+func TestLocalExecutionMillisecondLatency(t *testing.T) {
+	clock, le, sw, hub := localRig()
+	if err := le.Install(wemoToHueRule(hub)); err != nil {
+		t.Fatal(err)
+	}
+	var t2a time.Duration
+	clock.Run(func() {
+		gate := clock.NewGate()
+		hub.Subscribe(func(ev devices.Event) {
+			if ev.Type == "light_on" {
+				gate.Open()
+			}
+		})
+		start := clock.Now()
+		sw.Press()
+		gate.Wait()
+		t2a = clock.Since(start)
+	})
+	if t2a <= 0 || t2a > 50*time.Millisecond {
+		t.Fatalf("local T2A = %v, want LAN-scale milliseconds", t2a)
+	}
+	if le.Stats().Executions != 1 {
+		t.Fatalf("executions = %d", le.Stats().Executions)
+	}
+}
+
+func TestLocalEngineDropsEventsWhileDown(t *testing.T) {
+	clock, le, sw, hub := localRig()
+	le.Install(wemoToHueRule(hub))
+	le.SetDown(true)
+	clock.Run(func() {
+		sw.Press()
+		clock.Sleep(time.Second)
+	})
+	if le.Stats().Executions != 0 {
+		t.Fatal("down engine executed an action")
+	}
+	if s, _ := hub.LampState("1"); s.On {
+		t.Fatal("lamp turned on while engine down")
+	}
+}
+
+func TestLocalEngineRuleLifecycle(t *testing.T) {
+	clock, le, sw, hub := localRig()
+	r := wemoToHueRule(hub)
+	if err := le.Install(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := le.Install(r); err == nil {
+		t.Fatal("duplicate rule accepted")
+	}
+	le.Remove(r.ID)
+	clock.Run(func() {
+		sw.Press()
+		clock.Sleep(time.Second)
+	})
+	if le.Stats().Executions != 0 {
+		t.Fatal("removed rule executed")
+	}
+	if err := le.Install(Rule{}); err == nil {
+		t.Fatal("empty rule accepted")
+	}
+}
+
+func TestPlan(t *testing.T) {
+	local := map[string]bool{"wemo": true, "hue": true}
+	a2 := engine.Applet{
+		Trigger: engine.ServiceRef{Service: "wemo"},
+		Action:  engine.ServiceRef{Service: "hue"},
+	}
+	if Plan(a2, local) != PlaceLocal {
+		t.Error("IoT→IoT applet not placed locally")
+	}
+	a1 := engine.Applet{
+		Trigger: engine.ServiceRef{Service: "wemo"},
+		Action:  engine.ServiceRef{Service: "gsheets"},
+	}
+	if Plan(a1, local) != PlaceCloud {
+		t.Error("IoT→cloud applet placed locally")
+	}
+	if PlaceLocal.String() != "local" || PlaceCloud.String() != "cloud" {
+		t.Error("placement labels wrong")
+	}
+}
+
+func TestSupervisorFailover(t *testing.T) {
+	// Full hybrid scenario on the testbed: the applet runs locally;
+	// when the local engine dies the supervisor reinstates it on the
+	// cloud engine; on recovery it migrates back.
+	tb := testbed.New(testbed.Config{Seed: 31, Poll: engine.FixedInterval{Interval: 20 * time.Second}})
+	le := New(tb.Clock, stats.Constant(0.002), tb.RNG.Split("local"))
+	le.Attach(&tb.Wemo.Bus)
+
+	a2 := testbed.A2()
+	cloudApplet := a2.Applet(tb)
+	rule := Rule{
+		ID:    cloudApplet.ID,
+		Match: func(ev devices.Event) bool { return ev.Type == "switched_on" },
+		Execute: func(devices.Event) error {
+			on := true
+			return tb.Hue.SetLampState("1", devices.StateChange{On: &on})
+		},
+	}
+	sup := NewSupervisor(tb.Clock, le, tb.Engine, 10*time.Second, cloudApplet, rule)
+
+	lampOn := func() bool {
+		s, _ := tb.Hue.LampState("1")
+		return s.On
+	}
+	reset := func() {
+		off := false
+		tb.Hue.SetLampState("1", devices.StateChange{On: &off})
+		tb.Wemo.SetState(false, "test")
+	}
+
+	tb.Run(func() {
+		if err := sup.Start(); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		if sup.Placement() != PlaceLocal {
+			t.Errorf("initial placement = %v", sup.Placement())
+		}
+
+		// Local path works within milliseconds.
+		tb.Wemo.Press()
+		tb.Clock.Sleep(time.Second)
+		if !lampOn() {
+			t.Error("local execution failed")
+		}
+
+		// Kill the local engine; supervisor fails over to the cloud.
+		reset()
+		le.SetDown(true)
+		tb.Clock.Sleep(30 * time.Second) // a few health checks
+		if sup.Placement() != PlaceCloud {
+			t.Errorf("placement after failure = %v", sup.Placement())
+		}
+		tb.Wemo.Press()
+		tb.Clock.Sleep(2 * time.Minute) // cloud needs a polling round
+		if !lampOn() {
+			t.Error("cloud failover did not execute the applet")
+		}
+
+		// Recovery migrates back.
+		reset()
+		le.SetDown(false)
+		tb.Clock.Sleep(30 * time.Second)
+		if sup.Placement() != PlaceLocal {
+			t.Errorf("placement after recovery = %v", sup.Placement())
+		}
+		tb.Wemo.Press()
+		tb.Clock.Sleep(time.Second)
+		if !lampOn() {
+			t.Error("post-recovery local execution failed")
+		}
+		if sup.Transitions() != 3 {
+			t.Errorf("transitions = %d, want 3 (local, cloud, local)", sup.Transitions())
+		}
+		sup.Stop()
+	})
+}

@@ -1,0 +1,263 @@
+// Package loopdetect implements the infinite-loop defenses the paper
+// found missing from IFTTT (§4 "Infinite Loop", §6): a static "syntax
+// check" over the applet graph that finds explicit cycles before
+// installation, and a runtime rate-based detector that catches implicit
+// cycles flowing through couplings IFTTT cannot see (such as a
+// spreadsheet's change-notification email).
+//
+// The static analysis needs to know which triggers an action can cause;
+// that causality relation is supplied as edges, typically derived from
+// service metadata (turning a switch on fires "switched_on") plus any
+// known external couplings.
+package loopdetect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+)
+
+// Endpoint names one trigger or action of a service.
+type Endpoint struct {
+	Service string
+	Slug    string
+}
+
+func (e Endpoint) String() string { return e.Service + "/" + e.Slug }
+
+// Causality records which triggers an action can fire. Edges come from
+// two places: service metadata (an action on a device fires that
+// device's state-change triggers) and external couplings (the
+// spreadsheet notification feature). IFTTT sees only the former; passing
+// both makes the analysis complete, passing only the former reproduces
+// IFTTT's blind spot.
+type Causality struct {
+	edges map[Endpoint][]Endpoint
+}
+
+// NewCausality creates an empty relation.
+func NewCausality() *Causality {
+	return &Causality{edges: make(map[Endpoint][]Endpoint)}
+}
+
+// Add records that executing action can fire trigger.
+func (c *Causality) Add(action, trigger Endpoint) {
+	c.edges[action] = append(c.edges[action], trigger)
+}
+
+// Triggers returns the triggers an action can fire.
+func (c *Causality) Triggers(action Endpoint) []Endpoint {
+	return c.edges[action]
+}
+
+// Cycle is one detected applet loop, listed in firing order.
+type Cycle struct {
+	AppletIDs []string
+}
+
+func (c Cycle) String() string {
+	return "loop: " + strings.Join(c.AppletIDs, " → ")
+}
+
+// FindCycles performs the static check: it builds the applet-to-applet
+// firing graph (applet X fires applet Y when X's action can cause Y's
+// trigger) and returns every elementary cycle's applet set. A non-empty
+// result is what the paper argues IFTTT should reject at applet
+// creation.
+func FindCycles(applets []engine.Applet, causality *Causality) []Cycle {
+	// adj[i] lists applet indexes that applet i can fire.
+	n := len(applets)
+	adj := make([][]int, n)
+	for i, a := range applets {
+		action := Endpoint{Service: a.Action.Service, Slug: a.Action.Slug}
+		for _, fired := range causality.Triggers(action) {
+			for j, b := range applets {
+				if b.Trigger.Service == fired.Service && b.Trigger.Slug == fired.Slug {
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+	}
+
+	// Tarjan's strongly connected components; any SCC with more than
+	// one node — or a self-loop — is a cycle.
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var counter int
+	var cycles []Cycle
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			selfLoop := false
+			if len(comp) == 1 {
+				for _, w := range adj[comp[0]] {
+					if w == comp[0] {
+						selfLoop = true
+					}
+				}
+			}
+			if len(comp) > 1 || selfLoop {
+				ids := make([]string, len(comp))
+				for i, w := range comp {
+					ids[i] = applets[w].ID
+				}
+				sort.Strings(ids)
+				cycles = append(cycles, Cycle{AppletIDs: ids})
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strongconnect(v)
+		}
+	}
+	return cycles
+}
+
+// CheckInstall is the guard form of the static analysis: it returns an
+// error when adding next to installed would create a cycle.
+func CheckInstall(installed []engine.Applet, next engine.Applet, causality *Causality) error {
+	all := append(append([]engine.Applet(nil), installed...), next)
+	for _, cyc := range FindCycles(all, causality) {
+		for _, id := range cyc.AppletIDs {
+			if id == next.ID {
+				return fmt.Errorf("loopdetect: installing %s creates %s", next.ID, cyc)
+			}
+		}
+	}
+	return nil
+}
+
+// RateDetector is the runtime defense for loops the static check cannot
+// see: it watches per-applet action executions and raises once an applet
+// executes more than Threshold times within Window. The paper's §4
+// conclusion — "some runtime detection techniques are needed" — is this
+// detector.
+type RateDetector struct {
+	clock     simtime.Clock
+	window    time.Duration
+	threshold int
+	onLoop    func(appletID string, executions int)
+
+	mu    sync.Mutex
+	times map[string][]time.Time
+	fired map[string]bool
+}
+
+// NewRateDetector creates a detector; onLoop runs once per offending
+// applet (not once per excess event).
+func NewRateDetector(clock simtime.Clock, window time.Duration, threshold int, onLoop func(appletID string, executions int)) *RateDetector {
+	if threshold < 1 {
+		panic("loopdetect: threshold must be positive")
+	}
+	return &RateDetector{
+		clock:     clock,
+		window:    window,
+		threshold: threshold,
+		onLoop:    onLoop,
+		times:     make(map[string][]time.Time),
+		fired:     make(map[string]bool),
+	}
+}
+
+// OnTrace feeds the detector from the engine's trace stream; wire it as
+// (or inside) engine.Config.Trace.
+func (d *RateDetector) OnTrace(ev engine.TraceEvent) {
+	if ev.Kind != engine.TraceActionAcked {
+		return
+	}
+	now := ev.Time
+	d.mu.Lock()
+	ts := append(d.times[ev.AppletID], now)
+	cutoff := now.Add(-d.window)
+	start := 0
+	for start < len(ts) && ts[start].Before(cutoff) {
+		start++
+	}
+	ts = ts[start:]
+	d.times[ev.AppletID] = ts
+	over := len(ts) > d.threshold && !d.fired[ev.AppletID]
+	if over {
+		d.fired[ev.AppletID] = true
+	}
+	count := len(ts)
+	cb := d.onLoop
+	d.mu.Unlock()
+	if over && cb != nil {
+		cb(ev.AppletID, count)
+	}
+}
+
+// Flagged reports whether an applet has been flagged as looping.
+func (d *RateDetector) Flagged(appletID string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fired[appletID]
+}
+
+// Reset clears the detector's state for an applet (e.g. after the user
+// fixed the chain).
+func (d *RateDetector) Reset(appletID string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.times, appletID)
+	delete(d.fired, appletID)
+}
+
+// TestbedCausality returns the causality edges of the simulated
+// testbed's services: device actions fire the matching state triggers,
+// and the Sheets add_row action fires the row_added trigger. The
+// optional withSheetNotification flag adds the external coupling of the
+// paper's implicit loop (Sheets change notification → Gmail new_email) —
+// the edge the real IFTTT cannot know about.
+func TestbedCausality(withSheetNotification bool) *Causality {
+	c := NewCausality()
+	c.Add(Endpoint{"wemo", "turn_on"}, Endpoint{"wemo", "switched_on"})
+	c.Add(Endpoint{"wemo", "turn_off"}, Endpoint{"wemo", "switched_off"})
+	c.Add(Endpoint{"hue", "turn_on_lights"}, Endpoint{"hue", "light_turned_on"})
+	c.Add(Endpoint{"hue", "blink_lights"}, Endpoint{"hue", "light_turned_on"})
+	c.Add(Endpoint{"hue", "change_color"}, Endpoint{"hue", "light_turned_on"})
+	c.Add(Endpoint{"hue", "color_loop"}, Endpoint{"hue", "light_turned_on"})
+	c.Add(Endpoint{"gsheets", "add_row"}, Endpoint{"gsheets", "row_added"})
+	c.Add(Endpoint{"gmail", "send_email"}, Endpoint{"gmail", "new_email"})
+	if withSheetNotification {
+		c.Add(Endpoint{"gsheets", "add_row"}, Endpoint{"gmail", "new_email"})
+	}
+	return c
+}

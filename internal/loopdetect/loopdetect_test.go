@@ -1,0 +1,204 @@
+package loopdetect
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+)
+
+func applet(id, trigSvc, trigSlug, actSvc, actSlug string) engine.Applet {
+	return engine.Applet{
+		ID:      id,
+		Trigger: engine.ServiceRef{Service: trigSvc, Slug: trigSlug},
+		Action:  engine.ServiceRef{Service: actSvc, Slug: actSlug},
+	}
+}
+
+func TestFindCyclesExplicitPair(t *testing.T) {
+	c := TestbedCausality(false)
+	applets := []engine.Applet{
+		applet("x", "gmail", "new_email", "gsheets", "add_row"),
+		applet("y", "gsheets", "row_added", "gmail", "send_email"),
+	}
+	cycles := FindCycles(applets, c)
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if len(cycles[0].AppletIDs) != 2 {
+		t.Fatalf("cycle members = %v", cycles[0].AppletIDs)
+	}
+}
+
+func TestFindCyclesSelfLoop(t *testing.T) {
+	c := TestbedCausality(false)
+	applets := []engine.Applet{
+		applet("selfie", "gmail", "new_email", "gmail", "send_email"),
+	}
+	cycles := FindCycles(applets, c)
+	if len(cycles) != 1 {
+		t.Fatalf("self-loop not found: %v", cycles)
+	}
+}
+
+func TestFindCyclesNoFalsePositive(t *testing.T) {
+	c := TestbedCausality(false)
+	applets := []engine.Applet{
+		applet("a", "wemo", "switched_on", "hue", "turn_on_lights"),
+		applet("b", "hue", "light_turned_on", "gsheets", "add_row"),
+		applet("c", "gsheets", "row_added", "wemo", "turn_off"), // fires switched_off, nobody listens
+	}
+	if cycles := FindCycles(applets, c); len(cycles) != 0 {
+		t.Fatalf("false positive: %v", cycles)
+	}
+}
+
+func TestImplicitLoopInvisibleWithoutExternalEdge(t *testing.T) {
+	// The paper's implicit loop: one applet plus the sheet-notification
+	// coupling. Without the external edge (IFTTT's view) no cycle is
+	// found; with it, the cycle appears.
+	applets := []engine.Applet{
+		applet("x", "gmail", "new_email", "gsheets", "add_row"),
+	}
+	if cycles := FindCycles(applets, TestbedCausality(false)); len(cycles) != 0 {
+		t.Fatalf("IFTTT-view analysis should be blind: %v", cycles)
+	}
+	cycles := FindCycles(applets, TestbedCausality(true))
+	if len(cycles) != 1 {
+		t.Fatalf("full-view analysis missed the implicit loop: %v", cycles)
+	}
+}
+
+func TestCheckInstall(t *testing.T) {
+	c := TestbedCausality(false)
+	installed := []engine.Applet{
+		applet("x", "gmail", "new_email", "gsheets", "add_row"),
+	}
+	// Installing the closing half of the cycle must be rejected…
+	bad := applet("y", "gsheets", "row_added", "gmail", "send_email")
+	if err := CheckInstall(installed, bad, c); err == nil {
+		t.Fatal("cycle-closing applet accepted")
+	}
+	// …but an unrelated applet passes.
+	ok := applet("z", "wemo", "switched_on", "hue", "turn_on_lights")
+	if err := CheckInstall(installed, ok, c); err != nil {
+		t.Fatalf("benign applet rejected: %v", err)
+	}
+}
+
+func TestFindCyclesLongChain(t *testing.T) {
+	c := NewCausality()
+	// a→b→c→a through three synthetic services.
+	c.Add(Endpoint{"s1", "act"}, Endpoint{"s2", "trig"})
+	c.Add(Endpoint{"s2", "act"}, Endpoint{"s3", "trig"})
+	c.Add(Endpoint{"s3", "act"}, Endpoint{"s1", "trig"})
+	applets := []engine.Applet{
+		applet("a", "s1", "trig", "s1", "act"),
+		applet("b", "s2", "trig", "s2", "act"),
+		applet("c", "s3", "trig", "s3", "act"),
+	}
+	cycles := FindCycles(applets, c)
+	if len(cycles) != 1 || len(cycles[0].AppletIDs) != 3 {
+		t.Fatalf("three-hop cycle not found: %v", cycles)
+	}
+}
+
+// Property: FindCycles is sound on random chain graphs — a linear chain
+// (no back edge) never reports a cycle; adding the closing edge always
+// does.
+func TestFindCyclesChainProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		c := NewCausality()
+		var applets []engine.Applet
+		for i := 0; i < n; i++ {
+			svc := string(rune('a' + i))
+			nextSvc := string(rune('a' + (i+1)%n))
+			if i < n-1 {
+				c.Add(Endpoint{svc, "act"}, Endpoint{nextSvc, "trig"})
+			}
+			applets = append(applets, applet(svc, svc, "trig", svc, "act"))
+		}
+		if len(FindCycles(applets, c)) != 0 {
+			return false
+		}
+		// Close the loop.
+		last := string(rune('a' + n - 1))
+		c.Add(Endpoint{last, "act"}, Endpoint{"a", "trig"})
+		return len(FindCycles(applets, c)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateDetector(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	var flagged []string
+	d := NewRateDetector(clock, time.Minute, 5, func(id string, n int) {
+		flagged = append(flagged, id)
+	})
+	clock.Run(func() {
+		// 5 executions in a minute: at the threshold, no flag.
+		for i := 0; i < 5; i++ {
+			d.OnTrace(engine.TraceEvent{Kind: engine.TraceActionAcked, AppletID: "hot", Time: clock.Now()})
+			clock.Sleep(5 * time.Second)
+		}
+		if d.Flagged("hot") {
+			t.Error("flagged at threshold")
+		}
+		// One more inside the window tips it.
+		d.OnTrace(engine.TraceEvent{Kind: engine.TraceActionAcked, AppletID: "hot", Time: clock.Now()})
+		if !d.Flagged("hot") {
+			t.Error("not flagged above threshold")
+		}
+		// A slow applet is never flagged.
+		for i := 0; i < 10; i++ {
+			d.OnTrace(engine.TraceEvent{Kind: engine.TraceActionAcked, AppletID: "slow", Time: clock.Now()})
+			clock.Sleep(time.Hour)
+		}
+		if d.Flagged("slow") {
+			t.Error("slow applet flagged")
+		}
+	})
+	if len(flagged) != 1 || flagged[0] != "hot" {
+		t.Fatalf("callbacks = %v", flagged)
+	}
+}
+
+func TestRateDetectorIgnoresOtherTraceKinds(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	d := NewRateDetector(clock, time.Minute, 1, nil)
+	for i := 0; i < 10; i++ {
+		d.OnTrace(engine.TraceEvent{Kind: engine.TracePollSent, AppletID: "x", Time: clock.Now()})
+	}
+	if d.Flagged("x") {
+		t.Fatal("polls counted as executions")
+	}
+}
+
+func TestRateDetectorReset(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	d := NewRateDetector(clock, time.Minute, 1, nil)
+	now := clock.Now()
+	d.OnTrace(engine.TraceEvent{Kind: engine.TraceActionAcked, AppletID: "x", Time: now})
+	d.OnTrace(engine.TraceEvent{Kind: engine.TraceActionAcked, AppletID: "x", Time: now})
+	if !d.Flagged("x") {
+		t.Fatal("not flagged")
+	}
+	d.Reset("x")
+	if d.Flagged("x") {
+		t.Fatal("flag survived reset")
+	}
+}
+
+func TestNewRateDetectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRateDetector(simtime.NewReal(), time.Minute, 0, nil)
+}

@@ -1,0 +1,203 @@
+// Package mocksite serves an ifttt.com-like HTML frontend over a
+// dataset snapshot: a partner-service index page, one page per service,
+// and one page per applet addressed by its six-digit ID. It is the
+// crawl target for internal/crawler, which reproduces the paper's data
+// collection methodology (§3.1): parse the service index, then
+// systematically enumerate applet IDs and scrape each applet page for
+// name, description, trigger, trigger service, action, action service,
+// and add count.
+package mocksite
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Site serves one snapshot; SetSnapshot swaps it between weekly crawls.
+type Site struct {
+	mu   sync.RWMutex
+	snap *dataset.Snapshot
+	// byID indexes the snapshot's applets by their six-digit ID.
+	byID map[int]dataset.SnapshotApplet
+	// bySlug indexes services.
+	bySlug map[string]*dataset.Service
+}
+
+// New creates a site serving snap.
+func New(snap *dataset.Snapshot) *Site {
+	s := &Site{}
+	s.SetSnapshot(snap)
+	return s
+}
+
+// SetSnapshot atomically replaces the served snapshot.
+func (s *Site) SetSnapshot(snap *dataset.Snapshot) {
+	byID := make(map[int]dataset.SnapshotApplet, len(snap.Applets))
+	for _, a := range snap.Applets {
+		byID[a.ID] = a
+	}
+	bySlug := make(map[string]*dataset.Service, len(snap.Services))
+	for _, svc := range snap.Services {
+		bySlug[svc.Slug] = svc
+	}
+	s.mu.Lock()
+	s.snap, s.byID, s.bySlug = snap, byID, bySlug
+	s.mu.Unlock()
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>Services</title></head><body>
+<h1>All services</h1>
+<ul class="services">
+{{range .}}<li><a class="service-link" href="/services/{{.Slug}}">{{.Name}}</a></li>
+{{end}}</ul>
+</body></html>
+`))
+
+var serviceTmpl = template.Must(template.New("service").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Name}}</title></head><body>
+<h1 class="service-name">{{.Name}}</h1>
+<p class="service-slug">{{.Slug}}</p>
+<p class="service-category" data-category="{{.CategoryID}}">{{.Category}}</p>
+<h2>Triggers</h2>
+<ul class="triggers">
+{{range .Triggers}}<li class="trigger" data-slug="{{.Slug}}">{{.Name}}</li>
+{{end}}</ul>
+<h2>Actions</h2>
+<ul class="actions">
+{{range .Actions}}<li class="action" data-slug="{{.Slug}}">{{.Name}}</li>
+{{end}}</ul>
+</body></html>
+`))
+
+var appletTmpl = template.Must(template.New("applet").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Name}}</title></head><body>
+<h1 class="applet-name">{{.Name}}</h1>
+<p class="applet-description">{{.Description}}</p>
+<div class="trigger-block">
+<span class="trigger-name" data-slug="{{.TriggerSlug}}">{{.TriggerName}}</span>
+<span class="trigger-service" data-slug="{{.TriggerServiceSlug}}">{{.TriggerService}}</span>
+</div>
+<div class="action-block">
+<span class="action-name" data-slug="{{.ActionSlug}}">{{.ActionName}}</span>
+<span class="action-service" data-slug="{{.ActionServiceSlug}}">{{.ActionService}}</span>
+</div>
+<p class="add-count" data-count="{{.AddCount}}">{{.AddCount}} users</p>
+<p class="author" data-channel="{{.AuthorChannel}}">{{.Author}}</p>
+</body></html>
+`))
+
+type serviceView struct {
+	Name, Slug string
+	Category   string
+	CategoryID int
+	Triggers   []catalogView
+	Actions    []catalogView
+}
+
+type catalogView struct{ Slug, Name string }
+
+type appletView struct {
+	Name, Description  string
+	TriggerName        string
+	TriggerSlug        string
+	TriggerService     string
+	TriggerServiceSlug string
+	ActionName         string
+	ActionSlug         string
+	ActionService      string
+	ActionServiceSlug  string
+	AddCount           int64
+	AuthorChannel      int
+	Author             string
+}
+
+// Handler returns the site's HTTP surface.
+func (s *Site) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /services", s.handleIndex)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /services/{slug}", s.handleService)
+	mux.HandleFunc("GET /applets/{id}", s.handleApplet)
+	return mux
+}
+
+func (s *Site) handleIndex(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	snap := s.snap
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, snap.Services); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Site) handleService(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	svc := s.bySlug[r.PathValue("slug")]
+	snap := s.snap
+	s.mu.RUnlock()
+	if svc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	view := serviceView{
+		Name: svc.Name, Slug: svc.Slug,
+		Category: svc.Category.String(), CategoryID: int(svc.Category),
+	}
+	for _, tid := range svc.Triggers {
+		if t := snap.Eco.TriggerByID(tid); t != nil && t.BirthWeek <= snap.Week {
+			view.Triggers = append(view.Triggers, catalogView{Slug: t.Slug, Name: t.Name})
+		}
+	}
+	for _, aid := range svc.Actions {
+		if a := snap.Eco.ActionByID(aid); a != nil && a.BirthWeek <= snap.Week {
+			view.Actions = append(view.Actions, catalogView{Slug: a.Slug, Name: a.Name})
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := serviceTmpl.Execute(w, view); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Site) handleApplet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad applet id", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	a, ok := s.byID[id]
+	snap := s.snap
+	s.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	trig := snap.Eco.TriggerByID(a.TriggerID)
+	act := snap.Eco.ActionByID(a.ActionID)
+	ts := snap.Eco.ServiceByID(trig.ServiceID)
+	as := snap.Eco.ServiceByID(act.ServiceID)
+	author := "service"
+	if !a.ServiceMade() {
+		author = fmt.Sprintf("user%05d", a.AuthorChannel)
+	}
+	view := appletView{
+		Name: a.Name, Description: a.Description,
+		TriggerName: trig.Name, TriggerSlug: trig.Slug,
+		TriggerService: ts.Name, TriggerServiceSlug: ts.Slug,
+		ActionName: act.Name, ActionSlug: act.Slug,
+		ActionService: as.Name, ActionServiceSlug: as.Slug,
+		AddCount: a.AddCount, AuthorChannel: a.AuthorChannel, Author: author,
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := appletTmpl.Execute(w, view); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,141 @@
+package mocksite
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func testSite(t *testing.T) (*dataset.Ecosystem, *Site, *httptest.Server) {
+	t.Helper()
+	eco := dataset.Generate(dataset.GenConfig{Seed: 9, Scale: 0.01, IDSpace: 5000})
+	site := New(eco.At(dataset.RefWeekIndex))
+	srv := httptest.NewServer(site.Handler())
+	t.Cleanup(srv.Close)
+	return eco, site, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexListsAllServices(t *testing.T) {
+	eco, _, srv := testSite(t)
+	snap := eco.At(dataset.RefWeekIndex)
+	code, body := get(t, srv.URL+"/services")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, svc := range snap.Services {
+		if !strings.Contains(body, `href="/services/`+svc.Slug+`"`) {
+			t.Fatalf("index missing service %s", svc.Slug)
+		}
+	}
+	// Root serves the same index.
+	code2, body2 := get(t, srv.URL+"/")
+	if code2 != http.StatusOK || body2 != body {
+		t.Fatal("root and /services differ")
+	}
+}
+
+func TestServicePage(t *testing.T) {
+	eco, _, srv := testSite(t)
+	snap := eco.At(dataset.RefWeekIndex)
+	svc := snap.Services[0]
+	code, body := get(t, srv.URL+"/services/"+svc.Slug)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, fmt.Sprintf(`data-category="%d"`, svc.Category)) {
+		t.Fatal("category metadata missing")
+	}
+	for _, tid := range svc.Triggers {
+		trig := eco.TriggerByID(tid)
+		if trig.BirthWeek <= snap.Week && !strings.Contains(body, `data-slug="`+trig.Slug+`"`) {
+			t.Fatalf("trigger %s missing from page", trig.Slug)
+		}
+	}
+
+	if code, _ := get(t, srv.URL+"/services/no_such_service"); code != http.StatusNotFound {
+		t.Fatalf("unknown service status = %d", code)
+	}
+}
+
+func TestAppletPageAndNotFound(t *testing.T) {
+	eco, _, srv := testSite(t)
+	snap := eco.At(dataset.RefWeekIndex)
+	a := snap.Applets[0]
+	code, body := get(t, fmt.Sprintf("%s/applets/%d", srv.URL, a.ID))
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, fmt.Sprintf(`data-count="%d"`, a.AddCount)) {
+		t.Fatal("add count missing")
+	}
+
+	// An unpublished ID in the sparse space must 404 — the crawler's
+	// enumeration depends on it.
+	published := make(map[int]bool, len(snap.Applets))
+	for _, ap := range snap.Applets {
+		published[ap.ID] = true
+	}
+	missing := 0
+	for id := 100_000; id < 105_000 && missing == 0; id++ {
+		if !published[id] {
+			if code, _ := get(t, fmt.Sprintf("%s/applets/%d", srv.URL, id)); code != http.StatusNotFound {
+				t.Fatalf("unpublished ID %d returned %d", id, code)
+			}
+			missing++
+		}
+	}
+	if code, _ := get(t, srv.URL+"/applets/not-a-number"); code != http.StatusBadRequest {
+		t.Fatal("non-numeric ID accepted")
+	}
+}
+
+func TestSetSnapshotSwapsContent(t *testing.T) {
+	eco, site, srv := testSite(t)
+	early := eco.At(0)
+	site.SetSnapshot(early)
+	_, body := get(t, srv.URL+"/services")
+	count := strings.Count(body, `class="service-link"`)
+	if count != len(early.Services) {
+		t.Fatalf("early index lists %d services, want %d", count, len(early.Services))
+	}
+	late := eco.At(dataset.NumWeeks - 1)
+	site.SetSnapshot(late)
+	_, body2 := get(t, srv.URL+"/services")
+	if strings.Count(body2, `class="service-link"`) != len(late.Services) {
+		t.Fatal("snapshot swap not reflected")
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	// A service name with HTML metacharacters must be escaped, not
+	// injected.
+	eco := dataset.Generate(dataset.GenConfig{Seed: 10, Scale: 0.01, IDSpace: 5000})
+	snap := eco.At(dataset.RefWeekIndex)
+	snap.Services[0].Name = `<script>alert("x")</script> & Co`
+	site := New(snap)
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+	_, body := get(t, srv.URL+"/services/"+snap.Services[0].Slug)
+	if strings.Contains(body, "<script>") {
+		t.Fatal("unescaped HTML in service page")
+	}
+	if !strings.Contains(body, "&amp; Co") {
+		t.Fatal("ampersand not escaped")
+	}
+}

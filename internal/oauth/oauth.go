@@ -1,0 +1,233 @@
+// Package oauth implements the OAuth2 authorization-code flow that IFTTT
+// uses to connect a user's account on a partner service (§2.2): the user
+// is redirected to the service's authorization page, approves, and the
+// engine exchanges the resulting code for an access token which it caches
+// so that future applet executions are fully automated.
+//
+// The implementation is deliberately minimal — one token per
+// (user, client) pair, opaque bearer tokens, in-memory storage — but the
+// flow, the wire shapes, and the scope model are real, because the §6
+// permission-granularity analysis depends on scopes being first class.
+package oauth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/simtime"
+)
+
+// Grant records an issued token.
+type Grant struct {
+	UserID   string
+	ClientID string
+	Scopes   []string
+	Expiry   time.Time
+}
+
+// HasScope reports whether the grant covers the named scope.
+func (g *Grant) HasScope(scope string) bool {
+	for _, s := range g.Scopes {
+		if s == scope {
+			return true
+		}
+	}
+	return false
+}
+
+// Server is an OAuth2 authorization server embedded in a partner service.
+type Server struct {
+	clock  simtime.Clock
+	secret []byte
+	ttl    time.Duration
+
+	mu     sync.Mutex
+	seq    uint64
+	codes  map[string]Grant // pending authorization codes
+	tokens map[string]Grant // issued access tokens
+	// clients maps client_id → client_secret for the token exchange.
+	clients map[string]string
+}
+
+// NewServer creates an authorization server. secret seeds token
+// generation (deterministic per server); ttl bounds token lifetime (the
+// engine refreshes by re-running the flow in our model).
+func NewServer(clock simtime.Clock, secret string, ttl time.Duration) *Server {
+	return &Server{
+		clock:   clock,
+		secret:  []byte(secret),
+		ttl:     ttl,
+		codes:   make(map[string]Grant),
+		tokens:  make(map[string]Grant),
+		clients: make(map[string]string),
+	}
+}
+
+// RegisterClient allows client_id/client_secret to exchange codes.
+func (s *Server) RegisterClient(id, secret string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clients[id] = secret
+}
+
+func (s *Server) mint(kind string) string {
+	s.seq++
+	mac := hmac.New(sha256.New, s.secret)
+	fmt.Fprintf(mac, "%s:%d", kind, s.seq)
+	return kind + "-" + hex.EncodeToString(mac.Sum(nil)[:12])
+}
+
+// Authorize simulates the user approving the consent page and returns an
+// authorization code bound to the requested scopes. Scope order is
+// normalized so equal scope sets compare equal in tests.
+func (s *Server) Authorize(userID, clientID string, scopes []string) string {
+	sorted := append([]string(nil), scopes...)
+	sort.Strings(sorted)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	code := s.mint("code")
+	s.codes[code] = Grant{
+		UserID:   userID,
+		ClientID: clientID,
+		Scopes:   sorted,
+		Expiry:   s.clock.Now().Add(10 * time.Minute),
+	}
+	return code
+}
+
+// Exchange trades an authorization code for an access token.
+func (s *Server) Exchange(code, clientID, clientSecret string) (token string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want, ok := s.clients[clientID]
+	if !ok || want != clientSecret {
+		return "", fmt.Errorf("oauth: unknown client or bad secret")
+	}
+	grant, ok := s.codes[code]
+	if !ok {
+		return "", fmt.Errorf("oauth: invalid code")
+	}
+	if grant.ClientID != clientID {
+		return "", fmt.Errorf("oauth: code issued to a different client")
+	}
+	if s.clock.Now().After(grant.Expiry) {
+		delete(s.codes, code)
+		return "", fmt.Errorf("oauth: code expired")
+	}
+	delete(s.codes, code) // single use
+	token = s.mint("tok")
+	grant.Expiry = s.clock.Now().Add(s.ttl)
+	s.tokens[token] = grant
+	return token, nil
+}
+
+// Validate checks a bearer token and returns its grant.
+func (s *Server) Validate(token string) (Grant, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.tokens[token]
+	if !ok || s.clock.Now().After(g.Expiry) {
+		return Grant{}, false
+	}
+	return g, true
+}
+
+// Revoke invalidates a token.
+func (s *Server) Revoke(token string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tokens, token)
+}
+
+// BearerFrom extracts the bearer token from an Authorization header.
+func BearerFrom(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) {
+		return "", false
+	}
+	return h[len(prefix):], true
+}
+
+// tokenResponse is the wire shape of the token endpoint's answer.
+type tokenResponse struct {
+	AccessToken string `json:"access_token"`
+	TokenType   string `json:"token_type"`
+	ExpiresIn   int64  `json:"expires_in"`
+}
+
+// Handler returns the HTTP surface of the authorization server:
+//
+//	GET  /oauth2/authorize?user_id=&client_id=&scope=&redirect_uri=
+//	POST /oauth2/token (form: grant_type, code, client_id, client_secret)
+//
+// The authorize endpoint auto-approves on behalf of the named user — the
+// testbed has no human in the loop — and 302-redirects with ?code=.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /oauth2/authorize", s.handleAuthorize)
+	mux.HandleFunc("POST /oauth2/token", s.handleToken)
+	return mux
+}
+
+func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	userID := q.Get("user_id")
+	clientID := q.Get("client_id")
+	redirect := q.Get("redirect_uri")
+	if userID == "" || clientID == "" || redirect == "" {
+		httpx.WriteError(w, http.StatusBadRequest, "user_id, client_id and redirect_uri required")
+		return
+	}
+	var scopes []string
+	if sc := q.Get("scope"); sc != "" {
+		scopes = strings.Fields(sc)
+	}
+	code := s.Authorize(userID, clientID, scopes)
+	u, err := url.Parse(redirect)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "bad redirect_uri")
+		return
+	}
+	qq := u.Query()
+	qq.Set("code", code)
+	if st := q.Get("state"); st != "" {
+		qq.Set("state", st)
+	}
+	u.RawQuery = qq.Encode()
+	http.Redirect(w, r, u.String(), http.StatusFound)
+}
+
+func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "bad form")
+		return
+	}
+	if gt := r.PostForm.Get("grant_type"); gt != "authorization_code" {
+		httpx.WriteError(w, http.StatusBadRequest, "unsupported grant_type")
+		return
+	}
+	token, err := s.Exchange(
+		r.PostForm.Get("code"),
+		r.PostForm.Get("client_id"),
+		r.PostForm.Get("client_secret"),
+	)
+	if err != nil {
+		httpx.WriteError(w, http.StatusUnauthorized, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, tokenResponse{
+		AccessToken: token,
+		TokenType:   "Bearer",
+		ExpiresIn:   int64(s.ttl / time.Second),
+	})
+}

@@ -1,0 +1,218 @@
+package oauth
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func newTestServer() (*Server, *simtime.RealClock) {
+	clock := simtime.NewReal()
+	s := NewServer(clock, "test-secret", time.Hour)
+	s.RegisterClient("ifttt", "engine-secret")
+	return s, clock
+}
+
+func TestAuthorizeExchangeValidate(t *testing.T) {
+	s, _ := newTestServer()
+	code := s.Authorize("user-1", "ifttt", []string{"lights:write", "lights:read"})
+	token, err := s.Exchange(code, "ifttt", "engine-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := s.Validate(token)
+	if !ok {
+		t.Fatal("token invalid right after issue")
+	}
+	if g.UserID != "user-1" {
+		t.Errorf("user = %q", g.UserID)
+	}
+	if !g.HasScope("lights:write") || !g.HasScope("lights:read") || g.HasScope("email:read") {
+		t.Errorf("scopes = %v", g.Scopes)
+	}
+}
+
+func TestCodeSingleUse(t *testing.T) {
+	s, _ := newTestServer()
+	code := s.Authorize("u", "ifttt", nil)
+	if _, err := s.Exchange(code, "ifttt", "engine-secret"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exchange(code, "ifttt", "engine-secret"); err == nil {
+		t.Fatal("code reuse accepted")
+	}
+}
+
+func TestExchangeRejectsBadClient(t *testing.T) {
+	s, _ := newTestServer()
+	code := s.Authorize("u", "ifttt", nil)
+	if _, err := s.Exchange(code, "ifttt", "wrong"); err == nil {
+		t.Fatal("bad secret accepted")
+	}
+	if _, err := s.Exchange(code, "intruder", "engine-secret"); err == nil {
+		t.Fatal("unknown client accepted")
+	}
+}
+
+func TestExchangeRejectsCrossClientCode(t *testing.T) {
+	s, _ := newTestServer()
+	s.RegisterClient("other", "other-secret")
+	code := s.Authorize("u", "ifttt", nil)
+	if _, err := s.Exchange(code, "other", "other-secret"); err == nil {
+		t.Fatal("code issued to one client exchanged by another")
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	s := NewServer(clock, "sec", time.Hour)
+	s.RegisterClient("ifttt", "x")
+	var token string
+	clock.Run(func() {
+		code := s.Authorize("u", "ifttt", nil)
+		var err error
+		token, err = s.Exchange(code, "ifttt", "x")
+		if err != nil {
+			t.Errorf("exchange: %v", err)
+			return
+		}
+		if _, ok := s.Validate(token); !ok {
+			t.Error("fresh token invalid")
+		}
+		clock.Sleep(2 * time.Hour)
+		if _, ok := s.Validate(token); ok {
+			t.Error("expired token still valid")
+		}
+	})
+}
+
+func TestRevoke(t *testing.T) {
+	s, _ := newTestServer()
+	code := s.Authorize("u", "ifttt", nil)
+	token, _ := s.Exchange(code, "ifttt", "engine-secret")
+	s.Revoke(token)
+	if _, ok := s.Validate(token); ok {
+		t.Fatal("revoked token valid")
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	s, _ := newTestServer()
+	if _, ok := s.Validate("tok-not-issued"); ok {
+		t.Fatal("unissued token valid")
+	}
+}
+
+func TestBearerFrom(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	if _, ok := BearerFrom(r); ok {
+		t.Error("missing header accepted")
+	}
+	r.Header.Set("Authorization", "Basic abc")
+	if _, ok := BearerFrom(r); ok {
+		t.Error("basic auth accepted as bearer")
+	}
+	r.Header.Set("Authorization", "Bearer tok-1")
+	tok, ok := BearerFrom(r)
+	if !ok || tok != "tok-1" {
+		t.Errorf("BearerFrom = %q, %v", tok, ok)
+	}
+}
+
+func TestHTTPFlow(t *testing.T) {
+	s, _ := newTestServer()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Step 1: authorize (auto-approve) — expect a 302 carrying ?code=.
+	client := srv.Client()
+	client.CheckRedirect = func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	authURL := srv.URL + "/oauth2/authorize?user_id=u7&client_id=ifttt&scope=email:read+email:send&redirect_uri=" +
+		url.QueryEscape("https://ifttt.sim/callback") + "&state=st1"
+	resp, err := client.Get(authURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("authorize status = %d", resp.StatusCode)
+	}
+	loc, err := url.Parse(resp.Header.Get("Location"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Query().Get("state") != "st1" {
+		t.Error("state not echoed")
+	}
+	code := loc.Query().Get("code")
+	if code == "" {
+		t.Fatal("no code in redirect")
+	}
+
+	// Step 2: exchange the code at the token endpoint.
+	form := url.Values{
+		"grant_type":    {"authorization_code"},
+		"code":          {code},
+		"client_id":     {"ifttt"},
+		"client_secret": {"engine-secret"},
+	}
+	resp2, err := client.Post(srv.URL+"/oauth2/token", "application/x-www-form-urlencoded",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("token status = %d", resp2.StatusCode)
+	}
+
+	// Step 3: validate server-side.
+	found := false
+	s.mu.Lock()
+	for tok, g := range s.tokens {
+		if g.UserID == "u7" && g.HasScope("email:read") && strings.HasPrefix(tok, "tok-") {
+			found = true
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		t.Fatal("issued token not found with expected grant")
+	}
+}
+
+func TestHTTPAuthorizeValidation(t *testing.T) {
+	s, _ := newTestServer()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/oauth2/authorize?client_id=ifttt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPTokenRejectsBadGrantType(t *testing.T) {
+	s, _ := newTestServer()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	form := url.Values{"grant_type": {"password"}}
+	resp, err := http.Post(srv.URL+"/oauth2/token", "application/x-www-form-urlencoded",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

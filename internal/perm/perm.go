@@ -1,0 +1,145 @@
+// Package perm quantifies the §6 "Permission Management" observation:
+// IFTTT performs coarse-grained permission control at the service level —
+// connecting a service for any one trigger or action grants the applet
+// platform *all* of that service's permissions, violating the least-
+// privilege principle (the paper's example: an applet using "new email
+// arrives" obtains read, delete, send, and manage rights).
+//
+// The analysis runs over an ecosystem snapshot with a scope model in
+// which every trigger and every action of a service is one scope. For a
+// user who installs a set of applets, the service-level policy grants
+// the union of all scopes of every connected service; the least-
+// privilege policy grants exactly the trigger/action scopes the applets
+// use. The gap between the two is the measured over-privilege.
+package perm
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Grant summarizes permissions for one (user, service) connection.
+type Grant struct {
+	ServiceID int
+	// Granted is the scope count under service-level permissions (all
+	// triggers + all actions of the service).
+	Granted int
+	// Needed is the scope count actually exercised by the user's
+	// applets on this service.
+	Needed int
+}
+
+// Excess returns the unnecessary scopes of this connection.
+func (g Grant) Excess() int { return g.Granted - g.Needed }
+
+// Report aggregates over-privilege across a population.
+type Report struct {
+	// Connections is the number of (user, service) pairs analyzed.
+	Connections int
+	// MeanGranted and MeanNeeded are scope counts per connection.
+	MeanGranted, MeanNeeded float64
+	// ExcessRatio is 1 − (total needed / total granted): the fraction
+	// of granted scopes never used.
+	ExcessRatio float64
+	// FullyMinimal is the fraction of connections where the
+	// service-level grant happens to equal least privilege.
+	FullyMinimal float64
+	// ExcessP50 and ExcessP95 summarize per-connection excess.
+	ExcessP50, ExcessP95 float64
+}
+
+// sampleUsers caps how many distinct users the analysis walks; the
+// per-user work is tiny, so the default covers every user.
+const maxUsers = 1 << 31
+
+// Analyze computes the over-privilege report for an ecosystem snapshot.
+// Each applet is attributed to its author channel (the installing users
+// are not in the dataset; authors proxy for them, as each author has
+// installed their own applet at minimum).
+func Analyze(s *dataset.Snapshot) Report {
+	// Scope count per service: one scope per trigger + one per action,
+	// minimum one (a service with an empty catalog still has an
+	// account scope).
+	scopeCount := make(map[int]int, len(s.Services))
+	for _, svc := range s.Services {
+		n := len(svc.Triggers) + len(svc.Actions)
+		if n < 1 {
+			n = 1
+		}
+		scopeCount[svc.ID] = n
+	}
+
+	// needed[user][service] = set of exercised scopes (trigger IDs
+	// offset positive, action IDs negative, so they cannot collide).
+	type userSvc struct{ user, svc int }
+	needed := make(map[userSvc]map[int]bool)
+	users := 0
+	for _, a := range s.Applets {
+		user := a.AuthorChannel // 0 = the publishing service itself
+		ts := s.Eco.TriggerService(a.Applet)
+		as := s.Eco.ActionService(a.Applet)
+		if ts == nil || as == nil {
+			continue
+		}
+		addScope := func(svcID, scope int) {
+			key := userSvc{user, svcID}
+			set := needed[key]
+			if set == nil {
+				set = make(map[int]bool)
+				needed[key] = set
+				if len(needed) > maxUsers {
+					return
+				}
+			}
+			set[scope] = true
+		}
+		addScope(ts.ID, a.TriggerID)
+		addScope(as.ID, -a.ActionID)
+		users++
+	}
+
+	var rep Report
+	var totalGranted, totalNeeded int
+	var excesses []float64
+	minimal := 0
+	for key, scopes := range needed {
+		granted := scopeCount[key.svc]
+		need := len(scopes)
+		if need > granted {
+			// Defensive: catalog mismatch cannot grant less than used.
+			granted = need
+		}
+		totalGranted += granted
+		totalNeeded += need
+		excesses = append(excesses, float64(granted-need))
+		if granted == need {
+			minimal++
+		}
+	}
+	rep.Connections = len(needed)
+	if rep.Connections == 0 {
+		return rep
+	}
+	rep.MeanGranted = float64(totalGranted) / float64(rep.Connections)
+	rep.MeanNeeded = float64(totalNeeded) / float64(rep.Connections)
+	if totalGranted > 0 {
+		rep.ExcessRatio = 1 - float64(totalNeeded)/float64(totalGranted)
+	}
+	rep.FullyMinimal = float64(minimal) / float64(rep.Connections)
+	sort.Float64s(excesses)
+	rep.ExcessP50 = stats.Percentile(excesses, 50)
+	rep.ExcessP95 = stats.Percentile(excesses, 95)
+	return rep
+}
+
+// GmailExample reproduces the paper's concrete illustration: the scopes
+// a "new email arrives" applet needs versus what the service-level
+// policy grants on the testbed's Gmail service (read, send, delete,
+// manage).
+func GmailExample() (granted, needed []string) {
+	granted = []string{"email:read", "email:send", "email:delete", "email:manage"}
+	needed = []string{"email:read"}
+	return granted, needed
+}

@@ -1,0 +1,57 @@
+package perm
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestAnalyzeOverPrivilege(t *testing.T) {
+	eco := dataset.Generate(dataset.GenConfig{Seed: 5, Scale: 0.05})
+	rep := Analyze(eco.At(dataset.RefWeekIndex))
+	if rep.Connections == 0 {
+		t.Fatal("no connections analyzed")
+	}
+	if rep.MeanNeeded > rep.MeanGranted {
+		t.Fatalf("needed (%.2f) exceeds granted (%.2f)", rep.MeanNeeded, rep.MeanGranted)
+	}
+	// The paper's point: service-level permissions over-grant heavily.
+	// With multi-trigger/action services and single-purpose applets,
+	// most granted scopes are unused.
+	if rep.ExcessRatio < 0.3 {
+		t.Errorf("excess ratio = %.2f; expected substantial over-privilege", rep.ExcessRatio)
+	}
+	if rep.ExcessRatio >= 1 {
+		t.Errorf("excess ratio = %.2f out of range", rep.ExcessRatio)
+	}
+	if rep.FullyMinimal < 0 || rep.FullyMinimal > 1 {
+		t.Errorf("FullyMinimal = %.2f out of range", rep.FullyMinimal)
+	}
+	if rep.ExcessP95 < rep.ExcessP50 {
+		t.Errorf("p95 (%.1f) below p50 (%.1f)", rep.ExcessP95, rep.ExcessP50)
+	}
+}
+
+func TestAnalyzeEmptySnapshot(t *testing.T) {
+	eco := &dataset.Ecosystem{}
+	eco.Weeks = append(eco.Weeks, dataset.Generate(dataset.GenConfig{Seed: 1, Scale: 0.01}).Weeks[0])
+	eco.Reindex()
+	rep := Analyze(eco.At(0))
+	if rep.Connections != 0 {
+		t.Fatalf("connections = %d on empty snapshot", rep.Connections)
+	}
+}
+
+func TestGrantExcess(t *testing.T) {
+	g := Grant{Granted: 7, Needed: 2}
+	if g.Excess() != 5 {
+		t.Fatalf("excess = %d", g.Excess())
+	}
+}
+
+func TestGmailExample(t *testing.T) {
+	granted, needed := GmailExample()
+	if len(granted) != 4 || len(needed) != 1 || needed[0] != "email:read" {
+		t.Fatalf("example = %v / %v", granted, needed)
+	}
+}

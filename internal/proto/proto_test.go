@@ -1,0 +1,126 @@
+package proto
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriggerEventMarshalFlattensIngredients(t *testing.T) {
+	e := TriggerEvent{
+		Ingredients: map[string]string{"switched_to": "on", "device": "wemo-1"},
+		Meta:        EventMeta{ID: "ev1", Timestamp: 1490400000},
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["switched_to"]; !ok {
+		t.Error("ingredient not at top level")
+	}
+	if _, ok := raw["meta"]; !ok {
+		t.Error("meta missing")
+	}
+	if _, ok := raw["Ingredients"]; ok {
+		t.Error("struct field name leaked to wire")
+	}
+}
+
+func TestTriggerEventRoundTrip(t *testing.T) {
+	f := func(key, val, id string, ts int64) bool {
+		key = strings.Trim(key, "\x00")
+		if key == "" || key == "meta" {
+			return true
+		}
+		in := TriggerEvent{
+			Ingredients: map[string]string{key: val},
+			Meta:        EventMeta{ID: id, Timestamp: ts},
+		}
+		data, err := json.Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out TriggerEvent
+		if err := json.Unmarshal(data, &out); err != nil {
+			return false
+		}
+		return out.Meta == in.Meta && out.Ingredients[key] == val && len(out.Ingredients) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriggerEventReservedKey(t *testing.T) {
+	e := TriggerEvent{Ingredients: map[string]string{"meta": "x"}}
+	if _, err := json.Marshal(e); err == nil {
+		t.Fatal("reserved ingredient key accepted")
+	}
+}
+
+func TestTriggerEventUnmarshalMissingMeta(t *testing.T) {
+	var e TriggerEvent
+	if err := json.Unmarshal([]byte(`{"a":"b"}`), &e); err == nil {
+		t.Fatal("event without meta accepted")
+	}
+}
+
+func TestTriggerEventUnmarshalNonStringIngredient(t *testing.T) {
+	var e TriggerEvent
+	err := json.Unmarshal([]byte(`{"count":7,"meta":{"id":"x","timestamp":1}}`), &e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Ingredients["count"] != "7" {
+		t.Fatalf("numeric ingredient = %q", e.Ingredients["count"])
+	}
+}
+
+func TestEffectiveLimit(t *testing.T) {
+	r := &TriggerPollRequest{}
+	if r.EffectiveLimit() != DefaultLimit {
+		t.Errorf("nil limit → %d, want %d", r.EffectiveLimit(), DefaultLimit)
+	}
+	three := 3
+	r.Limit = &three
+	if r.EffectiveLimit() != 3 {
+		t.Errorf("limit 3 → %d", r.EffectiveLimit())
+	}
+	neg := -1
+	r.Limit = &neg
+	if r.EffectiveLimit() != 0 {
+		t.Errorf("negative limit → %d, want 0", r.EffectiveLimit())
+	}
+}
+
+func TestPollResponseWireShape(t *testing.T) {
+	resp := TriggerPollResponse{Data: []TriggerEvent{
+		{Ingredients: map[string]string{"k": "v2"}, Meta: EventMeta{ID: "2", Timestamp: 20}},
+		{Ingredients: map[string]string{"k": "v1"}, Meta: EventMeta{ID: "1", Timestamp: 10}},
+	}}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TriggerPollResponse
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Data) != 2 || back.Data[0].Meta.ID != "2" {
+		t.Fatalf("round trip lost ordering: %+v", back.Data)
+	}
+}
+
+func TestURLHelpers(t *testing.T) {
+	if got := TriggerURL("https://api.svc.sim", "turn_on"); got != "https://api.svc.sim/ifttt/v1/triggers/turn_on" {
+		t.Errorf("TriggerURL = %q", got)
+	}
+	if got := ActionURL("https://api.svc.sim", "blink"); got != "https://api.svc.sim/ifttt/v1/actions/blink" {
+		t.Errorf("ActionURL = %q", got)
+	}
+}

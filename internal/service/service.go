@@ -1,0 +1,282 @@
+// Package service is the partner-service SDK: the building block for
+// every IFTTT service in the testbed, both the "official" vendor services
+// (Philips Hue, WeMo, Alexa, Gmail, …) and the paper's self-implemented
+// service ❺. A Service exposes the partner HTTP API (internal/proto),
+// keeps one buffered event queue per trigger subscription, and supports
+// the two event-acquisition styles the paper describes: push (IoT devices
+// deliver events into the buffer as they happen) and pull (the service
+// computes fresh events when the engine polls, used for web apps).
+package service
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+
+	"repro/internal/httpx"
+	"repro/internal/oauth"
+	"repro/internal/proto"
+	"repro/internal/simtime"
+)
+
+// DefaultRetention is how many buffered events a subscription keeps.
+// Older events fall off; the engine deduplicates by event ID, so
+// retention only needs to cover a few polling gaps.
+const DefaultRetention = 256
+
+// TriggerSpec declares one trigger of a service.
+type TriggerSpec struct {
+	// Slug names the trigger in its poll URL.
+	Slug string
+	// Match decides whether a published event (by its ingredients)
+	// belongs to a subscription (by its trigger fields). nil matches
+	// everything — the common case for field-less triggers.
+	Match func(fields, ingredients map[string]string) bool
+	// Check, when non-nil, puts the trigger in pull mode: it runs on
+	// every engine poll and returns ingredients for any new events
+	// since the last check (the testbed uses this for web apps).
+	Check func(identity string, fields map[string]string) []map[string]string
+	// Scope, when non-empty, is the OAuth scope a bearer token must
+	// carry to poll this trigger.
+	Scope string
+}
+
+// ActionSpec declares one action of a service.
+type ActionSpec struct {
+	// Slug names the action in its execution URL.
+	Slug string
+	// Execute performs the action (e.g. switches a simulated lamp).
+	// An error becomes a 5xx response, which the engine retries.
+	Execute func(fields map[string]string, user proto.UserInfo) error
+	// Scope, when non-empty, is the OAuth scope a bearer token must
+	// carry to run this action.
+	Scope string
+}
+
+// RealtimeConfig wires a service to the engine's realtime API so that
+// Publish also sends a notification hint.
+type RealtimeConfig struct {
+	// URL is the engine's notification endpoint.
+	URL string
+	// Client performs the POST (live http.Client or simnet client).
+	Client *httpx.Client
+	// ServiceKey authenticates the hint.
+	ServiceKey string
+}
+
+// Config assembles a Service.
+type Config struct {
+	// Name identifies the service in logs and event IDs.
+	Name string
+	// Clock provides time for event stamps.
+	Clock simtime.Clock
+	// ServiceKey is the shared secret the engine must present.
+	ServiceKey string
+	// OAuth optionally validates bearer tokens (and scopes).
+	OAuth *oauth.Server
+	// Realtime optionally enables realtime hints on Publish.
+	Realtime *RealtimeConfig
+	// Retention overrides DefaultRetention when positive.
+	Retention int
+	// Logger receives debug output; nil disables logging.
+	Logger *slog.Logger
+}
+
+// Stats are monotonic counters useful to tests and benchmarks.
+type Stats struct {
+	Polls           int64
+	EventsServed    int64
+	EventsPublished int64
+	Actions         int64
+	RealtimeHints   int64
+}
+
+// Service implements the partner-service side of the IFTTT protocol.
+type Service struct {
+	name       string
+	clock      simtime.Clock
+	serviceKey string
+	oauth      *oauth.Server
+	realtime   *RealtimeConfig
+	retention  int
+	log        *slog.Logger
+
+	mu       sync.Mutex
+	seq      uint64
+	triggers map[string]*trigger
+	actions  map[string]ActionSpec
+	stats    Stats
+}
+
+type trigger struct {
+	spec TriggerSpec
+	// subs maps trigger_identity → its event buffer.
+	subs map[string]*subscription
+}
+
+type subscription struct {
+	fields map[string]string
+	events []proto.TriggerEvent // oldest → newest
+}
+
+// New creates an empty service; register triggers and actions before
+// serving.
+func New(cfg Config) *Service {
+	if cfg.Name == "" {
+		panic("service: Config.Name required")
+	}
+	if cfg.Clock == nil {
+		panic("service: Config.Clock required")
+	}
+	retention := cfg.Retention
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	return &Service{
+		name:       cfg.Name,
+		clock:      cfg.Clock,
+		serviceKey: cfg.ServiceKey,
+		oauth:      cfg.OAuth,
+		realtime:   cfg.Realtime,
+		retention:  retention,
+		log:        cfg.Logger,
+		triggers:   make(map[string]*trigger),
+		actions:    make(map[string]ActionSpec),
+	}
+}
+
+// Name returns the service's name.
+func (s *Service) Name() string { return s.name }
+
+// RegisterTrigger adds a trigger. Registering an existing slug replaces
+// its spec but keeps live subscriptions.
+func (s *Service) RegisterTrigger(spec TriggerSpec) {
+	if spec.Slug == "" {
+		panic("service: trigger slug required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.triggers[spec.Slug]; ok {
+		t.spec = spec
+		return
+	}
+	s.triggers[spec.Slug] = &trigger{spec: spec, subs: make(map[string]*subscription)}
+}
+
+// RegisterAction adds an action, replacing any existing slug.
+func (s *Service) RegisterAction(spec ActionSpec) {
+	if spec.Slug == "" {
+		panic("service: action slug required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.actions[spec.Slug] = spec
+}
+
+// TriggerSlugs returns the registered trigger slugs (unordered).
+func (s *Service) TriggerSlugs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.triggers))
+	for slug := range s.triggers {
+		out = append(out, slug)
+	}
+	return out
+}
+
+// ActionSlugs returns the registered action slugs (unordered).
+func (s *Service) ActionSlugs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.actions))
+	for slug := range s.actions {
+		out = append(out, slug)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Publish records a push-mode event on every matching subscription of
+// the named trigger and returns how many subscriptions received it. If
+// realtime is configured, a hint listing the affected subscriptions is
+// sent to the engine (from a separate actor, so Publish never blocks on
+// the network).
+func (s *Service) Publish(slug string, ingredients map[string]string) int {
+	s.mu.Lock()
+	t, ok := s.triggers[slug]
+	if !ok {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("service %s: Publish on unknown trigger %q", s.name, slug))
+	}
+	s.stats.EventsPublished++
+	var hinted []string
+	n := 0
+	for identity, sub := range t.subs {
+		if t.spec.Match != nil && !t.spec.Match(sub.fields, ingredients) {
+			continue
+		}
+		s.appendEventLocked(sub, ingredients)
+		hinted = append(hinted, identity)
+		n++
+	}
+	rt := s.realtime
+	s.mu.Unlock()
+
+	if rt != nil && len(hinted) > 0 {
+		s.sendRealtimeHint(rt, hinted)
+	}
+	return n
+}
+
+// appendEventLocked stamps and buffers an event, enforcing retention.
+func (s *Service) appendEventLocked(sub *subscription, ingredients map[string]string) {
+	s.seq++
+	ev := proto.TriggerEvent{
+		Ingredients: ingredients,
+		Meta: proto.EventMeta{
+			ID:        fmt.Sprintf("%s-ev-%d", s.name, s.seq),
+			Timestamp: s.clock.Now().Unix(),
+		},
+	}
+	sub.events = append(sub.events, ev)
+	if over := len(sub.events) - s.retention; over > 0 {
+		sub.events = append(sub.events[:0], sub.events[over:]...)
+	}
+}
+
+func (s *Service) sendRealtimeHint(rt *RealtimeConfig, identities []string) {
+	hints := make([]proto.RealtimeHint, len(identities))
+	for i, id := range identities {
+		hints[i] = proto.RealtimeHint{TriggerIdentity: id}
+	}
+	s.clock.Go(func() {
+		status, err := rt.Client.DoJSON("POST", rt.URL,
+			proto.RealtimeNotification{Data: hints}, nil,
+			httpx.WithHeader(proto.ServiceKeyHeader, rt.ServiceKey))
+		s.mu.Lock()
+		s.stats.RealtimeHints++
+		s.mu.Unlock()
+		if err != nil && s.log != nil {
+			s.log.Warn("realtime hint failed", "service", s.name, "err", err)
+		} else if status >= 300 && s.log != nil {
+			s.log.Warn("realtime hint rejected", "service", s.name, "status", status)
+		}
+	})
+}
+
+// Subscriptions returns how many live subscriptions the named trigger
+// has; used by tests.
+func (s *Service) Subscriptions(slug string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.triggers[slug]; ok {
+		return len(t.subs)
+	}
+	return 0
+}

@@ -1,0 +1,450 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/oauth"
+	"repro/internal/proto"
+	"repro/internal/simtime"
+)
+
+const testKey = "svc-key-1"
+
+func newTestService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Config{Name: "testsvc", Clock: simtime.NewReal(), ServiceKey: testKey})
+	svc.RegisterTrigger(TriggerSpec{Slug: "switched_on", Match: FieldsMatchSubset})
+	svc.RegisterAction(ActionSpec{
+		Slug:    "turn_on",
+		Execute: func(fields map[string]string, user proto.UserInfo) error { return nil },
+	})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func poll(t *testing.T, srv *httptest.Server, slug string, req proto.TriggerPollRequest, key string) (*http.Response, proto.TriggerPollResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hr, _ := http.NewRequest("POST", srv.URL+proto.TriggersPath+slug, bytes.NewReader(body))
+	hr.Header.Set(proto.ServiceKeyHeader, key)
+	resp, err := srv.Client().Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out proto.TriggerPollResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestStatusRequiresServiceKey(t *testing.T) {
+	_, srv := newTestService(t)
+	resp, err := http.Get(srv.URL + proto.StatusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no-key status = %d, want 401", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+proto.StatusPath, nil)
+	req.Header.Set(proto.ServiceKeyHeader, testKey)
+	resp2, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("keyed status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestPollCreatesSubscriptionAndReturnsEmpty(t *testing.T) {
+	svc, srv := newTestService(t)
+	resp, out := poll(t, srv, "switched_on", proto.TriggerPollRequest{TriggerIdentity: "id-1"}, testKey)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Data) != 0 {
+		t.Fatalf("fresh subscription returned %d events", len(out.Data))
+	}
+	if svc.Subscriptions("switched_on") != 1 {
+		t.Fatal("subscription not created")
+	}
+}
+
+func TestPublishThenPollDeliversNewestFirst(t *testing.T) {
+	svc, srv := newTestService(t)
+	poll(t, srv, "switched_on", proto.TriggerPollRequest{TriggerIdentity: "id-1"}, testKey)
+
+	for i := 0; i < 3; i++ {
+		if n := svc.Publish("switched_on", map[string]string{"n": fmt.Sprint(i)}); n != 1 {
+			t.Fatalf("Publish delivered to %d subs", n)
+		}
+	}
+	_, out := poll(t, srv, "switched_on", proto.TriggerPollRequest{TriggerIdentity: "id-1"}, testKey)
+	if len(out.Data) != 3 {
+		t.Fatalf("got %d events", len(out.Data))
+	}
+	if out.Data[0].Ingredients["n"] != "2" || out.Data[2].Ingredients["n"] != "0" {
+		t.Fatalf("events not newest-first: %+v", out.Data)
+	}
+}
+
+func TestPollHonorsLimit(t *testing.T) {
+	svc, srv := newTestService(t)
+	poll(t, srv, "switched_on", proto.TriggerPollRequest{TriggerIdentity: "id-1"}, testKey)
+	for i := 0; i < 10; i++ {
+		svc.Publish("switched_on", map[string]string{"n": fmt.Sprint(i)})
+	}
+	two := 2
+	_, out := poll(t, srv, "switched_on",
+		proto.TriggerPollRequest{TriggerIdentity: "id-1", Limit: &two}, testKey)
+	if len(out.Data) != 2 {
+		t.Fatalf("limit 2 returned %d events", len(out.Data))
+	}
+	if out.Data[0].Ingredients["n"] != "9" {
+		t.Fatal("limit did not keep newest")
+	}
+}
+
+func TestMatchFiltersByFields(t *testing.T) {
+	svc, srv := newTestService(t)
+	poll(t, srv, "switched_on", proto.TriggerPollRequest{
+		TriggerIdentity: "id-kitchen",
+		TriggerFields:   map[string]string{"device": "kitchen"},
+	}, testKey)
+	poll(t, srv, "switched_on", proto.TriggerPollRequest{
+		TriggerIdentity: "id-any",
+	}, testKey)
+
+	n := svc.Publish("switched_on", map[string]string{"device": "garage"})
+	if n != 1 {
+		t.Fatalf("garage event delivered to %d subs, want 1 (the field-less one)", n)
+	}
+	n = svc.Publish("switched_on", map[string]string{"device": "kitchen"})
+	if n != 2 {
+		t.Fatalf("kitchen event delivered to %d subs, want 2", n)
+	}
+}
+
+func TestRetentionCapsBuffer(t *testing.T) {
+	svc := New(Config{Name: "s", Clock: simtime.NewReal(), Retention: 5})
+	svc.RegisterTrigger(TriggerSpec{Slug: "t"})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	poll(t, srv, "t", proto.TriggerPollRequest{TriggerIdentity: "i"}, "")
+	for i := 0; i < 20; i++ {
+		svc.Publish("t", map[string]string{"n": fmt.Sprint(i)})
+	}
+	big := 100
+	_, out := poll(t, srv, "t", proto.TriggerPollRequest{TriggerIdentity: "i", Limit: &big}, "")
+	if len(out.Data) != 5 {
+		t.Fatalf("retention 5 kept %d events", len(out.Data))
+	}
+	if out.Data[0].Ingredients["n"] != "19" {
+		t.Fatal("retention evicted the wrong end")
+	}
+}
+
+func TestPullModeCheck(t *testing.T) {
+	calls := 0
+	svc := New(Config{Name: "s", Clock: simtime.NewReal()})
+	svc.RegisterTrigger(TriggerSpec{
+		Slug: "new_email",
+		Check: func(identity string, fields map[string]string) []map[string]string {
+			calls++
+			if calls == 2 {
+				return []map[string]string{{"subject": "hi"}}
+			}
+			return nil
+		},
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	_, out := poll(t, srv, "new_email", proto.TriggerPollRequest{TriggerIdentity: "i"}, "")
+	if len(out.Data) != 0 {
+		t.Fatal("first poll should be empty")
+	}
+	_, out = poll(t, srv, "new_email", proto.TriggerPollRequest{TriggerIdentity: "i"}, "")
+	if len(out.Data) != 1 || out.Data[0].Ingredients["subject"] != "hi" {
+		t.Fatalf("second poll = %+v", out.Data)
+	}
+	if calls != 2 {
+		t.Fatalf("check called %d times", calls)
+	}
+}
+
+func TestTriggerDeleteRemovesSubscription(t *testing.T) {
+	svc, srv := newTestService(t)
+	poll(t, srv, "switched_on", proto.TriggerPollRequest{TriggerIdentity: "gone"}, testKey)
+	req, _ := http.NewRequest("DELETE",
+		srv.URL+proto.TriggersPath+"switched_on/trigger_identity/gone", nil)
+	req.Header.Set(proto.ServiceKeyHeader, testKey)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if svc.Subscriptions("switched_on") != 0 {
+		t.Fatal("subscription survived DELETE")
+	}
+}
+
+func TestUnknownSlugs(t *testing.T) {
+	_, srv := newTestService(t)
+	resp, _ := poll(t, srv, "no_such_trigger", proto.TriggerPollRequest{TriggerIdentity: "x"}, testKey)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trigger status = %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(proto.ActionRequest{})
+	req, _ := http.NewRequest("POST", srv.URL+proto.ActionsPath+"nope", bytes.NewReader(body))
+	req.Header.Set(proto.ServiceKeyHeader, testKey)
+	resp2, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown action status = %d", resp2.StatusCode)
+	}
+}
+
+func TestActionExecutesAndAcks(t *testing.T) {
+	var gotFields map[string]string
+	svc := New(Config{Name: "s", Clock: simtime.NewReal()})
+	svc.RegisterAction(ActionSpec{
+		Slug: "set_color",
+		Execute: func(fields map[string]string, user proto.UserInfo) error {
+			gotFields = fields
+			return nil
+		},
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(proto.ActionRequest{ActionFields: map[string]string{"color": "blue"}})
+	resp, err := http.Post(srv.URL+proto.ActionsPath+"set_color", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var ack proto.ActionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if len(ack.Data) != 1 || ack.Data[0].ID == "" {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if gotFields["color"] != "blue" {
+		t.Fatalf("fields = %v", gotFields)
+	}
+	if svc.Stats().Actions != 1 {
+		t.Fatal("action counter not bumped")
+	}
+}
+
+func TestActionFailureBecomes503(t *testing.T) {
+	svc := New(Config{Name: "s", Clock: simtime.NewReal()})
+	svc.RegisterAction(ActionSpec{
+		Slug:    "flaky",
+		Execute: func(map[string]string, proto.UserInfo) error { return fmt.Errorf("device offline") },
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	body, _ := json.Marshal(proto.ActionRequest{})
+	resp, err := http.Post(srv.URL+proto.ActionsPath+"flaky", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestOAuthScopeEnforcement(t *testing.T) {
+	clock := simtime.NewReal()
+	auth := oauth.NewServer(clock, "sec", time.Hour)
+	auth.RegisterClient("ifttt", "ck")
+	svc := New(Config{Name: "s", Clock: clock, OAuth: auth})
+	svc.RegisterTrigger(TriggerSpec{Slug: "new_email", Scope: "email:read"})
+	svc.RegisterAction(ActionSpec{
+		Slug:    "send_email",
+		Scope:   "email:send",
+		Execute: func(map[string]string, proto.UserInfo) error { return nil },
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	code := auth.Authorize("u1", "ifttt", []string{"email:read"})
+	token, err := auth.Exchange(code, "ifttt", "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll with the right scope succeeds.
+	body, _ := json.Marshal(proto.TriggerPollRequest{TriggerIdentity: "i"})
+	req, _ := http.NewRequest("POST", srv.URL+proto.TriggersPath+"new_email", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scoped poll status = %d", resp.StatusCode)
+	}
+
+	// Action with a missing scope is forbidden.
+	abody, _ := json.Marshal(proto.ActionRequest{})
+	areq, _ := http.NewRequest("POST", srv.URL+proto.ActionsPath+"send_email", bytes.NewReader(abody))
+	areq.Header.Set("Authorization", "Bearer "+token)
+	aresp, err := srv.Client().Do(areq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unscoped action status = %d, want 403", aresp.StatusCode)
+	}
+
+	// No token at all is unauthorized.
+	nreq, _ := http.NewRequest("POST", srv.URL+proto.TriggersPath+"new_email", bytes.NewReader(body))
+	nresp, err := srv.Client().Do(nreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless poll status = %d, want 401", nresp.StatusCode)
+	}
+}
+
+func TestRealtimeHintSentOnPublish(t *testing.T) {
+	received := make(chan proto.RealtimeNotification, 1)
+	engine := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var n proto.RealtimeNotification
+		if err := httpx.ReadJSON(r, &n); err != nil {
+			t.Errorf("bad hint: %v", err)
+		}
+		if r.Header.Get(proto.ServiceKeyHeader) != "rt-key" {
+			t.Error("hint missing service key")
+		}
+		received <- n
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer engine.Close()
+
+	clock := simtime.NewReal()
+	svc := New(Config{
+		Name:  "s",
+		Clock: clock,
+		Realtime: &RealtimeConfig{
+			URL:        engine.URL + proto.RealtimePath,
+			Client:     httpx.NewClient(engine.Client(), clock, 0),
+			ServiceKey: "rt-key",
+		},
+	})
+	svc.RegisterTrigger(TriggerSpec{Slug: "t"})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	poll(t, srv, "t", proto.TriggerPollRequest{TriggerIdentity: "sub-9"}, "")
+
+	svc.Publish("t", map[string]string{"k": "v"})
+	select {
+	case n := <-received:
+		if len(n.Data) != 1 || n.Data[0].TriggerIdentity != "sub-9" {
+			t.Fatalf("hint = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no realtime hint within 5s")
+	}
+	clock.Wait()
+}
+
+func TestPublishUnknownTriggerPanics(t *testing.T) {
+	svc := New(Config{Name: "s", Clock: simtime.NewReal()})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	svc.Publish("ghost", nil)
+}
+
+// Property: regardless of publish count and limit, a poll returns
+// min(published, limit, retention) events and they are the newest ones in
+// descending order.
+func TestPollLimitProperty(t *testing.T) {
+	f := func(pub uint8, limRaw uint8) bool {
+		published := int(pub % 40)
+		limit := int(limRaw % 30)
+		svc := New(Config{Name: "p", Clock: simtime.NewReal(), Retention: 25})
+		svc.RegisterTrigger(TriggerSpec{Slug: "t"})
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+
+		// Create the subscription.
+		body, _ := json.Marshal(proto.TriggerPollRequest{TriggerIdentity: "i"})
+		resp, err := http.Post(srv.URL+proto.TriggersPath+"t", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+
+		for i := 0; i < published; i++ {
+			svc.Publish("t", map[string]string{"n": fmt.Sprint(i)})
+		}
+
+		reqBody, _ := json.Marshal(proto.TriggerPollRequest{TriggerIdentity: "i", Limit: &limit})
+		resp2, err := http.Post(srv.URL+proto.TriggersPath+"t", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return false
+		}
+		defer resp2.Body.Close()
+		var out proto.TriggerPollResponse
+		if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+			return false
+		}
+
+		want := published
+		if want > 25 {
+			want = 25
+		}
+		if want > limit {
+			want = limit
+		}
+		if len(out.Data) != want {
+			return false
+		}
+		for i := 0; i < len(out.Data); i++ {
+			if out.Data[i].Ingredients["n"] != fmt.Sprint(published-1-i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package services
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/devices"
+	"repro/internal/proto"
+	"repro/internal/service"
+)
+
+// NewHueService builds the official Philips Hue partner service: the
+// top action service of Table 3, offering "turn on lights", "change
+// color", "blink lights", and "turn on color loop", plus a
+// light_turned_on trigger used by the chained-applet experiments. It
+// controls the hub directly, like the vendor cloud ❻ of Fig 1.
+func NewHueService(env *Env, hub *devices.HueHub) *service.Service {
+	svc := service.New(service.Config{
+		Name: "hue", Clock: env.Clock, ServiceKey: env.ServiceKey,
+		Realtime: env.Realtime,
+	})
+
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug:  "light_turned_on",
+		Match: service.FieldsMatchSubset,
+	})
+	hub.Subscribe(func(ev devices.Event) {
+		if ev.Type == "light_on" {
+			svc.Publish("light_turned_on", ev.Attrs)
+		}
+	})
+
+	lampOf := func(fields map[string]string) string {
+		if l := fields["lamp"]; l != "" {
+			return l
+		}
+		// "All lights" default: the first lamp.
+		if lamps := hub.Lamps(); len(lamps) > 0 {
+			return lamps[0]
+		}
+		return ""
+	}
+	setOn := func(on bool) func(map[string]string, proto.UserInfo) error {
+		return func(fields map[string]string, _ proto.UserInfo) error {
+			env.sleepPath()
+			return hub.SetLampState(lampOf(fields), devices.StateChange{On: &on})
+		}
+	}
+	svc.RegisterAction(service.ActionSpec{Slug: "turn_on_lights", Execute: setOn(true)})
+	svc.RegisterAction(service.ActionSpec{Slug: "turn_off_lights", Execute: setOn(false)})
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "change_color",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			env.sleepPath()
+			hueVal, ok := HueColors[fields["color"]]
+			if !ok {
+				if v, err := strconv.Atoi(fields["color"]); err == nil {
+					hueVal = v
+				} else {
+					return fmt.Errorf("hue: unknown color %q", fields["color"])
+				}
+			}
+			on := true
+			return hub.SetLampState(lampOf(fields), devices.StateChange{On: &on, Hue: &hueVal})
+		},
+	})
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "blink_lights",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			env.sleepPath()
+			return hub.Blink(lampOf(fields))
+		},
+	})
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "color_loop",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			env.sleepPath()
+			on := true
+			effect := "colorloop"
+			return hub.SetLampState(lampOf(fields), devices.StateChange{On: &on, Effect: &effect})
+		},
+	})
+	return svc
+}
+
+// NewWemoService builds the official WeMo partner service: switched_on /
+// switched_off triggers fed by the physical switch, and turn_on /
+// turn_off actions.
+func NewWemoService(env *Env, sw *devices.WemoSwitch) *service.Service {
+	svc := service.New(service.Config{
+		Name: "wemo", Clock: env.Clock, ServiceKey: env.ServiceKey,
+		Realtime: env.Realtime,
+	})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "switched_on", Match: service.FieldsMatchSubset})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "switched_off", Match: service.FieldsMatchSubset})
+	sw.Subscribe(func(ev devices.Event) {
+		switch ev.Type {
+		case "switched_on", "switched_off":
+			svc.Publish(ev.Type, ev.Attrs)
+		}
+	})
+	set := func(on bool) func(map[string]string, proto.UserInfo) error {
+		return func(fields map[string]string, _ proto.UserInfo) error {
+			env.sleepPath()
+			sw.SetState(on, "service")
+			return nil
+		}
+	}
+	svc.RegisterAction(service.ActionSpec{Slug: "turn_on", Execute: set(true)})
+	svc.RegisterAction(service.ActionSpec{Slug: "turn_off", Execute: set(false)})
+	return svc
+}
+
+// NewAlexaService builds the official Amazon Alexa partner service: the
+// top trigger service of Table 3, with the "say a phrase", todo-list,
+// shopping-list, and song-playback triggers. It is trigger-only, like
+// the real one.
+func NewAlexaService(env *Env, echo *devices.EchoDot) *service.Service {
+	svc := service.New(service.Config{
+		Name: "alexa", Clock: env.Clock, ServiceKey: env.ServiceKey,
+		Realtime: env.Realtime,
+	})
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug: "say_phrase",
+		// The phrase field selects which spoken phrase fires this
+		// subscription.
+		Match: func(fields, ingredients map[string]string) bool {
+			want := fields["phrase"]
+			return want == "" || want == ingredients["phrase"]
+		},
+	})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "item_added_todo"})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "item_added_shopping"})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "shopping_list_asked"})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "song_played"})
+
+	echo.Subscribe(func(ev devices.Event) {
+		switch ev.Type {
+		case "phrase_said":
+			svc.Publish("say_phrase", ev.Attrs)
+		case "item_added_todo", "item_added_shopping", "shopping_list_asked", "song_played":
+			svc.Publish(ev.Type, ev.Attrs)
+		}
+	})
+	return svc
+}
+
+// NewSmartThingsService builds the SmartThings hub service (Table 1
+// category 2): a sensor_changed trigger across attached devices and a
+// device_command action routed through the hub.
+func NewSmartThingsService(env *Env, hub *devices.SmartThingsHub) *service.Service {
+	svc := service.New(service.Config{
+		Name: "smartthings", Clock: env.Clock, ServiceKey: env.ServiceKey,
+		Realtime: env.Realtime,
+	})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "sensor_changed", Match: service.FieldsMatchSubset})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "switched_on", Match: service.FieldsMatchSubset})
+	hub.Subscribe(func(ev devices.Event) {
+		switch ev.Type {
+		case "sensor_changed", "switched_on":
+			svc.Publish(ev.Type, ev.Attrs)
+		}
+	})
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "device_command",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			env.sleepPath()
+			return hub.Command(fields["device"], fields["command"], fields)
+		},
+	})
+	return svc
+}
+
+// NewNestService builds the Nest Thermostat partner service of Table 3:
+// a temperature_rises_above trigger (field: threshold °C) and a
+// set_temperature action (field: temperature).
+func NewNestService(env *Env, th *devices.Thermostat) *service.Service {
+	svc := service.New(service.Config{
+		Name: "nest", Clock: env.Clock, ServiceKey: env.ServiceKey,
+		Realtime: env.Realtime,
+	})
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug: "temperature_rises_above",
+		// The threshold field selects which crossings this
+		// subscription cares about.
+		Match: func(fields, ingredients map[string]string) bool {
+			threshold, err := strconv.ParseFloat(fields["threshold"], 64)
+			if err != nil {
+				return true // field-less subscriptions take everything
+			}
+			temp, err := strconv.ParseFloat(ingredients["temperature"], 64)
+			return err == nil && temp > threshold
+		},
+	})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "hvac_state_changed"})
+	th.Subscribe(func(ev devices.Event) {
+		switch ev.Type {
+		case "temperature_changed":
+			svc.Publish("temperature_rises_above", ev.Attrs)
+		case "hvac_heat", "hvac_cool", "hvac_off":
+			svc.Publish("hvac_state_changed", ev.Attrs)
+		}
+	})
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "set_temperature",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			c, err := strconv.ParseFloat(fields["temperature"], 64)
+			if err != nil {
+				return fmt.Errorf("nest: bad temperature %q", fields["temperature"])
+			}
+			env.sleepPath()
+			th.SetTarget(c)
+			return nil
+		},
+	})
+	return svc
+}

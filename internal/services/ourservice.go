@@ -1,0 +1,116 @@
+package services
+
+import (
+	"repro/internal/homenet"
+	"repro/internal/proto"
+	"repro/internal/service"
+)
+
+// OurServiceConfig configures the self-implemented service ❺.
+type OurServiceConfig struct {
+	// Env supplies clock, key, and path-delay model.
+	Env *Env
+	// Link reaches the home LAN through the local proxy.
+	Link homenet.ServerLink
+	// Realtime, when non-nil, makes the service send realtime hints to
+	// the engine on every buffered event (used by the realtime-API
+	// experiment).
+	Realtime *service.RealtimeConfig
+}
+
+// NewOurService builds the paper's self-implemented partner service ❺:
+// performance-wise efficient, receiving IoT events pushed by the local
+// proxy (so trigger events are buffered within ~0.1 s of the physical
+// event, as in Table 5) and executing actions by commanding devices
+// through the proxy. It mirrors the official services' triggers and
+// actions so it can substitute for them in experiments E1 and E2.
+func NewOurService(cfg OurServiceConfig) *service.Service {
+	env := cfg.Env
+	svc := service.New(service.Config{
+		Name:       "ourservice",
+		Clock:      env.Clock,
+		ServiceKey: env.ServiceKey,
+		Realtime:   cfg.Realtime,
+	})
+
+	// Triggers: fed by the proxy's event push. Slugs are namespaced by
+	// device family so one service covers the whole testbed.
+	for _, slug := range []string{
+		"wemo_switched_on", "wemo_switched_off",
+		"hue_light_on", "hue_light_off",
+		"alexa_phrase_said", "alexa_item_added_todo", "alexa_item_added_shopping",
+		"alexa_shopping_list_asked", "alexa_song_played",
+		"sensor_changed",
+	} {
+		svc.RegisterTrigger(service.TriggerSpec{Slug: slug, Match: ourMatch})
+	}
+
+	cfg.Link.SetEventHandler(func(device, eventType string, attrs map[string]string) {
+		if slug, ok := ourTriggerSlug(device, eventType); ok {
+			svc.Publish(slug, attrs)
+		}
+	})
+
+	// Actions: routed through the proxy to the devices.
+	command := func(device, cmd string, extra func(map[string]string) map[string]string) service.ActionSpec {
+		return service.ActionSpec{
+			Slug: device + "_" + cmd,
+			Execute: func(fields map[string]string, _ proto.UserInfo) error {
+				args := fields
+				if extra != nil {
+					args = extra(fields)
+				}
+				_, err := cfg.Link.Command(device, cmd, args)
+				return err
+			},
+		}
+	}
+	svc.RegisterAction(command("wemo-1", "on", nil))
+	svc.RegisterAction(command("wemo-1", "off", nil))
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "hue_set_state",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			_, err := cfg.Link.Command("hue", "set_state", fields)
+			return err
+		},
+	})
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "hue_blink",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			_, err := cfg.Link.Command("hue", "blink", fields)
+			return err
+		},
+	})
+	return svc
+}
+
+// ourMatch filters on the phrase field for Alexa subscriptions and on
+// exact device fields otherwise.
+func ourMatch(fields, ingredients map[string]string) bool {
+	if want := fields["phrase"]; want != "" && want != ingredients["phrase"] {
+		return false
+	}
+	if want := fields["device"]; want != "" && want != ingredients["device"] {
+		return false
+	}
+	return true
+}
+
+// ourTriggerSlug maps a proxy event to the service's trigger slug.
+func ourTriggerSlug(device, eventType string) (string, bool) {
+	switch eventType {
+	case "switched_on", "switched_off":
+		return "wemo_" + eventType, true
+	case "light_on":
+		return "hue_light_on", true
+	case "light_off":
+		return "hue_light_off", true
+	case "phrase_said":
+		return "alexa_phrase_said", true
+	case "item_added_todo", "item_added_shopping", "shopping_list_asked", "song_played":
+		return "alexa_" + eventType, true
+	case "sensor_changed":
+		return "sensor_changed", true
+	}
+	return "", false
+}

@@ -1,0 +1,441 @@
+package services
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/homenet"
+	"repro/internal/oauth"
+	"repro/internal/proto"
+	"repro/internal/service"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/webapps"
+)
+
+func testEnv() *Env {
+	return &Env{Clock: simtime.NewReal(), RNG: stats.NewRNG(1), ServiceKey: "k"}
+}
+
+// subscribe creates a subscription by polling once over HTTP.
+func subscribe(t *testing.T, svc *service.Service, slug, identity string, fields map[string]string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	pollSrv(t, srv, slug, identity, fields)
+	return srv
+}
+
+func pollSrv(t *testing.T, srv *httptest.Server, slug, identity string, fields map[string]string) []proto.TriggerEvent {
+	t.Helper()
+	body, _ := json.Marshal(proto.TriggerPollRequest{TriggerIdentity: identity, TriggerFields: fields})
+	req, _ := http.NewRequest("POST", srv.URL+proto.TriggersPath+slug, bytes.NewReader(body))
+	req.Header.Set(proto.ServiceKeyHeader, "k")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll %s status = %d", slug, resp.StatusCode)
+	}
+	var out proto.TriggerPollResponse
+	json.NewDecoder(resp.Body).Decode(&out)
+	return out.Data
+}
+
+func runAction(t *testing.T, svc *service.Service, slug string, fields map[string]string) int {
+	t.Helper()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	body, _ := json.Marshal(proto.ActionRequest{ActionFields: fields})
+	req, _ := http.NewRequest("POST", srv.URL+proto.ActionsPath+slug, bytes.NewReader(body))
+	req.Header.Set(proto.ServiceKeyHeader, "k")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestHueServiceActions(t *testing.T) {
+	env := testEnv()
+	hub := devices.NewHueHub(env.Clock, "1")
+	svc := NewHueService(env, hub)
+
+	if code := runAction(t, svc, "turn_on_lights", nil); code != http.StatusOK {
+		t.Fatalf("turn_on status = %d", code)
+	}
+	if s, _ := hub.LampState("1"); !s.On {
+		t.Fatal("lamp not on")
+	}
+	if code := runAction(t, svc, "change_color", map[string]string{"color": "blue"}); code != http.StatusOK {
+		t.Fatalf("change_color status = %d", code)
+	}
+	if s, _ := hub.LampState("1"); s.Hue != HueColors["blue"] {
+		t.Fatalf("hue = %d", s.Hue)
+	}
+	if code := runAction(t, svc, "change_color", map[string]string{"color": "chartreuse"}); code == http.StatusOK {
+		t.Fatal("unknown color accepted")
+	}
+	if code := runAction(t, svc, "color_loop", nil); code != http.StatusOK {
+		t.Fatalf("color_loop status = %d", code)
+	}
+	if s, _ := hub.LampState("1"); s.Effect != "colorloop" {
+		t.Fatal("colorloop not set")
+	}
+	if code := runAction(t, svc, "blink_lights", nil); code != http.StatusOK {
+		t.Fatalf("blink status = %d", code)
+	}
+}
+
+func TestHueServiceTrigger(t *testing.T) {
+	env := testEnv()
+	hub := devices.NewHueHub(env.Clock, "1")
+	svc := NewHueService(env, hub)
+	srv := subscribe(t, svc, "light_turned_on", "sub1", nil)
+
+	on := true
+	hub.SetLampState("1", devices.StateChange{On: &on})
+	events := pollSrv(t, srv, "light_turned_on", "sub1", nil)
+	if len(events) != 1 || events[0].Ingredients["lamp"] != "1" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestWemoServiceTriggerAndAction(t *testing.T) {
+	env := testEnv()
+	sw := devices.NewWemoSwitch(env.Clock, "wemo-1")
+	svc := NewWemoService(env, sw)
+	srv := subscribe(t, svc, "switched_on", "sub1", nil)
+
+	sw.Press()
+	events := pollSrv(t, srv, "switched_on", "sub1", nil)
+	if len(events) != 1 || events[0].Ingredients["device"] != "wemo-1" {
+		t.Fatalf("events = %+v", events)
+	}
+
+	if code := runAction(t, svc, "turn_off", nil); code != http.StatusOK {
+		t.Fatalf("turn_off status = %d", code)
+	}
+	if sw.On() {
+		t.Fatal("switch still on")
+	}
+}
+
+func TestAlexaServicePhraseFiltering(t *testing.T) {
+	env := testEnv()
+	echo := devices.NewEchoDot(env.Clock, "echo-1")
+	svc := NewAlexaService(env, echo)
+	srv := subscribe(t, svc, "say_phrase", "party", map[string]string{"phrase": "party mode"})
+	pollSrv(t, srv, "say_phrase", "any", nil)
+
+	echo.Say("Alexa, trigger party mode")
+	echo.Say("Alexa, trigger bedtime")
+
+	party := pollSrv(t, srv, "say_phrase", "party", map[string]string{"phrase": "party mode"})
+	if len(party) != 1 || party[0].Ingredients["phrase"] != "party mode" {
+		t.Fatalf("party events = %+v", party)
+	}
+	any := pollSrv(t, srv, "say_phrase", "any", nil)
+	if len(any) != 2 {
+		t.Fatalf("unfiltered events = %d, want 2", len(any))
+	}
+}
+
+func TestAlexaSongTrigger(t *testing.T) {
+	env := testEnv()
+	echo := devices.NewEchoDot(env.Clock, "echo-1")
+	svc := NewAlexaService(env, echo)
+	srv := subscribe(t, svc, "song_played", "s", nil)
+	echo.Say("Alexa, play Yesterday")
+	events := pollSrv(t, srv, "song_played", "s", nil)
+	if len(events) != 1 || events[0].Ingredients["song"] != "yesterday" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestSmartThingsService(t *testing.T) {
+	env := testEnv()
+	hub := devices.NewSmartThingsHub(env.Clock)
+	outlet := devices.NewOutlet(env.Clock, "outlet-1")
+	sensor := devices.NewSensor(env.Clock, "motion-1", "motion")
+	hub.Attach(outlet)
+	hub.Attach(sensor)
+	svc := NewSmartThingsService(env, hub)
+	srv := subscribe(t, svc, "sensor_changed", "s", nil)
+
+	sensor.SetValue("active")
+	events := pollSrv(t, srv, "sensor_changed", "s", nil)
+	if len(events) != 1 || events[0].Ingredients["value"] != "active" {
+		t.Fatalf("events = %+v", events)
+	}
+
+	code := runAction(t, svc, "device_command", map[string]string{"device": "outlet-1", "command": "on"})
+	if code != http.StatusOK {
+		t.Fatalf("device_command status = %d", code)
+	}
+	if !outlet.On() {
+		t.Fatal("outlet not on")
+	}
+}
+
+func TestGmailServicePullTriggers(t *testing.T) {
+	env := testEnv()
+	mail := webapps.NewGmail(env.Clock)
+	svc := NewGmailService(env, mail, "u@mail.sim", nil)
+	srv := subscribe(t, svc, "new_email", "e", nil)
+	pollSrv(t, srv, "new_attachment", "a", nil)
+
+	mail.Deliver("boss@corp.sim", "u@mail.sim", "report", "do it",
+		webapps.Attachment{Name: "q1.pdf", Content: "pdfdata"})
+
+	emails := pollSrv(t, srv, "new_email", "e", nil)
+	if len(emails) != 1 || emails[0].Ingredients["subject"] != "report" {
+		t.Fatalf("emails = %+v", emails)
+	}
+	atts := pollSrv(t, srv, "new_attachment", "a", nil)
+	if len(atts) != 1 || atts[0].Ingredients["filename"] != "q1.pdf" {
+		t.Fatalf("attachments = %+v", atts)
+	}
+
+	// Cursor: re-poll returns nothing new.
+	if again := pollSrv(t, srv, "new_email", "e", nil); len(again) != 1 {
+		// Buffered event is still retained (engine dedups); the point
+		// is it must not grow.
+		t.Fatalf("re-poll = %d events", len(again))
+	}
+	mail.Deliver("x@y", "other@mail.sim", "not mine", "")
+	if events := pollSrv(t, srv, "new_email", "e", nil); len(events) != 1 {
+		t.Fatalf("foreign account leaked: %d events", len(events))
+	}
+}
+
+func TestGmailServiceSendAction(t *testing.T) {
+	env := testEnv()
+	mail := webapps.NewGmail(env.Clock)
+	svc := NewGmailService(env, mail, "u@mail.sim", nil)
+	code := runAction(t, svc, "send_email", map[string]string{
+		"to": "friend@mail.sim", "subject": "hi", "body": "yo",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("send status = %d", code)
+	}
+	if inbox := mail.Inbox("friend@mail.sim"); len(inbox) != 1 || inbox[0].Subject != "hi" {
+		t.Fatalf("inbox = %+v", inbox)
+	}
+}
+
+func TestGmailServiceScopes(t *testing.T) {
+	env := testEnv()
+	auth := oauth.NewServer(env.Clock, "s", time.Hour)
+	auth.RegisterClient("ifttt", "ck")
+	mail := webapps.NewGmail(env.Clock)
+	svc := NewGmailService(env, mail, "u@mail.sim", auth)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	code := auth.Authorize("u", "ifttt", []string{"email:send"})
+	token, _ := auth.Exchange(code, "ifttt", "ck")
+
+	// new_email needs email:read, which this token lacks.
+	body, _ := json.Marshal(proto.TriggerPollRequest{TriggerIdentity: "i"})
+	req, _ := http.NewRequest("POST", srv.URL+proto.TriggersPath+"new_email", bytes.NewReader(body))
+	req.Header.Set(proto.ServiceKeyHeader, "k")
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("underprivileged poll status = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestDriveService(t *testing.T) {
+	env := testEnv()
+	drive := webapps.NewDrive(env.Clock)
+	svc := NewDriveService(env, drive, "u")
+	srv := subscribe(t, svc, "file_added", "f", nil)
+
+	code := runAction(t, svc, "save_file", map[string]string{
+		"folder": "attachments", "name": "q1.pdf", "content": "data",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("save status = %d", code)
+	}
+	if files := drive.Files("u"); len(files) != 1 || files[0].Name != "q1.pdf" {
+		t.Fatalf("files = %+v", files)
+	}
+	events := pollSrv(t, srv, "file_added", "f", nil)
+	if len(events) != 1 || events[0].Ingredients["name"] != "q1.pdf" {
+		t.Fatalf("events = %+v", events)
+	}
+	if code := runAction(t, svc, "save_file", map[string]string{"folder": "x"}); code == http.StatusOK {
+		t.Fatal("nameless file accepted")
+	}
+}
+
+func TestSheetsService(t *testing.T) {
+	env := testEnv()
+	sheets := webapps.NewSheets(env.Clock, nil)
+	svc := NewSheetsService(env, sheets, "u")
+	code := runAction(t, svc, "add_row", map[string]string{
+		"sheet": "songs", "row": "2017-03-25" + RowSeparator + "Yesterday",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("add_row status = %d", code)
+	}
+	rows := sheets.Rows("u", "songs")
+	if len(rows) != 1 || rows[0][1] != "Yesterday" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if code := runAction(t, svc, "add_row", map[string]string{"row": "x"}); code == http.StatusOK {
+		t.Fatal("sheetless row accepted")
+	}
+}
+
+func TestWeatherService(t *testing.T) {
+	env := testEnv()
+	w := webapps.NewWeather(env.Clock)
+	w.SetCondition("bloomington", "clear")
+	svc := NewWeatherService(env, w)
+	srv := subscribe(t, svc, "condition_changes_to", "rainsub",
+		map[string]string{"condition": "rain", "location": "bloomington"})
+
+	w.SetCondition("bloomington", "rain")
+	w.SetCondition("london", "rain") // other location, filtered at pull
+
+	events := pollSrv(t, srv, "condition_changes_to", "rainsub",
+		map[string]string{"condition": "rain", "location": "bloomington"})
+	if len(events) != 1 || events[0].Ingredients["location"] != "bloomington" {
+		t.Fatalf("events = %+v", events)
+	}
+
+	w.SetCondition("bloomington", "clear") // not rain → filtered
+	events = pollSrv(t, srv, "condition_changes_to", "rainsub",
+		map[string]string{"condition": "rain", "location": "bloomington"})
+	if len(events) != 1 {
+		t.Fatalf("clear leaked through rain filter: %d", len(events))
+	}
+}
+
+func TestRSSService(t *testing.T) {
+	env := testEnv()
+	feed := webapps.NewRSS(env.Clock)
+	svc := NewRSSService(env, feed)
+	srv := subscribe(t, svc, "new_item", "s", nil)
+	feed.Publish("APOD", "http://nasa.sim/1")
+	events := pollSrv(t, srv, "new_item", "s", nil)
+	if len(events) != 1 || events[0].Ingredients["title"] != "APOD" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestOurServiceBridgesLink(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(5)
+	env := &Env{Clock: clock, RNG: rng, ServiceKey: "k"}
+	proxyEnd, serverEnd := homenet.SimPair(clock, stats.Constant(0.02), rng.Split("link"))
+
+	sw := devices.NewWemoSwitch(clock, "wemo-1")
+	hub := devices.NewHueHub(clock, "1")
+	proxy := homenet.NewProxy(proxyEnd)
+	proxy.Register("wemo-1", homenet.AdapterFunc(
+		func(cmd string, args map[string]string) (map[string]string, error) {
+			sw.SetState(cmd == "on", "proxy")
+			return nil, nil
+		}))
+	proxy.Register("hue", homenet.AdapterFunc(
+		func(cmd string, args map[string]string) (map[string]string, error) {
+			on := true
+			return nil, hub.SetLampState(args["lamp"], devices.StateChange{On: &on})
+		}))
+	proxy.Forward(&sw.Bus)
+	proxy.Start()
+
+	svc := NewOurService(OurServiceConfig{Env: env, Link: serverEnd})
+
+	// Everything runs inside the simulation: the service is a simnet
+	// host, the "engine" is a simnet client in the root actor.
+	net := simnet.New(clock, rng.Split("net"))
+	net.AddHost("ourservice.sim", svc.Handler())
+
+	simPoll := func(slug, identity string) []proto.TriggerEvent {
+		body, _ := json.Marshal(proto.TriggerPollRequest{TriggerIdentity: identity})
+		req, _ := http.NewRequest("POST", "http://ourservice.sim"+proto.TriggersPath+slug, bytes.NewReader(body))
+		req.Header.Set(proto.ServiceKeyHeader, "k")
+		resp, err := net.Client("engine.sim").Do(req)
+		if err != nil {
+			t.Errorf("poll: %v", err)
+			return nil
+		}
+		defer resp.Body.Close()
+		var out proto.TriggerPollResponse
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out.Data
+	}
+
+	clock.Run(func() {
+		// Subscribe, fire the switch physically, poll the buffered event.
+		simPoll("wemo_switched_on", "s")
+		sw.Press()
+		clock.Sleep(time.Second)
+		events := simPoll("wemo_switched_on", "s")
+		if len(events) != 1 {
+			t.Errorf("events = %+v", events)
+		}
+
+		// Action through the proxy.
+		body, _ := json.Marshal(proto.ActionRequest{ActionFields: map[string]string{"lamp": "1"}})
+		req, _ := http.NewRequest("POST", "http://ourservice.sim"+proto.ActionsPath+"hue_set_state", bytes.NewReader(body))
+		req.Header.Set(proto.ServiceKeyHeader, "k")
+		resp, err := net.Client("engine.sim").Do(req)
+		if err != nil {
+			t.Errorf("action: %v", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("action status = %d", resp.StatusCode)
+		}
+	})
+
+	if s, _ := hub.LampState("1"); !s.On {
+		t.Fatal("lamp not turned on through proxy")
+	}
+}
+
+func TestNestService(t *testing.T) {
+	env := testEnv()
+	th := devices.NewThermostat(env.Clock, "nest-1")
+	svc := NewNestService(env, th)
+	srv := subscribe(t, svc, "temperature_rises_above", "hot",
+		map[string]string{"threshold": "28"})
+
+	th.SetAmbient(25) // below threshold
+	th.SetAmbient(30) // above
+	events := pollSrv(t, srv, "temperature_rises_above", "hot",
+		map[string]string{"threshold": "28"})
+	if len(events) != 1 || events[0].Ingredients["temperature"] != "30.0" {
+		t.Fatalf("events = %+v", events)
+	}
+
+	if code := runAction(t, svc, "set_temperature", map[string]string{"temperature": "18.5"}); code != http.StatusOK {
+		t.Fatalf("set_temperature status = %d", code)
+	}
+	if th.Setpoint() != 18.5 {
+		t.Fatalf("setpoint = %.1f", th.Setpoint())
+	}
+	if code := runAction(t, svc, "set_temperature", map[string]string{"temperature": "toasty"}); code == http.StatusOK {
+		t.Fatal("bad temperature accepted")
+	}
+}

@@ -1,0 +1,248 @@
+package services
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/oauth"
+	"repro/internal/proto"
+	"repro/internal/service"
+	"repro/internal/webapps"
+)
+
+// cursorSet tracks per-subscription pull cursors for pull-mode triggers.
+type cursorSet struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newCursorSet() *cursorSet { return &cursorSet{m: make(map[string]int64)} }
+
+// swap returns the stored cursor for identity and replaces it with next
+// once computed by fn.
+func (c *cursorSet) pull(identity string, fn func(since int64) ([]map[string]string, int64)) []map[string]string {
+	c.mu.Lock()
+	since := c.m[identity]
+	c.mu.Unlock()
+	events, next := fn(since)
+	c.mu.Lock()
+	if next > c.m[identity] {
+		c.m[identity] = next
+	}
+	c.mu.Unlock()
+	return events
+}
+
+// GmailScopes are the OAuth scopes the Gmail service defines. The
+// service-level permission model (§6) grants all of them to any
+// connected applet; internal/perm quantifies the resulting
+// over-privilege.
+var GmailScopes = []string{"email:read", "email:send", "email:delete", "email:manage"}
+
+// NewGmailService builds the Gmail partner service for one account:
+// pull-mode new_email and new_attachment triggers (the testbed polls web
+// apps, §2.2) and a send_email action.
+func NewGmailService(env *Env, mail *webapps.Gmail, account string, auth *oauth.Server) *service.Service {
+	svc := service.New(service.Config{
+		Name: "gmail", Clock: env.Clock, ServiceKey: env.ServiceKey, OAuth: auth,
+	})
+
+	newEmail := newCursorSet()
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug:  "new_email",
+		Scope: "email:read",
+		Check: func(identity string, fields map[string]string) []map[string]string {
+			return newEmail.pull(identity, func(since int64) ([]map[string]string, int64) {
+				emails, next := mail.InboxSince(account, since)
+				out := make([]map[string]string, 0, len(emails))
+				for _, em := range emails {
+					out = append(out, map[string]string{
+						"from":    em.From,
+						"subject": em.Subject,
+						"body":    em.Body,
+					})
+				}
+				return out, next
+			})
+		},
+	})
+
+	newAtt := newCursorSet()
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug:  "new_attachment",
+		Scope: "email:read",
+		Check: func(identity string, fields map[string]string) []map[string]string {
+			return newAtt.pull(identity, func(since int64) ([]map[string]string, int64) {
+				emails, next := mail.InboxSince(account, since)
+				var out []map[string]string
+				for _, em := range emails {
+					for _, att := range em.Attachments {
+						out = append(out, map[string]string{
+							"from":     em.From,
+							"subject":  em.Subject,
+							"filename": att.Name,
+							"content":  att.Content,
+						})
+					}
+				}
+				return out, next
+			})
+		},
+	})
+
+	svc.RegisterAction(service.ActionSpec{
+		Slug:  "send_email",
+		Scope: "email:send",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			to := fields["to"]
+			if to == "" {
+				to = account
+			}
+			mail.Deliver(account, to, fields["subject"], fields["body"])
+			return nil
+		},
+	})
+	return svc
+}
+
+// NewDriveService builds the Google Drive partner service: a save_file
+// action (applet A4 stores Gmail attachments through it) and a
+// file_added trigger.
+func NewDriveService(env *Env, drive *webapps.Drive, account string) *service.Service {
+	svc := service.New(service.Config{
+		Name: "gdrive", Clock: env.Clock, ServiceKey: env.ServiceKey,
+	})
+	fileAdded := newCursorSet()
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug: "file_added",
+		Check: func(identity string, fields map[string]string) []map[string]string {
+			return fileAdded.pull(identity, func(since int64) ([]map[string]string, int64) {
+				var out []map[string]string
+				next := since
+				for _, f := range drive.Files(account) {
+					if f.ID > since {
+						out = append(out, map[string]string{
+							"name": f.Name, "folder": f.Folder,
+						})
+						if f.ID > next {
+							next = f.ID
+						}
+					}
+				}
+				return out, next
+			})
+		},
+	})
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "save_file",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			if fields["name"] == "" {
+				return fmt.Errorf("gdrive: file name required")
+			}
+			drive.Save(account, fields["folder"], fields["name"], fields["content"])
+			return nil
+		},
+	})
+	return svc
+}
+
+// RowSeparator splits the "row" action field of the Sheets add_row
+// action into cells.
+const RowSeparator = "|||"
+
+// NewSheetsService builds the Google Sheets partner service: an add_row
+// action (applets A1 and A7 log events through it) and a push-mode
+// row_added trigger (which makes the §4 explicit infinite loop — new
+// email → add row, new row → send email — expressible, exactly as on
+// the real platform).
+func NewSheetsService(env *Env, sheets *webapps.Sheets, account string) *service.Service {
+	svc := service.New(service.Config{
+		Name: "gsheets", Clock: env.Clock, ServiceKey: env.ServiceKey,
+	})
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug: "row_added",
+		Match: func(fields, ingredients map[string]string) bool {
+			want := fields["sheet"]
+			return want == "" || want == ingredients["sheet"]
+		},
+	})
+	sheets.OnAppend(func(user, sheet string, cells []string) {
+		if user != account {
+			return
+		}
+		row := strings.Join(cells, " ")
+		svc.Publish("row_added", map[string]string{"sheet": sheet, "row": row})
+	})
+	svc.RegisterAction(service.ActionSpec{
+		Slug: "add_row",
+		Execute: func(fields map[string]string, _ proto.UserInfo) error {
+			sheet := fields["sheet"]
+			if sheet == "" {
+				return fmt.Errorf("gsheets: sheet field required")
+			}
+			sheets.AppendRow(account, sheet, strings.Split(fields["row"], RowSeparator))
+			return nil
+		},
+	})
+	return svc
+}
+
+// NewWeatherService builds the weather partner service (Table 1
+// category 7): a pull-mode condition_changes_to trigger ("it starts to
+// rain").
+func NewWeatherService(env *Env, weather *webapps.Weather) *service.Service {
+	svc := service.New(service.Config{
+		Name: "weather", Clock: env.Clock, ServiceKey: env.ServiceKey,
+	})
+	cur := newCursorSet()
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug: "condition_changes_to",
+		// The condition field filters at match time; location filters
+		// at pull time.
+		Match: func(fields, ingredients map[string]string) bool {
+			want := fields["condition"]
+			return want == "" || want == ingredients["condition"]
+		},
+		Check: func(identity string, fields map[string]string) []map[string]string {
+			return cur.pull(identity, func(since int64) ([]map[string]string, int64) {
+				changes, next := weather.ChangesSince(fields["location"], since)
+				var out []map[string]string
+				for _, ch := range changes {
+					if fields["condition"] != "" && ch.Condition != fields["condition"] {
+						continue
+					}
+					out = append(out, map[string]string{
+						"location":  ch.Location,
+						"condition": ch.Condition,
+					})
+				}
+				return out, next
+			})
+		},
+	})
+	return svc
+}
+
+// NewRSSService builds the RSS partner service (Table 1 category 8): a
+// pull-mode new_item trigger.
+func NewRSSService(env *Env, feed *webapps.RSS) *service.Service {
+	svc := service.New(service.Config{
+		Name: "rss", Clock: env.Clock, ServiceKey: env.ServiceKey,
+	})
+	cur := newCursorSet()
+	svc.RegisterTrigger(service.TriggerSpec{
+		Slug: "new_item",
+		Check: func(identity string, fields map[string]string) []map[string]string {
+			return cur.pull(identity, func(since int64) ([]map[string]string, int64) {
+				items, next := feed.ItemsSince(since)
+				out := make([]map[string]string, 0, len(items))
+				for _, it := range items {
+					out = append(out, map[string]string{"title": it.Title, "url": it.URL})
+				}
+				return out, next
+			})
+		},
+	})
+	return svc
+}

@@ -1,0 +1,317 @@
+// Package simnet provides an in-process network for the simulated
+// testbed. Hosts are named endpoints carrying an http.Handler; links
+// between hosts have configurable latency distributions and loss
+// probability. A Client bound to a source host implements the same Doer
+// interface as *http.Client, so protocol code cannot tell whether it is
+// running over loopback TCP or inside the simulator.
+//
+// Request latency is modelled at message granularity (one delay for the
+// request, one for the response), which is the right fidelity for the
+// paper's experiments: trigger-to-action latency is dominated by the
+// IFTTT engine's multi-minute polling gap, with network transfer
+// contributing tens of milliseconds (Table 5).
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Link describes one direction of connectivity between two hosts.
+type Link struct {
+	// Latency is the one-way message delay in seconds. A nil Latency
+	// means instantaneous delivery.
+	Latency stats.Dist
+	// Loss is the probability that a message disappears. A lost
+	// request or response surfaces to the caller as a timeout error
+	// after Timeout.
+	Loss float64
+	// Timeout bounds how long a caller waits before a lost message is
+	// reported. Zero means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// DefaultTimeout is used for lost messages when a Link does not set one.
+const DefaultTimeout = 30 * time.Second
+
+// LAN returns a link with sub-millisecond jittery latency, approximating
+// a home network segment.
+func LAN() Link {
+	return Link{Latency: stats.Uniform{Lo: 0.0002, Hi: 0.002}}
+}
+
+// WAN returns a link with tens-of-milliseconds latency, approximating a
+// residential Internet path to a cloud service.
+func WAN() Link {
+	return Link{Latency: stats.Clamped{
+		D:  stats.Lognormal{Median: 0.030, Sigma: 0.35},
+		Lo: 0.005, Hi: 0.5,
+	}}
+}
+
+// Network is a collection of named hosts and the links between them.
+// Methods are safe for concurrent use by actors.
+type Network struct {
+	clock simtime.Clock
+
+	mu          sync.Mutex
+	rng         *stats.RNG
+	hosts       map[string]*host
+	links       map[[2]string]Link
+	defaultLink Link
+}
+
+type host struct {
+	name    string
+	handler http.Handler
+	down    bool
+}
+
+// New creates an empty network on the given clock. All draws (latency,
+// loss) come from rng, so a seeded network is fully reproducible.
+func New(clock simtime.Clock, rng *stats.RNG) *Network {
+	return &Network{
+		clock:       clock,
+		rng:         rng,
+		hosts:       make(map[string]*host),
+		links:       make(map[[2]string]Link),
+		defaultLink: WAN(),
+	}
+}
+
+// SetDefaultLink sets the link used for host pairs without an explicit
+// SetLink entry.
+func (n *Network) SetDefaultLink(l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultLink = l
+}
+
+// AddHost registers a named host serving handler. Registering an existing
+// name replaces its handler (useful for the paper's E1/E2 service
+// substitutions).
+func (n *Network) AddHost(name string, handler http.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.hosts[name]
+	if h == nil {
+		h = &host{name: name}
+		n.hosts[name] = h
+	}
+	h.handler = handler
+}
+
+// SetHostDown marks a host unreachable (connection errors) or restores
+// it. Used for failure-injection tests.
+func (n *Network) SetHostDown(name string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[name]; ok {
+		h.down = down
+	}
+}
+
+// SetLink sets the link used for messages from host `from` to host `to`
+// (one direction).
+func (n *Network) SetLink(from, to string, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{from, to}] = l
+}
+
+// SetLinkBoth sets both directions between two hosts.
+func (n *Network) SetLinkBoth(a, b string, l Link) {
+	n.SetLink(a, b, l)
+	n.SetLink(b, a, l)
+}
+
+func (n *Network) linkFor(from, to string) Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[[2]string{from, to}]; ok {
+		return l
+	}
+	return n.defaultLink
+}
+
+// draw samples the one-way delay and loss outcome for a message.
+func (n *Network) draw(l Link) (delay time.Duration, lost bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l.Latency != nil {
+		delay = stats.SampleDuration(l.Latency, n.rng)
+	}
+	lost = l.Loss > 0 && n.rng.Float64() < l.Loss
+	return delay, lost
+}
+
+// Client returns an HTTP client that issues requests from the named
+// source host. The request's URL host (minus any port) selects the
+// destination.
+func (n *Network) Client(from string) *Client {
+	return &Client{net: n, from: from}
+}
+
+// Client issues simulated HTTP requests from a fixed source host. It
+// satisfies the httpx.Doer interface.
+type Client struct {
+	net  *Network
+	from string
+}
+
+// Do delivers the request through the simulated network: request delay,
+// handler execution on the destination host (as its own actor), response
+// delay. The calling goroutine must be an actor of the network's clock.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	n := c.net
+	dest := req.URL.Hostname()
+	if dest == "" {
+		dest = req.URL.Host
+	}
+
+	n.mu.Lock()
+	h, ok := n.hosts[dest]
+	down := ok && h.down
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simnet: no route to host %q", dest)
+	}
+	if down {
+		return nil, fmt.Errorf("simnet: connect %s: host down", dest)
+	}
+
+	fwd := n.linkFor(c.from, dest)
+	rev := n.linkFor(dest, c.from)
+
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("simnet: read request body: %w", err)
+		}
+	}
+
+	reqDelay, reqLost := n.draw(fwd)
+	if reqLost {
+		n.clock.Sleep(timeoutOf(fwd))
+		return nil, fmt.Errorf("simnet: %s -> %s: request lost (timeout)", c.from, dest)
+	}
+
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	var res result
+	gate := n.clock.NewGate()
+
+	n.clock.AfterFunc(reqDelay, func() {
+		// Re-check host state at delivery time: it may have gone
+		// down while the request was in flight.
+		n.mu.Lock()
+		handler := h.handler
+		down := h.down
+		n.mu.Unlock()
+		if down || handler == nil {
+			res.err = fmt.Errorf("simnet: %s: host down", dest)
+			gate.Open()
+			return
+		}
+
+		srvReq := req.Clone(context.Background())
+		srvReq.RemoteAddr = c.from + ":0"
+		srvReq.RequestURI = req.URL.RequestURI()
+		if body != nil {
+			srvReq.Body = io.NopCloser(bytes.NewReader(body))
+			srvReq.ContentLength = int64(len(body))
+		} else {
+			srvReq.Body = http.NoBody
+		}
+
+		rec := newRecorder()
+		handler.ServeHTTP(rec, srvReq)
+		resp := rec.result(req)
+
+		respDelay, respLost := n.draw(rev)
+		if respLost {
+			res.err = fmt.Errorf("simnet: %s -> %s: response lost (timeout)", dest, c.from)
+			n.clock.AfterFunc(timeoutOf(rev), gate.Open)
+			return
+		}
+		n.clock.AfterFunc(respDelay, func() {
+			res.resp = resp
+			gate.Open()
+		})
+	})
+
+	gate.Wait()
+	return res.resp, res.err
+}
+
+func timeoutOf(l Link) time.Duration {
+	if l.Timeout > 0 {
+		return l.Timeout
+	}
+	return DefaultTimeout
+}
+
+// recorder is a minimal http.ResponseWriter capturing status, headers,
+// and body. We do not use net/http/httptest here to keep test-only
+// packages out of the library's import graph.
+type recorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+	wrote  bool
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: http.StatusOK, header: make(http.Header)}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.body.Write(p)
+}
+
+func (r *recorder) result(req *http.Request) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", r.status, http.StatusText(r.status)),
+		StatusCode:    r.status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        r.header.Clone(),
+		Body:          io.NopCloser(bytes.NewReader(r.body.Bytes())),
+		ContentLength: int64(r.body.Len()),
+		Request:       req,
+	}
+}
+
+// HostOf extracts the bare host from an addr of the form "host" or
+// "host:port"; a convenience for components that log peers.
+func HostOf(addr string) string {
+	if i := strings.IndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}

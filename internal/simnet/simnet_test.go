@@ -1,0 +1,223 @@
+package simnet
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+func echoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("X-Echo-Path", r.URL.Path)
+		w.WriteHeader(http.StatusCreated)
+		w.Write(body)
+	})
+}
+
+func TestRoundTripDeliversRequestAndResponse(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	net := New(clock, stats.NewRNG(1))
+	net.AddHost("api.example.sim", echoHandler())
+
+	clock.Run(func() {
+		client := net.Client("laptop")
+		req, _ := http.NewRequest("POST", "http://api.example.sim/v1/echo", strings.NewReader("hello"))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Errorf("Do: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Errorf("status = %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Echo-Path"); got != "/v1/echo" {
+			t.Errorf("echo path = %q", got)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if string(body) != "hello" {
+			t.Errorf("body = %q", body)
+		}
+	})
+}
+
+func TestLatencyIsApplied(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	net := New(clock, stats.NewRNG(2))
+	net.AddHost("slow.sim", echoHandler())
+	net.SetLinkBoth("laptop", "slow.sim", Link{Latency: stats.Constant(1.5)})
+
+	clock.Run(func() {
+		start := clock.Now()
+		req, _ := http.NewRequest("GET", "http://slow.sim/", nil)
+		if _, err := net.Client("laptop").Do(req); err != nil {
+			t.Errorf("Do: %v", err)
+			return
+		}
+		if got := clock.Since(start); got != 3*time.Second {
+			t.Errorf("round trip took %v of virtual time, want 3s", got)
+		}
+	})
+}
+
+func TestUnknownHost(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	net := New(clock, stats.NewRNG(3))
+	clock.Run(func() {
+		req, _ := http.NewRequest("GET", "http://nowhere.sim/", nil)
+		if _, err := net.Client("laptop").Do(req); err == nil {
+			t.Error("expected no-route error")
+		}
+	})
+}
+
+func TestHostDown(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	net := New(clock, stats.NewRNG(4))
+	net.AddHost("api.sim", echoHandler())
+	net.SetHostDown("api.sim", true)
+	clock.Run(func() {
+		req, _ := http.NewRequest("GET", "http://api.sim/", nil)
+		if _, err := net.Client("laptop").Do(req); err == nil {
+			t.Error("expected host-down error")
+		}
+	})
+	// Restore and verify recovery.
+	net.SetHostDown("api.sim", false)
+	clock.Run(func() {
+		req, _ := http.NewRequest("GET", "http://api.sim/", nil)
+		if _, err := net.Client("laptop").Do(req); err != nil {
+			t.Errorf("after recovery: %v", err)
+		}
+	})
+}
+
+func TestLossSurfacesAsTimeout(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	net := New(clock, stats.NewRNG(5))
+	net.AddHost("api.sim", echoHandler())
+	net.SetLink("laptop", "api.sim", Link{Loss: 1, Timeout: 7 * time.Second})
+
+	clock.Run(func() {
+		start := clock.Now()
+		req, _ := http.NewRequest("GET", "http://api.sim/", nil)
+		_, err := net.Client("laptop").Do(req)
+		if err == nil {
+			t.Error("expected loss error")
+		}
+		if got := clock.Since(start); got != 7*time.Second {
+			t.Errorf("timeout after %v, want 7s", got)
+		}
+	})
+}
+
+func TestHandlerReplacement(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	net := New(clock, stats.NewRNG(6))
+	net.AddHost("svc.sim", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	net.AddHost("svc.sim", echoHandler()) // replacement, as in E1/E2
+	clock.Run(func() {
+		req, _ := http.NewRequest("GET", "http://svc.sim/", nil)
+		resp, err := net.Client("x").Do(req)
+		if err != nil {
+			t.Errorf("Do: %v", err)
+			return
+		}
+		if resp.StatusCode == http.StatusTeapot {
+			t.Error("old handler still active after replacement")
+		}
+	})
+}
+
+func TestConcurrentClientsShareVirtualTime(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	net := New(clock, stats.NewRNG(7))
+	net.AddHost("api.sim", echoHandler())
+	net.SetDefaultLink(Link{Latency: stats.Constant(0.5)})
+
+	clock.Run(func() {
+		done := clock.NewGate()
+		remaining := 10
+		for i := 0; i < 10; i++ {
+			clock.Go(func() {
+				req, _ := http.NewRequest("GET", "http://api.sim/", nil)
+				if _, err := net.Client("c").Do(req); err != nil {
+					t.Errorf("Do: %v", err)
+				}
+				net.mu.Lock()
+				remaining--
+				if remaining == 0 {
+					done.Open()
+				}
+				net.mu.Unlock()
+			})
+		}
+		start := clock.Now()
+		done.Wait()
+		// All ten requests run concurrently: total virtual time is one
+		// round trip, not ten.
+		if got := clock.Since(start); got != time.Second {
+			t.Errorf("10 concurrent RTTs took %v, want 1s", got)
+		}
+	})
+}
+
+func TestHandlerCanIssueNestedRequests(t *testing.T) {
+	// A handler on one host calling another host must not deadlock the
+	// virtual clock (handlers run as actors).
+	clock := simtime.NewSimDefault()
+	net := New(clock, stats.NewRNG(8))
+	net.AddHost("backend.sim", echoHandler())
+	net.AddHost("front.sim", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, _ := http.NewRequest("POST", "http://backend.sim/nested", strings.NewReader("inner"))
+		resp, err := net.Client("front.sim").Do(req)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		w.Write(body)
+	}))
+
+	clock.Run(func() {
+		req, _ := http.NewRequest("GET", "http://front.sim/", nil)
+		resp, err := net.Client("laptop").Do(req)
+		if err != nil {
+			t.Errorf("Do: %v", err)
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if string(body) != "inner" {
+			t.Errorf("nested body = %q", body)
+		}
+	})
+}
+
+func TestLinkPresets(t *testing.T) {
+	g := stats.NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		lan := LAN().Latency.Sample(g)
+		if lan < 0.0002 || lan >= 0.002 {
+			t.Fatalf("LAN latency %v out of range", lan)
+		}
+		wan := WAN().Latency.Sample(g)
+		if wan < 0.005 || wan > 0.5 {
+			t.Fatalf("WAN latency %v out of range", wan)
+		}
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	if HostOf("a.sim:80") != "a.sim" || HostOf("b.sim") != "b.sim" {
+		t.Error("HostOf parsing wrong")
+	}
+}

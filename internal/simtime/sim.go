@@ -1,0 +1,358 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SimClock is a discrete-event virtual clock. It tracks a population of
+// actor goroutines; whenever every actor is blocked in a clock primitive,
+// the clock jumps to the earliest pending timer and fires it. A full
+// experiment that spans days of virtual time therefore completes in the
+// real time it takes to execute its events.
+//
+// See the package comment for the actor discipline that simulated code
+// must follow.
+type SimClock struct {
+	mu       sync.Mutex
+	now      time.Time
+	actors   int // live actor goroutines
+	runnable int // actors not blocked in a clock primitive
+	timers   timerHeap
+	seq      uint64
+	quiesce  chan struct{} // closed when actors==0 and no timers remain
+	deadlock string        // non-empty once the simulation has deadlocked
+}
+
+// NewSim returns a virtual clock whose time starts at start.
+func NewSim(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// DefaultStart is the virtual epoch used by NewSimDefault. It matches the
+// reference snapshot date of the paper's dataset (2017-03-25).
+var DefaultStart = time.Date(2017, time.March, 25, 0, 0, 0, 0, time.UTC)
+
+// NewSimDefault returns a virtual clock starting at DefaultStart.
+func NewSimDefault() *SimClock { return NewSim(DefaultStart) }
+
+// Now returns the current virtual time.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (c *SimClock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// Run executes f as the root actor and blocks until the whole simulation
+// quiesces: every actor (including those f spawned transitively) has
+// returned and no timer remains pending. Only one Run may be active at a
+// time.
+func (c *SimClock) Run(f func()) {
+	done := make(chan struct{})
+	c.mu.Lock()
+	if c.quiesce != nil {
+		c.mu.Unlock()
+		panic("simtime: concurrent SimClock.Run")
+	}
+	c.quiesce = done
+	c.spawnLocked(f)
+	c.mu.Unlock()
+	<-done
+	c.mu.Lock()
+	err := c.deadlock
+	c.mu.Unlock()
+	if err != "" {
+		panic(err)
+	}
+}
+
+// Go runs f as a new actor. When called from outside Run, the actor joins
+// the population that the next Run call will wait for.
+func (c *SimClock) Go(f func()) {
+	c.mu.Lock()
+	c.spawnLocked(f)
+	c.mu.Unlock()
+}
+
+// Sleep pauses the calling actor for d of virtual time.
+func (c *SimClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.addTimerLocked(d, func() {
+		c.runnable++
+		close(ch)
+	})
+	c.blockLocked()
+	c.mu.Unlock()
+	<-ch
+}
+
+// AfterFunc schedules f to run as a new actor once d of virtual time has
+// elapsed.
+func (c *SimClock) AfterFunc(d time.Duration, f func()) Handle {
+	c.mu.Lock()
+	t := c.addTimerLocked(d, func() {
+		c.spawnLocked(f)
+	})
+	c.mu.Unlock()
+	return &simHandle{c: c, t: t}
+}
+
+type simHandle struct {
+	c *SimClock
+	t *simTimer
+}
+
+func (h *simHandle) Stop() bool {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	if h.t.idx < 0 {
+		return false
+	}
+	heap.Remove(&h.c.timers, h.t.idx)
+	return true
+}
+
+// NewGate returns a one-shot gate bound to this clock.
+func (c *SimClock) NewGate() Gate { return &simGate{c: c, ch: make(chan struct{})} }
+
+type simGate struct {
+	c       *SimClock
+	opened  bool
+	waiters int
+	ch      chan struct{}
+}
+
+func (g *simGate) Wait() {
+	g.c.mu.Lock()
+	if g.opened {
+		g.c.mu.Unlock()
+		return
+	}
+	g.waiters++
+	g.c.blockLocked()
+	g.c.mu.Unlock()
+	<-g.ch
+}
+
+func (g *simGate) Open() {
+	g.c.mu.Lock()
+	if !g.opened {
+		g.opened = true
+		g.c.runnable += g.waiters
+		g.waiters = 0
+		close(g.ch)
+	}
+	g.c.mu.Unlock()
+}
+
+func (g *simGate) Opened() bool {
+	g.c.mu.Lock()
+	defer g.c.mu.Unlock()
+	return g.opened
+}
+
+// NewStopper returns a cancellation source bound to this clock.
+func (c *SimClock) NewStopper() Stopper { return &simStopper{c: c} }
+
+type simStopper struct {
+	c       *SimClock
+	stopped bool
+	waiters []*stopWaiter
+}
+
+type stopWaiter struct {
+	t      *simTimer
+	ch     chan struct{}
+	result *bool
+}
+
+func (s *simStopper) Stop() {
+	s.c.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		for _, w := range s.waiters {
+			if w.t.idx >= 0 {
+				heap.Remove(&s.c.timers, w.t.idx)
+			}
+			*w.result = false
+			s.c.runnable++
+			close(w.ch)
+		}
+		s.waiters = nil
+	}
+	s.c.mu.Unlock()
+}
+
+func (s *simStopper) Stopped() bool {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return s.stopped
+}
+
+// SleepOrStop sleeps for d of virtual time, returning early with false if
+// s is stopped first.
+func (c *SimClock) SleepOrStop(st Stopper, d time.Duration) bool {
+	s, ok := st.(*simStopper)
+	if !ok || s.c != c {
+		panic("simtime: stopper from a different clock")
+	}
+	c.mu.Lock()
+	if s.stopped {
+		c.mu.Unlock()
+		return false
+	}
+	if d <= 0 {
+		c.mu.Unlock()
+		return true
+	}
+	result := true
+	ch := make(chan struct{})
+	w := &stopWaiter{ch: ch, result: &result}
+	w.t = c.addTimerLocked(d, func() {
+		c.runnable++
+		s.unwatchLocked(w)
+		close(ch)
+	})
+	s.waiters = append(s.waiters, w)
+	c.blockLocked()
+	c.mu.Unlock()
+	<-ch
+	return result
+}
+
+func (s *simStopper) unwatchLocked(w *stopWaiter) {
+	for i, x := range s.waiters {
+		if x == w {
+			last := len(s.waiters) - 1
+			s.waiters[i] = s.waiters[last]
+			s.waiters = s.waiters[:last]
+			return
+		}
+	}
+}
+
+// --- internals -------------------------------------------------------
+
+// spawnLocked starts f as a tracked actor. Caller holds mu.
+func (c *SimClock) spawnLocked(f func()) {
+	c.actors++
+	c.runnable++
+	go func() {
+		defer c.exit()
+		f()
+	}()
+}
+
+// exit records the end of an actor and, if it was the last runnable one,
+// advances time so blocked peers can make progress.
+func (c *SimClock) exit() {
+	c.mu.Lock()
+	c.actors--
+	c.runnable--
+	c.maybeAdvanceLocked()
+	if c.actors == 0 && len(c.timers) == 0 && c.quiesce != nil {
+		close(c.quiesce)
+		c.quiesce = nil
+	}
+	c.mu.Unlock()
+}
+
+// blockLocked marks the calling actor as blocked and advances virtual
+// time if it was the last runnable one. Caller holds mu and must block on
+// its wake channel after releasing it.
+func (c *SimClock) blockLocked() {
+	c.runnable--
+	c.maybeAdvanceLocked()
+}
+
+// maybeAdvanceLocked fires due timers, jumping virtual time forward,
+// until at least one actor is runnable again (or the simulation has fully
+// quiesced). When every actor is blocked with no pending timer — a
+// genuine deadlock in the simulated program — it poisons the clock; the
+// active Run call then panics in its caller with a diagnostic. The
+// deadlocked actors are left parked, as there is no safe way to unwind
+// them.
+func (c *SimClock) maybeAdvanceLocked() {
+	if c.deadlock != "" {
+		return
+	}
+	for c.runnable == 0 {
+		if len(c.timers) == 0 {
+			if c.actors == 0 {
+				return
+			}
+			c.deadlock = fmt.Sprintf(
+				"simtime: deadlock — %d actor(s) blocked with no pending timers at %s",
+				c.actors, c.now.Format(time.RFC3339Nano))
+			if c.quiesce != nil {
+				close(c.quiesce)
+				c.quiesce = nil
+			}
+			return
+		}
+		t := heap.Pop(&c.timers).(*simTimer)
+		if t.when.After(c.now) {
+			c.now = t.when
+		}
+		t.fire()
+	}
+}
+
+// addTimerLocked registers fire to be invoked (with mu held) at now+d.
+func (c *SimClock) addTimerLocked(d time.Duration, fire func()) *simTimer {
+	c.seq++
+	t := &simTimer{when: c.now.Add(d), seq: c.seq, fire: fire}
+	heap.Push(&c.timers, t)
+	return t
+}
+
+type simTimer struct {
+	when time.Time
+	seq  uint64 // FIFO tie-break for equal deadlines
+	fire func() // invoked with the clock mutex held; must not block
+	idx  int    // heap index, -1 once popped/removed
+}
+
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}

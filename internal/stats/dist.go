@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// Dist is a sampleable distribution over float64.
+type Dist interface {
+	// Sample draws one value using g.
+	Sample(g *RNG) float64
+}
+
+// Constant is a degenerate distribution that always yields V.
+type Constant float64
+
+// Sample returns the constant value.
+func (c Constant) Sample(*RNG) float64 { return float64(c) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws uniformly from [Lo, Hi).
+func (u Uniform) Sample(g *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*g.Float64() }
+
+// Exponential has the given Mean (rate = 1/Mean).
+type Exponential struct {
+	Mean float64
+}
+
+// Sample draws an exponential value.
+func (e Exponential) Sample(g *RNG) float64 { return e.Mean * g.ExpFloat64() }
+
+// Lognormal is parameterized by the median of the distribution and the
+// shape σ of the underlying normal. Median parametrization is more
+// intuitive than μ when calibrating latency models: half the draws fall
+// below Median regardless of σ.
+type Lognormal struct {
+	Median float64 // e^μ
+	Sigma  float64
+}
+
+// Sample draws a lognormal value.
+func (l Lognormal) Sample(g *RNG) float64 {
+	return l.Median * math.Exp(l.Sigma*g.NormFloat64())
+}
+
+// Mean returns the analytic mean of the lognormal.
+func (l Lognormal) Mean() float64 {
+	return l.Median * math.Exp(l.Sigma*l.Sigma/2)
+}
+
+// Clamped restricts another distribution to [Lo, Hi].
+type Clamped struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// Sample draws from D and clamps into [Lo, Hi].
+func (c Clamped) Sample(g *RNG) float64 {
+	v := c.D.Sample(g)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Mixture draws from Components[i] with probability Weights[i]. Weights
+// need not sum to one; they are normalized.
+type Mixture struct {
+	Weights    []float64
+	Components []Dist
+}
+
+// Sample picks a component by weight and samples it.
+func (m Mixture) Sample(g *RNG) float64 {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := g.Float64() * total
+	for i, w := range m.Weights {
+		x -= w
+		if x < 0 {
+			return m.Components[i].Sample(g)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(g)
+}
+
+// Duration converts a non-negative float64 sample, interpreted as
+// seconds, into a time.Duration.
+func Duration(seconds float64) time.Duration {
+	if seconds < 0 {
+		seconds = 0
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// SampleDuration draws from d, interpreting the value as seconds.
+func SampleDuration(d Dist, g *RNG) time.Duration {
+	return Duration(d.Sample(g))
+}

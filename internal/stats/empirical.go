@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. It copies xs, so the input is
+// not reordered. It panics on an empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the total of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the smallest element of xs. It panics on an empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary bundles the order statistics the paper reports for latency
+// distributions.
+type Summary struct {
+	N                  int
+	Min, P25, P50, P75 float64
+	P90, P99, Max      float64
+	Mean               float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty input.
+func Summarize(xs []float64) Summary {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		P25:  percentileSorted(s, 25),
+		P50:  percentileSorted(s, 50),
+		P75:  percentileSorted(s, 75),
+		P90:  percentileSorted(s, 90),
+		P99:  percentileSorted(s, 99),
+		Max:  s[len(s)-1],
+		Mean: Mean(s),
+	}
+}
+
+// String renders the summary with second precision, the unit used
+// throughout the paper's latency figures.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f p25=%.2f p50=%.2f p75=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f",
+		s.N, s.Min, s.P25, s.P50, s.P75, s.P90, s.P99, s.Max, s.Mean)
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // fraction of samples ≤ X
+}
+
+// CDF returns the empirical CDF of xs as an ascending sequence of steps,
+// one per distinct value.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pts := make([]CDFPoint, 0, len(s))
+	n := float64(len(s))
+	for i := 0; i < len(s); i++ {
+		// Collapse runs of equal values into the final step.
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		pts = append(pts, CDFPoint{X: s[i], P: float64(i+1) / n})
+	}
+	return pts
+}
+
+// Durations converts a slice of time.Duration to float64 seconds, the
+// unit used by the analysis and plotting helpers.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// TopShare reports the fraction of the total mass held by the top
+// `frac` proportion of items (e.g. frac=0.01 → share of the top 1%).
+// Values are sorted descending internally. It panics if frac is outside
+// (0, 1] or xs is empty.
+func TopShare(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: TopShare of empty slice")
+	}
+	if frac <= 0 || frac > 1 {
+		panic("stats: TopShare fraction out of range")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	k := int(math.Ceil(frac * float64(len(s))))
+	if k < 1 {
+		k = 1
+	}
+	total := Sum(s)
+	if total == 0 {
+		return 0
+	}
+	return Sum(s[:k]) / total
+}
+
+// Gini computes the Gini coefficient of xs (0 = perfectly equal,
+// → 1 = maximally concentrated). It panics on an empty input.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Gini of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var cum, weighted float64
+	for i, x := range s {
+		cum += x
+		weighted += float64(i+1) * x
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - (n+1)*cum) / (n * cum)
+}
+
+// Histogram counts xs into nbins equal-width bins spanning [lo, hi).
+// Values outside the range are clamped into the first or last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram of xs. It panics if nbins < 1 or
+// hi ≤ lo.
+func NewHistogram(xs []float64, lo, hi float64, nbins int) Histogram {
+	if nbins < 1 {
+		panic("stats: NewHistogram with nbins < 1")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}

@@ -1,0 +1,134 @@
+package stats
+
+import "math"
+
+// ZipfWeights returns the normalized weights of a truncated Zipf
+// distribution over n ranked items with exponent s: w_i ∝ (i+1)^-s.
+// It panics if n < 1 or s < 0.
+func ZipfWeights(n int, s float64) []float64 {
+	if n < 1 {
+		panic("stats: ZipfWeights with n < 1")
+	}
+	if s < 0 {
+		panic("stats: ZipfWeights with negative exponent")
+	}
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// zipfTopShare computes the mass held by the top ceil(frac*n) ranks of a
+// truncated Zipf(n, s).
+func zipfTopShare(n int, s, frac float64) float64 {
+	k := int(math.Ceil(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	var top, total float64
+	for i := 1; i <= n; i++ {
+		w := math.Pow(float64(i), -s)
+		total += w
+		if i <= k {
+			top += w
+		}
+	}
+	return top / total
+}
+
+// CalibrateZipf solves, by bisection, for the exponent s of a truncated
+// Zipf over n items such that the top frac of items hold share `share` of
+// the total mass. This is how the generator matches the paper's
+// observation that the top 1% of applets hold 84.1% of all installs.
+// It panics if the inputs are out of range or unattainable.
+func CalibrateZipf(n int, frac, share float64) float64 {
+	if n < 2 || frac <= 0 || frac >= 1 || share <= frac || share >= 1 {
+		panic("stats: CalibrateZipf inputs out of range")
+	}
+	lo, hi := 0.0, 8.0
+	if zipfTopShare(n, hi, frac) < share {
+		panic("stats: CalibrateZipf target share unattainable")
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if zipfTopShare(n, mid, frac) < share {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// HeavyTailCounts produces n integer counts that sum to exactly total and
+// follow a truncated Zipf(n, s) shape in descending rank order. Rounding
+// residue is assigned to the head ranks so the tail keeps its small
+// values. It panics if n < 1 or total < 0.
+func HeavyTailCounts(n int, s float64, total int64) []int64 {
+	if n < 1 {
+		panic("stats: HeavyTailCounts with n < 1")
+	}
+	if total < 0 {
+		panic("stats: HeavyTailCounts with negative total")
+	}
+	w := ZipfWeights(n, s)
+	counts := make([]int64, n)
+	var assigned int64
+	for i, wi := range w {
+		counts[i] = int64(math.Floor(wi * float64(total)))
+		assigned += counts[i]
+	}
+	for i := 0; assigned < total; i = (i + 1) % n {
+		counts[i]++
+		assigned++
+	}
+	return counts
+}
+
+// WeightedChoice draws an index with probability proportional to
+// weights[i]. Weights must be non-negative with a positive sum; it panics
+// otherwise.
+type WeightedChoice struct {
+	cum []float64
+}
+
+// NewWeightedChoice prepares a cumulative table for repeated draws.
+func NewWeightedChoice(weights []float64) *WeightedChoice {
+	if len(weights) == 0 {
+		panic("stats: NewWeightedChoice with no weights")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("stats: NewWeightedChoice with negative or NaN weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("stats: NewWeightedChoice with zero total weight")
+	}
+	return &WeightedChoice{cum: cum}
+}
+
+// Draw samples one index.
+func (w *WeightedChoice) Draw(g *RNG) int {
+	x := g.Float64() * w.cum[len(w.cum)-1]
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,279 @@
+package testbed
+
+import (
+	"repro/internal/devices"
+	"repro/internal/engine"
+	"repro/internal/webapps"
+)
+
+// AppletSpec bundles everything a controlled experiment needs to run one
+// of the paper's applets: its engine definition, how to reset state, how
+// to activate the trigger, and how to observe the executed action.
+type AppletSpec struct {
+	// ID and Name identify the applet (A1–A7 of Table 4).
+	ID, Name string
+	// Applet builds the engine definition against a testbed.
+	Applet func(tb *Testbed) engine.Applet
+	// Prepare resets device/app state so Fire produces exactly one
+	// fresh trigger event. May be nil.
+	Prepare func(tb *Testbed)
+	// Fire activates the trigger once (the test controller's role ❾).
+	Fire func(tb *Testbed)
+	// Watch hooks the action's observable effect into the watcher;
+	// called once per testbed.
+	Watch func(tb *Testbed, w *Watcher)
+}
+
+// ref builds a ServiceRef for an official service hosted on the WAN.
+func ref(serviceName, host, slug string, fields map[string]string) engine.ServiceRef {
+	return engine.ServiceRef{
+		Service:    serviceName,
+		BaseURL:    "http://" + host,
+		Slug:       slug,
+		Fields:     fields,
+		ServiceKey: ServiceKey,
+	}
+}
+
+// A1 — "If my Wemo switch is activated, add line to spreadsheet."
+func A1() AppletSpec {
+	return AppletSpec{
+		ID:   "A1",
+		Name: "Wemo switch activated → add line to spreadsheet",
+		Applet: func(tb *Testbed) engine.Applet {
+			return engine.Applet{
+				ID: "A1", UserID: UserID, Name: "A1",
+				Trigger: ref("wemo", HostWemo, "switched_on", nil),
+				Action: ref("gsheets", HostSheets, "add_row", map[string]string{
+					"sheet": "switch-log",
+					"row":   "switch {{device}} on",
+				}),
+			}
+		},
+		Prepare: func(tb *Testbed) { tb.Wemo.SetState(false, "controller") },
+		Fire:    func(tb *Testbed) { tb.Wemo.Press() },
+		Watch: func(tb *Testbed, w *Watcher) {
+			tb.Sheets.OnAppend(func(user, sheet string, cells []string) {
+				if sheet == "switch-log" {
+					w.Bump()
+				}
+			})
+		},
+	}
+}
+
+// A2 — "Turn on my Hue light from the Wemo light switch."
+func A2() AppletSpec {
+	spec := a2Base()
+	spec.Applet = func(tb *Testbed) engine.Applet {
+		return engine.Applet{
+			ID: "A2", UserID: UserID, Name: "A2",
+			Trigger: ref("wemo", HostWemo, "switched_on", nil),
+			Action:  ref("hue", HostHue, "turn_on_lights", map[string]string{"lamp": "1"}),
+		}
+	}
+	return spec
+}
+
+// A2E1 is A2 with the trigger service replaced by the self-implemented
+// service ❺ (experiment E1).
+func A2E1() AppletSpec {
+	spec := a2Base()
+	spec.ID = "A2-E1"
+	spec.Applet = func(tb *Testbed) engine.Applet {
+		return engine.Applet{
+			ID: "A2-E1", UserID: UserID, Name: "A2 under E1",
+			Trigger: ref("ourservice", HostOurService, "wemo_switched_on", nil),
+			Action:  ref("hue", HostHue, "turn_on_lights", map[string]string{"lamp": "1"}),
+		}
+	}
+	return spec
+}
+
+// A2E2 is A2 with both services replaced by the self-implemented
+// service ❺ (experiment E2; also the configuration for E3, which
+// additionally swaps the engine's polling policy).
+func A2E2() AppletSpec {
+	spec := a2Base()
+	spec.ID = "A2-E2"
+	spec.Applet = func(tb *Testbed) engine.Applet {
+		return engine.Applet{
+			ID: "A2-E2", UserID: UserID, Name: "A2 under E2",
+			Trigger: ref("ourservice", HostOurService, "wemo_switched_on", nil),
+			Action: ref("ourservice", HostOurService, "hue_set_state", map[string]string{
+				"lamp": "1", "on": "true",
+			}),
+		}
+	}
+	return spec
+}
+
+func a2Base() AppletSpec {
+	return AppletSpec{
+		ID:   "A2",
+		Name: "Wemo light switch → turn on Hue light",
+		Prepare: func(tb *Testbed) {
+			tb.Wemo.SetState(false, "controller")
+			off := false
+			tb.Hue.SetLampState("1", devices.StateChange{On: &off})
+		},
+		Fire: func(tb *Testbed) { tb.Wemo.Press() },
+		Watch: func(tb *Testbed, w *Watcher) {
+			tb.Hue.Subscribe(func(ev devices.Event) {
+				if ev.Type == "light_on" && ev.Attrs["lamp"] == "1" {
+					w.Bump()
+				}
+			})
+		},
+	}
+}
+
+// A3 — "When any new email arrives in gmail, blink the Hue light."
+func A3() AppletSpec {
+	return AppletSpec{
+		ID:   "A3",
+		Name: "new gmail → blink Hue light",
+		Applet: func(tb *Testbed) engine.Applet {
+			a := engine.Applet{
+				ID: "A3", UserID: UserID, Name: "A3",
+				Trigger: ref("gmail", HostGmail, "new_email", nil),
+				Action:  ref("hue", HostHue, "blink_lights", map[string]string{"lamp": "2"}),
+			}
+			a.Trigger.UserToken = tb.GmailToken
+			return a
+		},
+		Fire: func(tb *Testbed) {
+			tb.Mail.Deliver("sender@ext.sim", UserEmail, "ping", "body")
+		},
+		Watch: func(tb *Testbed, w *Watcher) {
+			tb.Hue.Subscribe(func(ev devices.Event) {
+				// A blink ends with the lamp coming back on.
+				if ev.Type == "light_on" && ev.Attrs["lamp"] == "2" {
+					w.Bump()
+				}
+			})
+		},
+	}
+}
+
+// A4 — "Automatically save new gmail attachments to google drive."
+func A4() AppletSpec {
+	return AppletSpec{
+		ID:   "A4",
+		Name: "gmail attachment → save to Drive",
+		Applet: func(tb *Testbed) engine.Applet {
+			a := engine.Applet{
+				ID: "A4", UserID: UserID, Name: "A4",
+				Trigger: ref("gmail", HostGmail, "new_attachment", nil),
+				Action: ref("gdrive", HostDrive, "save_file", map[string]string{
+					"folder":  "ifttt-attachments",
+					"name":    "{{filename}}",
+					"content": "{{content}}",
+				}),
+			}
+			a.Trigger.UserToken = tb.GmailToken
+			return a
+		},
+		Fire: func(tb *Testbed) {
+			tb.Mail.Deliver("sender@ext.sim", UserEmail, "with attachment", "",
+				webapps.Attachment{Name: "report.pdf", Content: "pdf-bytes"})
+		},
+		Watch: func(tb *Testbed, w *Watcher) {
+			tb.Drive.OnSave(func(user string, f webapps.DriveFile) {
+				if f.Folder == "ifttt-attachments" {
+					w.Bump()
+				}
+			})
+		},
+	}
+}
+
+// A5 — "Use Alexa's voice control to turn off the Hue light."
+func A5() AppletSpec {
+	return AppletSpec{
+		ID:   "A5",
+		Name: "Alexa voice → turn off Hue light",
+		Applet: func(tb *Testbed) engine.Applet {
+			return engine.Applet{
+				ID: "A5", UserID: UserID, Name: "A5",
+				Trigger: ref("alexa", HostAlexa, "say_phrase", map[string]string{
+					"phrase": "lights off",
+				}),
+				Action: ref("hue", HostHue, "turn_off_lights", map[string]string{"lamp": "1"}),
+			}
+		},
+		Prepare: func(tb *Testbed) {
+			on := true
+			tb.Hue.SetLampState("1", devices.StateChange{On: &on})
+		},
+		Fire: func(tb *Testbed) { tb.Echo.Say("Alexa, trigger lights off") },
+		Watch: func(tb *Testbed, w *Watcher) {
+			tb.Hue.Subscribe(func(ev devices.Event) {
+				if ev.Type == "light_off" && ev.Attrs["lamp"] == "1" {
+					w.Bump()
+				}
+			})
+		},
+	}
+}
+
+// A6 — "Use Alexa's voice control to activate the Wemo switch."
+func A6() AppletSpec {
+	return AppletSpec{
+		ID:   "A6",
+		Name: "Alexa voice → activate Wemo switch",
+		Applet: func(tb *Testbed) engine.Applet {
+			return engine.Applet{
+				ID: "A6", UserID: UserID, Name: "A6",
+				Trigger: ref("alexa", HostAlexa, "say_phrase", map[string]string{
+					"phrase": "switch on",
+				}),
+				Action: ref("wemo", HostWemo, "turn_on", nil),
+			}
+		},
+		Prepare: func(tb *Testbed) { tb.Wemo.SetState(false, "controller") },
+		Fire:    func(tb *Testbed) { tb.Echo.Say("Alexa, trigger switch on") },
+		Watch: func(tb *Testbed, w *Watcher) {
+			tb.Wemo.Subscribe(func(ev devices.Event) {
+				if ev.Type == "switched_on" && ev.Attrs["via"] != "physical" {
+					w.Bump()
+				}
+			})
+		},
+	}
+}
+
+// A7 — "Keep a google spreadsheet of songs you listen to on Alexa."
+func A7() AppletSpec {
+	return AppletSpec{
+		ID:   "A7",
+		Name: "Alexa song played → log to spreadsheet",
+		Applet: func(tb *Testbed) engine.Applet {
+			return engine.Applet{
+				ID: "A7", UserID: UserID, Name: "A7",
+				Trigger: ref("alexa", HostAlexa, "song_played", nil),
+				Action: ref("gsheets", HostSheets, "add_row", map[string]string{
+					"sheet": "songs",
+					"row":   "{{song}}",
+				}),
+			}
+		},
+		Fire: func(tb *Testbed) { tb.Echo.Say("Alexa, play Bohemian Rhapsody") },
+		Watch: func(tb *Testbed, w *Watcher) {
+			tb.Sheets.OnAppend(func(user, sheet string, cells []string) {
+				if sheet == "songs" {
+					w.Bump()
+				}
+			})
+		},
+	}
+}
+
+// Group14 returns A1–A4, the applets whose T2A latency Fig 4 groups
+// together (usage scenarios IoT→WebApp, IoT→IoT, WebApp→IoT,
+// WebApp→WebApp).
+func Group14() []AppletSpec { return []AppletSpec{A1(), A2(), A3(), A4()} }
+
+// Group57 returns A5–A7, the Alexa-triggered applets that Fig 4 shows
+// executing in seconds thanks to honoured realtime hints.
+func Group57() []AppletSpec { return []AppletSpec{A5(), A6(), A7()} }

@@ -1,0 +1,154 @@
+package testbed
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Watcher counts observed action executions and lets the controller
+// block until the count reaches a target. It is the measurement half of
+// the test controller ❾: Fire marks T_T, the watcher's bump marks T_A.
+type Watcher struct {
+	clock simtime.Clock
+
+	mu      sync.Mutex
+	count   int
+	lastAt  time.Time
+	waiters []watchWaiter
+	times   []time.Time
+}
+
+type watchWaiter struct {
+	threshold int
+	gate      simtime.Gate
+}
+
+// NewWatcher creates a watcher bound to the testbed clock.
+func (tb *Testbed) NewWatcher() *Watcher { return &Watcher{clock: tb.Clock} }
+
+// Bump records one observed action execution.
+func (w *Watcher) Bump() {
+	w.mu.Lock()
+	w.count++
+	w.lastAt = w.clock.Now()
+	w.times = append(w.times, w.lastAt)
+	var open []simtime.Gate
+	kept := w.waiters[:0]
+	for _, wt := range w.waiters {
+		if wt.threshold <= w.count {
+			open = append(open, wt.gate)
+		} else {
+			kept = append(kept, wt)
+		}
+	}
+	w.waiters = kept
+	w.mu.Unlock()
+	for _, g := range open {
+		g.Open()
+	}
+}
+
+// Count returns the number of observed executions.
+func (w *Watcher) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Times returns the observation timestamps.
+func (w *Watcher) Times() []time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]time.Time(nil), w.times...)
+}
+
+// WaitFor blocks the calling actor until at least n executions have been
+// observed, returning the time of the latest one.
+func (w *Watcher) WaitFor(n int) time.Time {
+	w.mu.Lock()
+	if w.count >= n {
+		t := w.lastAt
+		w.mu.Unlock()
+		return t
+	}
+	g := w.clock.NewGate()
+	w.waiters = append(w.waiters, watchWaiter{threshold: n, gate: g})
+	w.mu.Unlock()
+	g.Wait()
+	w.mu.Lock()
+	t := w.lastAt
+	w.mu.Unlock()
+	return t
+}
+
+// T2AOptions tunes a MeasureT2A run.
+type T2AOptions struct {
+	// Trials is the number of measurements (the paper ran 50 per
+	// applet for Fig 4, 20 for Fig 5).
+	Trials int
+	// Spacing draws the idle gap between trials in seconds (the paper
+	// spread trials across three days). Nil means uniform 10–50 min.
+	Spacing stats.Dist
+	// Settle is how long to wait after installation before the first
+	// trial so the engine's first poll has created the trigger
+	// subscription. Zero means 16 minutes (one maximal polling gap).
+	Settle time.Duration
+}
+
+func (o *T2AOptions) fill() {
+	if o.Trials <= 0 {
+		o.Trials = 50
+	}
+	if o.Spacing == nil {
+		o.Spacing = stats.Uniform{Lo: 600, Hi: 3000}
+	}
+	if o.Settle <= 0 {
+		o.Settle = 16 * time.Minute
+	}
+}
+
+// MeasureT2A runs the paper's core experiment for one applet: install,
+// wait for the subscription, then repeatedly reset state, activate the
+// trigger, and time the gap until the action's observable effect. It
+// must be called from inside Run (it blocks on virtual time).
+func (tb *Testbed) MeasureT2A(spec AppletSpec, opts T2AOptions) ([]time.Duration, error) {
+	opts.fill()
+	w := tb.NewWatcher()
+	spec.Watch(tb, w)
+	if err := tb.Engine.Install(spec.Applet(tb)); err != nil {
+		return nil, fmt.Errorf("install %s: %w", spec.ID, err)
+	}
+	tb.Clock.Sleep(opts.Settle)
+
+	spacing := tb.RNG.Split("t2a-spacing-" + spec.ID)
+	latencies := make([]time.Duration, 0, opts.Trials)
+	for i := 0; i < opts.Trials; i++ {
+		if spec.Prepare != nil {
+			spec.Prepare(tb)
+			// Give any state-reset side effects (events from the
+			// reset itself) time to drain through one polling round.
+			tb.Clock.Sleep(20 * time.Minute)
+		}
+		target := w.Count() + 1
+		tt := tb.Clock.Now()
+		spec.Fire(tb)
+		ta := w.WaitFor(target)
+		latencies = append(latencies, ta.Sub(tt))
+		tb.Clock.Sleep(stats.SampleDuration(opts.Spacing, spacing))
+	}
+	tb.Engine.Remove(spec.Applet(tb).ID)
+	return latencies, nil
+}
+
+// Run executes fn as the simulation's root actor, stops the engine when
+// fn returns, and waits for full quiescence.
+func (tb *Testbed) Run(fn func()) {
+	tb.Clock.Run(func() {
+		defer tb.Engine.Stop()
+		fn()
+	})
+}

@@ -1,0 +1,350 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// SequentialResult is the outcome of the Fig 6 experiment: a trigger
+// activated many times at a fixed period, with each action's arrival
+// time recorded relative to the first activation.
+type SequentialResult struct {
+	// TriggerTimes are the activation instants (relative seconds).
+	TriggerTimes []float64
+	// ActionTimes are the action-execution instants (relative
+	// seconds), in arrival order.
+	ActionTimes []float64
+	// Clusters groups action times separated by more than ClusterGap.
+	Clusters [][]float64
+	// Dropped counts activations whose action never executed: when a
+	// polling gap accumulates more buffered events than the batch
+	// limit k, the service serves only the newest k and the engine
+	// never sees the rest — a real overflow property of the measured
+	// protocol.
+	Dropped int
+}
+
+// ClusterGap is the silence that separates two action clusters in the
+// Fig 6 analysis.
+const ClusterGap = 10 * time.Second
+
+// RunSequential reproduces the Fig 6 experiment: activate an applet's
+// trigger every period (the paper used 5 s), n times, and watch the
+// actions arrive in polling-gap-shaped clusters. Must be called inside
+// Run.
+func (tb *Testbed) RunSequential(spec AppletSpec, n int, period time.Duration) (SequentialResult, error) {
+	w := tb.NewWatcher()
+	spec.Watch(tb, w)
+	if err := tb.Engine.Install(spec.Applet(tb)); err != nil {
+		return SequentialResult{}, fmt.Errorf("install %s: %w", spec.ID, err)
+	}
+	tb.Clock.Sleep(16 * time.Minute) // subscription settle
+
+	var res SequentialResult
+	start := tb.Clock.Now()
+	for i := 0; i < n; i++ {
+		if spec.Prepare != nil {
+			spec.Prepare(tb)
+		}
+		res.TriggerTimes = append(res.TriggerTimes, tb.Clock.Since(start).Seconds())
+		spec.Fire(tb)
+		tb.Clock.Sleep(period)
+	}
+	// Wait for the backlog to drain: either every action arrives, or a
+	// full maximal polling gap passes with no progress — which means
+	// the remaining events fell past the poll batch limit and will
+	// never execute.
+	for w.Count() < n {
+		before := w.Count()
+		tb.Clock.Sleep(16 * time.Minute)
+		if w.Count() == before {
+			break
+		}
+	}
+	res.Dropped = n - w.Count()
+	tb.Engine.Remove(spec.Applet(tb).ID)
+
+	for _, t := range w.Times() {
+		res.ActionTimes = append(res.ActionTimes, t.Sub(start).Seconds())
+	}
+	sort.Float64s(res.ActionTimes)
+	res.Clusters = clusterTimes(res.ActionTimes, ClusterGap.Seconds())
+	return res, nil
+}
+
+// clusterTimes splits ascending instants into groups separated by more
+// than gap seconds.
+func clusterTimes(times []float64, gap float64) [][]float64 {
+	var out [][]float64
+	var cur []float64
+	for i, t := range times {
+		if i > 0 && t-times[i-1] > gap {
+			out = append(out, cur)
+			cur = nil
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ConcurrentResult is the outcome of the Fig 7 experiment: per-trial T2A
+// latencies of two applets sharing one trigger, and their differences.
+type ConcurrentResult struct {
+	LatA, LatB []time.Duration
+	// Diff[i] = LatA[i] − LatB[i]; the paper found it ranging from
+	// −60 s to +140 s.
+	Diff []time.Duration
+}
+
+// RunConcurrent reproduces the Fig 7 experiment: two applets with the
+// same trigger ("if A then B" and "if A then C"), fired together, with
+// the difference in their T2A latencies recorded per trial. Must be
+// called inside Run.
+func (tb *Testbed) RunConcurrent(a, b AppletSpec, fire func(tb *Testbed), trials int) (ConcurrentResult, error) {
+	wa, wb := tb.NewWatcher(), tb.NewWatcher()
+	a.Watch(tb, wa)
+	b.Watch(tb, wb)
+	if err := tb.Engine.Install(a.Applet(tb)); err != nil {
+		return ConcurrentResult{}, err
+	}
+	if err := tb.Engine.Install(b.Applet(tb)); err != nil {
+		return ConcurrentResult{}, err
+	}
+	tb.Clock.Sleep(16 * time.Minute)
+
+	spacing := tb.RNG.Split("concurrent-spacing")
+	var res ConcurrentResult
+	for i := 0; i < trials; i++ {
+		if a.Prepare != nil {
+			a.Prepare(tb)
+		}
+		if b.Prepare != nil {
+			b.Prepare(tb)
+		}
+		tb.Clock.Sleep(20 * time.Minute)
+		targetA, targetB := wa.Count()+1, wb.Count()+1
+		tt := tb.Clock.Now()
+		fire(tb)
+
+		// Wait for both actions from parallel actors so slow A does
+		// not skew B's timestamp.
+		done := tb.Clock.NewGate()
+		var ta, tbTime time.Time
+		remaining := 2
+		finish := func() {
+			tb.mu.Lock()
+			remaining--
+			last := remaining == 0
+			tb.mu.Unlock()
+			if last {
+				done.Open()
+			}
+		}
+		tb.Clock.Go(func() { ta = wa.WaitFor(targetA); finish() })
+		tb.Clock.Go(func() { tbTime = wb.WaitFor(targetB); finish() })
+		done.Wait()
+
+		la, lb := ta.Sub(tt), tbTime.Sub(tt)
+		res.LatA = append(res.LatA, la)
+		res.LatB = append(res.LatB, lb)
+		res.Diff = append(res.Diff, la-lb)
+		tb.Clock.Sleep(stats.SampleDuration(stats.Uniform{Lo: 600, Hi: 3000}, spacing))
+	}
+	tb.Engine.Remove(a.Applet(tb).ID)
+	tb.Engine.Remove(b.Applet(tb).ID)
+	return res, nil
+}
+
+// TimelineRow is one instrumented hop of an applet execution (Table 5).
+type TimelineRow struct {
+	At    time.Duration // relative to the trigger activation
+	Event string
+}
+
+// RunTimeline reproduces Table 5: one execution of A2 under E2 with
+// every hop instrumented — the test controller's activation, the local
+// proxy's observation of the device event, the trigger service ❺
+// buffering it, the engine's poll and action dispatch, and the device
+// executing. Must be called inside Run.
+func (tb *Testbed) RunTimeline() ([]TimelineRow, error) {
+	spec := A2E2()
+	w := tb.NewWatcher()
+	spec.Watch(tb, w)
+
+	var rows []TimelineRow
+	var rowMu sync.Mutex
+	addRow := func(tt time.Time, event string) {
+		rowMu.Lock()
+		rows = append(rows, TimelineRow{At: tb.Clock.Since(tt), Event: event})
+		rowMu.Unlock()
+	}
+
+	if err := tb.Engine.Install(spec.Applet(tb)); err != nil {
+		return nil, err
+	}
+	tb.Clock.Sleep(16 * time.Minute)
+	spec.Prepare(tb)
+	tb.Clock.Sleep(20 * time.Minute)
+	tb.ClearTraces()
+
+	target := w.Count() + 1
+	tt := tb.Clock.Now()
+	var armed bool
+
+	// Vantage point on the device itself: the proxy sees the event the
+	// instant the switch flips (it subscribes on the home LAN).
+	tb.Wemo.Subscribe(func(ev devices.Event) {
+		if armed && ev.Type == "switched_on" {
+			addRow(tt, "local proxy observes the trigger event on the LAN")
+		}
+	})
+	// Vantage point at the service server ❺: the event arrives over
+	// the custom proxy↔server protocol and is buffered.
+	tb.ServerLink.Observe(func(device, eventType string) {
+		if armed && eventType == "switched_on" {
+			addRow(tt, "trigger service (our server) receives and buffers the event")
+		}
+	})
+
+	rows = append(rows, TimelineRow{At: 0, Event: "test controller sets the trigger event (WeMo pressed)"})
+	armed = true
+	spec.Fire(tb)
+	ta := w.WaitFor(target)
+	armed = false
+	tb.Engine.Remove(spec.Applet(tb).ID)
+
+	traces := tb.Traces()
+	for i, ev := range traces {
+		if ev.Time.Before(tt) {
+			continue
+		}
+		var label string
+		switch ev.Kind {
+		case engine.TracePollSent:
+			// Only the poll that actually picked the event up appears
+			// in the paper's timeline; drop empty polls.
+			fruitful := false
+			for _, later := range traces[i+1:] {
+				if later.Kind == engine.TracePollResult {
+					fruitful = later.N > 0
+					break
+				}
+			}
+			if !fruitful {
+				continue
+			}
+			label = "IFTTT engine polls trigger service about the trigger"
+		case engine.TracePollResult:
+			if ev.N == 0 {
+				continue
+			}
+			label = "trigger service returns the buffered trigger event"
+		case engine.TraceActionSent:
+			label = "IFTTT engine sends action request to action service"
+		case engine.TraceActionAcked:
+			label = "action service acknowledges the action"
+		default:
+			continue
+		}
+		rows = append(rows, TimelineRow{At: ev.Time.Sub(tt), Event: label})
+	}
+	rows = append(rows, TimelineRow{At: ta.Sub(tt), Event: "test controller confirms the action has been executed"})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].At < rows[j].At })
+	return rows, nil
+}
+
+// LoopResult summarizes an infinite-loop run.
+type LoopResult struct {
+	// Executions is the number of action executions observed within
+	// the observation window.
+	Executions int
+	// Window is the observation duration.
+	Window time.Duration
+}
+
+// ExplicitLoopApplets returns the two-applet chain of the §4 explicit
+// infinite loop: X ("new email → add spreadsheet row") and Y ("new row →
+// send email"). Each applet is individually sensible; chained, they form
+// a cycle the engine never checks for.
+func ExplicitLoopApplets(tb *Testbed) (x, y engine.Applet) {
+	x = engine.Applet{
+		ID: "loop-x", UserID: UserID, Name: "new email → add row",
+		Trigger: ref("gmail", HostGmail, "new_email", nil),
+		Action: ref("gsheets", HostSheets, "add_row", map[string]string{
+			"sheet": "mail-log",
+			"row":   "{{subject}}",
+		}),
+	}
+	x.Trigger.UserToken = tb.GmailToken
+	y = engine.Applet{
+		ID: "loop-y", UserID: UserID, Name: "new row → send email",
+		Trigger: ref("gsheets", HostSheets, "row_added", map[string]string{"sheet": "mail-log"}),
+		Action: ref("gmail", HostGmail, "send_email", map[string]string{
+			"to": UserEmail, "subject": "row logged: {{row}}",
+		}),
+	}
+	y.Action.UserToken = tb.GmailToken
+	return x, y
+}
+
+// RunExplicitLoop reproduces the §4 explicit infinite loop. A single
+// kick email then cycles email → row → email forever; the engine
+// performs no "syntax check" to stop it. The execution count within the
+// window quantifies the waste. Must be called inside Run.
+func (tb *Testbed) RunExplicitLoop(window time.Duration) (LoopResult, error) {
+	x, y := ExplicitLoopApplets(tb)
+	if err := tb.Engine.Install(x); err != nil {
+		return LoopResult{}, err
+	}
+	if err := tb.Engine.Install(y); err != nil {
+		return LoopResult{}, err
+	}
+	tb.Clock.Sleep(16 * time.Minute) // subscriptions settle
+
+	before := len(tb.Sheets.Rows(UserID, "mail-log"))
+	tb.Mail.Deliver("kick@ext.sim", UserEmail, "kick", "starts the loop")
+	tb.Clock.Sleep(window)
+	tb.Engine.Remove(x.ID)
+	tb.Engine.Remove(y.ID)
+
+	return LoopResult{
+		Executions: len(tb.Sheets.Rows(UserID, "mail-log")) - before,
+		Window:     window,
+	}, nil
+}
+
+// RunImplicitLoop reproduces the §4 implicit infinite loop: only applet
+// X ("new email → add spreadsheet row") is installed on IFTTT, but the
+// user has separately enabled the spreadsheet's change-notification
+// feature, which emails her on every modification. IFTTT cannot see that
+// coupling, so offline applet analysis cannot catch the cycle. Must be
+// called inside Run.
+func (tb *Testbed) RunImplicitLoop(window time.Duration) (LoopResult, error) {
+	x, _ := ExplicitLoopApplets(tb)
+	x.ID = "implicit-loop-x"
+	if err := tb.Engine.Install(x); err != nil {
+		return LoopResult{}, err
+	}
+	tb.Sheets.EnableChangeNotification(UserID, "mail-log", UserEmail)
+	tb.Clock.Sleep(16 * time.Minute)
+
+	before := len(tb.Sheets.Rows(UserID, "mail-log"))
+	tb.Mail.Deliver("kick@ext.sim", UserEmail, "kick", "starts the loop")
+	tb.Clock.Sleep(window)
+	tb.Engine.Remove(x.ID)
+	tb.Sheets.DisableChangeNotification(UserID, "mail-log")
+
+	return LoopResult{
+		Executions: len(tb.Sheets.Rows(UserID, "mail-log")) - before,
+		Window:     window,
+	}, nil
+}

@@ -1,0 +1,281 @@
+// Package testbed assembles the paper's Figure 1 end to end inside the
+// simulator: Hue lamp ❶ and hub ❷, WeMo switch, Echo Dot, and
+// SmartThings hub in a home LAN behind the local proxy ❸ and gateway
+// router ❹; the self-implemented service server ❺; the official vendor
+// services ❻; the IFTTT engine ❼; the web apps; and the test
+// controller ❾ that activates triggers and measures trigger-to-action
+// (T2A) latency.
+//
+// The testbed is the shared substrate of every §4 experiment: Fig 4
+// (T2A of applets A1–A7), Fig 5 (E1/E2/E3 substitutions), Table 5
+// (execution timeline), Fig 6 (sequential activation clustering), Fig 7
+// (concurrent applets), and the infinite-loop demonstrations.
+package testbed
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/engine"
+	"repro/internal/homenet"
+	"repro/internal/httpx"
+	"repro/internal/oauth"
+	"repro/internal/proto"
+	"repro/internal/service"
+	"repro/internal/services"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/webapps"
+)
+
+// Host names of the simulated deployment.
+const (
+	HostEngine      = "engine.ifttt.sim"
+	HostHue         = "api.hue.sim"
+	HostWemo        = "api.wemo.sim"
+	HostAlexa       = "api.alexa.sim"
+	HostSmartThings = "api.smartthings.sim"
+	HostGmail       = "api.gmail.sim"
+	HostDrive       = "api.gdrive.sim"
+	HostSheets      = "api.gsheets.sim"
+	HostOurService  = "api.ourservice.sim"
+	HostWeather     = "api.weather.sim"
+	HostRSS         = "api.rss.sim"
+	HostNest        = "api.nest.sim"
+)
+
+// Account details of the testbed's single user.
+const (
+	UserID      = "u1"
+	UserEmail   = "user@mail.sim"
+	ServiceKey  = "testbed-service-key"
+	OAuthClient = "ifttt-engine"
+	OAuthSecret = "engine-secret"
+)
+
+// Config tunes a testbed build.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// Poll overrides the engine's polling policy (nil = paper model).
+	Poll engine.PollPolicy
+	// RealtimeServices overrides the engine's realtime allow-list
+	// (nil = {"alexa"}, the paper's observed special case).
+	RealtimeServices map[string]bool
+	// OurServiceRealtime makes the self-implemented service send
+	// realtime hints on every event (the §4 realtime-API experiment).
+	OurServiceRealtime bool
+	// DispatchDelay forwards to engine.Config.DispatchDelay.
+	DispatchDelay time.Duration
+}
+
+// Testbed is a fully wired Figure-1 deployment on a virtual clock.
+type Testbed struct {
+	Clock *simtime.SimClock
+	RNG   *stats.RNG
+	Net   *simnet.Network
+
+	// Home devices.
+	Hue  *devices.HueHub
+	Wemo *devices.WemoSwitch
+	Echo *devices.EchoDot
+	ST   *devices.SmartThingsHub
+	Nest *devices.Thermostat
+
+	// Web apps.
+	Mail    *webapps.Gmail
+	Drive   *webapps.Drive
+	Sheets  *webapps.Sheets
+	Weather *webapps.Weather
+
+	// Partner services.
+	HueSvc, WemoSvc, AlexaSvc, STSvc *service.Service
+	NestSvc                          *service.Service
+	GmailSvc, DriveSvc, SheetsSvc    *service.Service
+	WeatherSvc                       *service.Service
+	OurSvc                           *service.Service
+	Auth                             *oauth.Server
+	GmailToken                       string
+
+	// Home network.
+	Proxy      *homenet.Proxy
+	ServerLink *homenet.ServerTap
+
+	// Engine.
+	Engine *engine.Engine
+
+	mu     sync.Mutex
+	traces []engine.TraceEvent
+}
+
+// New builds a testbed. Components are constructed immediately; applets
+// are installed inside Run via the controller.
+func New(cfg Config) *Testbed {
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(cfg.Seed)
+
+	tb := &Testbed{Clock: clock, RNG: rng}
+	tb.Net = simnet.New(clock, rng.Split("net"))
+	tb.Net.SetDefaultLink(simnet.WAN())
+
+	// Devices ❶❷ and web apps.
+	tb.Hue = devices.NewHueHub(clock, "1", "2")
+	tb.Wemo = devices.NewWemoSwitch(clock, "wemo-1")
+	tb.Echo = devices.NewEchoDot(clock, "echo-1")
+	tb.ST = devices.NewSmartThingsHub(clock)
+	tb.ST.Attach(devices.NewOutlet(clock, "outlet-1"))
+	tb.ST.Attach(devices.NewSensor(clock, "motion-1", "motion"))
+	tb.Nest = devices.NewThermostat(clock, "nest-1")
+
+	tb.Mail = webapps.NewGmail(clock)
+	tb.Drive = webapps.NewDrive(clock)
+	tb.Sheets = webapps.NewSheets(clock, tb.Mail)
+
+	// OAuth server shared by the Google-backed services.
+	tb.Auth = oauth.NewServer(clock, "testbed-oauth", 24*365*time.Hour)
+	tb.Auth.RegisterClient(OAuthClient, OAuthSecret)
+	code := tb.Auth.Authorize(UserID, OAuthClient, services.GmailScopes)
+	token, err := tb.Auth.Exchange(code, OAuthClient, OAuthSecret)
+	if err != nil {
+		panic("testbed: oauth bootstrap: " + err.Error())
+	}
+	tb.GmailToken = token
+
+	// Official partner services ❻. The vendor-cloud → device control
+	// path costs most of a second (Table 5 rows 5–7). All push-mode
+	// vendor services send realtime hints; the engine only honours the
+	// allow-listed ones (Alexa), per the paper's observation.
+	env := &services.Env{
+		Clock: clock, RNG: rng.Split("services"), ServiceKey: ServiceKey,
+		PathDelay: stats.Clamped{D: stats.Lognormal{Median: 0.8, Sigma: 0.3}, Lo: 0.2, Hi: 3},
+		Realtime: &service.RealtimeConfig{
+			URL:        "http://" + HostEngine + proto.RealtimePath,
+			Client:     httpx.NewClient(tb.Net.Client("vendor-clouds.sim"), clock, 0),
+			ServiceKey: ServiceKey,
+		},
+	}
+	tb.HueSvc = services.NewHueService(env, tb.Hue)
+	tb.WemoSvc = services.NewWemoService(env, tb.Wemo)
+	tb.AlexaSvc = services.NewAlexaService(env, tb.Echo)
+	tb.STSvc = services.NewSmartThingsService(env, tb.ST)
+	tb.NestSvc = services.NewNestService(env, tb.Nest)
+
+	webEnv := &services.Env{Clock: clock, RNG: rng.Split("webservices"), ServiceKey: ServiceKey}
+	tb.GmailSvc = services.NewGmailService(webEnv, tb.Mail, UserEmail, tb.Auth)
+	tb.DriveSvc = services.NewDriveService(webEnv, tb.Drive, UserID)
+	tb.SheetsSvc = services.NewSheetsService(webEnv, tb.Sheets, UserID)
+	tb.Weather = webapps.NewWeather(clock)
+	tb.WeatherSvc = services.NewWeatherService(webEnv, tb.Weather)
+
+	// Home network ❸❹: LAN between proxy and devices, and the custom
+	// framed protocol between proxy and service server ❺.
+	lanRNG := rng.Split("lan")
+	proxyEnd, rawServerEnd := homenet.SimPair(clock,
+		stats.Clamped{D: stats.Lognormal{Median: 0.05, Sigma: 0.3}, Lo: 0.01, Hi: 0.5},
+		lanRNG)
+	serverEnd := homenet.NewServerTap(rawServerEnd)
+	tb.ServerLink = serverEnd
+	tb.Proxy = homenet.NewProxy(proxyEnd)
+	tb.Proxy.Register("hue", homenet.AdapterFunc(
+		func(cmd string, args map[string]string) (map[string]string, error) {
+			switch cmd {
+			case "blink":
+				return nil, tb.Hue.Blink(lampArg(args))
+			default:
+				return nil, tb.Hue.SetLampState(lampArg(args), hueChangeFromArgs(args))
+			}
+		}))
+	tb.Proxy.Register("wemo-1", homenet.AdapterFunc(
+		func(cmd string, args map[string]string) (map[string]string, error) {
+			tb.Wemo.SetState(cmd == "on", "proxy")
+			return nil, nil
+		}))
+	tb.Proxy.Forward(&tb.Hue.Bus)
+	tb.Proxy.Forward(&tb.Wemo.Bus)
+	tb.Proxy.Forward(&tb.Echo.Bus)
+	tb.Proxy.Forward(&tb.ST.Bus)
+	tb.Proxy.Start()
+
+	// Self-implemented service ❺.
+	ourCfg := services.OurServiceConfig{Env: webEnv, Link: serverEnd}
+	if cfg.OurServiceRealtime {
+		ourCfg.Realtime = &service.RealtimeConfig{
+			URL:        "http://" + HostEngine + proto.RealtimePath,
+			Client:     httpx.NewClient(tb.Net.Client(HostOurService), clock, 0),
+			ServiceKey: ServiceKey,
+		}
+	}
+	tb.OurSvc = services.NewOurService(ourCfg)
+
+	// Engine ❼.
+	realtime := cfg.RealtimeServices
+	if realtime == nil {
+		realtime = map[string]bool{"alexa": true}
+	}
+	tb.Engine = engine.New(engine.Config{
+		Clock:            clock,
+		RNG:              rng.Split("engine"),
+		Doer:             tb.Net.Client(HostEngine),
+		Poll:             cfg.Poll,
+		RealtimeServices: realtime,
+		DispatchDelay:    cfg.DispatchDelay,
+		Trace: func(ev engine.TraceEvent) {
+			tb.mu.Lock()
+			tb.traces = append(tb.traces, ev)
+			tb.mu.Unlock()
+		},
+	})
+
+	// Publish every host on the simulated WAN.
+	tb.Net.AddHost(HostEngine, tb.Engine.Handler())
+	tb.Net.AddHost(HostHue, tb.HueSvc.Handler())
+	tb.Net.AddHost(HostWemo, tb.WemoSvc.Handler())
+	tb.Net.AddHost(HostAlexa, tb.AlexaSvc.Handler())
+	tb.Net.AddHost(HostSmartThings, tb.STSvc.Handler())
+	tb.Net.AddHost(HostGmail, tb.GmailSvc.Handler())
+	tb.Net.AddHost(HostDrive, tb.DriveSvc.Handler())
+	tb.Net.AddHost(HostSheets, tb.SheetsSvc.Handler())
+	tb.Net.AddHost(HostOurService, tb.OurSvc.Handler())
+	tb.Net.AddHost(HostNest, tb.NestSvc.Handler())
+	tb.Net.AddHost(HostWeather, tb.WeatherSvc.Handler())
+	return tb
+}
+
+func lampArg(args map[string]string) string {
+	if l := args["lamp"]; l != "" {
+		return l
+	}
+	return "1"
+}
+
+func hueChangeFromArgs(args map[string]string) devices.StateChange {
+	var ch devices.StateChange
+	switch args["on"] {
+	case "true":
+		v := true
+		ch.On = &v
+	case "false":
+		v := false
+		ch.On = &v
+	}
+	if e := args["effect"]; e != "" {
+		ch.Effect = &e
+	}
+	return ch
+}
+
+// Traces returns a snapshot of the engine trace, for timeline assembly.
+func (tb *Testbed) Traces() []engine.TraceEvent {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return append([]engine.TraceEvent(nil), tb.traces...)
+}
+
+// ClearTraces resets the trace buffer between trials.
+func (tb *Testbed) ClearTraces() {
+	tb.mu.Lock()
+	tb.traces = nil
+	tb.mu.Unlock()
+}

@@ -1,0 +1,130 @@
+package webapps
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Weather simulates a weather data provider: one current condition per
+// location, with a sequence cursor so pull-mode triggers can fetch
+// changes ("it starts to rain").
+type Weather struct {
+	clock simtime.Clock
+
+	mu      sync.Mutex
+	current map[string]string
+	changes []WeatherChange
+	seq     int64
+}
+
+// WeatherChange records one condition transition.
+type WeatherChange struct {
+	Seq       int64
+	Location  string
+	Condition string // e.g. "rain", "clear", "snow"
+	Time      time.Time
+}
+
+// NewWeather creates a provider with no known locations.
+func NewWeather(clock simtime.Clock) *Weather {
+	return &Weather{clock: clock, current: make(map[string]string)}
+}
+
+// SetCondition updates a location's condition, recording a change when
+// it differs from the previous one.
+func (w *Weather) SetCondition(location, condition string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.current[location] == condition {
+		return
+	}
+	w.current[location] = condition
+	w.seq++
+	w.changes = append(w.changes, WeatherChange{
+		Seq: w.seq, Location: location, Condition: condition, Time: w.clock.Now(),
+	})
+}
+
+// Condition returns the current condition for a location.
+func (w *Weather) Condition(location string) string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.current[location]
+}
+
+// ChangesSince returns condition changes with Seq > since for a
+// location (empty location matches all), oldest first, plus the new
+// cursor.
+func (w *Weather) ChangesSince(location string, since int64) ([]WeatherChange, int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []WeatherChange
+	next := since
+	for _, c := range w.changes {
+		if c.Seq <= since {
+			continue
+		}
+		if location != "" && c.Location != location {
+			if c.Seq > next {
+				next = c.Seq
+			}
+			continue
+		}
+		out = append(out, c)
+		if c.Seq > next {
+			next = c.Seq
+		}
+	}
+	return out, next
+}
+
+// RSS simulates a content feed (the "update wallpaper with new NASA
+// photo" class of triggers the paper cites as bursty workload).
+type RSS struct {
+	clock simtime.Clock
+
+	mu    sync.Mutex
+	items []RSSItem
+	seq   int64
+}
+
+// RSSItem is one published entry.
+type RSSItem struct {
+	Seq   int64
+	Title string
+	URL   string
+	Time  time.Time
+}
+
+// NewRSS creates an empty feed.
+func NewRSS(clock simtime.Clock) *RSS {
+	return &RSS{clock: clock}
+}
+
+// Publish appends an item to the feed.
+func (r *RSS) Publish(title, url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.items = append(r.items, RSSItem{Seq: r.seq, Title: title, URL: url, Time: r.clock.Now()})
+}
+
+// ItemsSince returns items with Seq > since, oldest first, plus the new
+// cursor.
+func (r *RSS) ItemsSince(since int64) ([]RSSItem, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []RSSItem
+	next := since
+	for _, it := range r.items {
+		if it.Seq > since {
+			out = append(out, it)
+			if it.Seq > next {
+				next = it.Seq
+			}
+		}
+	}
+	return out, next
+}

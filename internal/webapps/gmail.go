@@ -1,0 +1,250 @@
+// Package webapps simulates the third-party web applications of the
+// paper's testbed: Gmail, Google Drive, Google Sheets (including its
+// "notify me on change" feature, the external coupling behind the
+// paper's implicit infinite loop), a weather feed, and an RSS feed.
+// Each store is a plain stateful backend; the partner services in
+// internal/services wrap them with triggers and actions.
+package webapps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Attachment is a file attached to an email.
+type Attachment struct {
+	Name    string
+	Content string
+}
+
+// Email is one delivered message.
+type Email struct {
+	// Seq is a per-mailbox monotonically increasing sequence number;
+	// pull-mode triggers use it as their cursor.
+	Seq         int64
+	From, To    string
+	Subject     string
+	Body        string
+	Attachments []Attachment
+	Time        time.Time
+}
+
+// Gmail simulates a mail provider holding one inbox per user.
+type Gmail struct {
+	clock simtime.Clock
+
+	mu        sync.Mutex
+	boxes     map[string][]Email
+	seq       int64
+	onDeliver []func(Email)
+}
+
+// NewGmail creates an empty mail store.
+func NewGmail(clock simtime.Clock) *Gmail {
+	return &Gmail{clock: clock, boxes: make(map[string][]Email)}
+}
+
+// OnDeliver registers a callback invoked for every delivered email.
+func (g *Gmail) OnDeliver(fn func(Email)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onDeliver = append(g.onDeliver, fn)
+}
+
+// Deliver places an email in the recipient's inbox and returns it with
+// its assigned sequence number.
+func (g *Gmail) Deliver(from, to, subject, body string, atts ...Attachment) Email {
+	g.mu.Lock()
+	g.seq++
+	em := Email{
+		Seq: g.seq, From: from, To: to, Subject: subject, Body: body,
+		Attachments: atts, Time: g.clock.Now(),
+	}
+	g.boxes[to] = append(g.boxes[to], em)
+	subs := append(([]func(Email))(nil), g.onDeliver...)
+	g.mu.Unlock()
+	for _, fn := range subs {
+		fn(em)
+	}
+	return em
+}
+
+// InboxSince returns the user's emails with Seq > since, oldest first,
+// and the highest sequence number seen (== since when nothing is new).
+func (g *Gmail) InboxSince(user string, since int64) ([]Email, int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []Email
+	next := since
+	for _, em := range g.boxes[user] {
+		if em.Seq > since {
+			out = append(out, em)
+			if em.Seq > next {
+				next = em.Seq
+			}
+		}
+	}
+	return out, next
+}
+
+// Inbox returns a copy of the user's full inbox.
+func (g *Gmail) Inbox(user string) []Email {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]Email(nil), g.boxes[user]...)
+}
+
+// Drive simulates a per-user cloud file store.
+type Drive struct {
+	clock simtime.Clock
+
+	mu     sync.Mutex
+	files  map[string][]DriveFile
+	seq    int64
+	onSave []func(user string, f DriveFile)
+}
+
+// DriveFile is one stored file.
+type DriveFile struct {
+	ID      int64
+	Folder  string
+	Name    string
+	Content string
+	Time    time.Time
+}
+
+// NewDrive creates an empty file store.
+func NewDrive(clock simtime.Clock) *Drive {
+	return &Drive{clock: clock, files: make(map[string][]DriveFile)}
+}
+
+// OnSave registers a callback invoked for every stored file.
+func (d *Drive) OnSave(fn func(user string, f DriveFile)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onSave = append(d.onSave, fn)
+}
+
+// Save stores a file for a user and returns its ID.
+func (d *Drive) Save(user, folder, name, content string) int64 {
+	d.mu.Lock()
+	d.seq++
+	f := DriveFile{
+		ID: d.seq, Folder: folder, Name: name, Content: content, Time: d.clock.Now(),
+	}
+	d.files[user] = append(d.files[user], f)
+	subs := append(([]func(string, DriveFile))(nil), d.onSave...)
+	d.mu.Unlock()
+	for _, fn := range subs {
+		fn(user, f)
+	}
+	return f.ID
+}
+
+// Files returns a copy of the user's files.
+func (d *Drive) Files(user string) []DriveFile {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]DriveFile(nil), d.files[user]...)
+}
+
+// Sheets simulates Google Sheets. Each (user, sheet name) pair holds
+// rows of string cells. The change-notification feature — "sends her an
+// email if the spreadsheet is modified" — is the external coupling that,
+// combined with a "new email → add row" applet, forms the paper's
+// implicit infinite loop (§4).
+type Sheets struct {
+	clock simtime.Clock
+	mail  *Gmail
+
+	mu     sync.Mutex
+	sheets map[string]map[string][][]string
+	notify map[string]map[string]string // user → sheet → email address
+	// NotifyDelay models the provider's asynchronous notification
+	// email; a small positive delay keeps the loop realistic.
+	notifyDelay time.Duration
+	onAppend    []func(user, sheet string, cells []string)
+}
+
+// NewSheets creates an empty spreadsheet store. mail may be nil when the
+// notification feature is unused.
+func NewSheets(clock simtime.Clock, mail *Gmail) *Sheets {
+	return &Sheets{
+		clock:       clock,
+		mail:        mail,
+		sheets:      make(map[string]map[string][][]string),
+		notify:      make(map[string]map[string]string),
+		notifyDelay: 2 * time.Second,
+	}
+}
+
+// EnableChangeNotification makes every AppendRow on (user, sheet) send
+// an email to addr, as the real product's notification rules do.
+func (s *Sheets) EnableChangeNotification(user, sheet, addr string) {
+	if s.mail == nil {
+		panic("webapps: Sheets notification requires a Gmail store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notify[user] == nil {
+		s.notify[user] = make(map[string]string)
+	}
+	s.notify[user][sheet] = addr
+}
+
+// DisableChangeNotification removes a notification rule.
+func (s *Sheets) DisableChangeNotification(user, sheet string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.notify[user], sheet)
+}
+
+// OnAppend registers a callback invoked for every appended row.
+func (s *Sheets) OnAppend(fn func(user, sheet string, cells []string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onAppend = append(s.onAppend, fn)
+}
+
+// AppendRow adds a row to the named sheet (created on demand) and fires
+// any notification rule asynchronously after the configured delay.
+func (s *Sheets) AppendRow(user, sheet string, cells []string) {
+	s.mu.Lock()
+	if s.sheets[user] == nil {
+		s.sheets[user] = make(map[string][][]string)
+	}
+	s.sheets[user][sheet] = append(s.sheets[user][sheet], append([]string(nil), cells...))
+	addr := ""
+	if m := s.notify[user]; m != nil {
+		addr = m[sheet]
+	}
+	delay := s.notifyDelay
+	subs := append(([]func(string, string, []string))(nil), s.onAppend...)
+	s.mu.Unlock()
+	for _, fn := range subs {
+		fn(user, sheet, cells)
+	}
+
+	if addr != "" {
+		s.clock.AfterFunc(delay, func() {
+			s.mail.Deliver("notify@sheets.sim", addr,
+				fmt.Sprintf("Spreadsheet %q was modified", sheet),
+				fmt.Sprintf("A row was appended to %s/%s.", user, sheet))
+		})
+	}
+}
+
+// Rows returns a copy of the sheet's rows.
+func (s *Sheets) Rows(user, sheet string) [][]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows := s.sheets[user][sheet]
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package webapps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestGmailDeliverAndCursor(t *testing.T) {
+	g := NewGmail(simtime.NewReal())
+	g.Deliver("a@x", "u@x", "s1", "b1")
+	g.Deliver("a@x", "u@x", "s2", "b2")
+	g.Deliver("a@x", "other@x", "s3", "b3")
+
+	all, next := g.InboxSince("u@x", 0)
+	if len(all) != 2 || all[0].Subject != "s1" || all[1].Subject != "s2" {
+		t.Fatalf("inbox = %+v", all)
+	}
+	// Cursor resumes where we left off.
+	fresh, next2 := g.InboxSince("u@x", next)
+	if len(fresh) != 0 || next2 != next {
+		t.Fatalf("cursor replayed: %v, %d", fresh, next2)
+	}
+	g.Deliver("a@x", "u@x", "s4", "b4")
+	fresh, _ = g.InboxSince("u@x", next)
+	if len(fresh) != 1 || fresh[0].Subject != "s4" {
+		t.Fatalf("incremental read = %+v", fresh)
+	}
+}
+
+func TestGmailOnDeliver(t *testing.T) {
+	g := NewGmail(simtime.NewReal())
+	var got []Email
+	g.OnDeliver(func(em Email) { got = append(got, em) })
+	g.Deliver("a@x", "b@x", "hi", "", Attachment{Name: "f.txt", Content: "data"})
+	if len(got) != 1 || got[0].Attachments[0].Name != "f.txt" {
+		t.Fatalf("callback got %+v", got)
+	}
+}
+
+func TestDriveSaveAndList(t *testing.T) {
+	d := NewDrive(simtime.NewReal())
+	id1 := d.Save("u", "attachments", "a.pdf", "content-a")
+	id2 := d.Save("u", "attachments", "b.pdf", "content-b")
+	if id2 <= id1 {
+		t.Fatal("IDs not increasing")
+	}
+	files := d.Files("u")
+	if len(files) != 2 || files[0].Name != "a.pdf" {
+		t.Fatalf("files = %+v", files)
+	}
+	if len(d.Files("stranger")) != 0 {
+		t.Fatal("cross-user leakage")
+	}
+}
+
+func TestSheetsAppendAndRead(t *testing.T) {
+	s := NewSheets(simtime.NewReal(), nil)
+	s.AppendRow("u", "songs", []string{"2017-03-25", "Bohemian Rhapsody"})
+	s.AppendRow("u", "songs", []string{"2017-03-25", "Yesterday"})
+	rows := s.Rows("u", "songs")
+	if len(rows) != 2 || rows[1][1] != "Yesterday" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Returned rows are copies.
+	rows[0][0] = "mutated"
+	if s.Rows("u", "songs")[0][0] == "mutated" {
+		t.Fatal("Rows exposed internal storage")
+	}
+}
+
+func TestSheetsNotificationSendsEmail(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	g := NewGmail(clock)
+	s := NewSheets(clock, g)
+	s.EnableChangeNotification("u", "log", "u@mail.sim")
+
+	clock.Run(func() {
+		s.AppendRow("u", "log", []string{"x"})
+		clock.Sleep(10 * time.Second)
+	})
+	inbox := g.Inbox("u@mail.sim")
+	if len(inbox) != 1 {
+		t.Fatalf("notification emails = %d, want 1", len(inbox))
+	}
+	if inbox[0].From != "notify@sheets.sim" {
+		t.Fatalf("notification from = %q", inbox[0].From)
+	}
+
+	// Disabled → no more email.
+	s.DisableChangeNotification("u", "log")
+	clock.Run(func() {
+		s.AppendRow("u", "log", []string{"y"})
+		clock.Sleep(10 * time.Second)
+	})
+	if got := len(g.Inbox("u@mail.sim")); got != 1 {
+		t.Fatalf("emails after disable = %d", got)
+	}
+}
+
+func TestSheetsNotificationRequiresMail(t *testing.T) {
+	s := NewSheets(simtime.NewReal(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.EnableChangeNotification("u", "x", "a@b")
+}
+
+func TestWeatherChangeDetection(t *testing.T) {
+	w := NewWeather(simtime.NewReal())
+	w.SetCondition("bloomington", "clear")
+	w.SetCondition("bloomington", "clear") // no-op
+	w.SetCondition("bloomington", "rain")
+	w.SetCondition("london", "rain")
+
+	if w.Condition("bloomington") != "rain" {
+		t.Fatal("current condition wrong")
+	}
+	changes, next := w.ChangesSince("bloomington", 0)
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	if changes[1].Condition != "rain" {
+		t.Fatal("rain transition missing")
+	}
+	// Location filter still advances the cursor past other locations.
+	more, next2 := w.ChangesSince("bloomington", next)
+	if len(more) != 0 || next2 < next {
+		t.Fatalf("cursor misbehaved: %v %d", more, next2)
+	}
+}
+
+func TestRSSItemsSince(t *testing.T) {
+	r := NewRSS(simtime.NewReal())
+	r.Publish("APOD: M31", "http://nasa.sim/1")
+	items, next := r.ItemsSince(0)
+	if len(items) != 1 || items[0].Title != "APOD: M31" {
+		t.Fatalf("items = %+v", items)
+	}
+	r.Publish("APOD: M42", "http://nasa.sim/2")
+	items, _ = r.ItemsSince(next)
+	if len(items) != 1 || items[0].Title != "APOD: M42" {
+		t.Fatalf("incremental items = %+v", items)
+	}
+}
