@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race bench verify report
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short pass over the engine-scale benchmarks (scheduler regressions).
+bench:
+	$(GO) test -run '^$$' -bench 'EngineScaleInstall|EngineScale100K|HintRouting|EngineEventThroughput' -benchtime 1x .
+
+# Full figure/table benchmark suite.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Pre-merge superset: vet + build + race tests + scheduler benches.
+verify:
+	sh scripts/verify.sh
+
+# Regenerate EXPERIMENTS.md from the calibrated models.
+report:
+	$(GO) run ./cmd/report -out EXPERIMENTS.md

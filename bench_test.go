@@ -9,6 +9,12 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -22,6 +28,7 @@ import (
 	"repro/internal/localengine"
 	"repro/internal/loopdetect"
 	"repro/internal/perm"
+	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
@@ -488,5 +495,127 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 		}
 		tb.Clock.Sleep(time.Minute)
 		tb.Engine.Stop()
+	})
+}
+
+// --- engine scale (sharded scheduler) --------------------------------
+
+// benchDoer answers every engine request instantly with an empty poll
+// result, isolating scheduler cost from simulated network cost.
+type benchDoer struct{}
+
+func (benchDoer) Do(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(`{"data":[]}`)),
+		Header:     make(http.Header),
+		Request:    req,
+	}, nil
+}
+
+func benchApplet(i int) engine.Applet {
+	id := fmt.Sprintf("a%06d", i)
+	return engine.Applet{
+		ID:     id,
+		UserID: fmt.Sprintf("u%05d", i%10000),
+		Trigger: engine.ServiceRef{
+			Service: "benchsvc", BaseURL: "http://svc.sim", Slug: "fired",
+			Fields: map[string]string{"n": id},
+		},
+		Action: engine.ServiceRef{
+			Service: "benchsvc", BaseURL: "http://svc.sim", Slug: "act",
+		},
+	}
+}
+
+// BenchmarkEngineScaleInstall measures per-applet install cost: index
+// insertion, RNG split, and first-poll scheduling into the shard heap.
+func BenchmarkEngineScaleInstall(b *testing.B) {
+	clock := simtime.NewSimDefault()
+	eng := engine.New(engine.Config{
+		Clock: clock, RNG: stats.NewRNG(1), Doer: benchDoer{},
+		Poll: engine.NewPaperPollModel(), DispatchDelay: -1,
+	})
+	clock.Run(func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Install(benchApplet(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		eng.Stop()
+	})
+}
+
+// BenchmarkEngineScale100K runs 100,000 applets through ten minutes of
+// virtual polling. The headline metrics are the goroutine count (the
+// old per-applet design held 100K+ goroutines here; the sharded
+// scheduler holds O(shards+workers)) and total polls completed.
+func BenchmarkEngineScale100K(b *testing.B) {
+	const n = 100_000
+	for i := 0; i < b.N; i++ {
+		clock := simtime.NewSimDefault()
+		eng := engine.New(engine.Config{
+			Clock: clock, RNG: stats.NewRNG(1), Doer: benchDoer{},
+			Poll:          engine.FixedInterval{Interval: 5 * time.Minute},
+			DispatchDelay: -1, Shards: 8, ShardWorkers: 8,
+		})
+		var peak int
+		clock.Run(func() {
+			for j := 0; j < n; j++ {
+				if err := eng.Install(benchApplet(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			clock.Sleep(10 * time.Minute)
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			eng.Stop()
+		})
+		b.ReportMetric(float64(peak), "goroutines")
+		b.ReportMetric(float64(eng.Stats().Polls), "polls")
+	}
+}
+
+// BenchmarkHintRouting measures realtime-notification routing against a
+// populated engine: identity hints resolve via the per-shard identity
+// index, user hints via the per-user index (the seed scanned every
+// applet under a global lock for both).
+func BenchmarkHintRouting(b *testing.B) {
+	const n = 20_000
+	clock := simtime.NewSimDefault()
+	eng := engine.New(engine.Config{
+		Clock: clock, RNG: stats.NewRNG(1), Doer: benchDoer{},
+		Poll:          engine.FixedInterval{Interval: time.Hour},
+		DispatchDelay: -1,
+	})
+	clock.Run(func() {
+		for i := 0; i < n; i++ {
+			if err := eng.Install(benchApplet(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		h := eng.Handler()
+		body := func(i int) string {
+			if i%2 == 0 {
+				a := benchApplet(i % n)
+				identity := a.TriggerIdentity()
+				return `{"data":[{"trigger_identity":"` + identity + `"}]}`
+			}
+			return fmt.Sprintf(`{"data":[{"user_id":"u%05d"}]}`, i%10000)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/notifications", strings.NewReader(body(i)))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("notification rejected: %d", w.Code)
+			}
+		}
+		b.StopTimer()
+		eng.Stop()
 	})
 }

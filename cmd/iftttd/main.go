@@ -17,6 +17,7 @@ import (
 	"flag"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +35,9 @@ func main() {
 		interval = flag.Duration("poll", 0, "fixed polling interval (0 = paper-calibrated model)")
 		seed     = flag.Uint64("seed", 1, "RNG seed for polling jitter")
 		realtime = flag.String("realtime", "alexa", "comma-separated services whose realtime hints are honoured")
+		shards   = flag.Int("shards", 0, "poll-scheduler shards (0 = GOMAXPROCS)")
+		workers  = flag.Int("shard-workers", 0, "concurrent polls per shard (0 = default)")
+		pprof    = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -54,6 +58,8 @@ func main() {
 		Doer:             &http.Client{Timeout: 30 * time.Second},
 		Poll:             poll,
 		RealtimeServices: rtServices,
+		Shards:           *shards,
+		ShardWorkers:     *workers,
 		Logger:           log,
 		Trace: func(ev engine.TraceEvent) {
 			log.Debug("trace", "kind", ev.Kind, "applet", ev.AppletID, "n", ev.N, "err", ev.Err)
@@ -78,6 +84,18 @@ func main() {
 			}
 			log.Info("installed", "applet", a.ID, "name", a.Name)
 		}
+	}
+
+	if *pprof != "" {
+		go func() {
+			// net/http/pprof registers its handlers on DefaultServeMux;
+			// serve it on its own listener so profiling stays off the
+			// engine's public surface.
+			log.Info("pprof listening", "addr", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Error("pprof serve", "err", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}

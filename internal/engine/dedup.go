@@ -1,0 +1,50 @@
+package engine
+
+// dedupRing remembers the last cap event IDs seen by one applet, the
+// window the engine uses to avoid re-executing events that services
+// re-serve across polls. It is a fixed-size FIFO ring: once full, every
+// insertion evicts the oldest remembered ID in O(1), and the backing
+// array never grows past cap — unlike a re-sliced []string FIFO, whose
+// backing array leaks evicted entries until the slice is reallocated.
+//
+// The ring is owned by the single worker polling its applet at any
+// moment; it needs no lock.
+type dedupRing struct {
+	cap  int
+	seen map[string]struct{}
+	buf  []string
+	head int // index of the oldest entry once the ring is full
+}
+
+// newDedupRing returns a ring remembering at most capacity IDs. The
+// backing storage is allocated lazily so that installed-but-quiet
+// applets cost a few words each.
+func newDedupRing(capacity int) dedupRing {
+	return dedupRing{cap: capacity}
+}
+
+// Add records id, reporting false when it is already remembered. When
+// the window is full the oldest ID is evicted.
+func (r *dedupRing) Add(id string) bool {
+	if _, dup := r.seen[id]; dup {
+		return false
+	}
+	if r.seen == nil {
+		r.seen = make(map[string]struct{})
+	}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, id)
+	} else {
+		delete(r.seen, r.buf[r.head])
+		r.buf[r.head] = id
+		r.head++
+		if r.head == r.cap {
+			r.head = 0
+		}
+	}
+	r.seen[id] = struct{}{}
+	return true
+}
+
+// Len returns the number of remembered IDs.
+func (r *dedupRing) Len() int { return len(r.buf) }

@@ -25,7 +25,8 @@ func (e *Engine) pollOnce(ra *runningApplet) {
 		limit := e.pollLimit
 		req.Limit = &limit
 	}
-	e.emit(TraceEvent{Kind: TracePollSent, AppletID: a.ID})
+	sh := ra.shard
+	e.emit(sh, TraceEvent{Kind: TracePollSent, AppletID: a.ID})
 
 	var resp proto.TriggerPollResponse
 	status, err := e.client.DoJSON("POST",
@@ -38,7 +39,7 @@ func (e *Engine) pollOnce(ra *runningApplet) {
 		if err != nil {
 			msg = err.Error()
 		}
-		e.emit(TraceEvent{Kind: TracePollFailed, AppletID: a.ID, Err: msg})
+		e.emit(sh, TraceEvent{Kind: TracePollFailed, AppletID: a.ID, Err: msg})
 		if e.log != nil {
 			e.log.Warn("trigger poll failed", "applet", a.ID, "err", msg)
 		}
@@ -46,31 +47,24 @@ func (e *Engine) pollOnce(ra *runningApplet) {
 	}
 
 	// The wire order is newest first; execute unseen events oldest
-	// first so actions replay the trigger order.
+	// first so actions replay the trigger order. The dedup ring is
+	// owned by this worker — the applet cannot be polled concurrently.
 	fresh := make([]proto.TriggerEvent, 0, len(resp.Data))
-	ra.mu.Lock()
 	for i := len(resp.Data) - 1; i >= 0; i-- {
 		ev := resp.Data[i]
-		if ev.Meta.ID == "" || ra.seen[ev.Meta.ID] {
+		if ev.Meta.ID == "" || !ra.dedup.Add(ev.Meta.ID) {
 			continue
 		}
-		ra.seen[ev.Meta.ID] = true
-		ra.seenFifo = append(ra.seenFifo, ev.Meta.ID)
 		fresh = append(fresh, ev)
 	}
-	for len(ra.seenFifo) > e.dedupCap {
-		delete(ra.seen, ra.seenFifo[0])
-		ra.seenFifo = ra.seenFifo[1:]
-	}
-	ra.mu.Unlock()
 
-	e.emit(TraceEvent{Kind: TracePollResult, AppletID: a.ID, N: len(fresh)})
+	e.emit(sh, TraceEvent{Kind: TracePollResult, AppletID: a.ID, N: len(fresh)})
 	if len(fresh) > 0 && e.dispatch > 0 {
 		e.clock.Sleep(e.dispatch)
 	}
 	for _, ev := range fresh {
 		if !conditionsAllow(a.Conditions, e.clock.Now(), ev.Ingredients) {
-			e.emit(TraceEvent{Kind: TraceConditionSkip, AppletID: a.ID, EventID: ev.Meta.ID})
+			e.emit(sh, TraceEvent{Kind: TraceConditionSkip, AppletID: a.ID, EventID: ev.Meta.ID})
 			continue
 		}
 		e.dispatchAction(ra, ev)
@@ -90,7 +84,7 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent) {
 		User:         proto.UserInfo{ID: a.UserID},
 		Source:       proto.Source{ID: a.ID},
 	}
-	e.emit(TraceEvent{Kind: TraceActionSent, AppletID: a.ID, EventID: ev.Meta.ID})
+	e.emit(ra.shard, TraceEvent{Kind: TraceActionSent, AppletID: a.ID, EventID: ev.Meta.ID})
 
 	var ack proto.ActionResponse
 	status, err := e.client.DoJSON("POST",
@@ -103,13 +97,13 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent) {
 		if err != nil {
 			msg = err.Error()
 		}
-		e.emit(TraceEvent{Kind: TraceActionFailed, AppletID: a.ID, EventID: ev.Meta.ID, Err: msg})
+		e.emit(ra.shard, TraceEvent{Kind: TraceActionFailed, AppletID: a.ID, EventID: ev.Meta.ID, Err: msg})
 		if e.log != nil {
 			e.log.Warn("action failed", "applet", a.ID, "err", msg)
 		}
 		return
 	}
-	e.emit(TraceEvent{Kind: TraceActionAcked, AppletID: a.ID, EventID: ev.Meta.ID})
+	e.emit(ra.shard, TraceEvent{Kind: TraceActionAcked, AppletID: a.ID, EventID: ev.Meta.ID})
 }
 
 // deleteSubscription tells the trigger service a subscription is gone.
@@ -167,6 +161,13 @@ func (e *Engine) Handler() http.Handler {
 // real-time API brings no performance impact for our service … the
 // IFTTT engine has full control over trigger event queries and very
 // likely ignores real-time API's hints" (§4).
+//
+// Every notification is traced and counted exactly once, whether or not
+// it resolves to an installed applet — a hint racing an applet's
+// removal must still show up in the engine's metrics. Identity hints
+// resolve against the per-shard identity indexes; user hints against
+// the per-shard user indexes, so routing costs O(shards +
+// applets-of-user) rather than a scan of the whole population.
 func (e *Engine) handleRealtime(w http.ResponseWriter, r *http.Request) {
 	var n proto.RealtimeNotification
 	if err := httpx.ReadJSON(r, &n); err != nil {
@@ -177,28 +178,40 @@ func (e *Engine) handleRealtime(w http.ResponseWriter, r *http.Request) {
 		var targets []*runningApplet
 		switch {
 		case hint.TriggerIdentity != "":
-			e.mu.Lock()
-			if ra := e.identities[hint.TriggerIdentity]; ra != nil {
-				targets = append(targets, ra)
-			}
-			e.mu.Unlock()
-		case hint.UserID != "":
-			// A user-scoped hint covers every applet of that user.
-			e.mu.Lock()
-			for _, ra := range e.applets {
-				if ra.def.UserID == hint.UserID {
+			for _, sh := range e.shards {
+				if ra := sh.byIdentity(hint.TriggerIdentity); ra != nil {
 					targets = append(targets, ra)
+					break
 				}
 			}
-			e.mu.Unlock()
+		case hint.UserID != "":
+			// A user-scoped hint covers every applet of that user.
+			for _, sh := range e.shards {
+				targets = sh.userApplets(targets, hint.UserID)
+			}
 		}
+		ev := TraceEvent{Kind: TraceHintReceived, N: len(targets)}
+		if len(targets) > 0 {
+			ev.AppletID = targets[0].def.ID
+		}
+		e.emit(nil, ev)
 		for _, ra := range targets {
-			e.emit(TraceEvent{Kind: TraceHintReceived, AppletID: ra.def.ID})
 			if e.realtime == nil || !e.realtime[ra.def.Trigger.Service] {
 				continue // hint ignored
 			}
-			e.clock.AfterFunc(e.rtDelay, ra.poke)
+			ra := ra
+			e.clock.AfterFunc(e.rtDelay, func() { e.pokeApplet(ra) })
 		}
 	}
 	httpx.WriteJSON(w, http.StatusOK, proto.StatusResponse{OK: true})
+}
+
+// pokeApplet pulls an applet's next poll forward to now (the honoured
+// realtime-hint path). Pokes for removed or mid-poll applets are
+// silently dropped, as with the old per-goroutine design.
+func (e *Engine) pokeApplet(ra *runningApplet) {
+	sh := ra.shard
+	sh.mu.Lock()
+	sh.pokeLocked(ra, e.clock.Now())
+	sh.mu.Unlock()
 }

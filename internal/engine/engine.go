@@ -24,8 +24,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log/slog"
+	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/httpx"
@@ -151,6 +152,16 @@ type Config struct {
 	// production default as 50). Zero sends no limit (the service
 	// applies the protocol default, also 50).
 	PollLimit int
+	// Shards is the number of poll-scheduler shards. Zero means
+	// GOMAXPROCS. Each shard owns a timer heap, an RNG stream split off
+	// Config.RNG, and its share of the applet indexes; experiments that
+	// must be reproducible across machines should pin this (the testbed
+	// uses a fixed count).
+	Shards int
+	// ShardWorkers caps concurrent in-flight polls per shard. Zero
+	// means DefaultShardWorkers. Total engine goroutines are
+	// O(Shards × ShardWorkers), independent of the applet population.
+	ShardWorkers int
 }
 
 // DefaultRealtimeDelay approximates the hint-to-poll lag the paper
@@ -165,7 +176,13 @@ const DefaultDedupWindow = 1024
 // the paper's Table 5 timeline.
 const DefaultDispatchDelay = time.Second
 
-// Engine executes applets.
+// DefaultShardWorkers is the per-shard in-flight poll cap.
+const DefaultShardWorkers = 8
+
+// Engine executes applets on a sharded poll scheduler: applets hash to
+// shards, each shard times its polls with a min-heap drained by a small
+// worker pool, and hint routing resolves against per-shard identity and
+// per-user indexes. See scheduler.go for the scheduling design.
 type Engine struct {
 	clock     simtime.Clock
 	client    *httpx.Client
@@ -177,14 +194,13 @@ type Engine struct {
 	dedupCap  int
 	dispatch  time.Duration
 	pollLimit int
+	workers   int
 
-	mu      sync.Mutex
-	rng     *stats.RNG
-	applets map[string]*runningApplet
-	// identities indexes applets by trigger identity for hint routing.
-	identities map[string]*runningApplet
-	stopped    bool
-	counters   Stats
+	shards  []*shard
+	stopped atomic.Bool
+	// hints counts realtime notifications at the HTTP surface, matched
+	// or not; the per-shard counters cover the poll/dispatch hot path.
+	hints atomic.Int64
 }
 
 // Stats are the engine's monotonic operational counters, exposed on the
@@ -200,15 +216,20 @@ type Stats struct {
 	ConditionSkips int64 `json:"condition_skips"`
 }
 
+// runningApplet is one installed applet's scheduler state. The mutable
+// fields (entry, polling, removed) are guarded by the owning shard's
+// mutex; rng and dedup are touched only by the single worker that has
+// the applet in flight (an applet is never scheduled while polling).
 type runningApplet struct {
 	def      Applet
 	identity string
+	shard    *shard
+	rng      *stats.RNG // per-applet gap stream, split at install
 
-	mu       sync.Mutex
-	stopper  simtime.Stopper // wakes the current sleep early
-	removed  bool
-	seen     map[string]bool
-	seenFifo []string
+	entry   *pollEntry // pending poll, nil while in flight
+	polling bool
+	removed bool
+	dedup   dedupRing
 }
 
 // New creates an engine. It panics if required config is missing.
@@ -235,58 +256,81 @@ func New(cfg Config) *Engine {
 	if dispatch < 0 {
 		dispatch = 0
 	}
-	return &Engine{
-		clock:      cfg.Clock,
-		client:     httpx.NewClient(cfg.Doer, cfg.Clock, 1),
-		poll:       poll,
-		realtime:   cfg.RealtimeServices,
-		rtDelay:    rtDelay,
-		trace:      cfg.Trace,
-		log:        cfg.Logger,
-		dedupCap:   dedup,
-		dispatch:   dispatch,
-		pollLimit:  cfg.PollLimit,
-		rng:        cfg.RNG,
-		applets:    make(map[string]*runningApplet),
-		identities: make(map[string]*runningApplet),
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = runtime.GOMAXPROCS(0)
 	}
+	workers := cfg.ShardWorkers
+	if workers <= 0 {
+		workers = DefaultShardWorkers
+	}
+	e := &Engine{
+		clock:     cfg.Clock,
+		client:    httpx.NewClient(cfg.Doer, cfg.Clock, 1),
+		poll:      poll,
+		realtime:  cfg.RealtimeServices,
+		rtDelay:   rtDelay,
+		trace:     cfg.Trace,
+		log:       cfg.Logger,
+		dedupCap:  dedup,
+		dispatch:  dispatch,
+		pollLimit: cfg.PollLimit,
+		workers:   workers,
+	}
+	e.shards = make([]*shard, nShards)
+	for i := range e.shards {
+		// Shard RNG streams are split in index order, so a given
+		// (seed, shard count) always yields the same streams.
+		e.shards[i] = newShard(e, i, cfg.RNG.Split(fmt.Sprintf("shard-%d", i)))
+	}
+	return e
 }
 
-func (e *Engine) emit(ev TraceEvent) {
-	e.mu.Lock()
+// emit bumps the counter for ev on sh (nil for engine-level events) and
+// forwards it to the trace observer.
+func (e *Engine) emit(sh *shard, ev TraceEvent) {
 	switch ev.Kind {
 	case TracePollSent:
-		e.counters.Polls++
+		sh.counters.polls.Add(1)
 	case TracePollFailed:
-		e.counters.PollFailures++
+		sh.counters.pollFailures.Add(1)
 	case TracePollResult:
-		e.counters.EventsReceived += int64(ev.N)
+		sh.counters.eventsReceived.Add(int64(ev.N))
 	case TraceActionAcked:
-		e.counters.ActionsOK++
+		sh.counters.actionsOK.Add(1)
 	case TraceActionFailed:
-		e.counters.ActionsFailed++
-	case TraceHintReceived:
-		e.counters.HintsReceived++
+		sh.counters.actionsFailed.Add(1)
 	case TraceConditionSkip:
-		e.counters.ConditionSkips++
+		sh.counters.conditionSkips.Add(1)
+	case TraceHintReceived:
+		e.hints.Add(1)
 	}
-	e.mu.Unlock()
 	if e.trace != nil {
 		ev.Time = e.clock.Now()
 		e.trace(ev)
 	}
 }
 
-// Stats returns a snapshot of the engine's operational counters.
+// Stats returns a snapshot of the engine's operational counters, merged
+// across shards.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st := e.counters
-	st.Applets = len(e.applets)
+	var st Stats
+	for _, sh := range e.shards {
+		st.Polls += sh.counters.polls.Load()
+		st.PollFailures += sh.counters.pollFailures.Load()
+		st.EventsReceived += sh.counters.eventsReceived.Load()
+		st.ActionsOK += sh.counters.actionsOK.Load()
+		st.ActionsFailed += sh.counters.actionsFailed.Load()
+		st.ConditionSkips += sh.counters.conditionSkips.Load()
+		sh.mu.Lock()
+		st.Applets += len(sh.applets)
+		sh.mu.Unlock()
+	}
+	st.HintsReceived = e.hints.Load()
 	return st
 }
 
-// Install registers an applet and starts its polling loop. It returns an
+// Install registers an applet and schedules its polling. It returns an
 // error for duplicate IDs or after Stop.
 func (e *Engine) Install(a Applet) error {
 	if a.ID == "" {
@@ -295,23 +339,22 @@ func (e *Engine) Install(a Applet) error {
 	ra := &runningApplet{
 		def:      a,
 		identity: a.TriggerIdentity(),
-		seen:     make(map[string]bool),
+		dedup:    newDedupRing(e.dedupCap),
 	}
-	e.mu.Lock()
-	if e.stopped {
-		e.mu.Unlock()
+	sh := e.shardFor(a.ID)
+	sh.mu.Lock()
+	if e.stopped.Load() || sh.stopped {
+		sh.mu.Unlock()
 		return fmt.Errorf("engine: stopped")
 	}
-	if _, dup := e.applets[a.ID]; dup {
-		e.mu.Unlock()
+	if _, dup := sh.applets[a.ID]; dup {
+		sh.mu.Unlock()
 		return fmt.Errorf("engine: applet %q already installed", a.ID)
 	}
-	e.applets[a.ID] = ra
-	e.identities[ra.identity] = ra
-	e.mu.Unlock()
+	sh.installLocked(ra)
+	sh.mu.Unlock()
 
-	e.emit(TraceEvent{Kind: TraceInstall, AppletID: a.ID})
-	e.clock.Go(func() { e.runApplet(ra) })
+	e.emit(sh, TraceEvent{Kind: TraceInstall, AppletID: a.ID})
 	return nil
 }
 
@@ -320,99 +363,35 @@ func (e *Engine) Install(a Applet) error {
 // /ifttt/v1/triggers/{slug}/trigger_identity/{id}), so the service can
 // drop its event buffer.
 func (e *Engine) Remove(id string) {
-	e.mu.Lock()
-	ra := e.applets[id]
-	if ra != nil {
-		delete(e.applets, id)
-		delete(e.identities, ra.identity)
-	}
-	e.mu.Unlock()
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	ra := sh.removeLocked(id)
+	sh.mu.Unlock()
 	if ra == nil {
 		return
 	}
-	ra.mu.Lock()
-	ra.removed = true
-	st := ra.stopper
-	ra.mu.Unlock()
-	if st != nil {
-		st.Stop()
-	}
-	e.emit(TraceEvent{Kind: TraceRemove, AppletID: id})
+	e.emit(sh, TraceEvent{Kind: TraceRemove, AppletID: id})
 	e.clock.Go(func() { e.deleteSubscription(ra) })
 }
 
 // Applets returns the IDs of installed applets (unordered).
 func (e *Engine) Applets() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]string, 0, len(e.applets))
-	for id := range e.applets {
-		out = append(out, id)
+	var out []string
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for id := range sh.applets {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// Stop halts all polling loops. The engine cannot be restarted.
+// Stop halts all scheduling. In-flight polls finish their current
+// round; pending ones are abandoned. The engine cannot be restarted.
 func (e *Engine) Stop() {
-	e.mu.Lock()
-	e.stopped = true
-	running := make([]*runningApplet, 0, len(e.applets))
-	for _, ra := range e.applets {
-		running = append(running, ra)
-	}
-	e.mu.Unlock()
-	for _, ra := range running {
-		ra.mu.Lock()
-		ra.removed = true
-		st := ra.stopper
-		ra.mu.Unlock()
-		if st != nil {
-			st.Stop()
-		}
-	}
-}
-
-// nextGap draws the next polling gap for an applet under the engine's
-// policy, serialized so the RNG stream stays deterministic.
-func (e *Engine) nextGap(ra *runningApplet) time.Duration {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.poll.NextGap(ra.def.ID, ra.def.Trigger.Service, e.rng)
-}
-
-// runApplet is the per-applet polling loop: sleep one gap (interruptible
-// by realtime hints and removal), then poll and dispatch.
-func (e *Engine) runApplet(ra *runningApplet) {
-	for {
-		gap := e.nextGap(ra)
-		st := e.clock.NewStopper()
-		ra.mu.Lock()
-		if ra.removed {
-			ra.mu.Unlock()
-			return
-		}
-		ra.stopper = st
-		ra.mu.Unlock()
-
-		e.clock.SleepOrStop(st, gap)
-
-		ra.mu.Lock()
-		removed := ra.removed
-		ra.stopper = nil
-		ra.mu.Unlock()
-		if removed {
-			return
-		}
-		e.pollOnce(ra)
-	}
-}
-
-// poke wakes an applet's loop so it polls now (realtime hint path).
-func (ra *runningApplet) poke() {
-	ra.mu.Lock()
-	st := ra.stopper
-	ra.mu.Unlock()
-	if st != nil {
-		st.Stop()
+	e.stopped.Store(true)
+	for _, sh := range e.shards {
+		sh.stop()
 	}
 }

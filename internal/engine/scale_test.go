@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// stubDoer answers every poll with an empty event list and every other
+// request with a bare 200, without touching the network or the clock.
+// It lets scale tests run tens of thousands of applets where a full
+// simnet round trip per poll would dominate.
+type stubDoer struct{}
+
+func (stubDoer) Do(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(`{"data":[]}`)),
+		Header:     make(http.Header),
+		Request:    req,
+	}, nil
+}
+
+func scaleApplet(i int) Applet {
+	id := fmt.Sprintf("a%05d", i)
+	return Applet{
+		ID:     id,
+		UserID: fmt.Sprintf("u%04d", i%1000), // ~50 applets per user
+		Trigger: ServiceRef{
+			Service: "scalesvc", BaseURL: "http://svc.sim", Slug: "fired",
+			Fields: map[string]string{"n": id},
+		},
+		Action: ServiceRef{
+			Service: "scalesvc", BaseURL: "http://svc.sim", Slug: "act",
+		},
+	}
+}
+
+// TestEngineScaleSoak runs ~50K applets through install, polling, hint
+// and removal churn on the simulated clock, and checks the scheduler's
+// core scaling claim: goroutines stay O(shards + workers) rather than
+// O(applets). Run under -race by scripts/verify.sh.
+func TestEngineScaleSoak(t *testing.T) {
+	n := 50_000
+	if testing.Short() {
+		n = 5_000
+	}
+	const shards, workers = 8, 8
+
+	clock := simtime.NewSimDefault()
+	eng := New(Config{
+		Clock:            clock,
+		RNG:              stats.NewRNG(7),
+		Doer:             stubDoer{},
+		Poll:             FixedInterval{Interval: 5 * time.Minute},
+		RealtimeServices: map[string]bool{"scalesvc": true},
+		DispatchDelay:    -1,
+		Shards:           shards,
+		ShardWorkers:     workers,
+	})
+	r := &rig{engine: eng} // for postHints
+
+	baseline := runtime.NumGoroutine()
+	var peak int
+	sample := func() {
+		if g := runtime.NumGoroutine(); g > peak {
+			peak = g
+		}
+	}
+
+	clock.Run(func() {
+		for i := 0; i < n; i++ {
+			if err := eng.Install(scaleApplet(i)); err != nil {
+				t.Fatalf("install %d: %v", i, err)
+			}
+		}
+		sample()
+		if got := len(eng.Applets()); got != n {
+			t.Fatalf("installed %d applets, want %d", got, n)
+		}
+
+		// First polling round (all due at +5m), then churn: remove a
+		// tenth, hint a few hundred users, install replacements.
+		clock.Sleep(5*time.Minute + time.Second)
+		sample()
+		for i := 0; i < n/10; i++ {
+			eng.Remove(scaleApplet(i).ID)
+		}
+		for u := 0; u < 200; u++ {
+			r.postHints(t, fmt.Sprintf(`{"data":[{"user_id":"u%04d"}]}`, 100+u))
+		}
+		for i := n; i < n+n/50; i++ {
+			if err := eng.Install(scaleApplet(i)); err != nil {
+				t.Fatalf("reinstall %d: %v", i, err)
+			}
+		}
+		clock.Sleep(10 * time.Minute)
+		sample()
+		eng.Stop()
+	})
+
+	st := eng.Stats()
+	if want := n - n/10 + n/50; st.Applets != want {
+		t.Errorf("Applets = %d, want %d", st.Applets, want)
+	}
+	if st.HintsReceived != 200 {
+		t.Errorf("HintsReceived = %d, want 200", st.HintsReceived)
+	}
+	// Every applet alive at +5m polls in round one; survivors poll at
+	// least twice more in the following 10 minutes.
+	if min := int64(2 * n); st.Polls < min {
+		t.Errorf("Polls = %d, want ≥ %d", st.Polls, min)
+	}
+	if st.PollFailures != 0 {
+		t.Errorf("PollFailures = %d, want 0", st.PollFailures)
+	}
+
+	// The scaling claim. The old design held one goroutine per applet
+	// (peak ≈ n); the sharded scheduler needs only pumps + in-flight
+	// workers + simulation bookkeeping.
+	bound := baseline + shards*(workers+1) + 100
+	if peak > bound {
+		t.Errorf("peak goroutines = %d (baseline %d), want ≤ %d — scheduler is not O(shards+workers)",
+			peak, baseline, bound)
+	}
+	t.Logf("n=%d polls=%d peak goroutines=%d (baseline %d)", n, st.Polls, peak, baseline)
+}
+
+// TestEngineScaleDeterministic re-runs a small population twice with the
+// same seed and checks the poll schedules agree — the per-shard RNG
+// split must not depend on timing or map iteration order.
+func TestEngineScaleDeterministic(t *testing.T) {
+	run := func() map[string]int64 {
+		clock := simtime.NewSimDefault()
+		var mu sync.Mutex
+		polls := make(map[string]int64)
+		eng := New(Config{
+			Clock:         clock,
+			RNG:           stats.NewRNG(7),
+			Doer:          stubDoer{},
+			Poll:          NewPaperPollModel(),
+			DispatchDelay: -1,
+			Shards:        4,
+			Trace: func(ev TraceEvent) {
+				if ev.Kind == TracePollSent {
+					mu.Lock()
+					polls[ev.AppletID+"@"+fmt.Sprint(ev.Time.UnixNano())]++
+					mu.Unlock()
+				}
+			},
+		})
+		clock.Run(func() {
+			for i := 0; i < 500; i++ {
+				eng.Install(scaleApplet(i))
+			}
+			clock.Sleep(30 * time.Minute)
+			eng.Stop()
+		})
+		return polls
+	}
+
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs disagree: %d vs %d poll instants", len(a), len(b))
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			t.Fatalf("poll %s only in first run; schedules are not deterministic", k)
+		}
+	}
+}

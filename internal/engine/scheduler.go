@@ -1,0 +1,194 @@
+// The sharded poll scheduler. The engine used to run one goroutine per
+// applet, each sleeping through its own polling gap — simple, but at
+// dataset scale (320K applets, §3) that is 320K goroutines and a global
+// mutex on every gap draw and counter bump. Instead, each shard keeps a
+// min-heap of (due time, applet) entries; one pump actor per shard
+// sleeps until the heap head is due (on a reusable simtime.Alarm, so an
+// earlier insertion can cut the sleep short), moves due entries to a
+// ready queue, and a small worker pool drains it. Goroutine count is
+// O(shards + in-flight polls), independent of the installed population.
+//
+// Scheduling semantics are identical to the per-goroutine design: each
+// applet's next poll is drawn from its own RNG stream *after* the
+// previous poll (and its action dispatches) complete, so inter-poll
+// spacing is gap + poll duration, exactly as before; realtime pokes
+// reschedule a pending poll to now and are dropped while the applet is
+// mid-poll, matching the old stopper behaviour. Under the simulated
+// clock the pump exits whenever its heap drains, so an idle engine
+// holds no timers and the simulation can quiesce.
+package engine
+
+import (
+	"container/heap"
+	"time"
+)
+
+// pollEntry is one applet's pending poll in a shard's timer heap.
+type pollEntry struct {
+	due time.Time
+	seq uint64 // FIFO tie-break for equal deadlines
+	ra  *runningApplet
+	idx int // heap index, -1 once popped/removed
+}
+
+// pollHeap is a min-heap of pending polls ordered by due time.
+type pollHeap []*pollEntry
+
+func (h pollHeap) Len() int { return len(h) }
+
+func (h pollHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h pollHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *pollHeap) Push(x any) {
+	en := x.(*pollEntry)
+	en.idx = len(*h)
+	*h = append(*h, en)
+}
+
+func (h *pollHeap) Pop() any {
+	old := *h
+	n := len(old)
+	en := old[n-1]
+	old[n-1] = nil
+	en.idx = -1
+	*h = old[:n-1]
+	return en
+}
+
+func (h *pollHeap) remove(en *pollEntry) {
+	if en.idx >= 0 {
+		heap.Remove(h, en.idx)
+	}
+}
+
+// scheduleLocked queues ra's next poll at due and ensures a pump actor
+// is watching the heap. Caller holds s.mu.
+func (s *shard) scheduleLocked(ra *runningApplet, due time.Time) {
+	if ra.removed || s.stopped {
+		return
+	}
+	s.seq++
+	en := &pollEntry{due: due, seq: s.seq, ra: ra}
+	ra.entry = en
+	heap.Push(&s.heap, en)
+	if !s.pumpOn {
+		s.pumpOn = true
+		s.e.clock.Go(s.pump)
+	} else if due.Before(s.pumpAt) {
+		s.alarm.Wake()
+	}
+}
+
+// pokeLocked moves ra's pending poll up to due (the realtime-hint
+// path). A poke for an applet that is mid-poll or already due sooner is
+// dropped, as with the old per-goroutine stopper. Caller holds s.mu.
+func (s *shard) pokeLocked(ra *runningApplet, due time.Time) {
+	en := ra.entry
+	if en == nil || ra.removed || s.stopped {
+		return
+	}
+	if due.Before(en.due) {
+		en.due = due
+		heap.Fix(&s.heap, en.idx)
+		if due.Before(s.pumpAt) {
+			s.alarm.Wake()
+		}
+	}
+}
+
+// pump is the shard's scheduling actor: it sleeps until the earliest
+// pending poll is due, shifts due entries to the ready queue, and
+// spawns workers to drain them. It exits when the heap is empty (the
+// next schedule call restarts it) or the shard stops.
+func (s *shard) pump() {
+	for {
+		s.mu.Lock()
+		if s.stopped {
+			s.pumpOn = false
+			s.mu.Unlock()
+			return
+		}
+		now := s.e.clock.Now()
+		for len(s.heap) > 0 && !s.heap[0].due.After(now) {
+			en := heap.Pop(&s.heap).(*pollEntry)
+			en.ra.entry = nil
+			s.ready = append(s.ready, en.ra)
+		}
+		s.spawnWorkersLocked()
+		if len(s.heap) == 0 {
+			// Nothing left to time: any queued ready work is owned by
+			// the running workers. Exit so an idle shard holds no clock
+			// timer.
+			s.pumpOn = false
+			s.mu.Unlock()
+			return
+		}
+		at := s.heap[0].due
+		s.pumpAt = at
+		s.mu.Unlock()
+		s.alarm.WaitUntil(at)
+	}
+}
+
+// spawnWorkersLocked tops the worker pool up to the shard's concurrency
+// cap while ready applets are queued. Caller holds s.mu.
+func (s *shard) spawnWorkersLocked() {
+	for s.inflight < s.e.workers && s.readyLenLocked() > 0 {
+		s.inflight++
+		s.e.clock.Go(s.worker)
+	}
+}
+
+func (s *shard) readyLenLocked() int { return len(s.ready) - s.readyHead }
+
+// takeReadyLocked pops the oldest ready applet. Caller holds s.mu.
+func (s *shard) takeReadyLocked() *runningApplet {
+	ra := s.ready[s.readyHead]
+	s.ready[s.readyHead] = nil
+	s.readyHead++
+	if s.readyHead == len(s.ready) {
+		s.ready = s.ready[:0]
+		s.readyHead = 0
+	}
+	return ra
+}
+
+// worker drains the shard's ready queue: poll, dispatch, then draw the
+// applet's next gap and reschedule. Workers are transient actors — when
+// the queue empties they exit, keeping the engine's goroutine count at
+// O(shards + in-flight polls).
+func (s *shard) worker() {
+	for {
+		s.mu.Lock()
+		if s.stopped || s.readyLenLocked() == 0 {
+			s.inflight--
+			s.mu.Unlock()
+			return
+		}
+		ra := s.takeReadyLocked()
+		if ra.removed {
+			s.mu.Unlock()
+			continue
+		}
+		ra.polling = true
+		s.mu.Unlock()
+
+		s.e.pollOnce(ra)
+
+		s.mu.Lock()
+		ra.polling = false
+		gap := s.e.poll.NextGap(ra.def.ID, ra.def.Trigger.Service, ra.rng)
+		s.scheduleLocked(ra, s.e.clock.Now().Add(gap))
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// shard owns a partition of the installed applets: their definitions,
+// the identity and per-user indexes used for hint routing, a timer
+// min-heap of pending polls, and the pump/worker actors that drain it.
+// All shard state is guarded by mu; the counters are atomics updated
+// lock-free on the poll hot path and merged by Engine.Stats.
+type shard struct {
+	e     *Engine
+	id    int
+	alarm simtime.Alarm
+
+	mu  sync.Mutex
+	rng *stats.RNG // shard-split stream; per-applet streams split off it
+	// heap orders pending polls by due time (seq breaks ties FIFO).
+	heap pollHeap
+	seq  uint64
+	// applets, identities and byUser index the shard's population by
+	// applet ID, trigger identity, and owning user.
+	applets    map[string]*runningApplet
+	identities map[string]*runningApplet
+	byUser     map[string]map[string]*runningApplet
+	// ready queues due applets awaiting a free worker.
+	ready     []*runningApplet
+	readyHead int
+	inflight  int  // worker actors currently running
+	pumpOn    bool // a pump actor is live (invariant: heap non-empty ⇒ pumpOn)
+	pumpAt    time.Time
+	stopped   bool
+
+	counters shardCounters
+}
+
+// shardCounters are the shard-local halves of Stats, bumped atomically
+// so concurrent workers never contend on a lock.
+type shardCounters struct {
+	polls          atomic.Int64
+	pollFailures   atomic.Int64
+	eventsReceived atomic.Int64
+	actionsOK      atomic.Int64
+	actionsFailed  atomic.Int64
+	conditionSkips atomic.Int64
+}
+
+func newShard(e *Engine, id int, rng *stats.RNG) *shard {
+	return &shard{
+		e:          e,
+		id:         id,
+		alarm:      e.clock.NewAlarm(),
+		rng:        rng,
+		applets:    make(map[string]*runningApplet),
+		identities: make(map[string]*runningApplet),
+		byUser:     make(map[string]map[string]*runningApplet),
+	}
+}
+
+// shardFor maps an applet ID to its owning shard.
+func (e *Engine) shardFor(appletID string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(appletID))
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// installLocked registers ra in the shard indexes and schedules its
+// first poll one freshly drawn gap from now. Caller holds s.mu.
+func (s *shard) installLocked(ra *runningApplet) {
+	ra.shard = s
+	ra.rng = s.rng.Split("applet-" + ra.def.ID)
+	s.applets[ra.def.ID] = ra
+	s.identities[ra.identity] = ra
+	u := s.byUser[ra.def.UserID]
+	if u == nil {
+		u = make(map[string]*runningApplet)
+		s.byUser[ra.def.UserID] = u
+	}
+	u[ra.def.ID] = ra
+	gap := s.e.poll.NextGap(ra.def.ID, ra.def.Trigger.Service, ra.rng)
+	s.scheduleLocked(ra, s.e.clock.Now().Add(gap))
+}
+
+// removeLocked unindexes ra and cancels its pending poll. Caller holds
+// s.mu; returns false when the ID is not installed here.
+func (s *shard) removeLocked(id string) *runningApplet {
+	ra := s.applets[id]
+	if ra == nil {
+		return nil
+	}
+	delete(s.applets, id)
+	delete(s.identities, ra.identity)
+	if u := s.byUser[ra.def.UserID]; u != nil {
+		delete(u, id)
+		if len(u) == 0 {
+			delete(s.byUser, ra.def.UserID)
+		}
+	}
+	ra.removed = true
+	if en := ra.entry; en != nil {
+		s.heap.remove(en)
+		ra.entry = nil
+		// Let the pump re-evaluate: if this was the last pending poll it
+		// exits, releasing its clock timer so a simulation can quiesce.
+		s.alarm.Wake()
+	}
+	return ra
+}
+
+// userApplets appends the shard's applets owned by userID to dst.
+func (s *shard) userApplets(dst []*runningApplet, userID string) []*runningApplet {
+	s.mu.Lock()
+	for _, ra := range s.byUser[userID] {
+		dst = append(dst, ra)
+	}
+	s.mu.Unlock()
+	return dst
+}
+
+// byIdentity resolves a trigger identity within this shard.
+func (s *shard) byIdentity(identity string) *runningApplet {
+	s.mu.Lock()
+	ra := s.identities[identity]
+	s.mu.Unlock()
+	return ra
+}
+
+// stop marks the shard stopped and wakes the pump so it exits. Pending
+// polls are abandoned; in-flight polls finish their current round.
+func (s *shard) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.alarm.Wake()
+}

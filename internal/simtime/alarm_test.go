@@ -1,0 +1,99 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimAlarmDeadline(t *testing.T) {
+	c := NewSimDefault()
+	a := c.NewAlarm()
+	c.Run(func() {
+		start := c.Now()
+		if !a.WaitUntil(start.Add(5 * time.Second)) {
+			t.Error("undisturbed wait should report the deadline")
+		}
+		if got := c.Since(start); got != 5*time.Second {
+			t.Errorf("slept %v, want 5s", got)
+		}
+		// A deadline already in the past returns immediately.
+		if !a.WaitUntil(start) {
+			t.Error("past deadline should report true")
+		}
+	})
+}
+
+func TestSimAlarmWake(t *testing.T) {
+	c := NewSimDefault()
+	a := c.NewAlarm()
+	c.Run(func() {
+		start := c.Now()
+		c.AfterFunc(2*time.Second, a.Wake)
+		if a.WaitUntil(start.Add(time.Hour)) {
+			t.Error("woken wait should report false")
+		}
+		if got := c.Since(start); got != 2*time.Second {
+			t.Errorf("woke after %v, want 2s", got)
+		}
+	})
+	// The cancelled hour-long timer must not keep the simulation alive:
+	// Run returned, so quiescence was reached.
+}
+
+func TestSimAlarmWakeToken(t *testing.T) {
+	c := NewSimDefault()
+	a := c.NewAlarm()
+	c.Run(func() {
+		// A wake with no waiter is remembered and consumes the next
+		// wait — the no-lost-wakeup guarantee scheduler loops rely on.
+		a.Wake()
+		a.Wake() // coalesces
+		start := c.Now()
+		if a.WaitUntil(start.Add(time.Hour)) {
+			t.Error("pending token should cancel the wait")
+		}
+		if got := c.Since(start); got != 0 {
+			t.Errorf("token wait took %v, want 0", got)
+		}
+		if !a.WaitUntil(start.Add(time.Millisecond)) {
+			t.Error("token must coalesce: second wait should sleep")
+		}
+	})
+}
+
+func TestSimAlarmReuse(t *testing.T) {
+	c := NewSimDefault()
+	a := c.NewAlarm()
+	c.Run(func() {
+		for i := 0; i < 5; i++ {
+			start := c.Now()
+			if !a.WaitUntil(start.Add(time.Second)) {
+				t.Fatalf("round %d: expected deadline", i)
+			}
+		}
+	})
+}
+
+func TestRealAlarm(t *testing.T) {
+	c := NewReal()
+	a := c.NewAlarm()
+	if !a.WaitUntil(time.Now().Add(time.Millisecond)) {
+		t.Error("undisturbed real wait should report the deadline")
+	}
+	a.Wake()
+	if a.WaitUntil(time.Now().Add(time.Hour)) {
+		t.Error("pending token should cancel the real wait")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- a.WaitUntil(time.Now().Add(time.Hour)) }()
+	time.Sleep(10 * time.Millisecond)
+	a.Wake()
+	select {
+	case fired := <-done:
+		if fired {
+			t.Error("woken real wait should report false")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wake did not interrupt WaitUntil")
+	}
+}

@@ -56,6 +56,10 @@ type Clock interface {
 	// stopped first. It returns true when the full duration elapsed.
 	SleepOrStop(s Stopper, d time.Duration) bool
 
+	// NewAlarm returns a reusable timed wake-up for a single waiting
+	// actor, the primitive behind timer-heap scheduling loops.
+	NewAlarm() Alarm
+
 	// Since returns the time elapsed since t.
 	Since(t time.Time) time.Duration
 }
@@ -79,6 +83,27 @@ type Gate interface {
 	Open()
 	// Opened reports whether the gate has been opened.
 	Opened() bool
+}
+
+// Alarm is a reusable timed wait, built for scheduler loops that sleep
+// until the head of a timer heap and must be woken when an earlier
+// deadline is inserted. Unlike Stopper it is not one-shot: the same
+// alarm is re-armed by every WaitUntil call.
+//
+// At most one actor may be waiting at a time. Wake has token semantics:
+// waking an alarm nobody is waiting on is remembered and cancels the
+// next WaitUntil immediately, so a scheduler that publishes its sleep
+// target, releases its lock, and then waits cannot lose a wake-up that
+// races into the gap.
+type Alarm interface {
+	// WaitUntil blocks the calling actor until the absolute instant t,
+	// returning true when the deadline was reached and false when Wake
+	// cut the wait short (or a wake token was already pending).
+	WaitUntil(t time.Time) bool
+	// Wake wakes the current waiter, or arms a token that cancels the
+	// next WaitUntil. It never blocks and may be called from any
+	// goroutine. Multiple Wakes coalesce into one token.
+	Wake()
 }
 
 // Stopper is a cancellation source for SleepOrStop. It is analogous to a

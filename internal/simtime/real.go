@@ -89,6 +89,44 @@ func (g *realGate) Opened() bool {
 	}
 }
 
+// NewAlarm returns a channel-backed reusable timed wake-up.
+func (c *RealClock) NewAlarm() Alarm {
+	return &realAlarm{ch: make(chan struct{}, 1)}
+}
+
+type realAlarm struct {
+	ch chan struct{} // capacity 1: a buffered send is the wake token
+}
+
+// WaitUntil sleeps until t, returning early with false on Wake.
+func (a *realAlarm) WaitUntil(t time.Time) bool {
+	select {
+	case <-a.ch:
+		return false
+	default:
+	}
+	d := time.Until(t)
+	if d <= 0 {
+		return true
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-a.ch:
+		return false
+	}
+}
+
+// Wake wakes the waiter or arms the token; extra Wakes coalesce.
+func (a *realAlarm) Wake() {
+	select {
+	case a.ch <- struct{}{}:
+	default:
+	}
+}
+
 // NewStopper returns a channel-backed cancellation source.
 func (c *RealClock) NewStopper() Stopper {
 	return &realGate{ch: make(chan struct{})}

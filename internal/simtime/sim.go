@@ -162,6 +162,70 @@ func (g *simGate) Opened() bool {
 	return g.opened
 }
 
+// NewAlarm returns a reusable timed wake-up bound to this clock.
+func (c *SimClock) NewAlarm() Alarm { return &simAlarm{c: c} }
+
+type simAlarm struct {
+	c       *SimClock
+	pending bool         // a Wake arrived with no waiter
+	waiter  *alarmWaiter // the current WaitUntil, if any
+}
+
+type alarmWaiter struct {
+	t     *simTimer
+	ch    chan struct{}
+	fired bool // deadline reached (vs woken early)
+}
+
+// WaitUntil blocks the calling actor until virtual time t or an early
+// Wake.
+func (a *simAlarm) WaitUntil(t time.Time) bool {
+	c := a.c
+	c.mu.Lock()
+	if a.pending {
+		a.pending = false
+		c.mu.Unlock()
+		return false
+	}
+	if a.waiter != nil {
+		c.mu.Unlock()
+		panic("simtime: concurrent Alarm.WaitUntil")
+	}
+	if !t.After(c.now) {
+		c.mu.Unlock()
+		return true
+	}
+	w := &alarmWaiter{ch: make(chan struct{})}
+	w.t = c.addTimerAtLocked(t, func() {
+		c.runnable++
+		w.fired = true
+		a.waiter = nil
+		close(w.ch)
+	})
+	a.waiter = w
+	c.blockLocked()
+	c.mu.Unlock()
+	<-w.ch
+	return w.fired
+}
+
+// Wake wakes the waiting actor or arms a token for the next wait.
+func (a *simAlarm) Wake() {
+	c := a.c
+	c.mu.Lock()
+	if w := a.waiter; w != nil {
+		a.waiter = nil
+		if w.t.idx >= 0 {
+			heap.Remove(&c.timers, w.t.idx)
+		}
+		c.runnable++
+		close(w.ch)
+	} else {
+		a.pending = true
+	}
+	c.mu.Unlock()
+}
+
 // NewStopper returns a cancellation source bound to this clock.
 func (c *SimClock) NewStopper() Stopper { return &simStopper{c: c} }
 
@@ -311,8 +375,14 @@ func (c *SimClock) maybeAdvanceLocked() {
 
 // addTimerLocked registers fire to be invoked (with mu held) at now+d.
 func (c *SimClock) addTimerLocked(d time.Duration, fire func()) *simTimer {
+	return c.addTimerAtLocked(c.now.Add(d), fire)
+}
+
+// addTimerAtLocked registers fire to be invoked (with mu held) at the
+// absolute virtual instant when.
+func (c *SimClock) addTimerAtLocked(when time.Time, fire func()) *simTimer {
 	c.seq++
-	t := &simTimer{when: c.now.Add(d), seq: c.seq, fire: fire}
+	t := &simTimer{when: when, seq: c.seq, fire: fire}
 	heap.Push(&c.timers, t)
 	return t
 }

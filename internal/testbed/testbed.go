@@ -69,7 +69,18 @@ type Config struct {
 	OurServiceRealtime bool
 	// DispatchDelay forwards to engine.Config.DispatchDelay.
 	DispatchDelay time.Duration
+	// Shards forwards to engine.Config.Shards. Zero pins
+	// DefaultShards rather than GOMAXPROCS so that experiment
+	// schedules are reproducible across machines.
+	Shards int
+	// ShardWorkers forwards to engine.Config.ShardWorkers.
+	ShardWorkers int
 }
+
+// DefaultShards is the testbed's pinned engine shard count. Experiments
+// must not vary with the host's core count, so the testbed never lets
+// the engine fall back to its GOMAXPROCS default.
+const DefaultShards = 8
 
 // Testbed is a fully wired Figure-1 deployment on a virtual clock.
 type Testbed struct {
@@ -214,6 +225,10 @@ func New(cfg Config) *Testbed {
 	if realtime == nil {
 		realtime = map[string]bool{"alexa": true}
 	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = DefaultShards
+	}
 	tb.Engine = engine.New(engine.Config{
 		Clock:            clock,
 		RNG:              rng.Split("engine"),
@@ -221,6 +236,8 @@ func New(cfg Config) *Testbed {
 		Poll:             cfg.Poll,
 		RealtimeServices: realtime,
 		DispatchDelay:    cfg.DispatchDelay,
+		Shards:           shards,
+		ShardWorkers:     cfg.ShardWorkers,
 		Trace: func(ev engine.TraceEvent) {
 			tb.mu.Lock()
 			tb.traces = append(tb.traces, ev)

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Full verification: vet, build, race-enabled tests, and a short pass
+# over the engine-scale benchmarks. Tier-1 (ROADMAP.md) is the
+# build+test subset; this script is the pre-merge superset.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go test -race ./...'
+go test -race ./...
+
+echo '== engine scale benchmarks (short)'
+go test -run '^$' -bench 'EngineScaleInstall|EngineScale100K|HintRouting|EngineEventThroughput' \
+    -benchtime 1x .
+
+echo 'verify: OK'
