@@ -27,6 +27,7 @@ import (
 	"repro/internal/homenet"
 	"repro/internal/localengine"
 	"repro/internal/loopdetect"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -576,6 +577,40 @@ func BenchmarkEngineScale100K(b *testing.B) {
 		})
 		b.ReportMetric(float64(peak), "goroutines")
 		b.ReportMetric(float64(eng.Stats().Polls), "polls")
+	}
+}
+
+// BenchmarkEngineScale100KTraced repeats BenchmarkEngineScale100K with
+// the observability layer enabled — a metrics registry (which implies a
+// span recorder fed through the async observer ring) — so the tracing
+// overhead on the poll hot path shows up as the delta against the bare
+// benchmark. The acceptance bar is <5% wall-time regression.
+func BenchmarkEngineScale100KTraced(b *testing.B) {
+	const n = 100_000
+	for i := 0; i < b.N; i++ {
+		clock := simtime.NewSimDefault()
+		eng := engine.New(engine.Config{
+			Clock: clock, RNG: stats.NewRNG(1), Doer: benchDoer{},
+			Poll:          engine.FixedInterval{Interval: 5 * time.Minute},
+			DispatchDelay: -1, Shards: 8, ShardWorkers: 8,
+			Metrics: obs.NewRegistry(),
+		})
+		var peak int
+		clock.Run(func() {
+			for j := 0; j < n; j++ {
+				if err := eng.Install(benchApplet(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			clock.Sleep(10 * time.Minute)
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			eng.Stop()
+		})
+		b.ReportMetric(float64(peak), "goroutines")
+		b.ReportMetric(float64(eng.Stats().Polls), "polls")
+		b.ReportMetric(float64(eng.TraceDrops()), "trace_drops")
 	}
 }
 

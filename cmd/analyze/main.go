@@ -7,21 +7,22 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log/slog"
 	"os"
 
 	"repro/internal/analysis"
 	"repro/internal/crawler"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		path = flag.String("snapshot", "snapshot.json.gz", "snapshot file from cmd/crawl")
-		topK = flag.Int("top", 7, "entries per Table 3 list")
+		path     = flag.String("snapshot", "snapshot.json.gz", "snapshot file from cmd/crawl")
+		topK     = flag.Int("top", 7, "entries per Table 3 list")
+		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := logFlags.New()
 
 	snap, err := crawler.LoadSnapshot(*path)
 	if err != nil {

@@ -8,25 +8,26 @@ package main
 
 import (
 	"flag"
-	"log/slog"
 	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		base    = flag.String("base", "http://localhost:8090", "site base URL")
-		out     = flag.String("out", "snapshot.json.gz", "output path")
-		idLow   = flag.Int("idlow", 100_000, "first applet ID to try")
-		idHigh  = flag.Int("idhigh", 1_000_000, "one past the last applet ID")
-		rate    = flag.Float64("rate", 0, "request rate limit per second (0 = unlimited)")
-		workers = flag.Int("workers", 32, "concurrent fetchers")
+		base     = flag.String("base", "http://localhost:8090", "site base URL")
+		out      = flag.String("out", "snapshot.json.gz", "output path")
+		idLow    = flag.Int("idlow", 100_000, "first applet ID to try")
+		idHigh   = flag.Int("idhigh", 1_000_000, "one past the last applet ID")
+		rate     = flag.Float64("rate", 0, "request rate limit per second (0 = unlimited)")
+		workers  = flag.Int("workers", 32, "concurrent fetchers")
+		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := logFlags.New()
 
 	c := crawler.New(crawler.Config{
 		BaseURL:     *base,

@@ -13,25 +13,26 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log/slog"
 	"os"
 	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		which  = flag.String("run", "fig4", "experiment: fig4, fig5, fig6, fig7, table5, loops, realtime, all")
-		trials = flag.Int("trials", 0, "trial count override (0 = paper defaults)")
-		seed   = flag.Uint64("seed", 1, "RNG seed")
-		trig   = flag.Int("triggers", 60, "sequential activations for fig6")
-		window = flag.Duration("window", time.Hour, "observation window for loops")
+		which    = flag.String("run", "fig4", "experiment: fig4, fig5, fig6, fig7, table5, loops, realtime, all")
+		trials   = flag.Int("trials", 0, "trial count override (0 = paper defaults)")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		trig     = flag.Int("triggers", 60, "sequential activations for fig6")
+		window   = flag.Duration("window", time.Hour, "observation window for loops")
+		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := logFlags.New()
 
 	cfg := core.PerfConfig{
 		Seed:        *seed,

@@ -12,26 +12,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/devices"
 	"repro/internal/homenet"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
 func main() {
 	var (
-		server = flag.String("server", "localhost:9444", "service server link address")
-		addr   = flag.String("addr", ":8079", "HTTP address for the simulated-world controls")
+		server   = flag.String("server", "localhost:9444", "service server link address")
+		addr     = flag.String("addr", ":8079", "HTTP address for the simulated-world controls")
+		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := logFlags.New()
 
 	link, err := homenet.DialProxy(*server, 30, time.Second)
 	if err != nil {
@@ -91,6 +94,7 @@ func main() {
 		s, _ := hub.LampState("1")
 		fmt.Fprintf(w, "%+v\n", s)
 	})
+	obs.Mount(mux, nil) // GET /healthz
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
@@ -101,8 +105,13 @@ func main() {
 		}
 	}()
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	log.Info("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Warn("http drain", "err", err)
+	}
 	link.Close()
-	srv.Close()
 }

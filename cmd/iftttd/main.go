@@ -1,7 +1,7 @@
 // Command iftttd runs the IFTTT engine as a live daemon: it loads applet
 // definitions from a JSON file, polls their trigger services over real
 // HTTP, dispatches actions, and serves the realtime notification
-// endpoint.
+// endpoint plus the observability surface (GET /metrics, GET /healthz).
 //
 // Applet file format (JSON array of engine.Applet):
 //
@@ -13,24 +13,27 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
-	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address for the realtime endpoint")
+		addr     = flag.String("addr", ":8080", "listen address for the engine HTTP surface")
 		applets  = flag.String("applets", "", "path to a JSON file of applets to install")
 		interval = flag.Duration("poll", 0, "fixed polling interval (0 = paper-calibrated model)")
 		seed     = flag.Uint64("seed", 1, "RNG seed for polling jitter")
@@ -38,9 +41,10 @@ func main() {
 		shards   = flag.Int("shards", 0, "poll-scheduler shards (0 = GOMAXPROCS)")
 		workers  = flag.Int("shard-workers", 0, "concurrent polls per shard (0 = default)")
 		pprof    = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
+		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := logFlags.New()
 
 	var poll engine.PollPolicy
 	if *interval > 0 {
@@ -52,6 +56,7 @@ func main() {
 	}
 
 	clock := simtime.NewReal()
+	reg := obs.NewRegistry()
 	eng := engine.New(engine.Config{
 		Clock:            clock,
 		RNG:              stats.NewRNG(*seed),
@@ -61,8 +66,9 @@ func main() {
 		Shards:           *shards,
 		ShardWorkers:     *workers,
 		Logger:           log,
+		Metrics:          reg,
 		Trace: func(ev engine.TraceEvent) {
-			log.Debug("trace", "kind", ev.Kind, "applet", ev.AppletID, "n", ev.N, "err", ev.Err)
+			log.Debug("trace", "kind", ev.Kind, "applet", ev.AppletID, "exec", ev.ExecID, "n", ev.N, "err", ev.Err)
 		},
 	})
 
@@ -87,12 +93,19 @@ func main() {
 	}
 
 	if *pprof != "" {
+		// net/http/pprof registers its handlers on DefaultServeMux;
+		// serve it on its own listener so profiling stays off the
+		// engine's public surface. Listen synchronously so a bad
+		// address fails the daemon at startup instead of dying silently
+		// in a goroutine.
+		ln, err := net.Listen("tcp", *pprof)
+		if err != nil {
+			log.Error("pprof listen", "addr", *pprof, "err", err)
+			os.Exit(1)
+		}
 		go func() {
-			// net/http/pprof registers its handlers on DefaultServeMux;
-			// serve it on its own listener so profiling stays off the
-			// engine's public surface.
 			log.Info("pprof listening", "addr", *pprof)
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				log.Error("pprof serve", "err", err)
 			}
 		}()
@@ -108,11 +121,18 @@ func main() {
 	}()
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Info("shutting down")
+	// Drain in-flight HTTP first (bounded), then stop the engine — its
+	// Stop waits for the trace pump's final drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Warn("http drain", "err", err)
+	}
 	eng.Stop()
-	srv.Close()
+	log.Info("stopped", "trace_drops", eng.TraceDrops())
 }
 
 func splitComma(s string) []string {

@@ -6,24 +6,25 @@ package main
 
 import (
 	"flag"
-	"log/slog"
 	"net/http"
 	"os"
 
 	"repro/internal/dataset"
 	"repro/internal/mocksite"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8090", "listen address")
-		seed    = flag.Uint64("seed", 1, "dataset seed")
-		scale   = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size: 320K applets)")
-		week    = flag.Int("week", dataset.RefWeekIndex, "snapshot week to serve (0-24)")
-		idSpace = flag.Int("idspace", 0, "applet ID space size (0 = full 900000)")
+		addr     = flag.String("addr", ":8090", "listen address")
+		seed     = flag.Uint64("seed", 1, "dataset seed")
+		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size: 320K applets)")
+		week     = flag.Int("week", dataset.RefWeekIndex, "snapshot week to serve (0-24)")
+		idSpace  = flag.Int("idspace", 0, "applet ID space size (0 = full 900000)")
+		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := logFlags.New()
 
 	log.Info("generating dataset", "seed", *seed, "scale", *scale)
 	eco := dataset.Generate(dataset.GenConfig{Seed: *seed, Scale: *scale, IDSpace: *idSpace})

@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/homenet"
+	"repro/internal/obs"
 	"repro/internal/services"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -28,9 +31,10 @@ func main() {
 		addr     = flag.String("addr", ":8085", "HTTP address for the partner API")
 		key      = flag.String("key", "dev-service-key", "IFTTT service key")
 		wait     = flag.Duration("wait", 5*time.Minute, "how long to wait for the proxy")
+		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := logFlags.New()
 
 	ln, err := homenet.Listen(*linkAddr)
 	if err != nil {
@@ -50,10 +54,27 @@ func main() {
 	env := &services.Env{Clock: clock, RNG: stats.NewRNG(1), ServiceKey: *key}
 	svc := services.NewOurService(services.OurServiceConfig{Env: env, Link: link})
 
-	log.Info("ourservice listening", "addr", *addr,
-		"triggers", svc.TriggerSlugs(), "actions", svc.ActionSlugs())
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
-		log.Error("serve", "err", err)
-		os.Exit(1)
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	obs.Mount(mux, nil) // GET /healthz
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Info("ourservice listening", "addr", *addr,
+			"triggers", svc.TriggerSlugs(), "actions", svc.ActionSlugs())
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Info("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Warn("http drain", "err", err)
 	}
 }

@@ -18,14 +18,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/devices"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/services"
 	"repro/internal/simtime"
@@ -35,12 +38,13 @@ import (
 
 func main() {
 	var (
-		name = flag.String("service", "wemo", "service to run: hue, wemo, alexa, smartthings, nest, gmail, gdrive, gsheets, weather, rss")
-		addr = flag.String("addr", ":8081", "listen address")
-		key  = flag.String("key", "dev-service-key", "IFTTT service key the engine must present")
+		name     = flag.String("service", "wemo", "service to run: hue, wemo, alexa, smartthings, nest, gmail, gdrive, gsheets, weather, rss")
+		addr     = flag.String("addr", ":8081", "listen address")
+		key      = flag.String("key", "dev-service-key", "IFTTT service key the engine must present")
+		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := logFlags.New()
 
 	clock := simtime.NewReal()
 	env := &services.Env{Clock: clock, RNG: stats.NewRNG(1), ServiceKey: *key}
@@ -56,6 +60,7 @@ func main() {
 	for path, h := range sim {
 		mux.HandleFunc("POST "+path, h)
 	}
+	obs.Mount(mux, nil) // GET /healthz (no registry: service stats live in /v1/status)
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
@@ -68,9 +73,14 @@ func main() {
 	}()
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	srv.Close()
+	log.Info("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Warn("http drain", "err", err)
+	}
 }
 
 // build wires the chosen service with its backing device or web app and

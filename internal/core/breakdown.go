@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// BreakdownConfig sizes the span-based T2A decomposition study.
+type BreakdownConfig struct {
+	Seed uint64
+	// Trials per scenario. Zero means 20 (the paper's Fig 5 count).
+	Trials int
+}
+
+// BreakdownRow is one scenario's segment decomposition, computed purely
+// from execution spans assembled out of the engine's trace stream — no
+// testbed-internal timers are consulted.
+type BreakdownRow struct {
+	ID, Name string
+	// Realtime marks the hint-honoured scenario (Alexa).
+	Realtime bool
+	// Spans is how many completed execution spans fed the row.
+	Spans int
+	// Segment distributions, in seconds.
+	PollingGap stats.Summary
+	PollRTT    stats.Summary
+	Processing stats.Summary
+	Delivery   stats.Summary
+	T2A        stats.Summary
+	// HintLag is hint→poll latency; zero-valued unless Realtime.
+	HintLag stats.Summary
+	// TraceDrops counts trace events the observer ring rejected (must
+	// be zero for the decomposition to be complete).
+	TraceDrops int64
+}
+
+// BreakdownResults carries the study's rows, polled scenario first.
+type BreakdownResults struct {
+	Rows []BreakdownRow
+}
+
+// RunT2ABreakdown reproduces the paper's bottleneck isolation (Sec 6,
+// Fig 5) from trace data alone: it runs a polled applet (A2: WeMo →
+// Hue through official services) and a realtime-hinted one (A5: Alexa →
+// Hue) with a SpanRecorder attached to the engine's async observer
+// ring, then summarizes each T2A segment. The paper's conclusion — the
+// polling gap dominates end-to-end latency, and everything else is
+// seconds at most — falls directly out of the span segments.
+func RunT2ABreakdown(cfg BreakdownConfig) (*BreakdownResults, error) {
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 20
+	}
+	scenarios := []struct {
+		spec     testbed.AppletSpec
+		name     string
+		realtime bool
+	}{
+		{testbed.A2(), "A2 polled (WeMo → Hue, official services)", false},
+		{testbed.A5(), "A5 realtime (Alexa → Hue, hint honoured)", true},
+	}
+	res := &BreakdownResults{}
+	for i, sc := range scenarios {
+		var spans []obs.ExecSpan
+		rec := engine.NewSpanRecorder(engine.SpanRecorderConfig{
+			OnSpan: func(s obs.ExecSpan) { spans = append(spans, s) },
+		})
+		tb := testbed.New(testbed.Config{
+			Seed:      cfg.Seed + 800 + uint64(i),
+			Observers: []func(engine.TraceEvent){rec.Observe},
+		})
+		var err error
+		tb.Run(func() {
+			_, err = tb.MeasureT2A(sc.spec, testbed.T2AOptions{Trials: trials})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("breakdown %s: %w", sc.spec.ID, err)
+		}
+		// Engine.Stop (via tb.Run) drained the observer ring, so spans
+		// is complete and safe to read here.
+		row := BreakdownRow{
+			ID:         sc.spec.ID,
+			Name:       sc.name,
+			Realtime:   sc.realtime,
+			TraceDrops: tb.Engine.TraceDrops(),
+		}
+		var gap, rtt, proc, deliv, t2a, hint []float64
+		for _, s := range spans {
+			if s.AppletID != sc.spec.ID || s.Failed {
+				continue
+			}
+			row.Spans++
+			gap = append(gap, s.PollingGap().Seconds())
+			rtt = append(rtt, s.PollRTT().Seconds())
+			proc = append(proc, s.Processing().Seconds())
+			deliv = append(deliv, s.Delivery().Seconds())
+			t2a = append(t2a, s.T2A().Seconds())
+			if !s.HintAt.IsZero() {
+				hint = append(hint, s.HintLag().Seconds())
+			}
+		}
+		sum := func(xs []float64) stats.Summary {
+			if len(xs) == 0 {
+				return stats.Summary{}
+			}
+			return stats.Summarize(xs)
+		}
+		row.PollingGap = sum(gap)
+		row.PollRTT = sum(rtt)
+		row.Processing = sum(proc)
+		row.Delivery = sum(deliv)
+		row.T2A = sum(t2a)
+		row.HintLag = sum(hint)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// FormatBreakdown renders the span-based decomposition section.
+func FormatBreakdown(r *BreakdownResults) string {
+	var b strings.Builder
+	b.WriteString("## T2A breakdown from execution spans (Fig 5 bottleneck isolation)\n\n")
+	b.WriteString("Each execution is reconstructed as a span from the engine's trace\n")
+	b.WriteString("stream (async observer ring → span recorder) and decomposed into the\n")
+	b.WriteString("paper's segments: how long the event sat in the trigger service's\n")
+	b.WriteString("buffer (polling gap), the poll round-trip, engine processing (incl.\n")
+	b.WriteString("the ~1 s dispatch delay of Table 5), and action delivery.\n\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "### %s — %d spans\n\n", row.Name, row.Spans)
+		b.WriteString("| Segment | p25 | p50 | p75 | mean | share of mean T2A |\n")
+		b.WriteString("|---|---|---|---|---|---|\n")
+		seg := func(name string, s stats.Summary) {
+			share := "—"
+			if row.T2A.Mean > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*s.Mean/row.T2A.Mean)
+			}
+			fmt.Fprintf(&b, "| %s | %.2fs | %.2fs | %.2fs | %.2fs | %s |\n",
+				name, s.P25, s.P50, s.P75, s.Mean, share)
+		}
+		seg("polling gap", row.PollingGap)
+		seg("poll RTT", row.PollRTT)
+		seg("engine processing", row.Processing)
+		seg("action delivery", row.Delivery)
+		fmt.Fprintf(&b, "| **T2A total** | %.2fs | %.2fs | %.2fs | %.2fs | 100%% |\n",
+			row.T2A.P25, row.T2A.P50, row.T2A.P75, row.T2A.Mean)
+		if row.Realtime && row.HintLag.N > 0 {
+			fmt.Fprintf(&b, "\n- hint→poll lag: p50 %.2fs over %d hinted polls (engine honours Alexa hints)\n",
+				row.HintLag.P50, row.HintLag.N)
+		}
+		if row.TraceDrops > 0 {
+			fmt.Fprintf(&b, "\n- WARNING: %d trace events dropped; decomposition incomplete\n", row.TraceDrops)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Rows) == 2 {
+		p, rt := r.Rows[0], r.Rows[1]
+		if p.T2A.Mean > 0 {
+			fmt.Fprintf(&b, "Conclusion: for the polled applet the polling gap alone is %.1f%% of\n",
+				100*p.PollingGap.Mean/p.T2A.Mean)
+			fmt.Fprintf(&b, "mean T2A (%.1fs of %.1fs) — the bottleneck the paper isolates in Fig 5;\n",
+				p.PollingGap.Mean, p.T2A.Mean)
+			fmt.Fprintf(&b, "poll RTT, engine processing, and delivery together account for the\n")
+			fmt.Fprintf(&b, "remaining few seconds. Honouring the realtime hint (A5) collapses the\n")
+			fmt.Fprintf(&b, "gap to %.1fs and mean T2A to %.1fs.\n", rt.PollingGap.Mean, rt.T2A.Mean)
+		}
+	}
+	return b.String()
+}
+
+// segTotal is a helper for tests: the sum of a row's segment means.
+func (r BreakdownRow) segTotal() time.Duration {
+	return time.Duration((r.PollingGap.Mean + r.PollRTT.Mean + r.Processing.Mean + r.Delivery.Mean) * float64(time.Second))
+}

@@ -4,16 +4,20 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
 // pollOnce performs one trigger poll for an applet and dispatches the
 // action for every previously unseen event, oldest first. Dispatch is
 // sequential within the applet, which is what shapes a backlog of
-// trigger events into the action clusters of Fig 6.
-func (e *Engine) pollOnce(ra *runningApplet) {
+// trigger events into the action clusters of Fig 6. hintAt is when a
+// realtime poke provoked this poll (zero for scheduled polls); every
+// trace event of the execution shares one freshly drawn ExecID.
+func (e *Engine) pollOnce(ra *runningApplet, hintAt time.Time) {
 	a := &ra.def
 	req := proto.TriggerPollRequest{
 		TriggerIdentity: ra.identity,
@@ -26,7 +30,8 @@ func (e *Engine) pollOnce(ra *runningApplet) {
 		req.Limit = &limit
 	}
 	sh := ra.shard
-	e.emit(sh, TraceEvent{Kind: TracePollSent, AppletID: a.ID})
+	execID := e.execSeq.Add(1)
+	e.emit(sh, TraceEvent{Kind: TracePollSent, AppletID: a.ID, ExecID: execID, HintAt: hintAt})
 
 	var resp proto.TriggerPollResponse
 	status, err := e.client.DoJSON("POST",
@@ -39,7 +44,7 @@ func (e *Engine) pollOnce(ra *runningApplet) {
 		if err != nil {
 			msg = err.Error()
 		}
-		e.emit(sh, TraceEvent{Kind: TracePollFailed, AppletID: a.ID, Err: msg})
+		e.emit(sh, TraceEvent{Kind: TracePollFailed, AppletID: a.ID, ExecID: execID, Err: msg})
 		if e.log != nil {
 			e.log.Warn("trigger poll failed", "applet", a.ID, "err", msg)
 		}
@@ -58,22 +63,22 @@ func (e *Engine) pollOnce(ra *runningApplet) {
 		fresh = append(fresh, ev)
 	}
 
-	e.emit(sh, TraceEvent{Kind: TracePollResult, AppletID: a.ID, N: len(fresh)})
+	e.emit(sh, TraceEvent{Kind: TracePollResult, AppletID: a.ID, ExecID: execID, N: len(fresh)})
 	if len(fresh) > 0 && e.dispatch > 0 {
 		e.clock.Sleep(e.dispatch)
 	}
 	for _, ev := range fresh {
 		if !conditionsAllow(a.Conditions, e.clock.Now(), ev.Ingredients) {
-			e.emit(sh, TraceEvent{Kind: TraceConditionSkip, AppletID: a.ID, EventID: ev.Meta.ID})
+			e.emit(sh, TraceEvent{Kind: TraceConditionSkip, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID})
 			continue
 		}
-		e.dispatchAction(ra, ev)
+		e.dispatchAction(ra, ev, execID)
 	}
 }
 
 // dispatchAction POSTs one action execution, resolving {{ingredient}}
 // placeholders in the action fields from the trigger event.
-func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent) {
+func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent, execID uint64) {
 	a := &ra.def
 	fields := make(map[string]string, len(a.Action.Fields))
 	for k, v := range a.Action.Fields {
@@ -84,7 +89,11 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent) {
 		User:         proto.UserInfo{ID: a.UserID},
 		Source:       proto.Source{ID: a.ID},
 	}
-	e.emit(ra.shard, TraceEvent{Kind: TraceActionSent, AppletID: a.ID, EventID: ev.Meta.ID})
+	var eventTime time.Time
+	if ev.Meta.Timestamp > 0 {
+		eventTime = time.Unix(ev.Meta.Timestamp, 0)
+	}
+	e.emit(ra.shard, TraceEvent{Kind: TraceActionSent, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID, EventTime: eventTime})
 
 	var ack proto.ActionResponse
 	status, err := e.client.DoJSON("POST",
@@ -97,13 +106,13 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent) {
 		if err != nil {
 			msg = err.Error()
 		}
-		e.emit(ra.shard, TraceEvent{Kind: TraceActionFailed, AppletID: a.ID, EventID: ev.Meta.ID, Err: msg})
+		e.emit(ra.shard, TraceEvent{Kind: TraceActionFailed, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID, Err: msg})
 		if e.log != nil {
 			e.log.Warn("action failed", "applet", a.ID, "err", msg)
 		}
 		return
 	}
-	e.emit(ra.shard, TraceEvent{Kind: TraceActionAcked, AppletID: a.ID, EventID: ev.Meta.ID})
+	e.emit(ra.shard, TraceEvent{Kind: TraceActionAcked, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID})
 }
 
 // deleteSubscription tells the trigger service a subscription is gone.
@@ -145,13 +154,16 @@ func expandIngredients(tmpl string, ingredients map[string]string) string {
 }
 
 // Handler exposes the engine's HTTP surface: the realtime notification
-// endpoint partner services POST hints to.
+// endpoint partner services POST hints to, the stats snapshot, and —
+// when the engine has a metrics registry — GET /metrics (Prometheus
+// text, ?format=json for the JSON snapshot) plus GET /healthz.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+proto.RealtimePath, e.handleRealtime)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteJSON(w, http.StatusOK, e.Stats())
 	})
+	obs.Mount(mux, e.metrics)
 	return httpx.Chain(mux, httpx.RequestID)
 }
 

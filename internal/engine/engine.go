@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 )
@@ -103,13 +104,25 @@ const (
 )
 
 // TraceEvent records one step of applet execution; the testbed's
-// latency instrumentation and Table 5's timeline are built from these.
+// latency instrumentation, Table 5's timeline, and the span-based T2A
+// breakdown are built from these.
 type TraceEvent struct {
 	Time     time.Time
 	Kind     TraceKind
 	AppletID string
+	// ExecID ties together every event surfaced by one poll execution
+	// (poll_sent through the final action ack); zero for events outside
+	// a poll (install, remove, hint_received).
+	ExecID uint64
 	// EventID is the trigger event being acted upon (action kinds).
 	EventID string
+	// EventTime is when the trigger service buffered the event (from the
+	// event's protocol metadata, unix-second granularity); set on
+	// action_sent, zero when the service sent no timestamp.
+	EventTime time.Time
+	// HintAt is when a realtime hint rescheduled this poll; set on
+	// poll_sent for hint-provoked executions, zero otherwise.
+	HintAt time.Time
 	// N is the number of new events in a poll result.
 	N int
 	// Err holds failure detail for *_failed kinds.
@@ -134,9 +147,27 @@ type Config struct {
 	// RealtimeDelay is the lag between an honoured hint and the poll
 	// it provokes. Zero means DefaultRealtimeDelay.
 	RealtimeDelay time.Duration
-	// Trace, when non-nil, observes every TraceEvent. It must be fast
-	// and safe for concurrent use.
+	// Trace, when non-nil, observes every TraceEvent synchronously on
+	// the emitting goroutine. It must be fast and safe for concurrent
+	// use; a slow Trace func stalls the poll worker that emitted the
+	// event. Deterministic tests rely on this synchrony — events are
+	// visible the moment the emitting actor blocks.
 	Trace func(TraceEvent)
+	// Observers receive every TraceEvent asynchronously through a
+	// lock-free bounded ring drained by a dedicated consumer actor:
+	// publishing costs the hot path two atomic ops, and a slow observer
+	// can never stall a poll worker — the ring drops (and counts) events
+	// instead. Observers run on the consumer goroutine, one event at a
+	// time, in publish order.
+	Observers []func(TraceEvent)
+	// TraceBuffer is the observer ring capacity (rounded up to a power
+	// of two); zero means DefaultTraceBuffer.
+	TraceBuffer int
+	// Metrics, when non-nil, receives the engine's operational counters
+	// and gauges plus the span-derived T2A segment histograms (an
+	// implicit SpanRecorder is appended to Observers). Serve it over
+	// HTTP via Engine.Handler's GET /metrics.
+	Metrics *obs.Registry
 	// Logger receives warnings; nil disables logging.
 	Logger *slog.Logger
 	// DedupWindow bounds remembered event IDs per applet; zero means
@@ -179,6 +210,9 @@ const DefaultDispatchDelay = time.Second
 // DefaultShardWorkers is the per-shard in-flight poll cap.
 const DefaultShardWorkers = 8
 
+// DefaultTraceBuffer is the observer ring capacity.
+const DefaultTraceBuffer = 4096
+
 // Engine executes applets on a sharded poll scheduler: applets hash to
 // shards, each shard times its polls with a min-heap drained by a small
 // worker pool, and hint routing resolves against per-shard identity and
@@ -201,6 +235,13 @@ type Engine struct {
 	// hints counts realtime notifications at the HTTP surface, matched
 	// or not; the per-shard counters cover the poll/dispatch hot path.
 	hints atomic.Int64
+	// execSeq numbers poll executions; every trace event of one poll
+	// carries the same ExecID.
+	execSeq atomic.Uint64
+	// pump fans trace events out to the async observers; nil when none
+	// are configured.
+	pump    *obs.Pump[TraceEvent]
+	metrics *obs.Registry
 }
 
 // Stats are the engine's monotonic operational counters, exposed on the
@@ -229,7 +270,10 @@ type runningApplet struct {
 	entry   *pollEntry // pending poll, nil while in flight
 	polling bool
 	removed bool
-	dedup   dedupRing
+	// hintAt records when a realtime poke rescheduled the pending poll;
+	// the worker consumes it so the poll's trace carries hint provenance.
+	hintAt time.Time
+	dedup  dedupRing
 }
 
 // New creates an engine. It panics if required config is missing.
@@ -283,7 +327,42 @@ func New(cfg Config) *Engine {
 		// (seed, shard count) always yields the same streams.
 		e.shards[i] = newShard(e, i, cfg.RNG.Split(fmt.Sprintf("shard-%d", i)))
 	}
+
+	observers := cfg.Observers
+	if cfg.Metrics != nil {
+		e.metrics = cfg.Metrics
+		e.registerMetrics(cfg.Metrics)
+		// The implicit span recorder turns the trace stream into the T2A
+		// segment histograms on the registry.
+		rec := NewSpanRecorder(SpanRecorderConfig{Metrics: cfg.Metrics})
+		observers = append(observers[:len(observers):len(observers)], rec.Observe)
+	}
+	if len(observers) > 0 {
+		buf := cfg.TraceBuffer
+		if buf <= 0 {
+			buf = DefaultTraceBuffer
+		}
+		e.pump = obs.NewPump(cfg.Clock, buf, observers...)
+	}
 	return e
+}
+
+// FlushTrace blocks until every trace event emitted before the call has
+// been delivered to all async observers (no-op without observers).
+// Tests use it to read observer state deterministically.
+func (e *Engine) FlushTrace() {
+	if e.pump != nil {
+		e.pump.Sync()
+	}
+}
+
+// TraceDrops reports how many trace events the observer ring rejected
+// because it was full (or the engine stopped).
+func (e *Engine) TraceDrops() int64 {
+	if e.pump == nil {
+		return 0
+	}
+	return e.pump.Drops()
 }
 
 // emit bumps the counter for ev on sh (nil for engine-level events) and
@@ -305,9 +384,15 @@ func (e *Engine) emit(sh *shard, ev TraceEvent) {
 	case TraceHintReceived:
 		e.hints.Add(1)
 	}
+	if e.trace == nil && e.pump == nil {
+		return
+	}
+	ev.Time = e.clock.Now()
 	if e.trace != nil {
-		ev.Time = e.clock.Now()
 		e.trace(ev)
+	}
+	if e.pump != nil {
+		e.pump.Publish(ev)
 	}
 }
 
@@ -389,9 +474,15 @@ func (e *Engine) Applets() []string {
 
 // Stop halts all scheduling. In-flight polls finish their current
 // round; pending ones are abandoned. The engine cannot be restarted.
+// Stop also retires the observer pump after a final drain: under a
+// simulated clock an engine with observers MUST be stopped, or the
+// parked consumer actor trips the simulator's deadlock detector.
 func (e *Engine) Stop() {
 	e.stopped.Store(true)
 	for _, sh := range e.shards {
 		sh.stop()
+	}
+	if e.pump != nil {
+		e.pump.Close()
 	}
 }

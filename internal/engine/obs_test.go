@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/service"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// newObsRig is newRig plus a metrics registry and a span sink wired
+// through the async observer ring.
+func newObsRig(t *testing.T) (*rig, *obs.Registry, *[]obs.ExecSpan) {
+	t.Helper()
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(11)
+	net := simnet.New(clock, rng.Split("net"))
+	net.SetDefaultLink(simnet.Link{Latency: stats.Constant(0.02)})
+
+	svc := service.New(service.Config{Name: "testsvc", Clock: clock, ServiceKey: "k"})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "fired"})
+	svc.RegisterAction(service.ActionSpec{
+		Slug:    "act",
+		Execute: func(map[string]string, proto.UserInfo) error { return nil },
+	})
+	net.AddHost("svc.sim", svc.Handler())
+
+	reg := obs.NewRegistry()
+	spans := &[]obs.ExecSpan{}
+	rec := NewSpanRecorder(SpanRecorderConfig{
+		OnSpan: func(s obs.ExecSpan) { *spans = append(*spans, s) },
+	})
+	r := &rig{clock: clock, net: net, svc: svc}
+	r.engine = New(Config{
+		Clock:     clock,
+		RNG:       rng.Split("engine"),
+		Doer:      net.Client("engine.sim"),
+		Poll:      FixedInterval{Interval: 5 * time.Second},
+		Metrics:   reg,
+		Observers: []func(TraceEvent){rec.Observe},
+	})
+	net.AddHost("engine.sim", r.engine.Handler())
+	return r, reg, spans
+}
+
+// TestEngineMetricsHTTP drives one full execution and asserts the
+// engine's /metrics endpoint serves the scheduler counters and the T2A
+// histogram in Prometheus text format — the observability acceptance
+// path end to end.
+func TestEngineMetricsHTTP(t *testing.T) {
+	r, _, spans := newObsRig(t)
+	r.clock.Run(func() {
+		if err := r.engine.Install(r.applet("a1")); err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		r.clock.Sleep(7 * time.Second)
+		r.svc.Publish("fired", map[string]string{"k": "v"})
+		r.clock.Sleep(30 * time.Second)
+		r.engine.Stop() // drains the observer ring
+	})
+
+	rec := httptest.NewRecorder()
+	r.engine.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	// Counters must reflect the executed applet.
+	m := regexp.MustCompile(`(?m)^ifttt_engine_polls_total (\d+)$`).FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("ifttt_engine_polls_total missing:\n%s", body)
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 2 {
+		t.Errorf("polls_total = %d, want >= 2", n)
+	}
+	for _, want := range []string{
+		"ifttt_engine_actions_ok_total 1",
+		"ifttt_engine_events_received_total 1",
+		"# TYPE ifttt_t2a_seconds histogram",
+		`ifttt_t2a_seconds_bucket{le="`,
+		"ifttt_t2a_seconds_count 1",
+		"ifttt_polling_gap_seconds_count 1",
+		"ifttt_engine_applets 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /healthz rides on the same handler.
+	rec = httptest.NewRecorder()
+	r.engine.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Errorf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// The span sink observed the same execution, with a sane breakdown:
+	// the event waited in the service buffer, then poll RTT, processing
+	// (dispatch delay), delivery — all non-negative, T2A covering them.
+	if len(*spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(*spans))
+	}
+	s := (*spans)[0]
+	if s.AppletID != "a1" || s.Failed {
+		t.Errorf("span = %+v", s)
+	}
+	if s.EventAt.IsZero() {
+		t.Error("span missing EventAt (service timestamp)")
+	}
+	if s.T2A() <= 0 {
+		t.Errorf("T2A = %v, want > 0", s.T2A())
+	}
+	if s.Delivery() <= 0 {
+		t.Errorf("Delivery = %v, want > 0 (simnet latency)", s.Delivery())
+	}
+	if s.Processing() < time.Second {
+		t.Errorf("Processing = %v, want >= 1s dispatch delay", s.Processing())
+	}
+	if got := s.PollingGap() + s.PollRTT() + s.Processing() + s.Delivery(); got > s.T2A()+2*time.Second {
+		// EventAt has unix-second granularity, so allow slack.
+		t.Errorf("segments sum %v inconsistent with T2A %v", got, s.T2A())
+	}
+	if r.engine.TraceDrops() != 0 {
+		t.Errorf("trace drops = %d", r.engine.TraceDrops())
+	}
+}
+
+// TestSpanRecorderScripted feeds a hand-written event stream and checks
+// span assembly, multi-action executions, skips, and failures.
+func TestSpanRecorderScripted(t *testing.T) {
+	var spans []obs.ExecSpan
+	rec := NewSpanRecorder(SpanRecorderConfig{
+		OnSpan: func(s obs.ExecSpan) { spans = append(spans, s) },
+	})
+	t0 := time.Unix(1000, 0)
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+
+	// Exec 1: two fresh events; the first is condition-skipped, the
+	// second dispatches and fails.
+	rec.Observe(TraceEvent{Kind: TracePollSent, ExecID: 1, AppletID: "a1", Time: at(0)})
+	rec.Observe(TraceEvent{Kind: TracePollResult, ExecID: 1, AppletID: "a1", N: 2, Time: at(100 * time.Millisecond)})
+	rec.Observe(TraceEvent{Kind: TraceConditionSkip, ExecID: 1, EventID: "e1", Time: at(time.Second)})
+	rec.Observe(TraceEvent{Kind: TraceActionSent, ExecID: 1, EventID: "e2",
+		EventTime: time.Unix(940, 0), Time: at(time.Second)})
+	rec.Observe(TraceEvent{Kind: TraceActionFailed, ExecID: 1, EventID: "e2", Err: "boom",
+		Time: at(1500 * time.Millisecond)})
+
+	// Exec 2: empty poll, no span.
+	rec.Observe(TraceEvent{Kind: TracePollSent, ExecID: 2, AppletID: "a1", Time: at(5 * time.Second)})
+	rec.Observe(TraceEvent{Kind: TracePollResult, ExecID: 2, N: 0, Time: at(5100 * time.Millisecond)})
+
+	// Exec 3: poll failed, no span.
+	rec.Observe(TraceEvent{Kind: TracePollSent, ExecID: 3, AppletID: "a1", Time: at(10 * time.Second)})
+	rec.Observe(TraceEvent{Kind: TracePollFailed, ExecID: 3, Err: "timeout", Time: at(11 * time.Second)})
+
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Failed || s.Err != "boom" || s.EventID != "e2" {
+		t.Errorf("span = %+v", s)
+	}
+	if got := s.PollingGap(); got != 60*time.Second {
+		t.Errorf("PollingGap = %v, want 60s", got)
+	}
+	if got := s.PollRTT(); got != 100*time.Millisecond {
+		t.Errorf("PollRTT = %v, want 100ms", got)
+	}
+	if got := s.Processing(); got != 900*time.Millisecond {
+		t.Errorf("Processing = %v, want 900ms", got)
+	}
+	if got := s.Delivery(); got != 500*time.Millisecond {
+		t.Errorf("Delivery = %v, want 500ms", got)
+	}
+	if got := s.T2A(); got != 61500*time.Millisecond {
+		t.Errorf("T2A = %v, want 61.5s", got)
+	}
+	if len(rec.pending) != 0 {
+		t.Errorf("pending executions = %d, want 0", len(rec.pending))
+	}
+}
+
+// TestSpanRecorderEviction caps the pending table and checks FIFO
+// eviction when polls never complete.
+func TestSpanRecorderEviction(t *testing.T) {
+	rec := NewSpanRecorder(SpanRecorderConfig{MaxPending: 4})
+	for i := 1; i <= 10; i++ {
+		rec.Observe(TraceEvent{Kind: TracePollSent, ExecID: uint64(i), Time: time.Unix(int64(i), 0)})
+	}
+	if len(rec.pending) != 4 {
+		t.Fatalf("pending = %d, want 4 (cap)", len(rec.pending))
+	}
+	for _, id := range []uint64{7, 8, 9, 10} {
+		if rec.pending[id] == nil {
+			t.Errorf("exec %d should have survived FIFO eviction", id)
+		}
+	}
+}
+
+// TestStatsUnderChurn hammers Install/Remove/Stats concurrently on the
+// real clock and checks every snapshot is consistent: counters are
+// non-negative and monotonic, and the final applet count matches the
+// surviving population.
+func TestStatsUnderChurn(t *testing.T) {
+	clock := simtime.NewReal()
+	rng := stats.NewRNG(7)
+	net := simnet.New(clock, rng.Split("net"))
+	net.SetDefaultLink(simnet.Link{Latency: stats.Constant(0)})
+	svc := service.New(service.Config{Name: "testsvc", Clock: clock, ServiceKey: "k"})
+	svc.RegisterTrigger(service.TriggerSpec{Slug: "fired"})
+	svc.RegisterAction(service.ActionSpec{
+		Slug:    "act",
+		Execute: func(map[string]string, proto.UserInfo) error { return nil },
+	})
+	net.AddHost("svc.sim", svc.Handler())
+
+	e := New(Config{
+		Clock:         clock,
+		RNG:           rng.Split("engine"),
+		Doer:          net.Client("engine.sim"),
+		Poll:          FixedInterval{Interval: time.Millisecond},
+		DispatchDelay: -1,
+		Shards:        4,
+		Metrics:       obs.NewRegistry(),
+	})
+	mkApplet := func(i int) Applet {
+		return Applet{
+			ID:     "churn-" + strconv.Itoa(i),
+			UserID: "u" + strconv.Itoa(i%7),
+			Trigger: ServiceRef{
+				Service: "testsvc", BaseURL: "http://svc.sim", Slug: "fired", ServiceKey: "k",
+			},
+			Action: ServiceRef{
+				Service: "testsvc", BaseURL: "http://svc.sim", Slug: "act", ServiceKey: "k",
+			},
+		}
+	}
+
+	const installers = 4
+	const perInstaller = 50
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	// Stats readers assert monotonicity while churn runs.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last Stats
+			for !stop.Load() {
+				st := e.Stats()
+				if st.Applets < 0 || st.Polls < last.Polls ||
+					st.EventsReceived < last.EventsReceived ||
+					st.ActionsOK < last.ActionsOK ||
+					st.PollFailures < last.PollFailures {
+					t.Errorf("stats went backwards: %+v -> %+v", last, st)
+					return
+				}
+				last = st
+			}
+		}()
+	}
+	for g := 0; g < installers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perInstaller; i++ {
+				id := g*perInstaller + i
+				if err := e.Install(mkApplet(id)); err != nil {
+					t.Errorf("install %d: %v", id, err)
+					return
+				}
+				if id%3 == 0 {
+					e.Remove("churn-" + strconv.Itoa(id))
+				}
+			}
+		}(g)
+	}
+	// Let some polls fire while churn is happening.
+	time.Sleep(20 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	want := 0
+	for id := 0; id < installers*perInstaller; id++ {
+		if id%3 != 0 {
+			want++
+		}
+	}
+	if got := e.Stats().Applets; got != want {
+		t.Errorf("final applets = %d, want %d", got, want)
+	}
+	if got := len(e.Applets()); got != want {
+		t.Errorf("Applets() len = %d, want %d", got, want)
+	}
+	e.Stop()
+	if st := e.Stats(); st.Polls == 0 {
+		t.Error("no polls observed during churn window")
+	}
+}

@@ -99,6 +99,7 @@ func (s *shard) pokeLocked(ra *runningApplet, due time.Time) {
 	}
 	if due.Before(en.due) {
 		en.due = due
+		ra.hintAt = due
 		heap.Fix(&s.heap, en.idx)
 		if due.Before(s.pumpAt) {
 			s.alarm.Wake()
@@ -181,9 +182,13 @@ func (s *shard) worker() {
 			continue
 		}
 		ra.polling = true
+		// Consume hint provenance under the shard lock so the poll's
+		// trace records whether a realtime poke provoked it.
+		hintAt := ra.hintAt
+		ra.hintAt = time.Time{}
 		s.mu.Unlock()
 
-		s.e.pollOnce(ra)
+		s.e.pollOnce(ra, hintAt)
 
 		s.mu.Lock()
 		ra.polling = false

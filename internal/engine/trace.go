@@ -1,0 +1,301 @@
+// Observability glue: the engine's metric registrations and the span
+// recorder that folds the trace-event stream back into per-execution
+// ExecSpans — the data behind the paper's trigger-to-action latency
+// decomposition (Sec 6, Fig 5). The recorder is an async observer: it
+// runs on the trace pump's consumer goroutine, so its bookkeeping needs
+// no locks and its cost never lands on a poll worker.
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// registerMetrics exposes the engine's operational state on reg. The
+// counter funcs read the same shard-local atomics Stats merges; the
+// scheduler gauges take each shard's mutex briefly, which is fine at
+// scrape frequency. One registry serves one engine: registering a
+// second engine on the same registry panics on the duplicate names.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	sum := func(pick func(*shardCounters) int64) func() int64 {
+		return func() int64 {
+			var n int64
+			for _, sh := range e.shards {
+				n += pick(&sh.counters)
+			}
+			return n
+		}
+	}
+	reg.CounterFunc("ifttt_engine_polls_total", "Trigger polls issued.",
+		sum(func(c *shardCounters) int64 { return c.polls.Load() }))
+	reg.CounterFunc("ifttt_engine_poll_failures_total", "Trigger polls that failed.",
+		sum(func(c *shardCounters) int64 { return c.pollFailures.Load() }))
+	reg.CounterFunc("ifttt_engine_events_received_total", "Fresh trigger events received.",
+		sum(func(c *shardCounters) int64 { return c.eventsReceived.Load() }))
+	reg.CounterFunc("ifttt_engine_actions_ok_total", "Actions acknowledged by the action service.",
+		sum(func(c *shardCounters) int64 { return c.actionsOK.Load() }))
+	reg.CounterFunc("ifttt_engine_actions_failed_total", "Actions that failed.",
+		sum(func(c *shardCounters) int64 { return c.actionsFailed.Load() }))
+	reg.CounterFunc("ifttt_engine_condition_skips_total", "Events suppressed by applet conditions.",
+		sum(func(c *shardCounters) int64 { return c.conditionSkips.Load() }))
+	reg.CounterFunc("ifttt_engine_hints_received_total", "Realtime notifications received.",
+		func() int64 { return e.hints.Load() })
+	reg.CounterFunc("ifttt_engine_trace_drops_total", "Trace events dropped by a full observer ring.",
+		e.TraceDrops)
+
+	reg.GaugeFunc("ifttt_engine_applets", "Installed applets.", func() float64 {
+		n := 0
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			n += len(sh.applets)
+			sh.mu.Unlock()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("ifttt_engine_pending_polls", "Entries waiting in the shard timer heaps.", func() float64 {
+		n := 0
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			n += len(sh.heap)
+			sh.mu.Unlock()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("ifttt_engine_ready_queue", "Due applets awaiting a free poll worker.", func() float64 {
+		n := 0
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			n += sh.readyLenLocked()
+			sh.mu.Unlock()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("ifttt_engine_inflight_workers", "Poll workers currently running.", func() float64 {
+		n := 0
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			n += sh.inflight
+			sh.mu.Unlock()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("ifttt_engine_shards", "Poll scheduler shards.",
+		func() float64 { return float64(len(e.shards)) })
+	reg.GaugeFunc("ifttt_engine_worker_cap", "Per-shard in-flight poll cap.",
+		func() float64 { return float64(e.workers) })
+}
+
+// SpanRecorderConfig assembles a SpanRecorder.
+type SpanRecorderConfig struct {
+	// Metrics, when non-nil, receives the T2A segment histograms
+	// (ifttt_t2a_seconds and friends) the recorder feeds.
+	Metrics *obs.Registry
+	// OnSpan, when non-nil, receives every completed span. It runs on
+	// the trace consumer goroutine.
+	OnSpan func(obs.ExecSpan)
+	// MaxPending bounds the executions tracked at once; the oldest is
+	// evicted when a new poll would exceed it. Zero means
+	// DefaultMaxPendingSpans.
+	MaxPending int
+}
+
+// DefaultMaxPendingSpans bounds a SpanRecorder's in-progress table. It
+// comfortably exceeds any realistic in-flight poll population (shards ×
+// workers), so eviction only fires when trace events are lost.
+const DefaultMaxPendingSpans = 4096
+
+// SpanRecorder assembles the flat trace-event stream back into
+// per-execution ExecSpans: one span per dispatched action, carrying the
+// poll timestamps of the execution that surfaced the event. Feed it
+// through Config.Observers (or let Config.Metrics install one
+// implicitly). Observe must be called from a single goroutine — the
+// trace pump guarantees that — so the recorder holds no locks.
+type SpanRecorder struct {
+	metrics *obs.Registry
+	onSpan  func(obs.ExecSpan)
+	max     int
+
+	pending map[uint64]*pendingExec
+	order   []uint64 // exec IDs in arrival order, for FIFO eviction
+
+	t2a        *obs.Histogram
+	pollGap    *obs.Histogram
+	pollRTT    *obs.Histogram
+	processing *obs.Histogram
+	delivery   *obs.Histogram
+	hintLag    *obs.Histogram
+	spans      *obs.Counter
+	spanFails  *obs.Counter
+	evictions  *obs.Counter
+}
+
+// pendingExec is one poll execution awaiting its remaining action acks.
+type pendingExec struct {
+	appletID     string
+	hintAt       time.Time
+	pollSentAt   time.Time
+	pollResultAt time.Time
+	remaining    int // actions/skips still expected after the poll result
+
+	// Current action in flight (dispatch is sequential per applet, so
+	// at most one action of an execution is open at a time).
+	eventID      string
+	eventAt      time.Time
+	actionSentAt time.Time
+}
+
+// NewSpanRecorder builds a recorder and, when cfg.Metrics is set,
+// registers the segment histograms on it.
+func NewSpanRecorder(cfg SpanRecorderConfig) *SpanRecorder {
+	max := cfg.MaxPending
+	if max <= 0 {
+		max = DefaultMaxPendingSpans
+	}
+	r := &SpanRecorder{
+		metrics: cfg.Metrics,
+		onSpan:  cfg.OnSpan,
+		max:     max,
+		pending: make(map[uint64]*pendingExec),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		b := obs.DefaultLatencyBuckets
+		r.t2a = reg.Histogram("ifttt_t2a_seconds",
+			"Trigger-to-action latency: event buffered at the trigger service to action acknowledged.", b)
+		r.pollGap = reg.Histogram("ifttt_polling_gap_seconds",
+			"Time the event waited in the trigger service's buffer before the engine polled.", b)
+		r.pollRTT = reg.Histogram("ifttt_poll_rtt_seconds",
+			"Trigger poll round-trip time.", b)
+		r.processing = reg.Histogram("ifttt_engine_processing_seconds",
+			"Engine-internal time from poll result to action request.", b)
+		r.delivery = reg.Histogram("ifttt_action_delivery_seconds",
+			"Action request round-trip to acknowledgement.", b)
+		r.hintLag = reg.Histogram("ifttt_hint_lag_seconds",
+			"Realtime hint to provoked poll latency.", b)
+		r.spans = reg.Counter("ifttt_spans_total", "Execution spans completed.")
+		r.spanFails = reg.Counter("ifttt_spans_failed_total", "Execution spans that ended in action failure.")
+		r.evictions = reg.Counter("ifttt_span_evictions_total",
+			"Pending executions evicted before completing (lost trace events).")
+	}
+	return r
+}
+
+// Observe consumes one trace event. Single goroutine only.
+func (r *SpanRecorder) Observe(ev TraceEvent) {
+	switch ev.Kind {
+	case TracePollSent:
+		if len(r.pending) >= r.max {
+			r.evictOldest()
+		}
+		r.pending[ev.ExecID] = &pendingExec{
+			appletID:   ev.AppletID,
+			hintAt:     ev.HintAt,
+			pollSentAt: ev.Time,
+		}
+		r.order = append(r.order, ev.ExecID)
+		// The order slice accumulates IDs of executions that completed
+		// normally; compact it once it clearly outgrows the live set so
+		// a long-running engine's recorder stays bounded.
+		if len(r.order) > 2*r.max {
+			live := r.order[:0]
+			for _, id := range r.order {
+				if _, ok := r.pending[id]; ok {
+					live = append(live, id)
+				}
+			}
+			r.order = live
+		}
+	case TracePollFailed:
+		r.drop(ev.ExecID)
+	case TracePollResult:
+		p := r.pending[ev.ExecID]
+		if p == nil {
+			return
+		}
+		p.pollResultAt = ev.Time
+		p.remaining = ev.N
+		if ev.N == 0 {
+			r.drop(ev.ExecID)
+		}
+	case TraceConditionSkip:
+		if p := r.pending[ev.ExecID]; p != nil {
+			p.remaining--
+			if p.remaining <= 0 {
+				r.drop(ev.ExecID)
+			}
+		}
+	case TraceActionSent:
+		if p := r.pending[ev.ExecID]; p != nil {
+			p.eventID = ev.EventID
+			p.eventAt = ev.EventTime
+			p.actionSentAt = ev.Time
+		}
+	case TraceActionAcked, TraceActionFailed:
+		p := r.pending[ev.ExecID]
+		if p == nil {
+			return
+		}
+		r.finish(p, ev)
+		p.remaining--
+		if p.remaining <= 0 {
+			r.drop(ev.ExecID)
+		}
+	}
+}
+
+// finish emits the span for the action that just completed.
+func (r *SpanRecorder) finish(p *pendingExec, ev TraceEvent) {
+	s := obs.ExecSpan{
+		ExecID:       ev.ExecID,
+		AppletID:     p.appletID,
+		EventID:      p.eventID,
+		HintAt:       p.hintAt,
+		PollSentAt:   p.pollSentAt,
+		PollResultAt: p.pollResultAt,
+		EventAt:      p.eventAt,
+		ActionSentAt: p.actionSentAt,
+		ActionDoneAt: ev.Time,
+		Failed:       ev.Kind == TraceActionFailed,
+		Err:          ev.Err,
+	}
+	if r.metrics != nil {
+		r.t2a.Observe(s.T2A().Seconds())
+		if !s.EventAt.IsZero() {
+			r.pollGap.Observe(s.PollingGap().Seconds())
+		}
+		r.pollRTT.Observe(s.PollRTT().Seconds())
+		r.processing.Observe(s.Processing().Seconds())
+		r.delivery.Observe(s.Delivery().Seconds())
+		if !s.HintAt.IsZero() {
+			r.hintLag.Observe(s.HintLag().Seconds())
+		}
+		r.spans.Inc()
+		if s.Failed {
+			r.spanFails.Inc()
+		}
+	}
+	if r.onSpan != nil {
+		r.onSpan(s)
+	}
+}
+
+// drop forgets a pending execution.
+func (r *SpanRecorder) drop(execID uint64) {
+	delete(r.pending, execID)
+}
+
+// evictOldest removes the longest-pending execution still tracked. The
+// order slice may hold IDs already dropped; skip those lazily.
+func (r *SpanRecorder) evictOldest() {
+	for len(r.order) > 0 {
+		id := r.order[0]
+		r.order = r.order[1:]
+		if _, live := r.pending[id]; live {
+			delete(r.pending, id)
+			if r.evictions != nil {
+				r.evictions.Inc()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package obs is the observability layer shared by the engine, the
+// partner-service daemons, and the report tooling: a metrics registry
+// (counters, gauges, log-bucketed latency histograms) served in
+// Prometheus text format and as JSON snapshots, a lock-free bounded
+// ring for trace fan-out so a slow observer can never stall the poll
+// hot path, the execution-span model behind the paper's trigger-to-
+// action latency decomposition (Sec 6, Fig 5/8), and the slog
+// construction shared by every daemon.
+//
+// The package deliberately depends only on the standard library plus
+// internal/simtime and internal/stats, so every layer of the system —
+// engine, services, testbed, daemons — can import it without cycles.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// DefaultLatencyBuckets are log-spaced (factor-2) upper bounds in
+// seconds, 1 ms through ~34 min. The span covers everything the paper
+// measured: sub-second service hops (Table 5), the 58/84/122 s polling
+// quartiles (Fig 4), and the 15-minute tail.
+var DefaultLatencyBuckets = LogBuckets(0.001, 2048, 2)
+
+// LogBuckets returns geometric bucket upper bounds from lo to at least
+// hi, multiplying by factor. It panics on non-positive lo or factor <= 1.
+func LogBuckets(lo, hi, factor float64) []float64 {
+	if lo <= 0 || factor <= 1 || hi < lo {
+		panic("obs: invalid LogBuckets parameters")
+	}
+	var bounds []float64
+	for b := lo; ; b *= factor {
+		bounds = append(bounds, b)
+		if b >= hi {
+			return bounds
+		}
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters:
+// observations are lock-free and safe for concurrent use, so poll
+// workers can record latencies without contending on anything.
+// Observations beyond the last bound land in an overflow bucket.
+// Histograms with identical bounds can be merged, and quantiles are
+// answered by linear interpolation inside the covering bucket — the
+// bucketized analogue of stats.Percentile's interpolation between
+// order statistics.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; implicit +Inf last
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. Nil bounds mean DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the p-th percentile (0 <= p <= 100) by locating
+// the bucket holding the target rank and interpolating linearly within
+// it. An empty histogram yields 0; ranks falling in the overflow bucket
+// yield the last finite bound (the histogram cannot see further).
+func (h *Histogram) Quantile(p float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(n)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(h.bounds[i]-lower)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Summary bundles the paper's order statistics, estimated from buckets.
+func (h *Histogram) Summary() stats.Summary {
+	return stats.Summary{
+		N:    int(h.Count()),
+		Min:  h.Quantile(0),
+		P25:  h.Quantile(25),
+		P50:  h.Quantile(50),
+		P75:  h.Quantile(75),
+		P90:  h.Quantile(90),
+		P99:  h.Quantile(99),
+		Max:  h.Quantile(100),
+		Mean: h.Mean(),
+	}
+}
+
+// Merge adds o's observations into h. Both histograms must share
+// identical bounds; Merge is how per-shard or per-process histograms
+// roll up into one.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("obs: merging histograms with mismatched bound %d: %g vs %g", i, b, o.bounds[i])
+		}
+	}
+	var n int64
+	for i := range o.counts {
+		c := o.counts[i].Load()
+		if c != 0 {
+			h.counts[i].Add(c)
+			n += c
+		}
+	}
+	h.count.Add(n)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + o.Sum())
+		if h.sum.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
+// BucketCount is one histogram bucket in a snapshot: the cumulative
+// count of observations <= UpperBound (Prometheus "le" semantics).
+type BucketCount struct {
+	UpperBound float64 `json:"-"`
+	Count      int64   `json:"count"`
+}
+
+// MarshalJSON renders the bound as a JSON number, or the Prometheus
+// string "+Inf" for the overflow bucket (JSON has no infinity literal).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// UnmarshalJSON accepts both the numeric and the "+Inf" string form.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if string(raw.Le) == `"+Inf"` {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.Le, &b.UpperBound)
+}
+
+// HistogramSnapshot is a point-in-time JSON-friendly view.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot captures the histogram's current state. Bucket counts are
+// cumulative; the final bucket (+Inf, rendered as Inf) equals Count.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(50),
+		P90:   h.Quantile(90),
+		P99:   h.Quantile(99),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{UpperBound: bound, Count: cum})
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram not zero: count=%d sum=%g mean=%g", h.Count(), h.Sum(), h.Mean())
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if q := h.Quantile(p); q != 0 {
+			t.Errorf("Quantile(%g) on empty = %g, want 0", p, q)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Buckets) != len(DefaultLatencyBuckets)+1 {
+		t.Errorf("empty snapshot: count=%d buckets=%d", s.Count, len(s.Buckets))
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].UpperBound, 1) {
+		t.Error("last snapshot bucket should be +Inf")
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	for i := 0; i < 5; i++ {
+		h.Observe(3)
+	}
+	if h.Count() != 5 || h.Sum() != 15 {
+		t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+	// All mass in [0,10]: the median interpolates to the middle.
+	if q := h.Quantile(50); q != 5 {
+		t.Errorf("Quantile(50) = %g, want 5 (linear interpolation in [0,10])", q)
+	}
+	if q := h.Quantile(100); q != 10 {
+		t.Errorf("Quantile(100) = %g, want 10", q)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100) // overflow
+	h.Observe(500) // overflow
+	s := h.Snapshot()
+	if got := s.Buckets[len(s.Buckets)-1].Count; got != 3 {
+		t.Errorf("+Inf cumulative = %d, want 3", got)
+	}
+	if got := s.Buckets[1].Count; got != 1 {
+		t.Errorf("le=2 cumulative = %d, want 1", got)
+	}
+	// Quantiles landing in the overflow bucket clamp to the last
+	// finite bound — the histogram cannot resolve beyond it.
+	if q := h.Quantile(99); q != 2 {
+		t.Errorf("Quantile(99) = %g, want 2 (overflow clamps)", q)
+	}
+	if h.Sum() != 600.5 {
+		t.Errorf("sum = %g, want 600.5", h.Sum())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(nil)
+	b := NewHistogram(nil)
+	for i := 0; i < 100; i++ {
+		a.Observe(float64(i) / 10)
+		b.Observe(float64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d, want 200", a.Count())
+	}
+	wantSum := 0.0
+	for i := 0; i < 100; i++ {
+		wantSum += float64(i)/10 + float64(i)
+	}
+	if math.Abs(a.Sum()-wantSum) > 1e-9 {
+		t.Errorf("merged sum = %g, want %g", a.Sum(), wantSum)
+	}
+
+	// Mismatched bounds must refuse.
+	c := NewHistogram([]float64{1, 2, 3})
+	if err := a.Merge(c); err == nil {
+		t.Error("merge with mismatched bounds should error")
+	}
+	d := NewHistogram([]float64{1, 2, 4})
+	if err := c.Merge(d); err == nil {
+		t.Error("merge with mismatched bound values should error")
+	}
+}
+
+// TestHistogramQuantileTracksExact compares bucketized quantiles with
+// the exact stats.Percentile on the same samples: bucket interpolation
+// must land within the covering bucket's width of the true value.
+func TestHistogramQuantileTracksExact(t *testing.T) {
+	h := NewHistogram(nil)
+	rng := stats.NewRNG(42)
+	samples := make([]float64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		v := stats.Lognormal{Median: 84, Sigma: 0.5}.Sample(rng)
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	for _, p := range []float64{25, 50, 75, 90} {
+		exact := stats.Percentile(samples, p)
+		approx := h.Quantile(p)
+		// The covering bucket spans [b, 2b]; the estimate must be
+		// within a factor of two of the exact percentile.
+		if approx < exact/2 || approx > exact*2 {
+			t.Errorf("Quantile(%g) = %g, exact %g: outside bucket tolerance", p, approx, exact)
+		}
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 2048, 2)
+	if b[0] != 0.001 {
+		t.Errorf("first bound %g", b[0])
+	}
+	if last := b[len(b)-1]; last < 2048 {
+		t.Errorf("last bound %g does not reach 2048", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d", i)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ServeHTTP serves the registry: Prometheus text by default,
+// the JSON snapshot with ?format=json (or an Accept: application/json
+// header). This makes a *Registry mountable directly at GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" ||
+		req.Header.Get("Accept") == "application/json" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := json.NewEncoder(w).Encode(r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := r.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// processStart anchors the /healthz uptime report. Daemons are always
+// wall-clock processes, so this intentionally uses real time rather
+// than a simtime.Clock.
+var processStart = time.Now()
+
+// Healthz answers liveness probes with a small JSON document. It always
+// reports ok: a process that can serve the request is alive; readiness
+// subtleties belong to the component's own endpoints.
+func Healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%.1f}\n", time.Since(processStart).Seconds())
+}
+
+// Mount attaches the observability surface — GET /metrics (Prometheus
+// text, ?format=json for the snapshot) and GET /healthz — to mux.
+func Mount(mux *http.ServeMux, reg *Registry) {
+	if reg != nil {
+		mux.Handle("GET /metrics", reg)
+	}
+	mux.HandleFunc("GET /healthz", Healthz)
+}

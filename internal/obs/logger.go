@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds the process logger every daemon shares. level is one
+// of debug|info|warn|error (default info); format is text|json (default
+// text). Unknown values fall back to the defaults rather than erroring:
+// a daemon must never refuse to start over a log flag.
+func NewLogger(level, format string) *slog.Logger {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if strings.ToLower(format) == "json" {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h)
+}
+
+// LogFlags carries the shared logging flag values.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// BindLogFlags registers -log-level and -log-format on fs (use
+// flag.CommandLine in main) and returns the destination struct; call
+// New after fs is parsed.
+func BindLogFlags(fs *flag.FlagSet) *LogFlags {
+	f := &LogFlags{}
+	fs.StringVar(&f.Level, "log-level", "info", "log level: debug, info, warn, error")
+	fs.StringVar(&f.Format, "log-format", "text", "log output format: text or json")
+	return f
+}
+
+// New builds the logger from the parsed flag values.
+func (f *LogFlags) New() *slog.Logger { return NewLogger(f.Level, f.Format) }

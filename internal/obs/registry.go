@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind labels a registry entry for rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered entry. Exactly one of the value sources is
+// set, depending on kind and whether the metric is function-backed.
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	counterFn  func() int64
+	gauge      *Gauge
+	gaugeFn    func() float64
+	hist       *Histogram
+}
+
+func (m *metric) scalar() float64 {
+	switch {
+	case m.counterFn != nil:
+		return float64(m.counterFn())
+	case m.counter != nil:
+		return float64(m.counter.Value())
+	case m.gaugeFn != nil:
+		return m.gaugeFn()
+	default:
+		return m.gauge.Value()
+	}
+}
+
+// Registry holds named metrics and renders them as Prometheus text or a
+// JSON snapshot. Registration is cheap and normally happens once at
+// wiring time; reads (scrapes) take the registry lock but observations
+// on the returned Counter/Gauge/Histogram handles are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// register panics on duplicate names: metric names are a process-wide
+// contract and a duplicate is always a wiring bug.
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", m.name))
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counters that already live elsewhere as
+// atomics (the engine's shard counters).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, counterFn: fn})
+}
+
+// Gauge registers and returns a new settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time (scheduler
+// heap depth, worker occupancy, population size).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, gaugeFn: fn})
+}
+
+// Histogram registers and returns a new histogram with the given bucket
+// bounds (nil = DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// LookupHistogram returns a registered histogram by name, or nil.
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.byName[name]; m != nil && m.hist != nil {
+		return m.hist
+	}
+	return nil
+}
+
+// snapshotLocked copies the metric list so rendering can run without
+// holding the lock across value reads (GaugeFuncs may take other locks).
+func (r *Registry) metricList() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.metricList() {
+		typ := "counter"
+		switch m.kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+			return err
+		}
+		if m.kind != kindHistogram {
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.scalar())); err != nil {
+				return err
+			}
+			continue
+		}
+		s := m.hist.Snapshot()
+		for _, b := range s.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b.UpperBound), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m.name, formatFloat(s.Sum), m.name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricSnapshot is one metric in a JSON snapshot.
+type MetricSnapshot struct {
+	Name      string             `json:"name"`
+	Type      string             `json:"type"`
+	Help      string             `json:"help,omitempty"`
+	Value     *float64           `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot captures every metric's current value, sorted by name, for
+// the JSON endpoint and programmatic consumers.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	list := r.metricList()
+	out := make([]MetricSnapshot, 0, len(list))
+	for _, m := range list {
+		ms := MetricSnapshot{Name: m.name, Help: m.help}
+		switch m.kind {
+		case kindCounter:
+			ms.Type = "counter"
+		case kindGauge:
+			ms.Type = "gauge"
+		case kindHistogram:
+			ms.Type = "histogram"
+		}
+		if m.kind == kindHistogram {
+			hs := m.hist.Snapshot()
+			ms.Histogram = &hs
+		} else {
+			v := m.scalar()
+			ms.Value = &v
+		}
+		out = append(out, ms)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryScalars(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("polls_total", "Polls issued.")
+	g := r.Gauge("applets", "Installed applets.")
+	c.Add(3)
+	c.Inc()
+	g.Set(7.5)
+	g.Add(-0.5)
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	if g.Value() != 7 {
+		t.Errorf("gauge = %g, want 7", g.Value())
+	}
+	r.CounterFunc("derived_total", "Derived.", func() int64 { return 42 })
+	r.GaugeFunc("depth", "Depth.", func() float64 { return 1.25 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP polls_total Polls issued.",
+		"# TYPE polls_total counter",
+		"polls_total 4",
+		"# TYPE applets gauge",
+		"applets 7",
+		"derived_total 42",
+		"depth 1.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate metric name should panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestRegistryHistogramPrometheus(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t2a_seconds", "Trigger-to-action latency.", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE t2a_seconds histogram",
+		`t2a_seconds_bucket{le="1"} 1`,
+		`t2a_seconds_bucket{le="2"} 1`,
+		`t2a_seconds_bucket{le="4"} 2`,
+		`t2a_seconds_bucket{le="+Inf"} 3`,
+		"t2a_seconds_sum 103.5",
+		"t2a_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if got := r.LookupHistogram("t2a_seconds"); got != h {
+		t.Error("LookupHistogram did not return the registered histogram")
+	}
+	if got := r.LookupHistogram("nope"); got != nil {
+		t.Error("LookupHistogram on unknown name should be nil")
+	}
+}
+
+func TestRegistryHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total", "Events.").Add(9)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{1})
+	h.Observe(0.2)
+
+	// Default: Prometheus text.
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "events_total 9") {
+		t.Errorf("text body missing counter:\n%s", rec.Body.String())
+	}
+
+	// JSON snapshot.
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("json content type %q", ct)
+	}
+	var snap []MetricSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json decode: %v\n%s", err, rec.Body.String())
+	}
+	byName := map[string]MetricSnapshot{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	ev, ok := byName["events_total"]
+	if !ok || ev.Value == nil || *ev.Value != 9 {
+		t.Errorf("snapshot events_total = %+v", ev)
+	}
+	lat, ok := byName["lat_seconds"]
+	if !ok || lat.Histogram == nil || lat.Histogram.Count != 1 {
+		t.Errorf("snapshot lat_seconds = %+v", lat)
+	}
+}
+
+func TestMountHealthz(t *testing.T) {
+	r := NewRegistry()
+	mux := newTestMux(t, r)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Errorf("healthz: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Errorf("metrics: code=%d", rec.Code)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import "time"
+
+// ExecSpan is one applet execution reconstructed from trace events: the
+// engine polls the trigger service, receives a buffered event, and
+// dispatches the action. Its timestamps decompose trigger-to-action
+// latency into the paper's segments (Sec 6): how long the event sat in
+// the trigger service's buffer waiting for a poll (the polling gap),
+// the poll round-trip, the engine's internal processing, and the action
+// delivery. EventAt comes from the event's protocol metadata (unix-
+// second granularity — stamped when the trigger service buffered it);
+// all other instants are engine-side trace times.
+type ExecSpan struct {
+	// ExecID identifies the poll execution the span belongs to; every
+	// event surfaced by one poll shares it.
+	ExecID uint64
+	// AppletID and EventID name the applet and the trigger event.
+	AppletID string
+	EventID  string
+	// TriggerService is the polled service's name.
+	TriggerService string
+
+	// HintAt is when a realtime hint provoked this poll (zero for
+	// ordinary scheduled polls).
+	HintAt time.Time
+	// PollSentAt / PollResultAt bracket the poll round-trip.
+	PollSentAt   time.Time
+	PollResultAt time.Time
+	// EventAt is when the trigger service buffered the event.
+	EventAt time.Time
+	// ActionSentAt / ActionDoneAt bracket the action request; Done is
+	// the ack (or the failure response).
+	ActionSentAt time.Time
+	ActionDoneAt time.Time
+
+	// Failed marks an action that errored; Err carries the detail.
+	Failed bool
+	Err    string
+}
+
+// nonNeg clamps clock skew (sub-second EventAt granularity can place
+// the poll "before" the event) to zero.
+func nonNeg(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// PollingGap is how long the event waited in the trigger service's
+// buffer before the engine polled — the segment the paper found to
+// dominate T2A (Fig 4/5). Zero when the event carried no timestamp.
+func (s ExecSpan) PollingGap() time.Duration {
+	if s.EventAt.IsZero() {
+		return 0
+	}
+	return nonNeg(s.PollSentAt.Sub(s.EventAt))
+}
+
+// PollRTT is the poll request round-trip.
+func (s ExecSpan) PollRTT() time.Duration {
+	return nonNeg(s.PollResultAt.Sub(s.PollSentAt))
+}
+
+// Processing is the engine-internal time between receiving the poll
+// result and issuing the action request (includes the engine's
+// dispatch delay, ≈1 s in the paper's Table 5).
+func (s ExecSpan) Processing() time.Duration {
+	return nonNeg(s.ActionSentAt.Sub(s.PollResultAt))
+}
+
+// Delivery is the action request round-trip, through the action
+// service to the acknowledgement.
+func (s ExecSpan) Delivery() time.Duration {
+	return nonNeg(s.ActionDoneAt.Sub(s.ActionSentAt))
+}
+
+// T2A is the span's end-to-end latency: event buffered at the trigger
+// service to action acknowledged.
+func (s ExecSpan) T2A() time.Duration {
+	if s.EventAt.IsZero() {
+		return nonNeg(s.ActionDoneAt.Sub(s.PollSentAt))
+	}
+	return nonNeg(s.ActionDoneAt.Sub(s.EventAt))
+}
+
+// HintLag is the realtime-hint-to-poll latency, zero for unhinted
+// executions.
+func (s ExecSpan) HintLag() time.Duration {
+	if s.HintAt.IsZero() {
+		return 0
+	}
+	return nonNeg(s.PollSentAt.Sub(s.HintAt))
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,8 +19,9 @@ import (
 type SimClock struct {
 	mu       sync.Mutex
 	now      time.Time
-	actors   int // live actor goroutines
-	runnable int // actors not blocked in a clock primitive
+	nowCache atomic.Pointer[time.Time] // mirrors now; lock-free reads for Now()
+	actors   int                       // live actor goroutines
+	runnable int                       // actors not blocked in a clock primitive
 	timers   timerHeap
 	seq      uint64
 	quiesce  chan struct{} // closed when actors==0 and no timers remain
@@ -28,7 +30,9 @@ type SimClock struct {
 
 // NewSim returns a virtual clock whose time starts at start.
 func NewSim(start time.Time) *SimClock {
-	return &SimClock{now: start}
+	c := &SimClock{now: start}
+	c.nowCache.Store(&start)
+	return c
 }
 
 // DefaultStart is the virtual epoch used by NewSimDefault. It matches the
@@ -38,11 +42,11 @@ var DefaultStart = time.Date(2017, time.March, 25, 0, 0, 0, 0, time.UTC)
 // NewSimDefault returns a virtual clock starting at DefaultStart.
 func NewSimDefault() *SimClock { return NewSim(DefaultStart) }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. It is lock-free: hot paths
+// (e.g. per-event trace timestamping) call it under contention that
+// would otherwise serialize on the simulation mutex.
 func (c *SimClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return *c.nowCache.Load()
 }
 
 // Since returns the virtual time elapsed since t.
@@ -368,6 +372,8 @@ func (c *SimClock) maybeAdvanceLocked() {
 		t := heap.Pop(&c.timers).(*simTimer)
 		if t.when.After(c.now) {
 			c.now = t.when
+			now := t.when
+			c.nowCache.Store(&now)
 		}
 		t.fire()
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/homenet"
 	"repro/internal/httpx"
 	"repro/internal/oauth"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/service"
 	"repro/internal/services"
@@ -75,6 +76,12 @@ type Config struct {
 	Shards int
 	// ShardWorkers forwards to engine.Config.ShardWorkers.
 	ShardWorkers int
+	// Observers forwards to engine.Config.Observers: async trace
+	// consumers fed through the engine's lock-free ring (the testbed's
+	// own synchronous trace buffer keeps working regardless).
+	Observers []func(engine.TraceEvent)
+	// Metrics forwards to engine.Config.Metrics.
+	Metrics *obs.Registry
 }
 
 // DefaultShards is the testbed's pinned engine shard count. Experiments
@@ -238,6 +245,8 @@ func New(cfg Config) *Testbed {
 		DispatchDelay:    cfg.DispatchDelay,
 		Shards:           shards,
 		ShardWorkers:     cfg.ShardWorkers,
+		Observers:        cfg.Observers,
+		Metrics:          cfg.Metrics,
 		Trace: func(ev engine.TraceEvent) {
 			tb.mu.Lock()
 			tb.traces = append(tb.traces, ev)
