@@ -401,7 +401,11 @@ func BenchmarkAblationLocalVsCloud(b *testing.B) {
 		gate.Wait()
 		localT2A = tb.Clock.Since(start)
 	})
-	_ = le
+	// The light must have been lit by the local rule — not by any cloud
+	// path — or the "local" number measures the wrong engine.
+	if exec := le.Stats().Executions; exec != 1 {
+		b.Fatalf("local rule executions = %d, want 1 (Wemo press did not route through the local engine)", exec)
+	}
 	b.ReportMetric(cloudP50, "cloud_p50_s")
 	b.ReportMetric(localT2A.Seconds(), "local_t2a_s")
 }
@@ -611,6 +615,65 @@ func BenchmarkEngineScale100KTraced(b *testing.B) {
 		b.ReportMetric(float64(peak), "goroutines")
 		b.ReportMetric(float64(eng.Stats().Polls), "polls")
 		b.ReportMetric(float64(eng.TraceDrops()), "trace_drops")
+	}
+}
+
+// benchCoalescedApplet maps 100K applets onto 1K distinct trigger
+// identities: every applet in group g shares the same user, service,
+// slug, and trigger fields, so identity coalescing folds each group
+// into a single upstream subscription.
+func benchCoalescedApplet(i int) engine.Applet {
+	group := i % 1000
+	return engine.Applet{
+		ID:     fmt.Sprintf("a%06d", i),
+		UserID: fmt.Sprintf("u%04d", group),
+		Trigger: engine.ServiceRef{
+			Service: "benchsvc", BaseURL: "http://svc.sim", Slug: "fired",
+			Fields: map[string]string{"n": fmt.Sprintf("g%04d", group)},
+		},
+		Action: engine.ServiceRef{
+			Service: "benchsvc", BaseURL: "http://svc.sim", Slug: "act",
+		},
+	}
+}
+
+// BenchmarkEngineScaleCoalesced is the identity-sharing counterpart of
+// BenchmarkEngineScale100K: the same 100K applets, but mapped onto 1K
+// distinct trigger identities with coalescing on. Upstream polls should
+// collapse by the sharing factor (~100x: 1K subscriptions polling
+// instead of 100K applets) while every applet still gets its own
+// dedup/dispatch fan-out, visible in the polls_coalesced metric.
+func BenchmarkEngineScaleCoalesced(b *testing.B) {
+	const n = 100_000
+	for i := 0; i < b.N; i++ {
+		clock := simtime.NewSimDefault()
+		eng := engine.New(engine.Config{
+			Clock: clock, RNG: stats.NewRNG(1), Doer: benchDoer{},
+			Poll:          engine.FixedInterval{Interval: 5 * time.Minute},
+			DispatchDelay: -1, Shards: 8, ShardWorkers: 8,
+			Coalesce: true,
+		})
+		var peak int
+		clock.Run(func() {
+			for j := 0; j < n; j++ {
+				if err := eng.Install(benchCoalescedApplet(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			clock.Sleep(10 * time.Minute)
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			eng.Stop()
+		})
+		st := eng.Stats()
+		if st.Subscriptions != 1000 {
+			b.Fatalf("subscriptions = %d, want 1000", st.Subscriptions)
+		}
+		b.ReportMetric(float64(peak), "goroutines")
+		b.ReportMetric(float64(st.Polls), "polls")
+		b.ReportMetric(float64(st.PollsCoalesced), "polls_coalesced")
+		b.ReportMetric(float64(st.Subscriptions), "subscriptions")
 	}
 }
 

@@ -40,6 +40,7 @@ func main() {
 		realtime = flag.String("realtime", "alexa", "comma-separated services whose realtime hints are honoured")
 		shards   = flag.Int("shards", 0, "poll-scheduler shards (0 = GOMAXPROCS)")
 		workers  = flag.Int("shard-workers", 0, "concurrent polls per shard (0 = default)")
+		coalesce = flag.Bool("coalesce", true, "share one upstream poll across applets with identical triggers (disable for per-applet polling A/B runs)")
 		pprof    = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
 		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
@@ -65,6 +66,7 @@ func main() {
 		RealtimeServices: rtServices,
 		Shards:           *shards,
 		ShardWorkers:     *workers,
+		Coalesce:         *coalesce,
 		Logger:           log,
 		Metrics:          reg,
 		Trace: func(ev engine.TraceEvent) {

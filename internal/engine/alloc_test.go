@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExpandIngredientsEdgeCases covers the template corners the basic
+// round-trip test misses: a closer with no opener, unclosed openers
+// with text on both sides, empty keys, and adjacent placeholders.
+func TestExpandIngredientsEdgeCases(t *testing.T) {
+	ing := map[string]string{"a": "1", "b": "2", "": "empty"}
+	cases := []struct{ in, want string }{
+		// Unclosed opener: everything from the opener on is literal.
+		{"pre {{a", "pre {{a"},
+		{"{{a}} then {{b", "1 then {{b"},
+		// A bare closer with no opener is plain text.
+		{"no open }} here", "no open }} here"},
+		// Empty key resolves like any other (and is present here).
+		{"{{}}", "empty"},
+		// Whitespace-only key trims to the empty key.
+		{"{{  }}", "empty"},
+		// Adjacent placeholders with nothing between them.
+		{"{{a}}{{b}}", "12"},
+		{"{{a}}{{a}}{{a}}", "111"},
+		// Placeholder butted against braces.
+		{"{{{a}}}", "}"}, // key "{a" is unknown → empty; trailing "}" stays
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := expandIngredients(c.in, ing); got != c.want {
+			t.Errorf("expand(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Allocation regression guards for the per-event dispatch path. These
+// are exact: both fast paths are pure reads today, and any future
+// allocation on them multiplies by events × applets × polls.
+
+func TestExpandIngredientsNoPlaceholderAllocs(t *testing.T) {
+	ing := map[string]string{"subject": "hello"}
+	allocs := testing.AllocsPerRun(100, func() {
+		expandIngredients("a plain action field without templates", ing)
+	})
+	if allocs != 0 {
+		t.Errorf("expandIngredients without placeholders allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestDedupRingDuplicateAddAllocs(t *testing.T) {
+	r := newDedupRing(64)
+	for i := 0; i < 64; i++ {
+		r.Add(fmt.Sprintf("ev-%03d", i))
+	}
+	// The steady state of a quiet trigger: every poll re-serves event
+	// IDs the ring already remembers.
+	allocs := testing.AllocsPerRun(100, func() {
+		if r.Add("ev-007") {
+			t.Fatal("duplicate reported fresh")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate dedupRing.Add allocates %.1f/op, want 0", allocs)
+	}
+}

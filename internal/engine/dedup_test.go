@@ -90,10 +90,9 @@ func TestEngineDedupWindowBounded(t *testing.T) {
 			r.svc.Publish("fired", map[string]string{"n": fmt.Sprint(i)})
 			r.clock.Sleep(5 * time.Second)
 		}
-		sh := r.engine.shardFor("a1")
-		sh.mu.Lock()
-		ra := sh.applets["a1"]
-		sh.mu.Unlock()
+		r.engine.mu.Lock()
+		ra := r.engine.applets["a1"]
+		r.engine.mu.Unlock()
 		if got := ra.dedup.Len(); got > 8 {
 			t.Errorf("dedup window grew to %d, want ≤ 8", got)
 		}

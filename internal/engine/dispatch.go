@@ -11,68 +11,105 @@ import (
 	"repro/internal/proto"
 )
 
-// pollOnce performs one trigger poll for an applet and dispatches the
-// action for every previously unseen event, oldest first. Dispatch is
-// sequential within the applet, which is what shapes a backlog of
-// trigger events into the action clusters of Fig 6. hintAt is when a
-// realtime poke provoked this poll (zero for scheduled polls); every
-// trace event of the execution shares one freshly drawn ExecID.
-func (e *Engine) pollOnce(ra *runningApplet, hintAt time.Time) {
-	a := &ra.def
-	req := proto.TriggerPollRequest{
-		TriggerIdentity: ra.identity,
-		TriggerFields:   a.Trigger.Fields,
-		User:            proto.UserInfo{ID: a.UserID},
-		Source:          proto.Source{ID: a.ID},
-	}
-	if e.pollLimit > 0 {
-		limit := e.pollLimit
-		req.Limit = &limit
-	}
-	sh := ra.shard
+// pollSubscription performs one trigger poll for a subscription and
+// fans the result out to every member applet: each member dedups the
+// response against its own ring, and the action is dispatched for every
+// event that member has not seen, oldest first. Dispatch is sequential
+// within the poll, which is what shapes a backlog of trigger events
+// into the action clusters of Fig 6. hintAt is when a realtime poke
+// provoked this poll (zero for scheduled polls); every trace event of
+// the execution shares one freshly drawn ExecID, and per-applet
+// provenance rides on the action/skip events' AppletID.
+//
+// members and prep are the worker's snapshot, taken under the shard
+// lock; the subscription's scratch buffers (response, fresh slice,
+// ranges) are owned by this worker for the duration — a subscription is
+// never polled concurrently — so the steady-state empty poll allocates
+// nothing.
+func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members []*runningApplet, prep *httpx.Prepared) {
+	sh := sub.shard
+	leadID := members[0].def.ID
 	execID := e.execSeq.Add(1)
-	e.emit(sh, TraceEvent{Kind: TracePollSent, AppletID: a.ID, ExecID: execID, HintAt: hintAt})
+	e.emit(sh, TraceEvent{Kind: TracePollSent, AppletID: leadID, ExecID: execID, HintAt: hintAt})
+	if n := len(members) - 1; n > 0 {
+		sh.counters.pollsCoalesced.Add(int64(n))
+	}
+	if e.fanout != nil {
+		e.fanout.Observe(float64(len(members)))
+	}
 
-	var resp proto.TriggerPollResponse
-	status, err := e.client.DoJSON("POST",
-		proto.TriggerURL(a.Trigger.BaseURL, a.Trigger.Slug), req, &resp,
-		httpx.WithHeader(proto.ServiceKeyHeader, a.Trigger.ServiceKey),
-		httpx.WithHeader("Authorization", "Bearer "+a.Trigger.UserToken),
-	)
+	resp := &sub.resp
+	resp.Data = resp.Data[:0]
+	var status int
+	var err error
+	if prep != nil {
+		status, err = e.client.DoPrepared(prep, resp)
+	} else {
+		// Fallback for triggers whose base URL failed to parse into a
+		// prototype at install time.
+		a := &members[0].def
+		req := proto.TriggerPollRequest{
+			TriggerIdentity: sub.key,
+			TriggerFields:   a.Trigger.Fields,
+			User:            proto.UserInfo{ID: a.UserID},
+			Source:          proto.Source{ID: a.ID},
+		}
+		if e.pollLimit > 0 {
+			limit := e.pollLimit
+			req.Limit = &limit
+		}
+		status, err = e.client.DoJSON("POST",
+			proto.TriggerURL(a.Trigger.BaseURL, a.Trigger.Slug), req, resp,
+			httpx.WithHeader(proto.ServiceKeyHeader, a.Trigger.ServiceKey),
+			httpx.WithHeader("Authorization", "Bearer "+a.Trigger.UserToken),
+		)
+	}
 	if err != nil || status != http.StatusOK {
 		msg := "status " + http.StatusText(status)
 		if err != nil {
 			msg = err.Error()
 		}
-		e.emit(sh, TraceEvent{Kind: TracePollFailed, AppletID: a.ID, ExecID: execID, Err: msg})
+		e.emit(sh, TraceEvent{Kind: TracePollFailed, AppletID: leadID, ExecID: execID, Err: msg})
 		if e.log != nil {
-			e.log.Warn("trigger poll failed", "applet", a.ID, "err", msg)
+			e.log.Warn("trigger poll failed", "applet", leadID, "err", msg)
 		}
 		return
 	}
 
-	// The wire order is newest first; execute unseen events oldest
-	// first so actions replay the trigger order. The dedup ring is
-	// owned by this worker — the applet cannot be polled concurrently.
-	fresh := make([]proto.TriggerEvent, 0, len(resp.Data))
-	for i := len(resp.Data) - 1; i >= 0; i-- {
-		ev := resp.Data[i]
-		if ev.Meta.ID == "" || !ra.dedup.Add(ev.Meta.ID) {
-			continue
+	// The wire order is newest first; each member executes its unseen
+	// events oldest first so actions replay the trigger order. The dedup
+	// rings are owned by this worker — members cannot be polled through
+	// another subscription, and a removed member's ring is never touched
+	// again after this poll.
+	fresh := sub.fresh[:0]
+	ranges := sub.ranges[:0]
+	for _, ra := range members {
+		start := len(fresh)
+		for i := len(resp.Data) - 1; i >= 0; i-- {
+			ev := resp.Data[i]
+			if ev.Meta.ID == "" || !ra.dedup.Add(ev.Meta.ID) {
+				continue
+			}
+			fresh = append(fresh, ev)
 		}
-		fresh = append(fresh, ev)
+		ranges = append(ranges, memberRange{ra: ra, start: start, end: len(fresh)})
 	}
+	sub.fresh = fresh
+	sub.ranges = ranges
 
-	e.emit(sh, TraceEvent{Kind: TracePollResult, AppletID: a.ID, ExecID: execID, N: len(fresh)})
+	e.emit(sh, TraceEvent{Kind: TracePollResult, AppletID: leadID, ExecID: execID, N: len(fresh)})
 	if len(fresh) > 0 && e.dispatch > 0 {
 		e.clock.Sleep(e.dispatch)
 	}
-	for _, ev := range fresh {
-		if !conditionsAllow(a.Conditions, e.clock.Now(), ev.Ingredients) {
-			e.emit(sh, TraceEvent{Kind: TraceConditionSkip, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID})
-			continue
+	for _, mr := range ranges {
+		a := &mr.ra.def
+		for _, ev := range fresh[mr.start:mr.end] {
+			if !conditionsAllow(a.Conditions, e.clock.Now(), ev.Ingredients) {
+				e.emit(sh, TraceEvent{Kind: TraceConditionSkip, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID})
+				continue
+			}
+			e.dispatchAction(mr.ra, ev, execID)
 		}
-		e.dispatchAction(ra, ev, execID)
 	}
 }
 
@@ -93,7 +130,8 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent, execID
 	if ev.Meta.Timestamp > 0 {
 		eventTime = time.Unix(ev.Meta.Timestamp, 0)
 	}
-	e.emit(ra.shard, TraceEvent{Kind: TraceActionSent, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID, EventTime: eventTime})
+	sh := ra.sub.shard
+	e.emit(sh, TraceEvent{Kind: TraceActionSent, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID, EventTime: eventTime})
 
 	var ack proto.ActionResponse
 	status, err := e.client.DoJSON("POST",
@@ -106,24 +144,25 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent, execID
 		if err != nil {
 			msg = err.Error()
 		}
-		e.emit(ra.shard, TraceEvent{Kind: TraceActionFailed, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID, Err: msg})
+		e.emit(sh, TraceEvent{Kind: TraceActionFailed, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID, Err: msg})
 		if e.log != nil {
 			e.log.Warn("action failed", "applet", a.ID, "err", msg)
 		}
 		return
 	}
-	e.emit(ra.shard, TraceEvent{Kind: TraceActionAcked, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID})
+	e.emit(sh, TraceEvent{Kind: TraceActionAcked, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID})
 }
 
-// deleteSubscription tells the trigger service a subscription is gone.
-func (e *Engine) deleteSubscription(ra *runningApplet) {
-	a := &ra.def
+// deleteUpstream tells the trigger service a subscription is gone (the
+// protocol's DELETE /ifttt/v1/triggers/{slug}/trigger_identity/{id}).
+// It runs once per subscription, when the last member leaves.
+func (e *Engine) deleteUpstream(sub *subscription) {
 	url := fmt.Sprintf("%s%s%s/trigger_identity/%s",
-		a.Trigger.BaseURL, proto.TriggersPath, a.Trigger.Slug, ra.identity)
+		sub.trigger.BaseURL, proto.TriggersPath, sub.trigger.Slug, sub.key)
 	status, err := e.client.DoJSON("DELETE", url, nil, nil,
-		httpx.WithHeader(proto.ServiceKeyHeader, a.Trigger.ServiceKey))
+		httpx.WithHeader(proto.ServiceKeyHeader, sub.trigger.ServiceKey))
 	if (err != nil || status >= 300) && e.log != nil {
-		e.log.Warn("subscription delete failed", "applet", a.ID, "status", status, "err", err)
+		e.log.Warn("subscription delete failed", "identity", sub.key, "status", status, "err", err)
 	}
 }
 
@@ -177,9 +216,10 @@ func (e *Engine) Handler() http.Handler {
 // Every notification is traced and counted exactly once, whether or not
 // it resolves to an installed applet — a hint racing an applet's
 // removal must still show up in the engine's metrics. Identity hints
-// resolve against the per-shard identity indexes; user hints against
-// the per-shard user indexes, so routing costs O(shards +
-// applets-of-user) rather than a scan of the whole population.
+// resolve against the per-shard subscription indexes; user hints
+// against the engine's user index, deduplicated to subscriptions so a
+// shared identity is poked — and therefore polled — exactly once no
+// matter how many of the user's applets share it.
 func (e *Engine) handleRealtime(w http.ResponseWriter, r *http.Request) {
 	var n proto.RealtimeNotification
 	if err := httpx.ReadJSON(r, &n); err != nil {
@@ -187,43 +227,72 @@ func (e *Engine) handleRealtime(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, hint := range n.Data {
-		var targets []*runningApplet
+		var targets []*subscription
+		var firstID string
+		var nApplets int
 		switch {
 		case hint.TriggerIdentity != "":
 			for _, sh := range e.shards {
-				if ra := sh.byIdentity(hint.TriggerIdentity); ra != nil {
-					targets = append(targets, ra)
+				if sub, first, members := sh.byIdentity(hint.TriggerIdentity); sub != nil {
+					targets = append(targets, sub)
+					firstID = first
+					nApplets = members
 					break
 				}
 			}
 		case hint.UserID != "":
 			// A user-scoped hint covers every applet of that user.
-			for _, sh := range e.shards {
-				targets = sh.userApplets(targets, hint.UserID)
-			}
+			targets, firstID, nApplets = e.userSubscriptions(hint.UserID)
 		}
-		ev := TraceEvent{Kind: TraceHintReceived, N: len(targets)}
-		if len(targets) > 0 {
-			ev.AppletID = targets[0].def.ID
+		ev := TraceEvent{Kind: TraceHintReceived, N: nApplets}
+		if nApplets > 0 {
+			ev.AppletID = firstID
 		}
 		e.emit(nil, ev)
-		for _, ra := range targets {
-			if e.realtime == nil || !e.realtime[ra.def.Trigger.Service] {
+		for _, sub := range targets {
+			if e.realtime == nil || !e.realtime[sub.trigger.Service] {
 				continue // hint ignored
 			}
-			ra := ra
-			e.clock.AfterFunc(e.rtDelay, func() { e.pokeApplet(ra) })
+			sub := sub
+			e.clock.AfterFunc(e.rtDelay, func() { e.pokeSubscription(sub) })
 		}
 	}
 	httpx.WriteJSON(w, http.StatusOK, proto.StatusResponse{OK: true})
 }
 
-// pokeApplet pulls an applet's next poll forward to now (the honoured
-// realtime-hint path). Pokes for removed or mid-poll applets are
-// silently dropped, as with the old per-goroutine design.
-func (e *Engine) pokeApplet(ra *runningApplet) {
-	sh := ra.shard
+// userSubscriptions resolves a user ID to the distinct subscriptions
+// the user's applets poll through, plus one member applet ID and the
+// total applet count (for hint tracing).
+func (e *Engine) userSubscriptions(userID string) ([]*subscription, string, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	owned := e.byUser[userID]
+	if len(owned) == 0 {
+		return nil, "", 0
+	}
+	targets := make([]*subscription, 0, len(owned))
+	seen := make(map[*subscription]struct{}, len(owned))
+	var firstID string
+	for id, ra := range owned {
+		if firstID == "" {
+			firstID = id
+		}
+		if _, dup := seen[ra.sub]; dup {
+			continue
+		}
+		seen[ra.sub] = struct{}{}
+		targets = append(targets, ra.sub)
+	}
+	return targets, firstID, len(owned)
+}
+
+// pokeSubscription pulls a subscription's next poll forward to now (the
+// honoured realtime-hint path). Pokes for removed or mid-poll
+// subscriptions are silently dropped, as with the old per-goroutine
+// design.
+func (e *Engine) pokeSubscription(sub *subscription) {
+	sh := sub.shard
 	sh.mu.Lock()
-	sh.pokeLocked(ra, e.clock.Now())
+	sh.pokeLocked(sub, e.clock.Now())
 	sh.mu.Unlock()
 }

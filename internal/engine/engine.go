@@ -26,6 +26,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -73,6 +74,28 @@ type Applet struct {
 func (a *Applet) TriggerIdentity() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%s", a.ID, a.Trigger.BaseURL, a.Trigger.Slug)
+	a.hashTriggerFields(h)
+	return fmt.Sprintf("ti-%016x", h.Sum64())
+}
+
+// CoalescedTriggerIdentity is the subscription key used when poll
+// coalescing is on (Config.Coalesce): unlike TriggerIdentity it omits
+// the applet ID, so applets with byte-identical trigger configurations
+// share one upstream subscription and one poll schedule. The user and
+// token stay in the key — the engine polls a trigger *on behalf of a
+// user*, and coalescing across credentials would leak one user's events
+// into another's applets.
+func (a *Applet) CoalescedTriggerIdentity() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%s|%s", a.Trigger.Service, a.Trigger.BaseURL,
+		a.Trigger.Slug, a.Trigger.ServiceKey, a.UserID, a.Trigger.UserToken)
+	a.hashTriggerFields(h)
+	return fmt.Sprintf("ci-%016x", h.Sum64())
+}
+
+// hashTriggerFields folds the trigger's field map into h in sorted key
+// order, so identity hashes are stable across map iteration order.
+func (a *Applet) hashTriggerFields(h interface{ Write([]byte) (int, error) }) {
 	keys := make([]string, 0, len(a.Trigger.Fields))
 	for k := range a.Trigger.Fields {
 		keys = append(keys, k)
@@ -81,7 +104,6 @@ func (a *Applet) TriggerIdentity() string {
 	for _, k := range keys {
 		fmt.Fprintf(h, "|%s=%s", k, a.Trigger.Fields[k])
 	}
-	return fmt.Sprintf("ti-%016x", h.Sum64())
 }
 
 // TraceKind labels engine trace events.
@@ -193,6 +215,14 @@ type Config struct {
 	// means DefaultShardWorkers. Total engine goroutines are
 	// O(Shards × ShardWorkers), independent of the applet population.
 	ShardWorkers int
+	// Coalesce groups applets with identical trigger configurations
+	// (same service, slug, fields, and user credentials — see
+	// Applet.CoalescedTriggerIdentity) into shared subscriptions: one
+	// upstream poll per subscription, fanned out to every member. Off by
+	// default, because the paper observed the production engine polling
+	// per applet even for identical triggers (Fig 7) and the simulation
+	// reproduces that; the daemon (cmd/iftttd) turns it on.
+	Coalesce bool
 }
 
 // DefaultRealtimeDelay approximates the hint-to-poll lag the paper
@@ -213,10 +243,12 @@ const DefaultShardWorkers = 8
 // DefaultTraceBuffer is the observer ring capacity.
 const DefaultTraceBuffer = 4096
 
-// Engine executes applets on a sharded poll scheduler: applets hash to
-// shards, each shard times its polls with a min-heap drained by a small
-// worker pool, and hint routing resolves against per-shard identity and
-// per-user indexes. See scheduler.go for the scheduling design.
+// Engine executes applets on a sharded poll scheduler: applets join
+// per-trigger subscriptions, subscriptions hash to shards, each shard
+// times its polls with a min-heap drained by a small worker pool, and
+// hint routing resolves against per-shard subscription and engine-wide
+// user indexes. See scheduler.go for the scheduling design and shard.go
+// for the subscription model.
 type Engine struct {
 	clock     simtime.Clock
 	client    *httpx.Client
@@ -229,9 +261,18 @@ type Engine struct {
 	dispatch  time.Duration
 	pollLimit int
 	workers   int
+	coalesce  bool
+
+	// mu guards the engine-wide applet indexes. Lock ordering: mu may be
+	// taken before a shard's mutex, never after.
+	mu      sync.Mutex
+	applets map[string]*runningApplet
+	byUser  map[string]map[string]*runningApplet
 
 	shards  []*shard
 	stopped atomic.Bool
+	// fanout, when metrics are registered, records members-per-poll.
+	fanout *obs.Histogram
 	// hints counts realtime notifications at the HTTP surface, matched
 	// or not; the per-shard counters cover the poll/dispatch hot path.
 	hints atomic.Int64
@@ -247,9 +288,16 @@ type Engine struct {
 // Stats are the engine's monotonic operational counters, exposed on the
 // engine's HTTP surface at GET /v1/stats.
 type Stats struct {
-	Applets        int   `json:"applets"`
+	Applets int `json:"applets"`
+	// Subscriptions counts the live upstream poll subscriptions; it
+	// equals Applets when coalescing is off and is smaller by the
+	// sharing factor when on.
+	Subscriptions  int   `json:"subscriptions"`
 	Polls          int64 `json:"polls"`
 	PollFailures   int64 `json:"poll_failures"`
+	// PollsCoalesced counts upstream polls avoided by coalescing: each
+	// poll of an n-member subscription adds n-1.
+	PollsCoalesced int64 `json:"polls_coalesced"`
 	EventsReceived int64 `json:"events_received"`
 	ActionsOK      int64 `json:"actions_ok"`
 	ActionsFailed  int64 `json:"actions_failed"`
@@ -257,23 +305,15 @@ type Stats struct {
 	ConditionSkips int64 `json:"condition_skips"`
 }
 
-// runningApplet is one installed applet's scheduler state. The mutable
-// fields (entry, polling, removed) are guarded by the owning shard's
-// mutex; rng and dedup are touched only by the single worker that has
-// the applet in flight (an applet is never scheduled while polling).
+// runningApplet is one installed applet's execution state. Scheduling
+// lives on the subscription it belongs to; the applet keeps what cannot
+// be shared — its definition and its dedup window. sub is set once at
+// install (under the shard lock) and immutable after; dedup is touched
+// only by the single worker polling the subscription.
 type runningApplet struct {
-	def      Applet
-	identity string
-	shard    *shard
-	rng      *stats.RNG // per-applet gap stream, split at install
-
-	entry   *pollEntry // pending poll, nil while in flight
-	polling bool
-	removed bool
-	// hintAt records when a realtime poke rescheduled the pending poll;
-	// the worker consumes it so the poll's trace carries hint provenance.
-	hintAt time.Time
-	dedup  dedupRing
+	def   Applet
+	sub   *subscription
+	dedup dedupRing
 }
 
 // New creates an engine. It panics if required config is missing.
@@ -320,6 +360,9 @@ func New(cfg Config) *Engine {
 		dispatch:  dispatch,
 		pollLimit: cfg.PollLimit,
 		workers:   workers,
+		coalesce:  cfg.Coalesce,
+		applets:   make(map[string]*runningApplet),
+		byUser:    make(map[string]map[string]*runningApplet),
 	}
 	e.shards = make([]*shard, nShards)
 	for i := range e.shards {
@@ -403,71 +446,120 @@ func (e *Engine) Stats() Stats {
 	for _, sh := range e.shards {
 		st.Polls += sh.counters.polls.Load()
 		st.PollFailures += sh.counters.pollFailures.Load()
+		st.PollsCoalesced += sh.counters.pollsCoalesced.Load()
 		st.EventsReceived += sh.counters.eventsReceived.Load()
 		st.ActionsOK += sh.counters.actionsOK.Load()
 		st.ActionsFailed += sh.counters.actionsFailed.Load()
 		st.ConditionSkips += sh.counters.conditionSkips.Load()
 		sh.mu.Lock()
-		st.Applets += len(sh.applets)
+		st.Subscriptions += len(sh.subs)
 		sh.mu.Unlock()
 	}
+	e.mu.Lock()
+	st.Applets = len(e.applets)
+	e.mu.Unlock()
 	st.HintsReceived = e.hints.Load()
 	return st
 }
 
-// Install registers an applet and schedules its polling. It returns an
-// error for duplicate IDs or after Stop.
+// subscriptionKey derives the grouping key an applet polls under: its
+// own TriggerIdentity normally, the applet-agnostic coalesced identity
+// when Config.Coalesce is set.
+func (e *Engine) subscriptionKey(a *Applet) string {
+	if e.coalesce {
+		return a.CoalescedTriggerIdentity()
+	}
+	return a.TriggerIdentity()
+}
+
+// Install registers an applet, joining it to the subscription for its
+// trigger (creating and scheduling one when it is the first member). It
+// returns an error for duplicate IDs or after Stop.
 func (e *Engine) Install(a Applet) error {
 	if a.ID == "" {
 		return fmt.Errorf("engine: applet ID required")
 	}
-	ra := &runningApplet{
-		def:      a,
-		identity: a.TriggerIdentity(),
-		dedup:    newDedupRing(e.dedupCap),
+	ra := &runningApplet{def: a, dedup: newDedupRing(e.dedupCap)}
+	key := e.subscriptionKey(&a)
+	// Without coalescing, subscriptions shard by applet ID — the exact
+	// placement (and therefore RNG stream assignment) of the
+	// per-applet design. With coalescing they shard by key, so every
+	// member of a subscription lands on the shard that owns it.
+	shardKey := a.ID
+	if e.coalesce {
+		shardKey = key
 	}
-	sh := e.shardFor(a.ID)
-	sh.mu.Lock()
-	if e.stopped.Load() || sh.stopped {
-		sh.mu.Unlock()
+	sh := e.shardFor(shardKey)
+
+	e.mu.Lock()
+	if e.stopped.Load() {
+		e.mu.Unlock()
 		return fmt.Errorf("engine: stopped")
 	}
-	if _, dup := sh.applets[a.ID]; dup {
-		sh.mu.Unlock()
+	if _, dup := e.applets[a.ID]; dup {
+		e.mu.Unlock()
 		return fmt.Errorf("engine: applet %q already installed", a.ID)
 	}
-	sh.installLocked(ra)
+	sh.mu.Lock()
+	if sh.stopped {
+		sh.mu.Unlock()
+		e.mu.Unlock()
+		return fmt.Errorf("engine: stopped")
+	}
+	sh.joinLocked(ra, key)
 	sh.mu.Unlock()
+	e.applets[a.ID] = ra
+	u := e.byUser[a.UserID]
+	if u == nil {
+		u = make(map[string]*runningApplet)
+		e.byUser[a.UserID] = u
+	}
+	u[a.ID] = ra
+	e.mu.Unlock()
 
 	e.emit(sh, TraceEvent{Kind: TraceInstall, AppletID: a.ID})
 	return nil
 }
 
-// Remove stops and forgets an applet, then notifies the trigger service
-// that the subscription is gone (the protocol's DELETE
+// Remove stops and forgets an applet. When it was its subscription's
+// last member the engine also notifies the trigger service that the
+// subscription is gone (the protocol's DELETE
 // /ifttt/v1/triggers/{slug}/trigger_identity/{id}), so the service can
 // drop its event buffer.
 func (e *Engine) Remove(id string) {
-	sh := e.shardFor(id)
-	sh.mu.Lock()
-	ra := sh.removeLocked(id)
-	sh.mu.Unlock()
+	e.mu.Lock()
+	ra := e.applets[id]
 	if ra == nil {
+		e.mu.Unlock()
 		return
 	}
+	delete(e.applets, id)
+	if u := e.byUser[ra.def.UserID]; u != nil {
+		delete(u, id)
+		if len(u) == 0 {
+			delete(e.byUser, ra.def.UserID)
+		}
+	}
+	sub := ra.sub
+	sh := sub.shard
+	sh.mu.Lock()
+	last := sh.leaveLocked(ra)
+	sh.mu.Unlock()
+	e.mu.Unlock()
+
 	e.emit(sh, TraceEvent{Kind: TraceRemove, AppletID: id})
-	e.clock.Go(func() { e.deleteSubscription(ra) })
+	if last {
+		e.clock.Go(func() { e.deleteUpstream(sub) })
+	}
 }
 
 // Applets returns the IDs of installed applets (unordered).
 func (e *Engine) Applets() []string {
-	var out []string
-	for _, sh := range e.shards {
-		sh.mu.Lock()
-		for id := range sh.applets {
-			out = append(out, id)
-		}
-		sh.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.applets))
+	for id := range e.applets {
+		out = append(out, id)
 	}
 	return out
 }

@@ -26,6 +26,13 @@ type rig struct {
 
 func newRig(t *testing.T, poll PollPolicy, realtime map[string]bool) *rig {
 	t.Helper()
+	return newRigCfg(t, poll, realtime, nil)
+}
+
+// newRigCfg is newRig with a hook to adjust the engine config (e.g.
+// enabling poll coalescing) before construction.
+func newRigCfg(t *testing.T, poll PollPolicy, realtime map[string]bool, mod func(*Config)) *rig {
+	t.Helper()
 	clock := simtime.NewSimDefault()
 	rng := stats.NewRNG(11)
 	net := simnet.New(clock, rng.Split("net"))
@@ -40,7 +47,7 @@ func newRig(t *testing.T, poll PollPolicy, realtime map[string]bool) *rig {
 	net.AddHost("svc.sim", svc.Handler())
 
 	r := &rig{clock: clock, net: net, svc: svc}
-	r.engine = New(Config{
+	cfg := Config{
 		Clock:            clock,
 		RNG:              rng.Split("engine"),
 		Doer:             net.Client("engine.sim"),
@@ -51,7 +58,11 @@ func newRig(t *testing.T, poll PollPolicy, realtime map[string]bool) *rig {
 			r.traces = append(r.traces, ev)
 			r.mu.Unlock()
 		},
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	r.engine = New(cfg)
 	net.AddHost("engine.sim", r.engine.Handler())
 	return r
 }

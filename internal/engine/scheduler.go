@@ -2,20 +2,21 @@
 // applet, each sleeping through its own polling gap — simple, but at
 // dataset scale (320K applets, §3) that is 320K goroutines and a global
 // mutex on every gap draw and counter bump. Instead, each shard keeps a
-// min-heap of (due time, applet) entries; one pump actor per shard
-// sleeps until the heap head is due (on a reusable simtime.Alarm, so an
-// earlier insertion can cut the sleep short), moves due entries to a
-// ready queue, and a small worker pool drains it. Goroutine count is
-// O(shards + in-flight polls), independent of the installed population.
+// min-heap of (due time, subscription) entries; one pump actor per
+// shard sleeps until the heap head is due (on a reusable simtime.Alarm,
+// so an earlier insertion can cut the sleep short), moves due entries
+// to a ready queue, and a small worker pool drains it. Goroutine count
+// is O(shards + in-flight polls), independent of the installed
+// population.
 //
 // Scheduling semantics are identical to the per-goroutine design: each
-// applet's next poll is drawn from its own RNG stream *after* the
+// subscription's next poll is drawn from its own RNG stream *after* the
 // previous poll (and its action dispatches) complete, so inter-poll
 // spacing is gap + poll duration, exactly as before; realtime pokes
-// reschedule a pending poll to now and are dropped while the applet is
-// mid-poll, matching the old stopper behaviour. Under the simulated
-// clock the pump exits whenever its heap drains, so an idle engine
-// holds no timers and the simulation can quiesce.
+// reschedule a pending poll to now and are dropped while the
+// subscription is mid-poll, matching the old stopper behaviour. Under
+// the simulated clock the pump exits whenever its heap drains, so an
+// idle engine holds no timers and the simulation can quiesce.
 package engine
 
 import (
@@ -23,11 +24,11 @@ import (
 	"time"
 )
 
-// pollEntry is one applet's pending poll in a shard's timer heap.
+// pollEntry is one subscription's pending poll in a shard's timer heap.
 type pollEntry struct {
 	due time.Time
 	seq uint64 // FIFO tie-break for equal deadlines
-	ra  *runningApplet
+	sub *subscription
 	idx int // heap index, -1 once popped/removed
 }
 
@@ -71,15 +72,15 @@ func (h *pollHeap) remove(en *pollEntry) {
 	}
 }
 
-// scheduleLocked queues ra's next poll at due and ensures a pump actor
+// scheduleLocked queues sub's next poll at due and ensures a pump actor
 // is watching the heap. Caller holds s.mu.
-func (s *shard) scheduleLocked(ra *runningApplet, due time.Time) {
-	if ra.removed || s.stopped {
+func (s *shard) scheduleLocked(sub *subscription, due time.Time) {
+	if sub.removed || s.stopped {
 		return
 	}
 	s.seq++
-	en := &pollEntry{due: due, seq: s.seq, ra: ra}
-	ra.entry = en
+	en := &pollEntry{due: due, seq: s.seq, sub: sub}
+	sub.entry = en
 	heap.Push(&s.heap, en)
 	if !s.pumpOn {
 		s.pumpOn = true
@@ -89,17 +90,18 @@ func (s *shard) scheduleLocked(ra *runningApplet, due time.Time) {
 	}
 }
 
-// pokeLocked moves ra's pending poll up to due (the realtime-hint
-// path). A poke for an applet that is mid-poll or already due sooner is
-// dropped, as with the old per-goroutine stopper. Caller holds s.mu.
-func (s *shard) pokeLocked(ra *runningApplet, due time.Time) {
-	en := ra.entry
-	if en == nil || ra.removed || s.stopped {
+// pokeLocked moves sub's pending poll up to due (the realtime-hint
+// path). A poke for a subscription that is mid-poll or already due
+// sooner is dropped, as with the old per-goroutine stopper. Caller
+// holds s.mu.
+func (s *shard) pokeLocked(sub *subscription, due time.Time) {
+	en := sub.entry
+	if en == nil || sub.removed || s.stopped {
 		return
 	}
 	if due.Before(en.due) {
 		en.due = due
-		ra.hintAt = due
+		sub.hintAt = due
 		heap.Fix(&s.heap, en.idx)
 		if due.Before(s.pumpAt) {
 			s.alarm.Wake()
@@ -122,8 +124,8 @@ func (s *shard) pump() {
 		now := s.e.clock.Now()
 		for len(s.heap) > 0 && !s.heap[0].due.After(now) {
 			en := heap.Pop(&s.heap).(*pollEntry)
-			en.ra.entry = nil
-			s.ready = append(s.ready, en.ra)
+			en.sub.entry = nil
+			s.ready = append(s.ready, en.sub)
 		}
 		s.spawnWorkersLocked()
 		if len(s.heap) == 0 {
@@ -142,7 +144,7 @@ func (s *shard) pump() {
 }
 
 // spawnWorkersLocked tops the worker pool up to the shard's concurrency
-// cap while ready applets are queued. Caller holds s.mu.
+// cap while ready subscriptions are queued. Caller holds s.mu.
 func (s *shard) spawnWorkersLocked() {
 	for s.inflight < s.e.workers && s.readyLenLocked() > 0 {
 		s.inflight++
@@ -152,22 +154,22 @@ func (s *shard) spawnWorkersLocked() {
 
 func (s *shard) readyLenLocked() int { return len(s.ready) - s.readyHead }
 
-// takeReadyLocked pops the oldest ready applet. Caller holds s.mu.
-func (s *shard) takeReadyLocked() *runningApplet {
-	ra := s.ready[s.readyHead]
+// takeReadyLocked pops the oldest ready subscription. Caller holds s.mu.
+func (s *shard) takeReadyLocked() *subscription {
+	sub := s.ready[s.readyHead]
 	s.ready[s.readyHead] = nil
 	s.readyHead++
 	if s.readyHead == len(s.ready) {
 		s.ready = s.ready[:0]
 		s.readyHead = 0
 	}
-	return ra
+	return sub
 }
 
-// worker drains the shard's ready queue: poll, dispatch, then draw the
-// applet's next gap and reschedule. Workers are transient actors — when
-// the queue empties they exit, keeping the engine's goroutine count at
-// O(shards + in-flight polls).
+// worker drains the shard's ready queue: poll, fan the result out to
+// the members, then draw the subscription's next gap and reschedule.
+// Workers are transient actors — when the queue empties they exit,
+// keeping the engine's goroutine count at O(shards + in-flight polls).
 func (s *shard) worker() {
 	for {
 		s.mu.Lock()
@@ -176,24 +178,30 @@ func (s *shard) worker() {
 			s.mu.Unlock()
 			return
 		}
-		ra := s.takeReadyLocked()
-		if ra.removed {
+		sub := s.takeReadyLocked()
+		if sub.removed {
 			s.mu.Unlock()
 			continue
 		}
-		ra.polling = true
-		// Consume hint provenance under the shard lock so the poll's
-		// trace records whether a realtime poke provoked it.
-		hintAt := ra.hintAt
-		ra.hintAt = time.Time{}
+		sub.polling = true
+		// Consume hint provenance and snapshot the membership under the
+		// shard lock: applets joining mid-poll see only the next poll,
+		// and a member leaving mid-poll still receives this poll's
+		// dispatches — exactly the semantics an uncoalesced applet had
+		// when removed mid-flight.
+		hintAt := sub.hintAt
+		sub.hintAt = time.Time{}
+		members := append(sub.snap[:0], sub.members...)
+		prep := sub.prep
 		s.mu.Unlock()
 
-		s.e.pollOnce(ra, hintAt)
+		s.e.pollSubscription(sub, hintAt, members, prep)
 
 		s.mu.Lock()
-		ra.polling = false
-		gap := s.e.poll.NextGap(ra.def.ID, ra.def.Trigger.Service, ra.rng)
-		s.scheduleLocked(ra, s.e.clock.Now().Add(gap))
+		sub.polling = false
+		sub.snap = members
+		gap := s.e.poll.NextGap(sub.leadID, sub.trigger.Service, sub.rng)
+		s.scheduleLocked(sub, s.e.clock.Now().Add(gap))
 		s.mu.Unlock()
 	}
 }

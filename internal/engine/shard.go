@@ -6,32 +6,114 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/httpx"
+	"repro/internal/proto"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 )
 
-// shard owns a partition of the installed applets: their definitions,
-// the identity and per-user indexes used for hint routing, a timer
-// min-heap of pending polls, and the pump/worker actors that drain it.
-// All shard state is guarded by mu; the counters are atomics updated
-// lock-free on the poll hot path and merged by Engine.Stats.
+// subscription is the unit the poll scheduler works in: one upstream
+// trigger subscription shared by every member applet whose trigger
+// configuration hashes to the same key. Without coalescing the key is
+// the applet's own TriggerIdentity, so every subscription has exactly
+// one member and the engine polls per applet as the paper observed
+// (Fig 7). With coalescing (Config.Coalesce) the key drops the applet
+// ID, so applets of one user watching the same trigger share one
+// upstream poll whose fresh events fan out to every member.
+//
+// The mutable scheduling fields (members, entry, polling, removed,
+// hintAt, prep, leadID) are guarded by the owning shard's mutex. rng
+// and the scratch fields are touched only by the single worker that has
+// the subscription in flight — a subscription is never scheduled while
+// polling.
+type subscription struct {
+	key     string     // grouping key, presented on the wire as trigger_identity
+	shard   *shard
+	rng     *stats.RNG // gap stream, split when the subscription is created
+	trigger ServiceRef // trigger config shared by all members
+	user    string     // owning user (part of the key under coalescing)
+
+	// leadID is the applet whose ID anchors gap draws and the request
+	// prototype's Source; it is the oldest surviving member.
+	leadID  string
+	members []*runningApplet
+	entry   *pollEntry // pending poll, nil while in flight
+	polling bool
+	removed bool
+	// hintAt records when a realtime poke rescheduled the pending poll;
+	// the worker consumes it so the poll's trace carries hint provenance.
+	hintAt time.Time
+	// prep is the precomputed poll request (URL, headers, body); rebuilt
+	// under the shard lock whenever the lead member changes. Nil when
+	// the trigger's base URL does not parse — the poll path then falls
+	// back to building requests per call.
+	prep *httpx.Prepared
+
+	// Worker-owned scratch, reused across polls so the steady-state poll
+	// path allocates nothing for the common empty-result case.
+	resp   proto.TriggerPollResponse
+	fresh  []proto.TriggerEvent
+	ranges []memberRange
+	snap   []*runningApplet
+}
+
+// memberRange marks one member's slice of a poll's shared fresh-event
+// buffer.
+type memberRange struct {
+	ra         *runningApplet
+	start, end int
+}
+
+// rebuildPrepLocked recomputes the subscription's request prototype from
+// its lead member. Caller holds the shard's mutex.
+func (sub *subscription) rebuildPrepLocked(e *Engine) {
+	lead := &sub.members[0].def
+	sub.leadID = lead.ID
+	req := proto.TriggerPollRequest{
+		TriggerIdentity: sub.key,
+		TriggerFields:   lead.Trigger.Fields,
+		User:            proto.UserInfo{ID: lead.UserID},
+		Source:          proto.Source{ID: lead.ID},
+	}
+	if e.pollLimit > 0 {
+		limit := e.pollLimit
+		req.Limit = &limit
+	}
+	prep, err := httpx.NewPrepared("POST",
+		proto.TriggerURL(lead.Trigger.BaseURL, lead.Trigger.Slug), req,
+		httpx.WithHeader(proto.ServiceKeyHeader, lead.Trigger.ServiceKey),
+		httpx.WithHeader("Authorization", "Bearer "+lead.Trigger.UserToken),
+	)
+	if err != nil {
+		if e.log != nil {
+			e.log.Warn("poll prototype build failed", "applet", lead.ID, "err", err)
+		}
+		sub.prep = nil
+		return
+	}
+	sub.prep = prep
+}
+
+// shard owns a partition of the poll subscriptions: the identity index
+// used for hint routing, a timer min-heap of pending polls, and the
+// pump/worker actors that drain it. All shard state is guarded by mu;
+// the counters are atomics updated lock-free on the poll hot path and
+// merged by Engine.Stats.
 type shard struct {
 	e     *Engine
 	id    int
 	alarm simtime.Alarm
 
 	mu  sync.Mutex
-	rng *stats.RNG // shard-split stream; per-applet streams split off it
+	rng *stats.RNG // shard-split stream; per-subscription streams split off it
 	// heap orders pending polls by due time (seq breaks ties FIFO).
 	heap pollHeap
 	seq  uint64
-	// applets, identities and byUser index the shard's population by
-	// applet ID, trigger identity, and owning user.
-	applets    map[string]*runningApplet
-	identities map[string]*runningApplet
-	byUser     map[string]map[string]*runningApplet
-	// ready queues due applets awaiting a free worker.
-	ready     []*runningApplet
+	// subs indexes the shard's subscriptions by key (the wire
+	// trigger_identity), for realtime hint routing.
+	subs map[string]*subscription
+	// ready queues due subscriptions awaiting a free worker.
+	ready     []*subscription
 	readyHead int
 	inflight  int  // worker actors currently running
 	pumpOn    bool // a pump actor is live (invariant: heap non-empty ⇒ pumpOn)
@@ -46,6 +128,7 @@ type shard struct {
 type shardCounters struct {
 	polls          atomic.Int64
 	pollFailures   atomic.Int64
+	pollsCoalesced atomic.Int64
 	eventsReceived atomic.Int64
 	actionsOK      atomic.Int64
 	actionsFailed  atomic.Int64
@@ -54,82 +137,93 @@ type shardCounters struct {
 
 func newShard(e *Engine, id int, rng *stats.RNG) *shard {
 	return &shard{
-		e:          e,
-		id:         id,
-		alarm:      e.clock.NewAlarm(),
-		rng:        rng,
-		applets:    make(map[string]*runningApplet),
-		identities: make(map[string]*runningApplet),
-		byUser:     make(map[string]map[string]*runningApplet),
+		e:     e,
+		id:    id,
+		alarm: e.clock.NewAlarm(),
+		rng:   rng,
+		subs:  make(map[string]*subscription),
 	}
 }
 
-// shardFor maps an applet ID to its owning shard.
-func (e *Engine) shardFor(appletID string) *shard {
+// shardFor maps a scheduling key (applet ID, or subscription key under
+// coalescing) to its owning shard.
+func (e *Engine) shardFor(key string) *shard {
 	h := fnv.New32a()
-	h.Write([]byte(appletID))
+	h.Write([]byte(key))
 	return e.shards[h.Sum32()%uint32(len(e.shards))]
 }
 
-// installLocked registers ra in the shard indexes and schedules its
-// first poll one freshly drawn gap from now. Caller holds s.mu.
-func (s *shard) installLocked(ra *runningApplet) {
-	ra.shard = s
-	ra.rng = s.rng.Split("applet-" + ra.def.ID)
-	s.applets[ra.def.ID] = ra
-	s.identities[ra.identity] = ra
-	u := s.byUser[ra.def.UserID]
-	if u == nil {
-		u = make(map[string]*runningApplet)
-		s.byUser[ra.def.UserID] = u
+// joinLocked adds ra to the subscription for key, creating and
+// scheduling the subscription when ra is its first member. Caller holds
+// s.mu. The RNG split label and gap-draw ID are the founding applet's,
+// so with coalescing off (one applet per subscription) the poll
+// schedule is draw-for-draw identical to scheduling applets directly.
+func (s *shard) joinLocked(ra *runningApplet, key string) {
+	sub := s.subs[key]
+	if sub == nil {
+		sub = &subscription{
+			key:     key,
+			shard:   s,
+			trigger: ra.def.Trigger,
+			user:    ra.def.UserID,
+			rng:     s.rng.Split("applet-" + ra.def.ID),
+			members: []*runningApplet{ra},
+		}
+		ra.sub = sub
+		s.subs[key] = sub
+		sub.rebuildPrepLocked(s.e)
+		gap := s.e.poll.NextGap(sub.leadID, sub.trigger.Service, sub.rng)
+		s.scheduleLocked(sub, s.e.clock.Now().Add(gap))
+		return
 	}
-	u[ra.def.ID] = ra
-	gap := s.e.poll.NextGap(ra.def.ID, ra.def.Trigger.Service, ra.rng)
-	s.scheduleLocked(ra, s.e.clock.Now().Add(gap))
+	sub.members = append(sub.members, ra)
+	ra.sub = sub
 }
 
-// removeLocked unindexes ra and cancels its pending poll. Caller holds
-// s.mu; returns false when the ID is not installed here.
-func (s *shard) removeLocked(id string) *runningApplet {
-	ra := s.applets[id]
-	if ra == nil {
-		return nil
-	}
-	delete(s.applets, id)
-	delete(s.identities, ra.identity)
-	if u := s.byUser[ra.def.UserID]; u != nil {
-		delete(u, id)
-		if len(u) == 0 {
-			delete(s.byUser, ra.def.UserID)
+// leaveLocked removes ra from its subscription; when ra was the last
+// member the subscription itself is retired (pending poll cancelled,
+// unindexed) and leaveLocked reports true so the caller can notify the
+// trigger service. Caller holds s.mu.
+func (s *shard) leaveLocked(ra *runningApplet) (last bool) {
+	sub := ra.sub
+	for i, m := range sub.members {
+		if m == ra {
+			copy(sub.members[i:], sub.members[i+1:])
+			sub.members[len(sub.members)-1] = nil
+			sub.members = sub.members[:len(sub.members)-1]
+			break
 		}
 	}
-	ra.removed = true
-	if en := ra.entry; en != nil {
-		s.heap.remove(en)
-		ra.entry = nil
-		// Let the pump re-evaluate: if this was the last pending poll it
-		// exits, releasing its clock timer so a simulation can quiesce.
-		s.alarm.Wake()
+	if len(sub.members) == 0 {
+		sub.removed = true
+		delete(s.subs, sub.key)
+		if en := sub.entry; en != nil {
+			s.heap.remove(en)
+			sub.entry = nil
+			// Let the pump re-evaluate: if this was the last pending poll
+			// it exits, releasing its clock timer so a simulation can
+			// quiesce.
+			s.alarm.Wake()
+		}
+		return true
 	}
-	return ra
+	if ra.def.ID == sub.leadID {
+		sub.rebuildPrepLocked(s.e)
+	}
+	return false
 }
 
-// userApplets appends the shard's applets owned by userID to dst.
-func (s *shard) userApplets(dst []*runningApplet, userID string) []*runningApplet {
+// byIdentity resolves a wire trigger identity within this shard,
+// returning the subscription plus a member snapshot taken under the
+// lock (first member's applet ID and the member count).
+func (s *shard) byIdentity(identity string) (sub *subscription, firstID string, members int) {
 	s.mu.Lock()
-	for _, ra := range s.byUser[userID] {
-		dst = append(dst, ra)
+	defer s.mu.Unlock()
+	sub = s.subs[identity]
+	if sub == nil || len(sub.members) == 0 {
+		return nil, "", 0
 	}
-	s.mu.Unlock()
-	return dst
-}
-
-// byIdentity resolves a trigger identity within this shard.
-func (s *shard) byIdentity(identity string) *runningApplet {
-	s.mu.Lock()
-	ra := s.identities[identity]
-	s.mu.Unlock()
-	return ra
+	return sub, sub.members[0].def.ID, len(sub.members)
 }
 
 // stop marks the shard stopped and wakes the pump so it exits. Pending

@@ -39,20 +39,34 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 		sum(func(c *shardCounters) int64 { return c.actionsFailed.Load() }))
 	reg.CounterFunc("ifttt_engine_condition_skips_total", "Events suppressed by applet conditions.",
 		sum(func(c *shardCounters) int64 { return c.conditionSkips.Load() }))
+	reg.CounterFunc("ifttt_engine_polls_coalesced_total",
+		"Upstream polls avoided by subscription coalescing (n-1 per poll of an n-member subscription).",
+		sum(func(c *shardCounters) int64 { return c.pollsCoalesced.Load() }))
 	reg.CounterFunc("ifttt_engine_hints_received_total", "Realtime notifications received.",
 		func() int64 { return e.hints.Load() })
 	reg.CounterFunc("ifttt_engine_trace_drops_total", "Trace events dropped by a full observer ring.",
 		e.TraceDrops)
 
 	reg.GaugeFunc("ifttt_engine_applets", "Installed applets.", func() float64 {
+		e.mu.Lock()
+		n := len(e.applets)
+		e.mu.Unlock()
+		return float64(n)
+	})
+	reg.GaugeFunc("ifttt_engine_subscriptions", "Live upstream poll subscriptions.", func() float64 {
 		n := 0
 		for _, sh := range e.shards {
 			sh.mu.Lock()
-			n += len(sh.applets)
+			n += len(sh.subs)
 			sh.mu.Unlock()
 		}
 		return float64(n)
 	})
+	// Powers of two up to 4096 members: with coalescing off every poll
+	// lands in the first bucket, so the histogram doubles as an A/B
+	// sanity check.
+	e.fanout = reg.Histogram("ifttt_engine_poll_fanout",
+		"Member applets served per upstream poll.", obs.LogBuckets(1, 4096, 2))
 	reg.GaugeFunc("ifttt_engine_pending_polls", "Entries waiting in the shard timer heaps.", func() float64 {
 		n := 0
 		for _, sh := range e.shards {
@@ -138,8 +152,12 @@ type pendingExec struct {
 	pollResultAt time.Time
 	remaining    int // actions/skips still expected after the poll result
 
-	// Current action in flight (dispatch is sequential per applet, so
-	// at most one action of an execution is open at a time).
+	// Current action in flight (dispatch within an execution is
+	// sequential, so at most one action of an execution is open at a
+	// time). A coalesced poll fans out to several applets under one
+	// ExecID, so the acting applet rides on the action events rather
+	// than the poll's lead applet.
+	actingApplet string
 	eventID      string
 	eventAt      time.Time
 	actionSentAt time.Time
@@ -226,6 +244,7 @@ func (r *SpanRecorder) Observe(ev TraceEvent) {
 		}
 	case TraceActionSent:
 		if p := r.pending[ev.ExecID]; p != nil {
+			p.actingApplet = ev.AppletID
 			p.eventID = ev.EventID
 			p.eventAt = ev.EventTime
 			p.actionSentAt = ev.Time
@@ -245,9 +264,13 @@ func (r *SpanRecorder) Observe(ev TraceEvent) {
 
 // finish emits the span for the action that just completed.
 func (r *SpanRecorder) finish(p *pendingExec, ev TraceEvent) {
+	appletID := p.actingApplet
+	if appletID == "" {
+		appletID = p.appletID
+	}
 	s := obs.ExecSpan{
 		ExecID:       ev.ExecID,
-		AppletID:     p.appletID,
+		AppletID:     appletID,
 		EventID:      p.eventID,
 		HintAt:       p.hintAt,
 		PollSentAt:   p.pollSentAt,

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"sync"
 	"time"
 
 	"repro/internal/simtime"
@@ -74,6 +76,29 @@ type Doer interface {
 	Do(req *http.Request) (*http.Response, error)
 }
 
+// bufPool recycles scratch buffers for request encoding and response
+// reads. The engine's poll hot path issues one request per subscription
+// per gap; without pooling every poll allocates a marshal buffer and a
+// response read buffer that live for microseconds.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// optReqPool recycles the throwaway request that carries RequestOpts
+// during NewPrepared — bulk prototype construction (one per engine
+// subscription) would otherwise allocate one per call.
+var optReqPool = sync.Pool{New: func() any { return new(http.Request) }}
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+// putBuf returns a buffer to the pool unless it grew abnormally large
+// (one oversized response must not pin a megabyte buffer forever).
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() > 1<<20 {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
 // Client is a JSON-oriented HTTP client with clock-aware retry. The zero
 // value is not usable; construct with NewClient.
 type Client struct {
@@ -111,13 +136,17 @@ func WithHeader(key, value string) RequestOpt {
 // the final response's code; a non-2xx status is not an error at this
 // layer — callers interpret protocol semantics.
 func (c *Client) DoJSON(method, url string, body, out any, opts ...RequestOpt) (int, error) {
+	// Marshal into a pooled buffer: the payload only lives for the
+	// duration of the attempts below, so the allocation is recycled
+	// rather than churned on every call.
 	var payload []byte
 	if body != nil {
-		var err error
-		payload, err = json.Marshal(body)
-		if err != nil {
+		buf := getBuf()
+		defer putBuf(buf)
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
 			return 0, fmt.Errorf("marshal request: %w", err)
 		}
+		payload = buf.Bytes()
 	}
 
 	var lastErr error
@@ -158,15 +187,148 @@ func (c *Client) doOnce(method, url string, payload []byte, out any, opts []Requ
 	if err != nil {
 		return 0, err
 	}
+	return readJSONResponse(resp, out)
+}
+
+// readJSONResponse drains the response through a pooled buffer and
+// decodes successful bodies into out. json.Unmarshal copies everything
+// it keeps, so the buffer can be recycled immediately.
+func readJSONResponse(resp *http.Response, out any) (int, error) {
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
-	if err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, MaxBodyBytes)); err != nil {
 		return 0, fmt.Errorf("read response: %w", err)
 	}
+	data := buf.Bytes()
 	if out != nil && resp.StatusCode < 300 && len(data) > 0 {
 		if err := json.Unmarshal(data, out); err != nil {
 			return resp.StatusCode, fmt.Errorf("decode response: %w", err)
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// Prepared is a precomputed request prototype for an endpoint that is
+// hit repeatedly with an identical method, URL, headers, and body — the
+// engine's per-subscription trigger poll is the motivating case. The
+// URL is parsed and the body marshalled exactly once, at construction;
+// each send then only allocates the per-request shell (http.Request and
+// a body reader), keeping URL formatting, JSON encoding, and header
+// canonicalization off the hot path.
+type Prepared struct {
+	method string
+	url    *url.URL
+	host   string
+	// header is built once and shared by every request issued from this
+	// prototype; Doer implementations must treat request headers as
+	// read-only (net/http's transport and the simnet client both do —
+	// simnet serves handlers a clone).
+	header http.Header
+	body   []byte
+}
+
+// NewPrepared builds a request prototype. body, when non-nil, is
+// marshalled to JSON now; opts apply once to the prototype's headers.
+func NewPrepared(method, rawURL string, body any, opts ...RequestOpt) (*Prepared, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("parse url: %w", err)
+	}
+	var payload []byte
+	if body != nil {
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("marshal request: %w", err)
+		}
+	}
+	var h http.Header
+	if len(opts) == 0 {
+		// No options may mutate the header, so all option-free
+		// prototypes can share one read-only header map. This matters
+		// when preparing requests in bulk (one per engine
+		// subscription): it saves the map, its value slices, and the
+		// throwaway option-carrier request on every call.
+		if payload != nil {
+			h = jsonBodyHeader
+		} else {
+			h = noBodyHeader
+		}
+	} else {
+		h = make(http.Header, 4)
+		if payload != nil {
+			h.Set("Content-Type", "application/json; charset=utf-8")
+		}
+		h.Set("Accept", "application/json")
+		// Options receive a pooled carrier request: they configure it
+		// during the call and must not retain it (same contract as the
+		// per-attempt requests DoJSON hands them).
+		tmp := optReqPool.Get().(*http.Request)
+		tmp.Header, tmp.URL, tmp.Host = h, u, u.Host
+		for _, opt := range opts {
+			opt(tmp)
+		}
+		h = tmp.Header
+		host := tmp.Host
+		*tmp = http.Request{}
+		optReqPool.Put(tmp)
+		return &Prepared{method: method, url: u, host: host, header: h, body: payload}, nil
+	}
+	return &Prepared{method: method, url: u, host: u.Host, header: h, body: payload}, nil
+}
+
+// Shared prototype headers for option-free Prepared requests. Read-only
+// by the same contract as Prepared.header itself: the transport writes
+// headers to the wire but never mutates them.
+var (
+	jsonBodyHeader = http.Header{
+		"Content-Type": {"application/json; charset=utf-8"},
+		"Accept":       {"application/json"},
+	}
+	noBodyHeader = http.Header{"Accept": {"application/json"}}
+)
+
+// DoPrepared sends a prototype request with the same retry and decode
+// semantics as DoJSON.
+func (c *Client) DoPrepared(p *Prepared, out any) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.clock.Sleep(c.backoff(attempt - 1))
+		}
+		status, err := c.doPreparedOnce(p, out)
+		if err == nil && status < 500 {
+			return status, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("server status %d", status)
+		}
+	}
+	return 0, fmt.Errorf("%s %s: %w", p.method, p.url, lastErr)
+}
+
+func (c *Client) doPreparedOnce(p *Prepared, out any) (int, error) {
+	req := &http.Request{
+		Method:     p.method,
+		URL:        p.url,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     p.header,
+		Host:       p.host,
+	}
+	if p.body != nil {
+		req.Body = io.NopCloser(bytes.NewReader(p.body))
+		req.ContentLength = int64(len(p.body))
+		req.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(p.body)), nil
+		}
+	}
+	resp, err := c.doer.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	return readJSONResponse(resp, out)
 }

@@ -169,3 +169,103 @@ func TestRecoverMiddleware(t *testing.T) {
 		t.Fatalf("code = %d, want 500", rec.Code)
 	}
 }
+
+func TestPreparedRoundTrip(t *testing.T) {
+	var gotKey, gotCT string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotKey = r.Header.Get("IFTTT-Service-Key")
+		gotCT = r.Header.Get("Content-Type")
+		var p payload
+		if err := ReadJSON(r, &p); err != nil {
+			WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		p.Count++
+		WriteJSON(w, http.StatusOK, p)
+	}))
+	defer srv.Close()
+
+	p, err := NewPrepared("POST", srv.URL, payload{Name: "x", Count: 1},
+		WithHeader("IFTTT-Service-Key", "k123"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv.Client(), simtime.NewReal(), 0)
+	// Send twice through the same prototype: the shared URL, headers and
+	// body must survive reuse.
+	for i := 0; i < 2; i++ {
+		var out payload
+		status, err := c.DoJSON("POST", srv.URL, nil, nil) // unrelated call between sends
+		_ = status
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, err = c.DoPrepared(p, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != http.StatusOK || out.Count != 2 || out.Name != "x" {
+			t.Fatalf("send %d: status=%d out=%+v", i, status, out)
+		}
+		if gotKey != "k123" || gotCT != "application/json; charset=utf-8" {
+			t.Fatalf("send %d: key=%q content-type=%q", i, gotKey, gotCT)
+		}
+	}
+}
+
+func TestPreparedRetriesOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var p payload
+		if err := ReadJSON(r, &p); err != nil {
+			// The retried request must carry a fresh, complete body.
+			WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		WriteJSON(w, http.StatusOK, p)
+	}))
+	defer srv.Close()
+
+	p, err := NewPrepared("POST", srv.URL, payload{Name: "retry"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv.Client(), simtime.NewReal(), 3)
+	c.backoff = func(int) time.Duration { return 0 }
+	var out payload
+	status, err := c.DoPrepared(p, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || calls.Load() != 3 || out.Name != "retry" {
+		t.Fatalf("status=%d calls=%d out=%+v", status, calls.Load(), out)
+	}
+}
+
+func TestPreparedDecodeError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("not json"))
+	}))
+	defer srv.Close()
+
+	p, err := NewPrepared("GET", srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv.Client(), simtime.NewReal(), 0)
+	var out payload
+	if _, err := c.DoPrepared(p, &out); err == nil {
+		t.Fatal("malformed response body decoded without error")
+	}
+}
+
+func TestNewPreparedRejectsBadURL(t *testing.T) {
+	if _, err := NewPrepared("GET", "http://bad url with spaces/%zz", nil); err == nil {
+		t.Fatal("unparseable URL accepted")
+	}
+}

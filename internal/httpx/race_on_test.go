@@ -1,0 +1,7 @@
+//go:build race
+
+package httpx
+
+// The race detector adds bookkeeping allocations that skew
+// testing.AllocsPerRun, so allocation-bound tests skip under -race.
+const raceEnabled = true

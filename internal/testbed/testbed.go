@@ -82,6 +82,10 @@ type Config struct {
 	Observers []func(engine.TraceEvent)
 	// Metrics forwards to engine.Config.Metrics.
 	Metrics *obs.Registry
+	// Coalesce forwards to engine.Config.Coalesce. Off by default: the
+	// paper-reproduction experiments model the production engine's
+	// per-applet polling (Fig 7).
+	Coalesce bool
 }
 
 // DefaultShards is the testbed's pinned engine shard count. Experiments
@@ -245,6 +249,7 @@ func New(cfg Config) *Testbed {
 		DispatchDelay:    cfg.DispatchDelay,
 		Shards:           shards,
 		ShardWorkers:     cfg.ShardWorkers,
+		Coalesce:         cfg.Coalesce,
 		Observers:        cfg.Observers,
 		Metrics:          cfg.Metrics,
 		Trace: func(ev engine.TraceEvent) {

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Run the root benchmark suite once (-benchtime=1x, -benchmem) and emit
+# a machine-readable JSON summary: benchmark name -> iterations, ns/op,
+# B/op, allocs/op, and every custom b.ReportMetric unit (t2a_p50_s,
+# polls, polls_coalesced, goroutines, ...). CI uploads the file as an
+# artifact so regressions are diffable across runs.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_3.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_3.json}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchtime 1x -benchmem . | tee "$RAW"
+
+# go test -bench lines look like:
+#   BenchmarkName-8   1   123 ns/op   45 B/op   6 allocs/op   7.8 custom_unit
+# i.e. name, iteration count, then (value, unit) pairs. Units become the
+# JSON keys verbatim, so standard and custom metrics parse identically.
+awk '
+BEGIN { print "{" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"iterations\": %s", name, $2
+    for (i = 3; i + 1 <= NF; i += 2)
+        printf ", \"%s\": %s", $(i + 1), $i
+    printf "}"
+}
+END { print "\n}" }
+' "$RAW" > "$OUT"
+
+echo "bench: wrote $OUT"
