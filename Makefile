@@ -13,7 +13,7 @@ race:
 
 # Short pass over the engine-scale benchmarks (scheduler regressions).
 bench:
-	$(GO) test -run '^$$' -bench 'EngineScaleInstall|EngineScale100K|HintRouting|EngineEventThroughput' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'EngineScaleInstall|EngineScale100K|HintRouting|EngineEventThroughput|EngineChaosResilience' -benchtime 1x .
 
 # Full figure/table benchmark suite.
 bench-all:

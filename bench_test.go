@@ -24,6 +24,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/devices"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/homenet"
 	"repro/internal/localengine"
 	"repro/internal/loopdetect"
@@ -716,4 +717,53 @@ func BenchmarkHintRouting(b *testing.B) {
 		b.StopTimer()
 		eng.Stop()
 	})
+}
+
+// BenchmarkEngineChaosResilience drives 20K applets through a fault
+// storm — a background error rate plus a ten-minute blackout — with
+// resilient polling on. The headline metrics are the breaker count (the
+// whole population must trip and recover), wasted polls during the
+// blackout, and the goroutine peak (fault handling must not leak
+// actors). Compare against BenchmarkEngineScale100K for the zero-fault
+// hot-path cost of the resilience layer.
+func BenchmarkEngineChaosResilience(b *testing.B) {
+	const n = 20_000
+	for i := 0; i < b.N; i++ {
+		clock := simtime.NewSimDefault()
+		inj := faults.New(clock, stats.NewRNG(2))
+		inj.AddRule(faults.Rule{
+			ErrorRate: 0.02,
+			Blackouts: []faults.Window{{Start: 4 * time.Minute, End: 14 * time.Minute}},
+		})
+		eng := engine.New(engine.Config{
+			Clock: clock, RNG: stats.NewRNG(1), Doer: inj.Wrap(benchDoer{}),
+			Poll:          engine.FixedInterval{Interval: 5 * time.Minute},
+			DispatchDelay: -1, Shards: 8, ShardWorkers: 8,
+			Resilience: engine.ResilienceConfig{
+				BackoffBase:      30 * time.Second,
+				BackoffMax:       2 * time.Minute,
+				BreakerThreshold: 3,
+				ProbeInterval:    time.Minute,
+			},
+		})
+		var peak int
+		clock.Run(func() {
+			for j := 0; j < n; j++ {
+				if err := eng.Install(benchApplet(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			clock.Sleep(25 * time.Minute)
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			eng.Stop()
+		})
+		st := eng.Stats()
+		b.ReportMetric(float64(peak), "goroutines")
+		b.ReportMetric(float64(st.Polls), "polls")
+		b.ReportMetric(float64(st.PollFailures), "poll_failures")
+		b.ReportMetric(float64(st.BreakerOpens), "breaker_opens")
+		b.ReportMetric(float64(st.BreakerCloses), "breaker_closes")
+	}
 }

@@ -36,7 +36,7 @@ func main() {
 	flag.Parse()
 	log := logFlags.New()
 
-	link, err := homenet.DialProxy(*server, 30, time.Second)
+	link, err := homenet.DialProxy(simtime.NewReal(), *server, 30, time.Second)
 	if err != nil {
 		log.Error("dial server", "err", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -26,6 +27,8 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/httpx"
 	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -42,6 +45,24 @@ func main() {
 		workers  = flag.Int("shard-workers", 0, "concurrent polls per shard (0 = default)")
 		coalesce = flag.Bool("coalesce", true, "share one upstream poll across applets with identical triggers (disable for per-applet polling A/B runs)")
 		pprof    = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
+
+		// Resilient polling (failure backoff + per-trigger circuit breaker).
+		resilience  = flag.Bool("resilience", true, "failure backoff and circuit breaking on trigger polls (false = paper-faithful fixed cadence)")
+		backoffBase = flag.Duration("backoff-base", 0, "first failure-backoff delay (0 = 30s default)")
+		backoffMax  = flag.Duration("backoff-max", 0, "failure-backoff ceiling (0 = 10m default)")
+		brThreshold = flag.Int("breaker-threshold", 0, "consecutive poll failures that open a trigger's breaker (0 = 5 default, negative = backoff only)")
+		brProbe     = flag.Duration("breaker-probe", 0, "half-open probe spacing while a breaker is open (0 = 5m default)")
+
+		// Fault injection (testing/chaos only): wraps the outbound client.
+		faultErrRate  = flag.Float64("fault-error-rate", 0, "inject transport errors on this fraction of outbound requests")
+		fault5xxRate  = flag.Float64("fault-5xx-rate", 0, "inject 503 responses on this fraction of outbound requests")
+		faultSlowRate = flag.Float64("fault-latency-rate", 0, "inject a latency spike on this fraction of outbound requests")
+		faultSlow     = flag.Duration("fault-latency", 2*time.Second, "duration of an injected latency spike")
+		faultTimeout  = flag.Duration("fault-timeout", 0, "stall before an injected transport error (models client timeouts)")
+		faultBlackout = flag.String("fault-blackout", "", "comma-separated start:end offsets from startup during which all matched requests fail (e.g. 10m:15m,1h:65m)")
+		faultHost     = flag.String("fault-host", "", "restrict injected faults to this host (empty = all hosts)")
+		faultSeed     = flag.Uint64("fault-seed", 0, "RNG seed for fault draws (0 = derive from -seed)")
+
 		logFlags = obs.BindLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -58,15 +79,53 @@ func main() {
 
 	clock := simtime.NewReal()
 	reg := obs.NewRegistry()
+
+	doer := httpx.Doer(&http.Client{Timeout: 30 * time.Second})
+	if *faultErrRate > 0 || *fault5xxRate > 0 || *faultSlowRate > 0 || *faultBlackout != "" {
+		windows, err := parseBlackouts(*faultBlackout)
+		if err != nil {
+			log.Error("parse -fault-blackout", "err", err)
+			os.Exit(1)
+		}
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed + 1
+		}
+		inj := faults.New(clock, stats.NewRNG(fseed))
+		inj.AddRule(faults.Rule{
+			Host:      *faultHost,
+			ErrorRate: *faultErrRate,
+			Rate5xx:   *fault5xxRate,
+			SlowRate:  *faultSlowRate,
+			Slow:      *faultSlow,
+			Timeout:   *faultTimeout,
+			Blackouts: windows,
+		})
+		inj.RegisterMetrics(reg)
+		doer = inj.Wrap(doer)
+		log.Warn("fault injection active",
+			"error_rate", *faultErrRate, "rate_5xx", *fault5xxRate,
+			"latency_rate", *faultSlowRate, "blackouts", *faultBlackout, "host", *faultHost)
+	}
+
+	resCfg := engine.ResilienceConfig{
+		Disable:          !*resilience,
+		BackoffBase:      *backoffBase,
+		BackoffMax:       *backoffMax,
+		BreakerThreshold: *brThreshold,
+		ProbeInterval:    *brProbe,
+	}
+
 	eng := engine.New(engine.Config{
 		Clock:            clock,
 		RNG:              stats.NewRNG(*seed),
-		Doer:             &http.Client{Timeout: 30 * time.Second},
+		Doer:             doer,
 		Poll:             poll,
 		RealtimeServices: rtServices,
 		Shards:           *shards,
 		ShardWorkers:     *workers,
 		Coalesce:         *coalesce,
+		Resilience:       resCfg,
 		Logger:           log,
 		Metrics:          reg,
 		Trace: func(ev engine.TraceEvent) {
@@ -135,6 +194,30 @@ func main() {
 	}
 	eng.Stop()
 	log.Info("stopped", "trace_drops", eng.TraceDrops())
+}
+
+// parseBlackouts parses "start:end,start:end" duration-offset pairs.
+func parseBlackouts(s string) ([]faults.Window, error) {
+	var out []faults.Window
+	for _, part := range splitComma(s) {
+		lo, hi, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("window %q: want start:end", part)
+		}
+		start, err := time.ParseDuration(lo)
+		if err != nil {
+			return nil, fmt.Errorf("window %q: %w", part, err)
+		}
+		end, err := time.ParseDuration(hi)
+		if err != nil {
+			return nil, fmt.Errorf("window %q: %w", part, err)
+		}
+		if end <= start {
+			return nil, fmt.Errorf("window %q: end before start", part)
+		}
+		out = append(out, faults.Window{Start: start, End: end})
+	}
+	return out, nil
 }
 
 func splitComma(s string) []string {

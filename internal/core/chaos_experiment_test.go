@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunChaosInvariants runs a reduced chaos study and pins the
+// operational claims: the breaker caps wasted polls during a blackout,
+// poll_errors plateau in the blackout's second half, and recovery
+// arrives within one half-open probe interval of the service healing.
+func TestRunChaosInvariants(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, Trials: 6, Applets: 40}
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tails) != 3 {
+		t.Fatalf("tail rows = %d, want 3", len(res.Tails))
+	}
+	base := res.Tails[0]
+	if base.Rate != 0 || base.T2A.N != 6 || base.T2A.P50 <= 0 {
+		t.Errorf("baseline row malformed: %+v", base)
+	}
+	if base.PollFailures != 0 {
+		t.Errorf("baseline run had %d failed polls with no faults injected", base.PollFailures)
+	}
+	for _, row := range res.Tails[1:] {
+		if row.PollFailures < 0 || row.Polls == 0 {
+			t.Errorf("rate %.2f row malformed: %+v", row.Rate, row)
+		}
+		// Independent per-attempt faults at ≤10% never produce the
+		// consecutive-failure streak a breaker needs.
+		if row.BreakerOpens != 0 {
+			t.Errorf("rate %.2f tripped %d breakers", row.Rate, row.BreakerOpens)
+		}
+	}
+
+	bc := res.Blackout
+	if bc.Disabled.BreakerOpens != 0 {
+		t.Errorf("disabled arm opened %d breakers", bc.Disabled.BreakerOpens)
+	}
+	if bc.Resilient.BreakerOpens == 0 {
+		t.Error("resilient arm opened no breakers during a one-hour blackout")
+	}
+	if bc.Resilient.WastedPolls*2 > bc.Disabled.WastedPolls {
+		t.Errorf("resilient wasted %d polls vs. disabled %d — breaker did not cap blackout cost",
+			bc.Resilient.WastedPolls, bc.Disabled.WastedPolls)
+	}
+	// The backoff ladder and breakers throttle the second half-hour.
+	if bc.Resilient.SecondHalf*2 > bc.Resilient.FirstHalf {
+		t.Errorf("resilient blackout halves = %d/%d — poll_errors did not plateau",
+			bc.Resilient.FirstHalf, bc.Resilient.SecondHalf)
+	}
+	// Recovery within one probe interval (+10% jitter, + the 15s
+	// sampling step of the measurement loop).
+	limit := bc.ProbeInterval + bc.ProbeInterval/10 + 30*time.Second
+	if bc.RecoveryLag <= 0 || bc.RecoveryLag > limit {
+		t.Errorf("recovery lag = %v, want (0, %v]", bc.RecoveryLag, limit)
+	}
+	if bc.Resilient.SteadyPolls == 0 || bc.Disabled.SteadyPolls == 0 {
+		t.Errorf("steady-state polls = %d/%d — polling did not resume",
+			bc.Resilient.SteadyPolls, bc.Disabled.SteadyPolls)
+	}
+
+	if s := FormatChaos(res); len(s) == 0 || s[0] != '#' {
+		t.Error("FormatChaos produced no section")
+	}
+}
+
+// TestRunChaosDeterministic: single-shard single-worker chaos runs are
+// bit-reproducible from the seed.
+func TestRunChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double chaos run")
+	}
+	cfg := ChaosConfig{Seed: 11, Trials: 4, Applets: 25}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tails {
+		if a.Tails[i] != b.Tails[i] {
+			t.Errorf("tail row %d differs across identical seeds:\n%+v\n%+v", i, a.Tails[i], b.Tails[i])
+		}
+	}
+	if a.Blackout != b.Blackout {
+		t.Errorf("blackout comparison differs across identical seeds:\n%+v\n%+v", a.Blackout, b.Blackout)
+	}
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// TestEngineChaosSoak drives ~50K applets through a fault storm: a
+// background injected error rate, then a twenty-minute blackout of
+// the (only) partner service, then recovery. It proves the resilience
+// layer's operational claims at scale, under -race via
+// scripts/verify.sh:
+//
+//   - goroutines stay O(shards + workers) through the storm — failures
+//     and breaker churn must not leak actors;
+//   - the blackout trips breakers, and every one of them closes again
+//     within the probe interval once the service heals;
+//   - polling resumes at policy cadence after the blackout, with the
+//     failure rate back at the background level.
+func TestEngineChaosSoak(t *testing.T) {
+	n := 50_000
+	if testing.Short() {
+		n = 5_000
+	}
+	const shards, workers = 8, 8
+	// A failing poll occupies its worker for the httpx retry backoff
+	// (~0.25s of virtual time), so the worker pool pushes failures
+	// through at roughly workers/0.25s per virtual second. The blackout
+	// must be long enough for the whole population to ladder through
+	// BreakerThreshold consecutive failures at that throughput.
+	const (
+		pollEvery     = 10 * time.Minute
+		blackoutStart = 9 * time.Minute
+		blackoutEnd   = 29 * time.Minute
+	)
+
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(31)
+	inj := faults.New(clock, rng.Split("faults"))
+	inj.AddRule(faults.Rule{
+		// Low background attempt-failure rate: mostly absorbed by the
+		// httpx retry, it exercises classification without tripping
+		// breakers outside the blackout.
+		ErrorRate: 0.02,
+		Blackouts: []faults.Window{{Start: blackoutStart, End: blackoutEnd}},
+	})
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           rng.Split("engine"),
+		Doer:          inj.Wrap(stubDoer{}),
+		Poll:          FixedInterval{Interval: pollEvery},
+		DispatchDelay: -1,
+		Shards:        shards,
+		ShardWorkers:  workers,
+		Resilience: ResilienceConfig{
+			BackoffBase:      time.Minute,
+			BackoffMax:       4 * time.Minute,
+			BreakerThreshold: 3,
+			ProbeInterval:    2 * time.Minute,
+		},
+	})
+
+	baseline := runtime.NumGoroutine()
+	var peak int
+	sample := func() {
+		if g := runtime.NumGoroutine(); g > peak {
+			peak = g
+		}
+	}
+
+	var duringBlackout, afterRecovery Stats
+	clock.Run(func() {
+		for i := 0; i < n; i++ {
+			if err := eng.Install(scaleApplet(i)); err != nil {
+				t.Fatalf("install %d: %v", i, err)
+			}
+		}
+		sample()
+
+		// Round one lands at +10m, inside the blackout; the backoff
+		// ladder (1m, 2m) then brings subscriptions to the threshold
+		// while the service is still dark. The failing rounds drain
+		// through the worker pool over several virtual minutes, so the
+		// bulk of the population has opened well before +28m.
+		clock.Sleep(28 * time.Minute)
+		sample()
+		duringBlackout = eng.Stats()
+
+		// Blackout ends at +29m; probes run every ~2m, so by +36m every
+		// breaker has had at least one post-recovery probe (successful
+		// polls consume no virtual time, so the backlog drains fast).
+		clock.Sleep(8 * time.Minute)
+		sample()
+		afterRecovery = eng.Stats()
+
+		// One more policy round after recovery to measure the steady
+		// state (next polls land roughly 10m after each close).
+		clock.Sleep(11 * time.Minute)
+		sample()
+		eng.Stop()
+	})
+	final := eng.Stats()
+
+	if duringBlackout.BreakersOpen < int64(n)/2 {
+		t.Errorf("BreakersOpen = %d during blackout, want ≥ %d — blackout did not trip the population's breakers",
+			duringBlackout.BreakersOpen, n/2)
+	}
+	if duringBlackout.PollErrorsTransport == 0 {
+		t.Error("blackout produced no transport-classified poll errors")
+	}
+	if afterRecovery.BreakersOpen != 0 {
+		t.Errorf("BreakersOpen = %d seven minutes after the blackout, want 0 (probe interval is 2m)",
+			afterRecovery.BreakersOpen)
+	}
+	if final.BreakerOpens == 0 || final.BreakerCloses != final.BreakerOpens {
+		t.Errorf("BreakerOpens/Closes = %d/%d, want equal and > 0",
+			final.BreakerOpens, final.BreakerCloses)
+	}
+
+	// Polling resumed: the post-recovery policy round polls the whole
+	// population again.
+	resumed := final.Polls - afterRecovery.Polls
+	if resumed < int64(n)*8/10 {
+		t.Errorf("polls after recovery = %d, want ≥ %d — population did not resume policy cadence",
+			resumed, int64(n)*8/10)
+	}
+	// And the failure rate is back at the background level (2% per
+	// attempt ⇒ well under 1% per poll behind the retry layer).
+	failed := final.PollFailures - afterRecovery.PollFailures
+	if failed*20 > resumed {
+		t.Errorf("post-recovery failures = %d of %d polls — poll_errors did not plateau", failed, resumed)
+	}
+
+	bound := baseline + shards*(workers+1) + 100
+	if peak > bound {
+		t.Errorf("peak goroutines = %d (baseline %d), want ≤ %d — fault handling leaks goroutines",
+			peak, baseline, bound)
+	}
+	t.Logf("n=%d polls=%d failures=%d (transport=%d http=%d) breakerOpens=%d probes=%d peak goroutines=%d",
+		n, final.Polls, final.PollFailures, final.PollErrorsTransport, final.PollErrorsHTTP,
+		final.BreakerOpens, final.BreakerProbes, peak)
+}

@@ -26,7 +26,12 @@ import (
 // ranges) are owned by this worker for the duration — a subscription is
 // never polled concurrently — so the steady-state empty poll allocates
 // nothing.
-func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members []*runningApplet, prep *httpx.Prepared) {
+//
+// The return value reports whether the poll itself succeeded (a 200
+// with a decodable body); the worker feeds it to the backoff/breaker
+// state machine. Action failures do not count against the trigger
+// service's subscription.
+func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members []*runningApplet, prep *httpx.Prepared) bool {
 	sh := sub.shard
 	leadID := members[0].def.ID
 	execID := e.execSeq.Add(1)
@@ -65,6 +70,15 @@ func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members [
 		)
 	}
 	if err != nil || status != http.StatusOK {
+		// status 0 means no attempt ever got an HTTP response (pure
+		// transport failure); anything else is the endpoint answering
+		// with a non-200 (httpx surfaces the last received status even
+		// on retry exhaustion).
+		if status == 0 {
+			sh.counters.pollErrTransport.Add(1)
+		} else {
+			sh.counters.pollErrHTTP.Add(1)
+		}
 		msg := "status " + http.StatusText(status)
 		if err != nil {
 			msg = err.Error()
@@ -73,7 +87,7 @@ func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members [
 		if e.log != nil {
 			e.log.Warn("trigger poll failed", "applet", leadID, "err", msg)
 		}
-		return
+		return false
 	}
 
 	// The wire order is newest first; each member executes its unseen
@@ -111,6 +125,7 @@ func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members [
 			e.dispatchAction(mr.ra, ev, execID)
 		}
 	}
+	return true
 }
 
 // dispatchAction POSTs one action execution, resolving {{ingredient}}
@@ -140,6 +155,11 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent, execID
 		httpx.WithHeader("Authorization", "Bearer "+a.Action.UserToken),
 	)
 	if err != nil || status != http.StatusOK {
+		if status == 0 {
+			sh.counters.actionErrTransport.Add(1)
+		} else {
+			sh.counters.actionErrHTTP.Add(1)
+		}
 		msg := "status " + http.StatusText(status)
 		if err != nil {
 			msg = err.Error()

@@ -123,6 +123,12 @@ const (
 	// TraceConditionSkip marks an event whose action was suppressed by
 	// the applet's conditions.
 	TraceConditionSkip TraceKind = "condition_skip"
+	// Breaker transitions (resilience.go): a subscription's circuit
+	// breaker opened after N consecutive failures, a half-open probe
+	// poll was issued, or a successful poll closed the breaker.
+	TraceBreakerOpen  TraceKind = "breaker_open"
+	TraceBreakerProbe TraceKind = "breaker_probe"
+	TraceBreakerClose TraceKind = "breaker_close"
 )
 
 // TraceEvent records one step of applet execution; the testbed's
@@ -215,6 +221,11 @@ type Config struct {
 	// means DefaultShardWorkers. Total engine goroutines are
 	// O(Shards × ShardWorkers), independent of the applet population.
 	ShardWorkers int
+	// Resilience tunes per-subscription failure handling: capped
+	// exponential backoff and the circuit breaker of resilience.go. The
+	// zero value enables both with defaults; set Resilience.Disable for
+	// the paper-faithful full-cadence re-polling.
+	Resilience ResilienceConfig
 	// Coalesce groups applets with identical trigger configurations
 	// (same service, slug, fields, and user credentials — see
 	// Applet.CoalescedTriggerIdentity) into shared subscriptions: one
@@ -263,6 +274,13 @@ type Engine struct {
 	workers   int
 	coalesce  bool
 
+	// Resolved resilience settings (resilience.go); immutable after New.
+	resilient   bool
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	brThreshold int // 0 = breaker disabled
+	probeIvl    time.Duration
+
 	// mu guards the engine-wide applet indexes. Lock ordering: mu may be
 	// taken before a shard's mutex, never after.
 	mu      sync.Mutex
@@ -273,6 +291,12 @@ type Engine struct {
 	stopped atomic.Bool
 	// fanout, when metrics are registered, records members-per-poll.
 	fanout *obs.Histogram
+	// backoffHist, when metrics are registered, records every
+	// failure-driven reschedule delay (backoff or probe interval).
+	backoffHist *obs.Histogram
+	// breakerOpen counts subscriptions whose breaker is currently open
+	// or half-open; mutated under the owning shard's lock.
+	breakerOpen atomic.Int64
 	// hints counts realtime notifications at the HTTP surface, matched
 	// or not; the per-shard counters cover the poll/dispatch hot path.
 	hints atomic.Int64
@@ -295,6 +319,18 @@ type Stats struct {
 	Subscriptions  int   `json:"subscriptions"`
 	Polls          int64 `json:"polls"`
 	PollFailures   int64 `json:"poll_failures"`
+	// Failure classification: transport errors never got an HTTP
+	// response; HTTP errors carry a real (non-200) status.
+	PollErrorsTransport   int64 `json:"poll_errors_transport"`
+	PollErrorsHTTP        int64 `json:"poll_errors_http"`
+	ActionErrorsTransport int64 `json:"action_errors_transport"`
+	ActionErrorsHTTP      int64 `json:"action_errors_http"`
+	// Circuit-breaker activity (resilience.go). BreakersOpen is the
+	// current open/half-open population; the rest are monotonic.
+	BreakersOpen  int64 `json:"breakers_open"`
+	BreakerOpens  int64 `json:"breaker_opens"`
+	BreakerCloses int64 `json:"breaker_closes"`
+	BreakerProbes int64 `json:"breaker_probes"`
 	// PollsCoalesced counts upstream polls avoided by coalescing: each
 	// poll of an n-member subscription adds n-1.
 	PollsCoalesced int64 `json:"polls_coalesced"`
@@ -364,6 +400,41 @@ func New(cfg Config) *Engine {
 		applets:   make(map[string]*runningApplet),
 		byUser:    make(map[string]map[string]*runningApplet),
 	}
+	res := cfg.Resilience
+	e.resilient = !res.Disable
+	if e.backoffBase = res.BackoffBase; e.backoffBase <= 0 {
+		e.backoffBase = DefaultBackoffBase
+	}
+	if e.backoffMax = res.BackoffMax; e.backoffMax <= 0 {
+		e.backoffMax = DefaultBackoffMax
+	}
+	if e.backoffMax < e.backoffBase {
+		e.backoffMax = e.backoffBase
+	}
+	switch {
+	case res.BreakerThreshold > 0:
+		e.brThreshold = res.BreakerThreshold
+	case res.BreakerThreshold == 0:
+		e.brThreshold = DefaultBreakerThreshold
+	default:
+		e.brThreshold = 0 // negative: breaker disabled, backoff only
+	}
+	if e.probeIvl = res.ProbeInterval; e.probeIvl <= 0 {
+		e.probeIvl = DefaultProbeInterval
+	}
+
+	// The retry layer's backoff gets seeded jitter so coalesced
+	// subscriptions retrying one dead endpoint spread out. The stream is
+	// shared across workers, hence the mutex (stats.RNG is not
+	// thread-safe).
+	jr := cfg.RNG.Split("retry-jitter")
+	var jmu sync.Mutex
+	e.client.SetBackoff(httpx.ExpBackoff(httpx.DefaultRetryBase, httpx.DefaultRetryCap, func() float64 {
+		jmu.Lock()
+		defer jmu.Unlock()
+		return jr.Float64()
+	}))
+
 	e.shards = make([]*shard, nShards)
 	for i := range e.shards {
 		// Shard RNG streams are split in index order, so a given
@@ -446,6 +517,13 @@ func (e *Engine) Stats() Stats {
 	for _, sh := range e.shards {
 		st.Polls += sh.counters.polls.Load()
 		st.PollFailures += sh.counters.pollFailures.Load()
+		st.PollErrorsTransport += sh.counters.pollErrTransport.Load()
+		st.PollErrorsHTTP += sh.counters.pollErrHTTP.Load()
+		st.ActionErrorsTransport += sh.counters.actionErrTransport.Load()
+		st.ActionErrorsHTTP += sh.counters.actionErrHTTP.Load()
+		st.BreakerOpens += sh.counters.breakerOpens.Load()
+		st.BreakerCloses += sh.counters.breakerCloses.Load()
+		st.BreakerProbes += sh.counters.breakerProbes.Load()
 		st.PollsCoalesced += sh.counters.pollsCoalesced.Load()
 		st.EventsReceived += sh.counters.eventsReceived.Load()
 		st.ActionsOK += sh.counters.actionsOK.Load()
@@ -459,6 +537,7 @@ func (e *Engine) Stats() Stats {
 	st.Applets = len(e.applets)
 	e.mu.Unlock()
 	st.HintsReceived = e.hints.Load()
+	st.BreakersOpen = e.breakerOpen.Load()
 	return st
 }
 

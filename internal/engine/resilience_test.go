@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// switchDoer answers like stubDoer while healthy and with 503 (or a
+// transport error) while failing.
+type switchDoer struct {
+	failing   atomic.Bool
+	transport atomic.Bool // fail with an error instead of a 503
+	polls     atomic.Int64
+}
+
+func (d *switchDoer) Do(req *http.Request) (*http.Response, error) {
+	d.polls.Add(1)
+	if d.failing.Load() {
+		if d.transport.Load() {
+			return nil, fmt.Errorf("switchDoer: connection refused")
+		}
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Body:       io.NopCloser(strings.NewReader(`{"errors":[{"message":"down"}]}`)),
+			Header:     make(http.Header),
+			Request:    req,
+		}, nil
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(`{"data":[]}`)),
+		Header:     make(http.Header),
+		Request:    req,
+	}, nil
+}
+
+// traceLog collects trace events under a lock (Trace is synchronous but
+// may run on any worker goroutine).
+type traceLog struct {
+	mu  sync.Mutex
+	evs []TraceEvent
+}
+
+func (l *traceLog) add(ev TraceEvent) {
+	l.mu.Lock()
+	l.evs = append(l.evs, ev)
+	l.mu.Unlock()
+}
+
+func (l *traceLog) kinds(k TraceKind) []TraceEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []TraceEvent
+	for _, ev := range l.evs {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestBreakerOpensProbesAndCloses walks the full breaker state machine
+// against a service that dies and later recovers: consecutive failures
+// open the breaker, only spaced probes run while it is open, and the
+// first successful probe closes it and restores the policy cadence.
+func TestBreakerOpensProbesAndCloses(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	doer := &switchDoer{}
+	doer.failing.Store(true)
+	log := &traceLog{}
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           stats.NewRNG(11),
+		Doer:          doer,
+		Poll:          FixedInterval{Interval: time.Minute},
+		DispatchDelay: -1,
+		Shards:        1,
+		ShardWorkers:  1,
+		Resilience: ResilienceConfig{
+			BackoffBase:      time.Minute,
+			BackoffMax:       4 * time.Minute,
+			BreakerThreshold: 3,
+			ProbeInterval:    10 * time.Minute,
+		},
+		Trace: log.add,
+	})
+
+	var healAt time.Time
+	clock.Run(func() {
+		if err := eng.Install(scaleApplet(0)); err != nil {
+			t.Fatal(err)
+		}
+		// Failures at ~1m, ~2m, ~4m open the breaker (threshold 3);
+		// probes run every ~10m. Heal after the second probe window.
+		clock.Sleep(28 * time.Minute)
+		if st := eng.Stats(); st.BreakersOpen != 1 {
+			t.Errorf("BreakersOpen = %d mid-blackout, want 1", st.BreakersOpen)
+		}
+		doer.failing.Store(false)
+		healAt = clock.Now()
+		clock.Sleep(30 * time.Minute)
+		eng.Stop()
+	})
+
+	opens := log.kinds(TraceBreakerOpen)
+	if len(opens) != 1 {
+		t.Fatalf("breaker_open events = %d, want 1", len(opens))
+	}
+	if opens[0].N != 3 {
+		t.Errorf("breaker opened after %d failures, want 3", opens[0].N)
+	}
+	closes := log.kinds(TraceBreakerClose)
+	if len(closes) != 1 {
+		t.Fatalf("breaker_close events = %d, want 1", len(closes))
+	}
+	probes := log.kinds(TraceBreakerProbe)
+	if len(probes) < 2 {
+		t.Fatalf("breaker probes = %d, want ≥ 2", len(probes))
+	}
+	// Recovery must arrive within one probe interval (plus 10% jitter)
+	// of the service healing.
+	if lag := closes[0].Time.Sub(healAt); lag > 11*time.Minute {
+		t.Errorf("recovered %v after heal, want within one probe interval", lag)
+	}
+	// While the breaker was open every poll was a probe.
+	openAt, closeAt := opens[0].Time, closes[0].Time
+	pollsWhileOpen := 0
+	for _, ev := range log.kinds(TracePollSent) {
+		if ev.Time.After(openAt) && !ev.Time.After(closeAt) {
+			pollsWhileOpen++
+		}
+	}
+	if pollsWhileOpen != len(probes) {
+		t.Errorf("polls while open = %d, probes = %d — non-probe polls leaked through an open breaker",
+			pollsWhileOpen, len(probes))
+	}
+
+	st := eng.Stats()
+	if st.BreakerOpens != 1 || st.BreakerCloses != 1 {
+		t.Errorf("BreakerOpens/Closes = %d/%d, want 1/1", st.BreakerOpens, st.BreakerCloses)
+	}
+	if st.BreakersOpen != 0 {
+		t.Errorf("BreakersOpen = %d after recovery, want 0", st.BreakersOpen)
+	}
+	if st.PollErrorsHTTP == 0 || st.PollErrorsTransport != 0 {
+		t.Errorf("error classification: transport=%d http=%d, want 0/>0",
+			st.PollErrorsTransport, st.PollErrorsHTTP)
+	}
+	// After recovery the subscription is back on the 1-minute policy
+	// cadence: roughly 30 polls in the remaining half hour.
+	pollsAfter := 0
+	for _, ev := range log.kinds(TracePollSent) {
+		if ev.Time.After(closeAt) {
+			pollsAfter++
+		}
+	}
+	if pollsAfter < 20 {
+		t.Errorf("polls after recovery = %d, want ≥ 20 (policy cadence not restored)", pollsAfter)
+	}
+}
+
+// TestBackoffLadderBounds checks the failure backoff is the capped
+// exponential with ±50% jitter: each inter-poll gap of an always-failing
+// subscription falls inside its streak's jitter window, and the ladder
+// saturates at BackoffMax.
+func TestBackoffLadderBounds(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	doer := &switchDoer{}
+	doer.failing.Store(true)
+	log := &traceLog{}
+	base, max := time.Minute, 8*time.Minute
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           stats.NewRNG(13),
+		Doer:          doer,
+		Poll:          FixedInterval{Interval: time.Minute},
+		DispatchDelay: -1,
+		Shards:        1,
+		ShardWorkers:  1,
+		Resilience: ResilienceConfig{
+			BackoffBase:      base,
+			BackoffMax:       max,
+			BreakerThreshold: -1, // backoff only
+		},
+		Trace: log.add,
+	})
+	clock.Run(func() {
+		if err := eng.Install(scaleApplet(0)); err != nil {
+			t.Fatal(err)
+		}
+		clock.Sleep(90 * time.Minute)
+		eng.Stop()
+	})
+
+	polls := log.kinds(TracePollSent)
+	if len(polls) < 7 {
+		t.Fatalf("polls = %d, want ≥ 7", len(polls))
+	}
+	// The poll itself takes sub-second virtual time (one httpx retry
+	// with jittered sub-second backoff); allow it as slack on top of the
+	// jitter window.
+	const slack = 2 * time.Second
+	distinct := map[time.Duration]bool{}
+	for i := 1; i < len(polls); i++ {
+		gap := polls[i].Time.Sub(polls[i-1].Time)
+		nominal := backoffDelay(base, max, i) // streak after poll i failed
+		lo, hi := nominal/2, nominal+nominal/2+slack
+		if gap < lo || gap > hi {
+			t.Errorf("gap %d = %v outside [%v, %v] for streak %d", i, gap, lo, hi, i)
+		}
+		distinct[gap.Round(time.Second)] = true
+	}
+	// Jitter must actually vary the schedule.
+	if len(distinct) < 3 {
+		t.Errorf("only %d distinct gaps across the ladder — jitter not applied", len(distinct))
+	}
+	// Saturated: the last gaps sit in the BackoffMax window, never above.
+	last := polls[len(polls)-1].Time.Sub(polls[len(polls)-2].Time)
+	if last > max+max/2+slack {
+		t.Errorf("saturated gap %v exceeds BackoffMax jitter ceiling %v", last, max+max/2)
+	}
+	if eng.Stats().BreakerOpens != 0 {
+		t.Errorf("breaker opened despite BreakerThreshold < 0")
+	}
+}
+
+// TestTransportErrorsClassified pins the transport-vs-HTTP split for a
+// doer that never produces a response.
+func TestTransportErrorsClassified(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	doer := &switchDoer{}
+	doer.failing.Store(true)
+	doer.transport.Store(true)
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           stats.NewRNG(17),
+		Doer:          doer,
+		Poll:          FixedInterval{Interval: time.Minute},
+		DispatchDelay: -1,
+		Shards:        1,
+		ShardWorkers:  1,
+	})
+	clock.Run(func() {
+		if err := eng.Install(scaleApplet(0)); err != nil {
+			t.Fatal(err)
+		}
+		clock.Sleep(5 * time.Minute)
+		eng.Stop()
+	})
+	st := eng.Stats()
+	if st.PollErrorsTransport == 0 || st.PollErrorsHTTP != 0 {
+		t.Errorf("error classification: transport=%d http=%d, want >0/0",
+			st.PollErrorsTransport, st.PollErrorsHTTP)
+	}
+	if st.PollFailures != st.PollErrorsTransport {
+		t.Errorf("PollFailures = %d, classified = %d — counts diverge",
+			st.PollFailures, st.PollErrorsTransport)
+	}
+}

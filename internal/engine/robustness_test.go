@@ -12,7 +12,9 @@ import (
 
 // TestEngineToleratesMalformedResponses points an applet at a service
 // that returns garbage; the engine must keep polling and must not
-// dispatch anything.
+// dispatch anything. Resilience is disabled so the test pins the
+// paper-faithful full-cadence behaviour; the backoff that failure
+// handling layers on top is covered by resilience_test.go.
 func TestEngineToleratesMalformedResponses(t *testing.T) {
 	clock := simtime.NewSimDefault()
 	rng := stats.NewRNG(21)
@@ -25,8 +27,9 @@ func TestEngineToleratesMalformedResponses(t *testing.T) {
 	var traces []TraceEvent
 	eng := New(Config{
 		Clock: clock, RNG: rng.Split("engine"),
-		Doer: net.Client("engine.sim"),
-		Poll: FixedInterval{Interval: 5 * time.Second},
+		Doer:       net.Client("engine.sim"),
+		Poll:       FixedInterval{Interval: 5 * time.Second},
+		Resilience: ResilienceConfig{Disable: true},
 		Trace: func(ev TraceEvent) {
 			traces = append(traces, ev)
 		},

@@ -184,6 +184,14 @@ func (s *shard) worker() {
 			continue
 		}
 		sub.polling = true
+		// An open breaker means this poll is the half-open probe: the
+		// next outcome decides whether the breaker closes or re-opens.
+		probe := false
+		if s.e.resilient && sub.brState == brOpen {
+			sub.brState = brHalfOpen
+			s.counters.breakerProbes.Add(1)
+			probe = true
+		}
 		// Consume hint provenance and snapshot the membership under the
 		// shard lock: applets joining mid-poll see only the next poll,
 		// and a member leaving mid-poll still receives this poll's
@@ -195,13 +203,19 @@ func (s *shard) worker() {
 		prep := sub.prep
 		s.mu.Unlock()
 
-		s.e.pollSubscription(sub, hintAt, members, prep)
+		if probe {
+			s.e.emit(s, TraceEvent{Kind: TraceBreakerProbe, AppletID: members[0].def.ID})
+		}
+		ok := s.e.pollSubscription(sub, hintAt, members, prep)
 
 		s.mu.Lock()
 		sub.polling = false
 		sub.snap = members
-		gap := s.e.poll.NextGap(sub.leadID, sub.trigger.Service, sub.rng)
-		s.scheduleLocked(sub, s.e.clock.Now().Add(gap))
+		due, brEv := s.nextPollDueLocked(sub, ok)
+		s.scheduleLocked(sub, due)
 		s.mu.Unlock()
+		if brEv.Kind != "" {
+			s.e.emit(s, brEv)
+		}
 	}
 }

@@ -49,6 +49,12 @@ type subscription struct {
 	// back to building requests per call.
 	prep *httpx.Prepared
 
+	// Failure-handling state (resilience.go), guarded by the shard's
+	// mutex like the scheduling fields above. failStreak counts
+	// consecutive poll failures; brState is the circuit breaker.
+	failStreak int
+	brState    breakerState
+
 	// Worker-owned scratch, reused across polls so the steady-state poll
 	// path allocates nothing for the common empty-result case.
 	resp   proto.TriggerPollResponse
@@ -133,6 +139,19 @@ type shardCounters struct {
 	actionsOK      atomic.Int64
 	actionsFailed  atomic.Int64
 	conditionSkips atomic.Int64
+
+	// Failure classification: transport errors got no HTTP response at
+	// all, HTTP errors carry a real non-200 status (httpx reports the
+	// last received status on retry exhaustion).
+	pollErrTransport   atomic.Int64
+	pollErrHTTP        atomic.Int64
+	actionErrTransport atomic.Int64
+	actionErrHTTP      atomic.Int64
+
+	// Circuit-breaker transitions and half-open probes (resilience.go).
+	breakerOpens  atomic.Int64
+	breakerCloses atomic.Int64
+	breakerProbes atomic.Int64
 }
 
 func newShard(e *Engine, id int, rng *stats.RNG) *shard {
@@ -196,6 +215,13 @@ func (s *shard) leaveLocked(ra *runningApplet) (last bool) {
 	}
 	if len(sub.members) == 0 {
 		sub.removed = true
+		if sub.brState != brClosed {
+			// Retiring a tripped subscription settles the open-breaker
+			// gauge; nextPollDueLocked skips removed subscriptions, so
+			// this is the only closing path it can take.
+			sub.brState = brClosed
+			s.e.breakerOpen.Add(-1)
+		}
 		delete(s.subs, sub.key)
 		if en := sub.entry; en != nil {
 			s.heap.remove(en)

@@ -31,6 +31,35 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 		sum(func(c *shardCounters) int64 { return c.polls.Load() }))
 	reg.CounterFunc("ifttt_engine_poll_failures_total", "Trigger polls that failed.",
 		sum(func(c *shardCounters) int64 { return c.pollFailures.Load() }))
+	reg.CounterFunc("ifttt_engine_poll_errors_transport_total",
+		"Poll failures that never got an HTTP response.",
+		sum(func(c *shardCounters) int64 { return c.pollErrTransport.Load() }))
+	reg.CounterFunc("ifttt_engine_poll_errors_http_total",
+		"Poll failures with a real non-200 HTTP status.",
+		sum(func(c *shardCounters) int64 { return c.pollErrHTTP.Load() }))
+	reg.CounterFunc("ifttt_engine_action_errors_transport_total",
+		"Action failures that never got an HTTP response.",
+		sum(func(c *shardCounters) int64 { return c.actionErrTransport.Load() }))
+	reg.CounterFunc("ifttt_engine_action_errors_http_total",
+		"Action failures with a real non-200 HTTP status.",
+		sum(func(c *shardCounters) int64 { return c.actionErrHTTP.Load() }))
+	reg.CounterFunc("ifttt_engine_breaker_opens_total",
+		"Circuit breakers opened by consecutive poll failures.",
+		sum(func(c *shardCounters) int64 { return c.breakerOpens.Load() }))
+	reg.CounterFunc("ifttt_engine_breaker_closes_total",
+		"Circuit breakers closed by a successful probe.",
+		sum(func(c *shardCounters) int64 { return c.breakerCloses.Load() }))
+	reg.CounterFunc("ifttt_engine_breaker_probes_total",
+		"Half-open probe polls issued while a breaker was open.",
+		sum(func(c *shardCounters) int64 { return c.breakerProbes.Load() }))
+	reg.GaugeFunc("ifttt_engine_breaker_open",
+		"Subscriptions whose circuit breaker is currently open or half-open.",
+		func() float64 { return float64(e.breakerOpen.Load()) })
+	// Seconds from 1s to ~4096s: backoff spans BackoffBase..BackoffMax
+	// and probe intervals, all well inside this range.
+	e.backoffHist = reg.Histogram("ifttt_engine_poll_backoff_seconds",
+		"Failure-driven poll reschedule delay (exponential backoff or probe interval).",
+		obs.LogBuckets(1, 4096, 2))
 	reg.CounterFunc("ifttt_engine_events_received_total", "Fresh trigger events received.",
 		sum(func(c *shardCounters) int64 { return c.eventsReceived.Load() }))
 	reg.CounterFunc("ifttt_engine_actions_ok_total", "Actions acknowledged by the action service.",

@@ -1,0 +1,260 @@
+// Package faults is a deterministic fault injector for the HTTP path.
+// It wraps any httpx.Doer — the live net/http client or a simnet client
+// — and imposes configurable per-endpoint failure behaviour: transport
+// errors, injected 5xx responses, latency spikes, client-observed
+// timeouts, and full blackout windows. Every decision is drawn from a
+// seeded stats.RNG, so a chaos run is a pure function of (seed, request
+// sequence): replaying the same simulated experiment replays the same
+// faults.
+//
+// The injector sits below httpx.Client's retry layer, exactly where a
+// flaky partner service would: a request the injector fails may still
+// succeed end-to-end through a retry, and the engine's backoff/breaker
+// machinery (internal/engine) sees the same failure surface it would
+// against a real degraded service.
+//
+// Concurrency: Do may be called from many poll workers at once; the RNG
+// and rule list are guarded by a mutex. Under a multi-worker engine the
+// per-request draw order follows goroutine interleaving, so individual
+// outcomes vary run to run while the seeded rates hold statistically.
+// Chaos experiments that need bit-identical replays pin the engine to
+// one shard and one worker (see internal/core's chaos study), which
+// serializes the draw order.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Window is a full-outage interval, expressed as offsets from the
+// injector's creation instant (virtual or wall time, per the clock).
+// During [Start, End) every matching request fails immediately, as if
+// the endpoint's host were unreachable.
+type Window struct {
+	Start, End time.Duration
+}
+
+// Rule describes the fault behaviour of one endpoint (or, with empty
+// matchers, of every endpoint). The first matching rule wins. Rates are
+// probabilities in [0, 1] and are evaluated in order: blackout, then
+// transport error, then injected 5xx, then latency spike.
+type Rule struct {
+	// Host limits the rule to requests whose URL host matches (port
+	// ignored). Empty matches every host.
+	Host string
+	// PathPrefix limits the rule to URL paths with the prefix (e.g.
+	// "/ifttt/v1/triggers/" to fault polls but not actions). Empty
+	// matches every path.
+	PathPrefix string
+
+	// ErrorRate is the probability of a transport-level failure: the
+	// request never reaches the service and the caller gets an error,
+	// not a response.
+	ErrorRate float64
+	// Rate5xx is the probability of the service answering 503 without
+	// the request reaching the wrapped doer — a fast server-side
+	// failure, retryable at the httpx layer.
+	Rate5xx float64
+	// SlowRate is the probability of adding Slow of latency before the
+	// request proceeds (a degraded-but-working service).
+	SlowRate float64
+	// Slow is the injected latency spike; zero disables SlowRate.
+	Slow time.Duration
+	// Timeout, when positive, makes injected transport errors stall the
+	// caller for this long before failing — the client-observed-timeout
+	// shape, as opposed to a fast connection refusal.
+	Timeout time.Duration
+	// Blackouts are full-outage windows during which every matching
+	// request fails immediately regardless of the rates above.
+	Blackouts []Window
+}
+
+// Stats counts what the injector has done so far.
+type Stats struct {
+	Requests        int64 `json:"requests"`
+	TransportErrors int64 `json:"transport_errors"`
+	Injected5xx     int64 `json:"injected_5xx"`
+	Slowed          int64 `json:"slowed"`
+	BlackedOut      int64 `json:"blacked_out"`
+}
+
+// Injector applies fault rules to requests flowing through Wrap'd
+// doers. Construct with New, add rules, then Wrap the transport.
+type Injector struct {
+	clock simtime.Clock
+	epoch time.Time
+
+	mu    sync.Mutex
+	rng   *stats.RNG
+	rules []Rule
+
+	requests   atomic.Int64
+	errors     atomic.Int64
+	fivexx     atomic.Int64
+	slowed     atomic.Int64
+	blackedOut atomic.Int64
+}
+
+// New builds an injector whose blackout windows are measured from now
+// and whose decisions are drawn from rng. rng must not be shared with
+// other consumers (Split one off).
+func New(clock simtime.Clock, rng *stats.RNG) *Injector {
+	return &Injector{clock: clock, epoch: clock.Now(), rng: rng}
+}
+
+// AddRule appends a rule. Rules are matched in insertion order; the
+// first match decides the request's fate.
+func (inj *Injector) AddRule(r Rule) {
+	inj.mu.Lock()
+	inj.rules = append(inj.rules, r)
+	inj.mu.Unlock()
+}
+
+// Stats snapshots the injection counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Requests:        inj.requests.Load(),
+		TransportErrors: inj.errors.Load(),
+		Injected5xx:     inj.fivexx.Load(),
+		Slowed:          inj.slowed.Load(),
+		BlackedOut:      inj.blackedOut.Load(),
+	}
+}
+
+// RegisterMetrics exposes the injection counters on reg, so a chaos
+// run's scrape shows injected load next to the engine's error metrics.
+func (inj *Injector) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("faults_requests_total", "Requests seen by the fault injector.",
+		inj.requests.Load)
+	reg.CounterFunc("faults_transport_errors_total", "Injected transport-level failures.",
+		inj.errors.Load)
+	reg.CounterFunc("faults_injected_5xx_total", "Injected 503 responses.",
+		inj.fivexx.Load)
+	reg.CounterFunc("faults_slowed_total", "Requests delayed by an injected latency spike.",
+		inj.slowed.Load)
+	reg.CounterFunc("faults_blackout_failures_total", "Requests failed inside a blackout window.",
+		inj.blackedOut.Load)
+}
+
+// Wrap returns a Doer that applies this injector's rules before
+// delegating to next. Several transports may share one injector (and
+// therefore one seeded decision stream).
+func (inj *Injector) Wrap(next httpx.Doer) httpx.Doer {
+	return &faultDoer{inj: inj, next: next}
+}
+
+// verdict is one request's decided fate.
+type verdict struct {
+	kind  verdictKind
+	delay time.Duration // pre-failure stall or latency spike
+}
+
+type verdictKind uint8
+
+const (
+	passThrough verdictKind = iota
+	failTransport
+	fail5xx
+	passSlow
+)
+
+// decide matches req against the rules and draws its fate. All RNG
+// consumption happens here, under the lock, so the decision stream is a
+// deterministic function of the request order.
+func (inj *Injector) decide(req *http.Request) verdict {
+	inj.requests.Add(1)
+	host, path := req.URL.Host, req.URL.Path
+	if h := req.URL.Hostname(); h != "" {
+		host = h
+	}
+	elapsed := inj.clock.Now().Sub(inj.epoch)
+
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if r.Host != "" && r.Host != host {
+			continue
+		}
+		if r.PathPrefix != "" && !strings.HasPrefix(path, r.PathPrefix) {
+			continue
+		}
+		for _, w := range r.Blackouts {
+			if elapsed >= w.Start && elapsed < w.End {
+				inj.blackedOut.Add(1)
+				return verdict{kind: failTransport}
+			}
+		}
+		if r.ErrorRate > 0 && inj.rng.Float64() < r.ErrorRate {
+			inj.errors.Add(1)
+			return verdict{kind: failTransport, delay: r.Timeout}
+		}
+		if r.Rate5xx > 0 && inj.rng.Float64() < r.Rate5xx {
+			inj.fivexx.Add(1)
+			return verdict{kind: fail5xx}
+		}
+		if r.SlowRate > 0 && r.Slow > 0 && inj.rng.Float64() < r.SlowRate {
+			inj.slowed.Add(1)
+			return verdict{kind: passSlow, delay: r.Slow}
+		}
+		return verdict{kind: passThrough}
+	}
+	return verdict{kind: passThrough}
+}
+
+type faultDoer struct {
+	inj  *Injector
+	next httpx.Doer
+}
+
+func (d *faultDoer) Do(req *http.Request) (*http.Response, error) {
+	v := d.inj.decide(req)
+	switch v.kind {
+	case failTransport:
+		if v.delay > 0 {
+			// A timeout-shaped failure: the caller waits out the stall
+			// (virtual time in simulation) before seeing the error.
+			d.inj.clock.Sleep(v.delay)
+		}
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faults: injected transport error for %s %s", req.Method, req.URL)
+	case fail5xx:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return injected503(req), nil
+	case passSlow:
+		d.inj.clock.Sleep(v.delay)
+	}
+	return d.next.Do(req)
+}
+
+// injected503 synthesizes the protocol's error envelope without
+// touching the wrapped transport.
+func injected503(req *http.Request) *http.Response {
+	const body = `{"errors":[{"message":"injected fault"}]}`
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"application/json; charset=utf-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

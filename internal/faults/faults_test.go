@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+type okDoer struct{ calls int }
+
+func (d *okDoer) Do(req *http.Request) (*http.Response, error) {
+	d.calls++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(`{"data":[]}`)),
+		Header:     make(http.Header),
+		Request:    req,
+	}, nil
+}
+
+func get(t *testing.T, d httpx.Doer, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Do(req)
+}
+
+func TestInjectorRatesAreSeededAndApproximate(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	run := func() (errs, fivexx, ok int) {
+		inj := New(clock, stats.NewRNG(42))
+		inj.AddRule(Rule{ErrorRate: 0.1, Rate5xx: 0.1})
+		inner := &okDoer{}
+		d := inj.Wrap(inner)
+		for i := 0; i < 2000; i++ {
+			resp, err := get(t, d, "http://svc.sim/ifttt/v1/triggers/t")
+			switch {
+			case err != nil:
+				errs++
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				fivexx++
+				resp.Body.Close()
+			default:
+				ok++
+				resp.Body.Close()
+			}
+		}
+		return
+	}
+	e1, f1, ok1 := run()
+	e2, f2, ok2 := run()
+	if e1 != e2 || f1 != f2 || ok1 != ok2 {
+		t.Fatalf("seeded runs disagree: %d/%d/%d vs %d/%d/%d", e1, f1, ok1, e2, f2, ok2)
+	}
+	// 10% each with generous tolerance at n=2000.
+	if e1 < 120 || e1 > 280 {
+		t.Errorf("transport errors = %d of 2000, want ≈200", e1)
+	}
+	if f1 < 120 || f1 > 280 {
+		t.Errorf("injected 5xx = %d of 2000, want ≈200", f1)
+	}
+}
+
+func TestInjectorMatchesHostAndPath(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	inj := New(clock, stats.NewRNG(1))
+	inj.AddRule(Rule{Host: "bad.sim", PathPrefix: "/ifttt/v1/triggers/", ErrorRate: 1})
+	inner := &okDoer{}
+	d := inj.Wrap(inner)
+
+	if _, err := get(t, d, "http://bad.sim/ifttt/v1/triggers/t"); err == nil {
+		t.Error("matching request not failed")
+	}
+	if resp, err := get(t, d, "http://bad.sim/ifttt/v1/actions/a"); err != nil {
+		t.Errorf("non-matching path failed: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := get(t, d, "http://good.sim/ifttt/v1/triggers/t"); err != nil {
+		t.Errorf("non-matching host failed: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if st := inj.Stats(); st.TransportErrors != 1 || st.Requests != 3 {
+		t.Errorf("stats = %+v, want 1 error across 3 requests", st)
+	}
+}
+
+func TestInjectorBlackoutWindow(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	var failedDuring, okAfter bool
+	clock.Run(func() {
+		inj := New(clock, stats.NewRNG(5))
+		inj.AddRule(Rule{Blackouts: []Window{{Start: time.Minute, End: 2 * time.Minute}}})
+		d := inj.Wrap(&okDoer{})
+
+		if _, err := get(t, d, "http://svc.sim/x"); err != nil {
+			t.Errorf("pre-blackout request failed: %v", err)
+		}
+		clock.Sleep(90 * time.Second) // inside [1m, 2m)
+		if _, err := get(t, d, "http://svc.sim/x"); err != nil {
+			failedDuring = true
+		}
+		clock.Sleep(time.Minute) // past the window
+		if resp, err := get(t, d, "http://svc.sim/x"); err == nil {
+			okAfter = true
+			resp.Body.Close()
+		}
+		if st := inj.Stats(); st.BlackedOut != 1 {
+			t.Errorf("BlackedOut = %d, want 1", st.BlackedOut)
+		}
+	})
+	if !failedDuring {
+		t.Error("request inside the blackout window succeeded")
+	}
+	if !okAfter {
+		t.Error("request after the blackout window failed")
+	}
+}
+
+func TestInjectorLatencySpikeConsumesClock(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	var elapsed time.Duration
+	clock.Run(func() {
+		inj := New(clock, stats.NewRNG(3))
+		inj.AddRule(Rule{SlowRate: 1, Slow: 7 * time.Second})
+		d := inj.Wrap(&okDoer{})
+		start := clock.Now()
+		resp, err := get(t, d, "http://svc.sim/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		elapsed = clock.Now().Sub(start)
+	})
+	if elapsed != 7*time.Second {
+		t.Errorf("latency spike advanced the clock by %v, want 7s", elapsed)
+	}
+}
+
+func TestInjectorTimeoutStallsBeforeFailing(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	var elapsed time.Duration
+	clock.Run(func() {
+		inj := New(clock, stats.NewRNG(3))
+		inj.AddRule(Rule{ErrorRate: 1, Timeout: 30 * time.Second})
+		d := inj.Wrap(&okDoer{})
+		start := clock.Now()
+		if _, err := get(t, d, "http://svc.sim/x"); err == nil {
+			t.Fatal("timeout-shaped fault did not error")
+		}
+		elapsed = clock.Now().Sub(start)
+	})
+	if elapsed != 30*time.Second {
+		t.Errorf("timeout fault stalled %v, want 30s", elapsed)
+	}
+}
+
+// TestInjectorUnderRetryLayer: an injected 5xx is retryable — the
+// httpx client recovers when the next draw passes.
+func TestInjectorUnderRetryLayer(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	inj := New(clock, stats.NewRNG(9))
+	inj.AddRule(Rule{Rate5xx: 0.5})
+	inner := &okDoer{}
+	c := httpx.NewClient(inj.Wrap(inner), clock, 3)
+
+	ok := 0
+	clock.Run(func() {
+		for i := 0; i < 50; i++ {
+			if status, err := c.DoJSON("GET", "http://svc.sim/x", nil, nil); err == nil && status == http.StatusOK {
+				ok++
+			}
+		}
+	})
+	// P(4 straight 5xx draws) = 1/16 per call; nearly all calls recover.
+	if ok < 40 {
+		t.Errorf("recovered calls = %d of 50 under 50%% 5xx with 3 retries", ok)
+	}
+	if st := inj.Stats(); st.Injected5xx == 0 {
+		t.Error("no 5xx injected at rate 0.5")
+	}
+}

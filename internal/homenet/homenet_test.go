@@ -366,7 +366,7 @@ func TestListenDialReconnect(t *testing.T) {
 	// First connection.
 	proxyCh := make(chan *TCPProxyLink, 1)
 	go func() {
-		p, err := DialProxy(ln.Addr(), 3, 10*time.Millisecond)
+		p, err := DialProxy(simtime.NewReal(), ln.Addr(), 3, 10*time.Millisecond)
 		if err != nil {
 			t.Errorf("dial: %v", err)
 			return
@@ -390,7 +390,7 @@ func TestListenDialReconnect(t *testing.T) {
 	proxy.Close()
 	server.Close()
 	go func() {
-		p, err := DialProxy(ln.Addr(), 5, 20*time.Millisecond)
+		p, err := DialProxy(simtime.NewReal(), ln.Addr(), 5, 20*time.Millisecond)
 		if err != nil {
 			t.Errorf("redial: %v", err)
 			return
@@ -422,7 +422,7 @@ func TestListenDialReconnect(t *testing.T) {
 }
 
 func TestDialProxyFailsWithoutServer(t *testing.T) {
-	if _, err := DialProxy("127.0.0.1:1", 2, time.Millisecond); err == nil {
+	if _, err := DialProxy(simtime.NewReal(), "127.0.0.1:1", 2, time.Millisecond); err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/simtime"
 )
 
 // Listener waits for the home proxy to dial in. It is the
@@ -46,15 +48,18 @@ func (l *Listener) Close() error { return l.ln.Close() }
 
 // DialProxy connects the local proxy ❸ to the service server and
 // returns the proxy end of the link, retrying with backoff until the
-// server is reachable or attempts are exhausted.
-func DialProxy(addr string, attempts int, backoff time.Duration) (*TCPProxyLink, error) {
+// server is reachable or attempts are exhausted. The retry sleeps run
+// on clock, keeping the dial loop consistent with the clock-aware
+// discipline of the rest of the repository (a test driving a proxy on
+// a controlled clock must not stall on wall-time sleeps).
+func DialProxy(clock simtime.Clock, addr string, attempts int, backoff time.Duration) (*TCPProxyLink, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(backoff)
+			clock.Sleep(backoff)
 		}
 		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 		if err == nil {

@@ -1,0 +1,109 @@
+package httpx
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+func TestExpBackoffCapsAndSurvivesLargeAttempts(t *testing.T) {
+	b := ExpBackoff(250*time.Millisecond, 15*time.Second, nil)
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 250 * time.Millisecond},
+		{1, 500 * time.Millisecond},
+		{5, 8 * time.Second},
+		{6, 15 * time.Second}, // 16s nominal, capped
+		{31, 15 * time.Second},
+		{63, 15 * time.Second},  // the old shift overflowed here
+		{500, 15 * time.Second}, // and went negative long before here
+	}
+	for _, c := range cases {
+		if got := b(c.attempt); got != c.want {
+			t.Errorf("backoff(%d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+}
+
+func TestExpBackoffJitterBounds(t *testing.T) {
+	rng := stats.NewRNG(99)
+	b := ExpBackoff(time.Second, time.Minute, rng.Float64)
+	for attempt := 0; attempt < 40; attempt++ {
+		nominal := time.Second << uint(attempt)
+		if attempt >= 6 || nominal > time.Minute {
+			nominal = time.Minute
+		}
+		for i := 0; i < 50; i++ {
+			d := b(attempt)
+			if d < nominal/2 || d >= nominal+nominal/2 {
+				t.Fatalf("backoff(%d) = %v outside jitter bounds [%v, %v)",
+					attempt, d, nominal/2, nominal+nominal/2)
+			}
+		}
+	}
+}
+
+func TestExpBackoffJitterVaries(t *testing.T) {
+	rng := stats.NewRNG(7)
+	b := ExpBackoff(time.Second, time.Minute, rng.Float64)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 20; i++ {
+		seen[b(0)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jittered backoff returned one value %v across 20 draws", b(0))
+	}
+}
+
+// TestClientExhaustionReturnsLastStatus pins the retry-exhaustion
+// contract: a caller that watched every attempt get a real 5xx must see
+// that status, not 0 — the engine's metrics separate transport failure
+// from HTTP failure on exactly this.
+func TestClientExhaustionReturnsLastStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.Client(), simtime.NewReal(), 2)
+	c.backoff = func(int) time.Duration { return 0 }
+	status, err := c.DoJSON("GET", srv.URL, nil, nil)
+	if err == nil {
+		t.Fatal("exhausted retries did not error")
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d after exhaustion, want %d", status, http.StatusServiceUnavailable)
+	}
+
+	p, err := NewPrepared("GET", srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err = c.DoPrepared(p, nil)
+	if err == nil {
+		t.Fatal("exhausted prepared retries did not error")
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("prepared status = %d after exhaustion, want %d", status, http.StatusServiceUnavailable)
+	}
+}
+
+// TestClientTransportExhaustionReturnsZero: when no attempt ever got a
+// response, the exhaustion status stays 0.
+func TestClientTransportExhaustionReturnsZero(t *testing.T) {
+	c := NewClient(http.DefaultClient, simtime.NewReal(), 1)
+	c.backoff = func(int) time.Duration { return 0 }
+	status, err := c.DoJSON("GET", "http://127.0.0.1:1/unreachable", nil, nil)
+	if err == nil {
+		t.Fatal("unreachable endpoint did not error")
+	}
+	if status != 0 {
+		t.Fatalf("status = %d for pure transport failure, want 0", status)
+	}
+}

@@ -108,6 +108,13 @@ type Client struct {
 	backoff func(attempt int) time.Duration
 }
 
+// Default retry backoff bounds: 250ms doubling per attempt, saturating
+// at 15s however many retries the caller configured.
+const (
+	DefaultRetryBase = 250 * time.Millisecond
+	DefaultRetryCap  = 15 * time.Second
+)
+
 // NewClient wraps doer with retry behaviour driven by clock. retries is
 // the number of re-attempts after the first try (0 = try once).
 func NewClient(doer Doer, clock simtime.Clock, retries int) *Client {
@@ -115,9 +122,41 @@ func NewClient(doer Doer, clock simtime.Clock, retries int) *Client {
 		doer:    doer,
 		clock:   clock,
 		retries: retries,
-		backoff: func(attempt int) time.Duration {
-			return 250 * time.Millisecond << uint(attempt)
-		},
+		backoff: ExpBackoff(DefaultRetryBase, DefaultRetryCap, nil),
+	}
+}
+
+// SetBackoff replaces the retry backoff schedule. fn receives the
+// zero-based attempt index (0 = delay before the first retry); use
+// ExpBackoff for the standard capped exponential with optional jitter.
+func (c *Client) SetBackoff(fn func(attempt int) time.Duration) { c.backoff = fn }
+
+// ExpBackoff returns a capped exponential backoff schedule: base before
+// the first retry, doubling per attempt, saturating at limit. The shift
+// is clamped so large attempt counts saturate instead of overflowing
+// the duration. jitter, when non-nil, is sampled per draw and must
+// return a value in [0, 1); the delay is then scaled into
+// [0.5, 1.5)×nominal, so retriers that failed at the same instant
+// (coalesced subscriptions watching one dead endpoint) spread out
+// instead of re-hitting the service in lockstep.
+func ExpBackoff(base, limit time.Duration, jitter func() float64) func(attempt int) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if limit < base {
+		limit = base
+	}
+	return func(attempt int) time.Duration {
+		d := limit
+		if attempt >= 0 && attempt < 32 {
+			if exp := base << uint(attempt); exp > 0 && exp < limit {
+				d = exp
+			}
+		}
+		if jitter != nil {
+			d = time.Duration((0.5 + jitter()) * float64(d))
+		}
+		return d
 	}
 }
 
@@ -150,6 +189,7 @@ func (c *Client) DoJSON(method, url string, body, out any, opts ...RequestOpt) (
 	}
 
 	var lastErr error
+	var lastStatus int
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			c.clock.Sleep(c.backoff(attempt - 1))
@@ -158,13 +198,19 @@ func (c *Client) DoJSON(method, url string, body, out any, opts ...RequestOpt) (
 		if err == nil && status < 500 {
 			return status, nil
 		}
+		if status != 0 {
+			lastStatus = status
+		}
 		if err != nil {
 			lastErr = err
 		} else {
 			lastErr = fmt.Errorf("server status %d", status)
 		}
 	}
-	return 0, fmt.Errorf("%s %s: %w", method, url, lastErr)
+	// On exhaustion the last received status rides alongside the error:
+	// callers (and failure metrics) distinguish an endpoint that answered
+	// 5xx from one that never answered at all (status 0).
+	return lastStatus, fmt.Errorf("%s %s: %w", method, url, lastErr)
 }
 
 func (c *Client) doOnce(method, url string, payload []byte, out any, opts []RequestOpt) (int, error) {
@@ -292,6 +338,7 @@ var (
 // semantics as DoJSON.
 func (c *Client) DoPrepared(p *Prepared, out any) (int, error) {
 	var lastErr error
+	var lastStatus int
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			c.clock.Sleep(c.backoff(attempt - 1))
@@ -300,13 +347,18 @@ func (c *Client) DoPrepared(p *Prepared, out any) (int, error) {
 		if err == nil && status < 500 {
 			return status, nil
 		}
+		if status != 0 {
+			lastStatus = status
+		}
 		if err != nil {
 			lastErr = err
 		} else {
 			lastErr = fmt.Errorf("server status %d", status)
 		}
 	}
-	return 0, fmt.Errorf("%s %s: %w", p.method, p.url, lastErr)
+	// Same exhaustion contract as DoJSON: surface the last real HTTP
+	// status so transport failure (0) and HTTP failure stay separable.
+	return lastStatus, fmt.Errorf("%s %s: %w", p.method, p.url, lastErr)
 }
 
 func (c *Client) doPreparedOnce(p *Prepared, out any) (int, error) {

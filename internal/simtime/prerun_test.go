@@ -1,0 +1,34 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// An actor spawned with Go before Run starts may park on a gate while it
+// is momentarily the only live actor and no timers exist. That is the
+// normal state of a population under assembly (e.g. an engine's trace
+// pump created before the experiment body runs), not a deadlock: the
+// deadlock detector must not trip until a Run is active.
+func TestSimPreRunParkedActorDoesNotPoison(t *testing.T) {
+	c := NewSimDefault()
+	g := c.NewGate()
+	c.Go(func() { g.Wait() })
+	// Give the actor real time to park before Run begins; this is the
+	// window the detector used to misread.
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		c.Run(func() {
+			c.Sleep(time.Second) // needs the timer wheel to still advance
+			g.Open()
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung: pre-Run parked actor poisoned the clock")
+	}
+}

@@ -3,6 +3,7 @@ package simtime
 import (
 	"container/heap"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,7 +33,36 @@ type SimClock struct {
 func NewSim(start time.Time) *SimClock {
 	c := &SimClock{now: start}
 	c.nowCache.Store(&start)
+	if stallDebug {
+		go c.stallWatch()
+	}
 	return c
+}
+
+// stallDebug enables a real-time watchdog on every SimClock that prints
+// the clock's internal counters when the simulation stops making
+// progress. Diagnostic only: set SIMTIME_STALL_DEBUG=1.
+var stallDebug = os.Getenv("SIMTIME_STALL_DEBUG") != ""
+
+func (c *SimClock) stallWatch() {
+	var lastNow time.Time
+	var lastSeq uint64
+	for {
+		time.Sleep(15 * time.Second)
+		c.mu.Lock()
+		stuck := c.now.Equal(lastNow) && c.seq == lastSeq && c.actors > 0
+		lastNow, lastSeq = c.now, c.seq
+		if stuck {
+			next := "none"
+			if len(c.timers) > 0 {
+				next = c.timers[0].when.Format(time.RFC3339Nano)
+			}
+			fmt.Fprintf(os.Stderr,
+				"simtime: STALL now=%s actors=%d runnable=%d timers=%d next=%s deadlock=%q\n",
+				c.now.Format(time.RFC3339Nano), c.actors, c.runnable, len(c.timers), next, c.deadlock)
+		}
+		c.mu.Unlock()
+	}
 }
 
 // DefaultStart is the virtual epoch used by NewSimDefault. It matches the
@@ -64,6 +94,13 @@ func (c *SimClock) Run(f func()) {
 	if c.quiesce != nil {
 		c.mu.Unlock()
 		panic("simtime: concurrent SimClock.Run")
+	}
+	if c.deadlock != "" {
+		// A previous Run already poisoned this clock; timers no longer
+		// advance, so a new Run could only hang. Fail loudly instead.
+		err := c.deadlock
+		c.mu.Unlock()
+		panic(err)
 	}
 	c.quiesce = done
 	c.spawnLocked(f)
@@ -358,6 +395,15 @@ func (c *SimClock) maybeAdvanceLocked() {
 	for c.runnable == 0 {
 		if len(c.timers) == 0 {
 			if c.actors == 0 {
+				return
+			}
+			if c.quiesce == nil {
+				// No Run is active: the population is still being
+				// assembled (or handed over between Runs) from outside
+				// the simulation, so actors parked on gates with no
+				// pending timers are waiting for setup to continue, not
+				// deadlocked. The check re-arms on the next block or
+				// exit once Run has started.
 				return
 			}
 			c.deadlock = fmt.Sprintf(

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/devices"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/homenet"
 	"repro/internal/httpx"
 	"repro/internal/oauth"
@@ -86,6 +87,15 @@ type Config struct {
 	// paper-reproduction experiments model the production engine's
 	// per-applet polling (Fig 7).
 	Coalesce bool
+	// FaultRules, when non-empty, builds a faults.Injector on the
+	// testbed's clock (seeded from Seed) and wraps the engine's
+	// outbound client with it, so every poll and action delivery passes
+	// through the fault model. The injector is exposed as tb.Faults.
+	FaultRules []faults.Rule
+	// Resilience forwards to engine.Config.Resilience (zero value =
+	// resilient polling with defaults; set Disable for the
+	// paper-faithful fixed cadence).
+	Resilience engine.ResilienceConfig
 }
 
 // DefaultShards is the testbed's pinned engine shard count. Experiments
@@ -127,6 +137,9 @@ type Testbed struct {
 
 	// Engine.
 	Engine *engine.Engine
+	// Faults is the injector built from Config.FaultRules (nil when no
+	// rules were given).
+	Faults *faults.Injector
 
 	mu     sync.Mutex
 	traces []engine.TraceEvent
@@ -240,16 +253,28 @@ func New(cfg Config) *Testbed {
 	if shards == 0 {
 		shards = DefaultShards
 	}
+	engineDoer := httpx.Doer(tb.Net.Client(HostEngine))
+	if len(cfg.FaultRules) > 0 {
+		tb.Faults = faults.New(clock, rng.Split("faults"))
+		for _, r := range cfg.FaultRules {
+			tb.Faults.AddRule(r)
+		}
+		if cfg.Metrics != nil {
+			tb.Faults.RegisterMetrics(cfg.Metrics)
+		}
+		engineDoer = tb.Faults.Wrap(engineDoer)
+	}
 	tb.Engine = engine.New(engine.Config{
 		Clock:            clock,
 		RNG:              rng.Split("engine"),
-		Doer:             tb.Net.Client(HostEngine),
+		Doer:             engineDoer,
 		Poll:             cfg.Poll,
 		RealtimeServices: realtime,
 		DispatchDelay:    cfg.DispatchDelay,
 		Shards:           shards,
 		ShardWorkers:     cfg.ShardWorkers,
 		Coalesce:         cfg.Coalesce,
+		Resilience:       cfg.Resilience,
 		Observers:        cfg.Observers,
 		Metrics:          cfg.Metrics,
 		Trace: func(ev engine.TraceEvent) {

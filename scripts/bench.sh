@@ -5,12 +5,12 @@
 # polls, polls_coalesced, goroutines, ...). CI uploads the file as an
 # artifact so regressions are diffable across runs.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_3.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_4.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_3.json}
+OUT=${1:-BENCH_4.json}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 

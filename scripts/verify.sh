@@ -16,7 +16,7 @@ echo '== go test -race ./...'
 go test -race ./...
 
 echo '== engine scale benchmarks (short)'
-go test -run '^$' -bench 'EngineScaleInstall|EngineScale100K|HintRouting|EngineEventThroughput' \
+go test -run '^$' -bench 'EngineScaleInstall|EngineScale100K|HintRouting|EngineEventThroughput|EngineChaosResilience' \
     -benchtime 1x .
 
 echo 'verify: OK'
