@@ -46,6 +46,14 @@ func main() {
 		coalesce = flag.Bool("coalesce", true, "share one upstream poll across applets with identical triggers (disable for per-applet polling A/B runs)")
 		pprof    = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
 
+		// Adaptive polling + global upstream-QPS budget.
+		adaptive     = flag.Bool("adaptive", false, "schedule each subscription by its observed event rate (EWMA) instead of a fixed policy")
+		ewmaHalfLife = flag.Duration("ewma-halflife", 0, "adaptive rate-estimate half-life (0 = 5m default)")
+		adaptiveFast = flag.Duration("adaptive-fast", 0, "fastest adaptive cadence a hot subscription reaches (0 = 10s default)")
+		adaptiveSlow = flag.Duration("adaptive-slow", 0, "slowest adaptive cadence a cold subscription decays to (0 = 15m default)")
+		pollQPS      = flag.Float64("poll-qps", 0, "per-upstream-service poll budget in QPS; empty budget defers polls (0 = unlimited)")
+		pollBurst    = flag.Float64("poll-burst", 0, "poll-budget bucket depth (0 = one second of refill)")
+
 		// Resilient polling (failure backoff + per-trigger circuit breaker).
 		resilience  = flag.Bool("resilience", true, "failure backoff and circuit breaking on trigger polls (false = paper-faithful fixed cadence)")
 		backoffBase = flag.Duration("backoff-base", 0, "first failure-backoff delay (0 = 30s default)")
@@ -108,6 +116,15 @@ func main() {
 			"latency_rate", *faultSlowRate, "blackouts", *faultBlackout, "host", *faultHost)
 	}
 
+	var adCfg *engine.AdaptiveConfig
+	if *adaptive {
+		adCfg = &engine.AdaptiveConfig{
+			HalfLife:    *ewmaHalfLife,
+			FastFloor:   *adaptiveFast,
+			SlowCeiling: *adaptiveSlow,
+		}
+	}
+
 	resCfg := engine.ResilienceConfig{
 		Disable:          !*resilience,
 		BackoffBase:      *backoffBase,
@@ -125,6 +142,9 @@ func main() {
 		Shards:           *shards,
 		ShardWorkers:     *workers,
 		Coalesce:         *coalesce,
+		Adaptive:         adCfg,
+		PollBudgetQPS:    *pollQPS,
+		PollBudgetBurst:  *pollBurst,
 		Resilience:       resCfg,
 		Logger:           log,
 		Metrics:          reg,

@@ -50,7 +50,10 @@ func RunAblations(cfg AblationConfig) (*AblationResults, error) {
 	// Smart polling: one hot applet among 20 under a common budget.
 	const nApplets = 20
 	uniform := 200 * time.Second
-	smart := engine.NewBudgetedSmart([]string{"A2"}, nApplets, uniform, 0.3)
+	smart, err := engine.NewBudgetedSmart([]string{"A2"}, nApplets, uniform, 0.3)
+	if err != nil {
+		return nil, fmt.Errorf("smart policy: %w", err)
+	}
 	res.SmartFast, res.SmartSlow, res.SmartBudgetInterval = smart.Fast, smart.Slow, uniform
 	{
 		tb := testbed.New(testbed.Config{Seed: cfg.Seed, Poll: engine.FixedInterval{Interval: uniform}})

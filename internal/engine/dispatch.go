@@ -27,11 +27,14 @@ import (
 // never polled concurrently — so the steady-state empty poll allocates
 // nothing.
 //
-// The return value reports whether the poll itself succeeded (a 200
-// with a decodable body); the worker feeds it to the backoff/breaker
-// state machine. Action failures do not count against the trigger
-// service's subscription.
-func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members []*runningApplet, prep *httpx.Prepared) bool {
+// The first return value reports whether the poll itself succeeded (a
+// 200 with a decodable body); the worker feeds it to the backoff/
+// breaker state machine. Action failures do not count against the
+// trigger service's subscription. The second return value is the count
+// of events new to the subscription — the lead member's fresh events,
+// so late joiners replaying their backlog do not inflate it — which
+// the worker feeds to the adaptive EWMA.
+func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members []*runningApplet, prep *httpx.Prepared) (bool, int) {
 	sh := sub.shard
 	leadID := members[0].def.ID
 	execID := e.execSeq.Add(1)
@@ -87,7 +90,7 @@ func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members [
 		if e.log != nil {
 			e.log.Warn("trigger poll failed", "applet", leadID, "err", msg)
 		}
-		return false
+		return false, 0
 	}
 
 	// The wire order is newest first; each member executes its unseen
@@ -110,6 +113,10 @@ func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members [
 	}
 	sub.fresh = fresh
 	sub.ranges = ranges
+	newEvents := 0
+	if len(ranges) > 0 {
+		newEvents = ranges[0].end - ranges[0].start
+	}
 
 	e.emit(sh, TraceEvent{Kind: TracePollResult, AppletID: leadID, ExecID: execID, N: len(fresh)})
 	if len(fresh) > 0 && e.dispatch > 0 {
@@ -125,7 +132,7 @@ func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members [
 			e.dispatchAction(mr.ra, ev, execID)
 		}
 	}
-	return true
+	return true, newEvents
 }
 
 // dispatchAction POSTs one action execution, resolving {{ingredient}}
@@ -309,10 +316,22 @@ func (e *Engine) userSubscriptions(userID string) ([]*subscription, string, int)
 // pokeSubscription pulls a subscription's next poll forward to now (the
 // honoured realtime-hint path). Pokes for removed or mid-poll
 // subscriptions are silently dropped, as with the old per-goroutine
-// design.
+// design. Under adaptive polling a hint also spikes the subscription's
+// rate estimate: a push-assisted identity whose events always arrive
+// via hints would otherwise look cold to the EWMA (each provoked poll
+// finds one event after a short gap only because the hint moved it),
+// so the spike pins its cadence near the fast floor until the estimate
+// decays naturally.
 func (e *Engine) pokeSubscription(sub *subscription) {
 	sh := sub.shard
 	sh.mu.Lock()
+	if ap := e.adaptive; ap != nil && ap.boost > 0 && sub.rate < ap.boost && !sub.removed {
+		// Stamp the estimate as fresh: leaving rateAt at the last poll
+		// would let the next EWMA update decay the spike across the
+		// whole pre-hint silence, erasing it.
+		sub.rate = ap.boost
+		sub.rateAt = e.clock.Now()
+	}
 	sh.pokeLocked(sub, e.clock.Now())
 	sh.mu.Unlock()
 }

@@ -226,6 +226,25 @@ type Config struct {
 	// zero value enables both with defaults; set Resilience.Disable for
 	// the paper-faithful full-cadence re-polling.
 	Resilience ResilienceConfig
+	// Adaptive, when non-nil, replaces Poll's gap draws with the
+	// per-subscription EWMA cadence of adaptive.go: subscriptions that
+	// produce events converge to AdaptiveConfig.FastFloor, silent ones
+	// decay to SlowCeiling, and honoured realtime hints spike the
+	// estimate. Poll is still used as a fallback (and keeps its
+	// calibrated default) so disabling adaptive mode restores the
+	// paper-faithful behaviour unchanged.
+	Adaptive *AdaptiveConfig
+	// PollBudgetQPS, when positive, enables the global admission
+	// controller: each upstream service's polls are bounded by a token
+	// bucket refilled at this rate. An empty bucket defers the poll to
+	// the instant its token accrues (never drops it); deferrals are
+	// counted in Stats and metrics. Circuit-breaker probe polls bypass
+	// the budget. Zero disables admission.
+	PollBudgetQPS float64
+	// PollBudgetBurst caps each service's token bucket (the number of
+	// polls that may be issued back-to-back after idleness). Zero means
+	// max(PollBudgetQPS, 1) — about one second of refill.
+	PollBudgetBurst float64
 	// Coalesce groups applets with identical trigger configurations
 	// (same service, slug, fields, and user credentials — see
 	// Applet.CoalescedTriggerIdentity) into shared subscriptions: one
@@ -281,6 +300,11 @@ type Engine struct {
 	brThreshold int // 0 = breaker disabled
 	probeIvl    time.Duration
 
+	// Adaptive cadence and the global poll budget (adaptive.go); either
+	// may be nil — they compose but do not require each other.
+	adaptive  *adaptiveParams
+	admission *admission
+
 	// mu guards the engine-wide applet indexes. Lock ordering: mu may be
 	// taken before a shard's mutex, never after.
 	mu      sync.Mutex
@@ -294,6 +318,10 @@ type Engine struct {
 	// backoffHist, when metrics are registered, records every
 	// failure-driven reschedule delay (backoff or probe interval).
 	backoffHist *obs.Histogram
+	// cadenceHist, when metrics are registered, records every
+	// policy-driven (non-failure) poll gap the scheduler draws, so the
+	// live cadence distribution — adaptive or not — is observable.
+	cadenceHist *obs.Histogram
 	// breakerOpen counts subscriptions whose breaker is currently open
 	// or half-open; mutated under the owning shard's lock.
 	breakerOpen atomic.Int64
@@ -331,6 +359,12 @@ type Stats struct {
 	BreakerOpens  int64 `json:"breaker_opens"`
 	BreakerCloses int64 `json:"breaker_closes"`
 	BreakerProbes int64 `json:"breaker_probes"`
+	// PollsDeferred counts polls the admission controller pushed past
+	// their due time because the service's token bucket was empty;
+	// BudgetGrants counts polls it admitted on time. Both stay zero
+	// without Config.PollBudgetQPS.
+	PollsDeferred int64 `json:"polls_deferred"`
+	BudgetGrants  int64 `json:"budget_grants"`
 	// PollsCoalesced counts upstream polls avoided by coalescing: each
 	// poll of an n-member subscription adds n-1.
 	PollsCoalesced int64 `json:"polls_coalesced"`
@@ -421,6 +455,10 @@ func New(cfg Config) *Engine {
 	}
 	if e.probeIvl = res.ProbeInterval; e.probeIvl <= 0 {
 		e.probeIvl = DefaultProbeInterval
+	}
+	e.adaptive = resolveAdaptive(cfg.Adaptive)
+	if cfg.PollBudgetQPS > 0 {
+		e.admission = newAdmission(cfg.PollBudgetQPS, cfg.PollBudgetBurst)
 	}
 
 	// The retry layer's backoff gets seeded jitter so coalesced
@@ -524,6 +562,7 @@ func (e *Engine) Stats() Stats {
 		st.BreakerOpens += sh.counters.breakerOpens.Load()
 		st.BreakerCloses += sh.counters.breakerCloses.Load()
 		st.BreakerProbes += sh.counters.breakerProbes.Load()
+		st.PollsDeferred += sh.counters.pollsDeferred.Load()
 		st.PollsCoalesced += sh.counters.pollsCoalesced.Load()
 		st.EventsReceived += sh.counters.eventsReceived.Load()
 		st.ActionsOK += sh.counters.actionsOK.Load()
@@ -538,6 +577,9 @@ func (e *Engine) Stats() Stats {
 	e.mu.Unlock()
 	st.HintsReceived = e.hints.Load()
 	st.BreakersOpen = e.breakerOpen.Load()
+	if e.admission != nil {
+		st.BudgetGrants = e.admission.grants()
+	}
 	return st
 }
 

@@ -360,16 +360,62 @@ func TestPaperPollModelRange(t *testing.T) {
 	}
 }
 
+// recordingPolicy captures the arguments PerService forwards, proving
+// dispatch passes the applet identity through to the chosen policy.
+type recordingPolicy struct {
+	gap     time.Duration
+	applet  string
+	service string
+	calls   int
+}
+
+func (p *recordingPolicy) NextGap(appletID, service string, _ *stats.RNG) time.Duration {
+	p.applet, p.service = appletID, service
+	p.calls++
+	return p.gap
+}
+
 func TestPerServicePolicy(t *testing.T) {
+	alexa := &recordingPolicy{gap: time.Second}
+	def := &recordingPolicy{gap: time.Minute}
 	p := PerService{
-		Overrides: map[string]PollPolicy{"alexa": FixedInterval{Interval: time.Second}},
-		Default:   FixedInterval{Interval: time.Minute},
+		Overrides: map[string]PollPolicy{"alexa": alexa},
+		Default:   def,
 	}
 	g := stats.NewRNG(4)
 	if got := p.NextGap("a1", "alexa", g); got != time.Second {
 		t.Errorf("alexa gap = %v", got)
 	}
-	if got := p.NextGap("a1", "hue", g); got != time.Minute {
+	if alexa.applet != "a1" || alexa.service != "alexa" {
+		t.Errorf("override saw (%q, %q), want (a1, alexa)", alexa.applet, alexa.service)
+	}
+	if def.calls != 0 {
+		t.Errorf("default consulted %d times for an overridden service", def.calls)
+	}
+	// Any service without an override — including none at all — falls
+	// through to the default, with arguments intact.
+	if got := p.NextGap("a2", "hue", g); got != time.Minute {
 		t.Errorf("hue gap = %v", got)
+	}
+	if def.applet != "a2" || def.service != "hue" {
+		t.Errorf("default saw (%q, %q), want (a2, hue)", def.applet, def.service)
+	}
+	none := PerService{Default: FixedInterval{Interval: 30 * time.Second}}
+	if got := none.NextGap("a3", "alexa", g); got != 30*time.Second {
+		t.Errorf("nil-overrides gap = %v", got)
+	}
+	// Per-applet policies compose under an override: a SmartPolicy
+	// scoped to one service still distinguishes hot applets.
+	smart := PerService{
+		Overrides: map[string]PollPolicy{"alexa": SmartPolicy{
+			Hot: map[string]bool{"vip": true}, Fast: 2 * time.Second, Slow: 20 * time.Second,
+		}},
+		Default: def,
+	}
+	if got := smart.NextGap("vip", "alexa", g); got != 2*time.Second {
+		t.Errorf("hot applet through override = %v", got)
+	}
+	if got := smart.NextGap("a9", "alexa", g); got != 20*time.Second {
+		t.Errorf("cold applet through override = %v", got)
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/stats"
@@ -105,26 +106,53 @@ func (p PerService) NextGap(appletID, service string, g *stats.RNG) time.Duratio
 type SmartPolicy struct {
 	Hot        map[string]bool
 	Fast, Slow time.Duration
+	// Jitter spreads each drawn gap uniformly into [1-J, 1+J)× the
+	// nominal interval. Zero disables jitter, which makes every
+	// subscription sharing an interval poll at the same simtime
+	// instants — a thundering herd on tick boundaries — so callers
+	// that schedule real populations should set it (NewBudgetedSmart
+	// defaults it to DefaultSmartJitter).
+	Jitter float64
 }
 
-// NextGap returns Fast for hot applets and Slow otherwise.
-func (p SmartPolicy) NextGap(appletID, _ string, _ *stats.RNG) time.Duration {
+// DefaultSmartJitter is the gap spread NewBudgetedSmart applies: wide
+// enough that same-interval subscriptions drift apart within a few
+// polls, narrow enough to leave the budget arithmetic intact.
+const DefaultSmartJitter = 0.1
+
+// NextGap returns Fast for hot applets and Slow otherwise, jittered
+// when the policy carries a Jitter fraction.
+func (p SmartPolicy) NextGap(appletID, _ string, g *stats.RNG) time.Duration {
+	gap := p.Slow
 	if p.Hot[appletID] {
-		return p.Fast
+		gap = p.Fast
 	}
-	return p.Slow
+	if p.Jitter > 0 && g != nil {
+		gap = jitterDur(gap, p.Jitter, g)
+	}
+	return gap
 }
 
 // NewBudgetedSmart builds a SmartPolicy that spends the same total poll
 // budget as a uniform policy polling n applets every uniformInterval,
-// but allocates hotShare of that budget to the hot applets. It returns
-// the policy and the resulting fast/slow intervals for reporting.
-func NewBudgetedSmart(hot []string, n int, uniformInterval time.Duration, hotShare float64) SmartPolicy {
-	if n < 1 || len(hot) == 0 || hotShare <= 0 || hotShare >= 1 {
-		panic("engine: NewBudgetedSmart parameters out of range")
+// but allocates hotShare of that budget to the hot applets. The
+// resulting fast/slow intervals are available on the returned policy
+// for reporting. It returns an error for out-of-range parameters; when
+// every applet is hot (len(hot) >= n) the skew degenerates and the
+// policy falls back to the uniform interval for everyone.
+func NewBudgetedSmart(hot []string, n int, uniformInterval time.Duration, hotShare float64) (SmartPolicy, error) {
+	switch {
+	case n < 1:
+		return SmartPolicy{}, fmt.Errorf("engine: NewBudgetedSmart: n must be >= 1, got %d", n)
+	case len(hot) == 0:
+		return SmartPolicy{}, fmt.Errorf("engine: NewBudgetedSmart: hot set is empty")
+	case uniformInterval <= 0:
+		return SmartPolicy{}, fmt.Errorf("engine: NewBudgetedSmart: uniformInterval must be positive, got %v", uniformInterval)
+	case hotShare <= 0 || hotShare >= 1:
+		return SmartPolicy{}, fmt.Errorf("engine: NewBudgetedSmart: hotShare must be in (0, 1), got %g", hotShare)
 	}
 	if len(hot) >= n {
-		return SmartPolicy{Hot: toSet(hot), Fast: uniformInterval, Slow: uniformInterval}
+		return SmartPolicy{Hot: toSet(hot), Fast: uniformInterval, Slow: uniformInterval, Jitter: DefaultSmartJitter}, nil
 	}
 	// Budget in polls/sec: n / uniform.
 	budget := float64(n) / uniformInterval.Seconds()
@@ -132,7 +160,7 @@ func NewBudgetedSmart(hot []string, n int, uniformInterval time.Duration, hotSha
 	coldBudget := budget - hotBudget
 	fast := time.Duration(float64(len(hot)) / hotBudget * float64(time.Second))
 	slow := time.Duration(float64(n-len(hot)) / coldBudget * float64(time.Second))
-	return SmartPolicy{Hot: toSet(hot), Fast: fast, Slow: slow}
+	return SmartPolicy{Hot: toSet(hot), Fast: fast, Slow: slow, Jitter: DefaultSmartJitter}, nil
 }
 
 func toSet(ids []string) map[string]bool {

@@ -102,12 +102,30 @@ func jitterDur(d time.Duration, frac float64, rng *stats.RNG) time.Duration {
 	return time.Duration(f * float64(d))
 }
 
+// policyGapLocked draws sub's next scheduled (non-failure) gap: the
+// adaptive EWMA cadence when adaptive mode is on, otherwise the
+// configured poll policy. Caller holds s.mu.
+func (s *shard) policyGapLocked(sub *subscription) time.Duration {
+	e := s.e
+	var gap time.Duration
+	if ap := e.adaptive; ap != nil {
+		gap = ap.nextGapLocked(sub)
+	} else {
+		gap = e.poll.NextGap(sub.leadID, sub.trigger.Service, sub.rng)
+	}
+	if e.cadenceHist != nil {
+		e.cadenceHist.Observe(gap.Seconds())
+	}
+	return gap
+}
+
 // nextPollDueLocked decides when sub polls next given the outcome of
-// the poll that just finished, advancing the backoff/breaker state
-// machine. Caller holds s.mu. The returned trace event, when non-zero,
-// must be emitted after the lock is released — trace observers may call
-// back into the engine.
-func (s *shard) nextPollDueLocked(sub *subscription, ok bool) (time.Time, TraceEvent) {
+// the poll that just finished (and, on success, how many fresh events
+// it surfaced — the adaptive EWMA's observation), advancing the
+// backoff/breaker state machine. Caller holds s.mu. The returned trace
+// event, when non-zero, must be emitted after the lock is released —
+// trace observers may call back into the engine.
+func (s *shard) nextPollDueLocked(sub *subscription, ok bool, events int) (time.Time, TraceEvent) {
 	e := s.e
 	now := e.clock.Now()
 	if sub.removed {
@@ -116,12 +134,19 @@ func (s *shard) nextPollDueLocked(sub *subscription, ok bool) (time.Time, TraceE
 		// will drop it, so the state machine must not run again.
 		return now, TraceEvent{}
 	}
+	if ap := e.adaptive; ap != nil && ok {
+		// Failures carry no rate information, so the estimate is only
+		// folded on success; an idle-through-outage subscription decays
+		// on its first healthy poll because dt spans the outage.
+		sub.rate = ewmaRate(sub.rate, events, now.Sub(sub.rateAt), ap.halfLife)
+		sub.rateAt = now
+	}
 	if !e.resilient {
-		return now.Add(e.poll.NextGap(sub.leadID, sub.trigger.Service, sub.rng)), TraceEvent{}
+		return now.Add(s.policyGapLocked(sub)), TraceEvent{}
 	}
 	if ok {
 		sub.failStreak = 0
-		gap := e.poll.NextGap(sub.leadID, sub.trigger.Service, sub.rng)
+		gap := s.policyGapLocked(sub)
 		if sub.brState != brClosed {
 			sub.brState = brClosed
 			e.breakerOpen.Add(-1)

@@ -183,7 +183,27 @@ func (s *shard) worker() {
 			s.mu.Unlock()
 			continue
 		}
+		// Admission: a scheduled poll charges the upstream service's
+		// token bucket. When the bucket is empty the poll is deferred —
+		// rescheduled to the exact instant its reserved token accrues —
+		// never dropped; the reservation is consumed on the deferred
+		// turn, so it is not charged twice. Polls of tripped
+		// subscriptions (breaker open: the pop below turns them into
+		// half-open probes) bypass the budget entirely, so a blacked-out
+		// service consumes zero budget while its breakers are open.
+		if adm := s.e.admission; adm != nil && !sub.reserved &&
+			!(s.e.resilient && sub.brState != brClosed) {
+			if wait := adm.reserve(sub.trigger.Service, s.e.clock.Now()); wait > 0 {
+				sub.reserved = true
+				s.counters.pollsDeferred.Add(1)
+				s.scheduleLocked(sub, s.e.clock.Now().Add(wait))
+				s.mu.Unlock()
+				continue
+			}
+		}
+		sub.reserved = false
 		sub.polling = true
+		sub.pollCount++
 		// An open breaker means this poll is the half-open probe: the
 		// next outcome decides whether the breaker closes or re-opens.
 		probe := false
@@ -206,12 +226,12 @@ func (s *shard) worker() {
 		if probe {
 			s.e.emit(s, TraceEvent{Kind: TraceBreakerProbe, AppletID: members[0].def.ID})
 		}
-		ok := s.e.pollSubscription(sub, hintAt, members, prep)
+		ok, events := s.e.pollSubscription(sub, hintAt, members, prep)
 
 		s.mu.Lock()
 		sub.polling = false
 		sub.snap = members
-		due, brEv := s.nextPollDueLocked(sub, ok)
+		due, brEv := s.nextPollDueLocked(sub, ok, events)
 		s.scheduleLocked(sub, due)
 		s.mu.Unlock()
 		if brEv.Kind != "" {

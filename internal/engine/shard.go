@@ -55,6 +55,17 @@ type subscription struct {
 	failStreak int
 	brState    breakerState
 
+	// Adaptive-polling state (adaptive.go), guarded by the shard's
+	// mutex. rate is the EWMA event-rate estimate (events/sec); rateAt
+	// is the estimate's last update instant. reserved marks a poll the
+	// admission controller deferred — it already holds its budget
+	// token, so it must not be charged again when its turn comes.
+	// pollCount tallies polls issued for this subscription.
+	rate      float64
+	rateAt    time.Time
+	reserved  bool
+	pollCount int64
+
 	// Worker-owned scratch, reused across polls so the steady-state poll
 	// path allocates nothing for the common empty-result case.
 	resp   proto.TriggerPollResponse
@@ -152,6 +163,10 @@ type shardCounters struct {
 	breakerOpens  atomic.Int64
 	breakerCloses atomic.Int64
 	breakerProbes atomic.Int64
+
+	// Polls the admission controller pushed past their due time because
+	// the upstream service's token bucket was empty (adaptive.go).
+	pollsDeferred atomic.Int64
 }
 
 func newShard(e *Engine, id int, rng *stats.RNG) *shard {
@@ -191,8 +206,17 @@ func (s *shard) joinLocked(ra *runningApplet, key string) {
 		ra.sub = sub
 		s.subs[key] = sub
 		sub.rebuildPrepLocked(s.e)
-		gap := s.e.poll.NextGap(sub.leadID, sub.trigger.Service, sub.rng)
-		s.scheduleLocked(sub, s.e.clock.Now().Add(gap))
+		now := s.e.clock.Now()
+		var gap time.Duration
+		if ap := s.e.adaptive; ap != nil {
+			// New subscriptions start presumed-cold with a spread first
+			// poll; the first result (or a hint) reveals their heat.
+			sub.rateAt = now
+			gap = ap.initialGap(sub.rng)
+		} else {
+			gap = s.e.poll.NextGap(sub.leadID, sub.trigger.Service, sub.rng)
+		}
+		s.scheduleLocked(sub, now.Add(gap))
 		return
 	}
 	sub.members = append(sub.members, ra)

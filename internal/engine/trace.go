@@ -60,6 +60,26 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	e.backoffHist = reg.Histogram("ifttt_engine_poll_backoff_seconds",
 		"Failure-driven poll reschedule delay (exponential backoff or probe interval).",
 		obs.LogBuckets(1, 4096, 2))
+	// Scheduled poll gaps span the adaptive fast floor (seconds) to the
+	// slow ceiling (tens of minutes); the same range covers every
+	// static policy's draws.
+	e.cadenceHist = reg.Histogram("ifttt_engine_poll_cadence_seconds",
+		"Scheduled (non-failure) poll gap drawn per subscription; under adaptive polling this is the live cadence distribution.",
+		obs.LogBuckets(1, 4096, 2))
+	reg.CounterFunc("ifttt_engine_polls_deferred_total",
+		"Polls pushed past their due time by an empty upstream-budget token bucket.",
+		sum(func(c *shardCounters) int64 { return c.pollsDeferred.Load() }))
+	if adm := e.admission; adm != nil {
+		reg.CounterFunc("ifttt_engine_poll_budget_grants_total",
+			"Polls the admission controller admitted without deferral.",
+			adm.grants)
+		reg.GaugeFunc("ifttt_engine_poll_budget_tokens",
+			"Token balance summed across upstream services; negative is the outstanding reservation backlog.",
+			adm.tokenBalance)
+		reg.GaugeFunc("ifttt_engine_poll_budget_qps",
+			"Configured per-service upstream poll budget (polls/sec).",
+			func() float64 { return adm.qps })
+	}
 	reg.CounterFunc("ifttt_engine_events_received_total", "Fresh trigger events received.",
 		sum(func(c *shardCounters) int64 { return c.eventsReceived.Load() }))
 	reg.CounterFunc("ifttt_engine_actions_ok_total", "Actions acknowledged by the action service.",

@@ -96,6 +96,15 @@ type Config struct {
 	// resilient polling with defaults; set Disable for the
 	// paper-faithful fixed cadence).
 	Resilience engine.ResilienceConfig
+	// Adaptive forwards to engine.Config.Adaptive: when non-nil the
+	// engine schedules each subscription by its EWMA event-rate
+	// estimate instead of Poll.
+	Adaptive *engine.AdaptiveConfig
+	// PollBudgetQPS and PollBudgetBurst forward to engine.Config: a
+	// positive QPS bounds each upstream service's polls with a
+	// deferring token bucket.
+	PollBudgetQPS   float64
+	PollBudgetBurst float64
 }
 
 // DefaultShards is the testbed's pinned engine shard count. Experiments
@@ -275,6 +284,9 @@ func New(cfg Config) *Testbed {
 		ShardWorkers:     cfg.ShardWorkers,
 		Coalesce:         cfg.Coalesce,
 		Resilience:       cfg.Resilience,
+		Adaptive:         cfg.Adaptive,
+		PollBudgetQPS:    cfg.PollBudgetQPS,
+		PollBudgetBurst:  cfg.PollBudgetBurst,
 		Observers:        cfg.Observers,
 		Metrics:          cfg.Metrics,
 		Trace: func(ev engine.TraceEvent) {

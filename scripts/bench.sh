@@ -3,14 +3,16 @@
 # a machine-readable JSON summary: benchmark name -> iterations, ns/op,
 # B/op, allocs/op, and every custom b.ReportMetric unit (t2a_p50_s,
 # polls, polls_coalesced, goroutines, ...). CI uploads the file as an
-# artifact so regressions are diffable across runs.
+# artifact so regressions are diffable across runs, and a per-benchmark
+# delta against the newest previous BENCH_N.json is printed so drift is
+# visible directly in the CI log.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_4.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_6.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_4.json}
+OUT=${1:-BENCH_6.json}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
@@ -35,3 +37,42 @@ END { print "\n}" }
 ' "$RAW" > "$OUT"
 
 echo "bench: wrote $OUT"
+
+# Delta report: compare against the newest BENCH_N.json that is not the
+# file just written. Both files are flat {bench: {unit: value}} objects,
+# so a line-per-metric join is enough — no jq dependency.
+PREV=$(ls BENCH_*.json 2>/dev/null | grep -v "^$OUT\$" | sort -t_ -k2 -n | tail -1 || true)
+if [ -n "$PREV" ]; then
+    echo "bench: delta vs $PREV (old -> new, % change)"
+    python3 - "$PREV" "$OUT" <<'EOF'
+import json, sys
+old = json.load(open(sys.argv[1]))
+new = json.load(open(sys.argv[2]))
+for bench in sorted(new):
+    lines = []
+    for unit, nv in new[bench].items():
+        if unit == "iterations":
+            continue
+        ov = old.get(bench, {}).get(unit)
+        if ov is None:
+            lines.append(f"    {unit}: (new) {nv:g}")
+        elif ov == nv:
+            continue
+        else:
+            pct = (nv - ov) / ov * 100 if ov else float("inf")
+            lines.append(f"    {unit}: {ov:g} -> {nv:g} ({pct:+.1f}%)")
+    if bench not in old:
+        print(f"  {bench}: new benchmark")
+    elif not lines:
+        print(f"  {bench}: unchanged")
+        continue
+    else:
+        print(f"  {bench}:")
+    for l in lines:
+        print(l)
+for bench in sorted(set(old) - set(new)):
+    print(f"  {bench}: removed")
+EOF
+else
+    echo "bench: no previous BENCH_N.json to diff against"
+fi
