@@ -1,7 +1,9 @@
 // Command iftttd runs the IFTTT engine as a live daemon: it loads applet
 // definitions from a JSON file, polls their trigger services over real
 // HTTP, dispatches actions, and serves the realtime notification
-// endpoint plus the observability surface (GET /metrics, GET /healthz).
+// endpoint plus the observability surface (GET /metrics, GET /healthz,
+// GET /readyz, and — with -slo-target — GET /debug/slo, /debug/slowest,
+// and /debug/exemplars for cmd/iftttop).
 //
 // Applet file format (JSON array of engine.Applet):
 //
@@ -30,6 +32,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 )
@@ -53,6 +56,11 @@ func main() {
 		adaptiveSlow = flag.Duration("adaptive-slow", 0, "slowest adaptive cadence a cold subscription decays to (0 = 15m default)")
 		pollQPS      = flag.Float64("poll-qps", 0, "per-upstream-service poll budget in QPS; empty budget defers polls (0 = unlimited)")
 		pollBurst    = flag.Float64("poll-burst", 0, "poll-budget bucket depth (0 = one second of refill)")
+
+		// SLO tier: burn-rate tracking + tail-based span retention.
+		sloTarget = flag.Duration("slo-target", 0, "T2A objective threshold (e.g. 120s); 0 disables the SLO tier")
+		sloRatio  = flag.Float64("slo-ratio", 0, "fraction of executions that must meet -slo-target (0 = 0.99 default)")
+		sloWindow = flag.Duration("slo-window", 0, "fast burn-rate window; the slow window is 12x (0 = 5m default)")
 
 		// Resilient polling (failure backoff + per-trigger circuit breaker).
 		resilience  = flag.Bool("resilience", true, "failure backoff and circuit breaking on trigger polls (false = paper-faithful fixed cadence)")
@@ -133,6 +141,15 @@ func main() {
 		ProbeInterval:    *brProbe,
 	}
 
+	var sloCfg *slo.Config
+	if *sloTarget > 0 {
+		sloCfg = &slo.Config{
+			Objective:  slo.Objective{Threshold: *sloTarget, Ratio: *sloRatio},
+			FastWindow: *sloWindow,
+		}
+		log.Info("slo tier active", "target", *sloTarget, "ratio", *sloRatio, "fast_window", *sloWindow)
+	}
+
 	eng := engine.New(engine.Config{
 		Clock:            clock,
 		RNG:              stats.NewRNG(*seed),
@@ -146,6 +163,7 @@ func main() {
 		PollBudgetQPS:    *pollQPS,
 		PollBudgetBurst:  *pollBurst,
 		Resilience:       resCfg,
+		SLO:              sloCfg,
 		Logger:           log,
 		Metrics:          reg,
 		Trace: func(ev engine.TraceEvent) {

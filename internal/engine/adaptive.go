@@ -222,6 +222,11 @@ type admission struct {
 	mu      sync.Mutex
 	buckets map[string]*serviceBucket
 	granted int64 // polls admitted without deferral
+	// Stall detection for readiness: deferStart marks the beginning of
+	// the current unbroken deferral streak (zeroed by any grant),
+	// lastDefer its most recent deferral.
+	deferStart time.Time
+	lastDefer  time.Time
 }
 
 // serviceBucket is one service's token state. tokens < 0 encodes
@@ -260,9 +265,31 @@ func (a *admission) reserve(service string, now time.Time) time.Duration {
 	b.tokens--
 	if b.tokens >= 0 {
 		a.granted++
+		a.deferStart = time.Time{}
 		return 0
 	}
+	if a.deferStart.IsZero() {
+		a.deferStart = now
+	}
+	a.lastDefer = now
 	return time.Duration(-b.tokens / a.qps * float64(time.Second))
+}
+
+// stalled reports whether the budget has been fully deferring for at
+// least window: an unbroken deferral streak of that length that is
+// still live (a deferral within the last window). The duration is how
+// long the streak has run.
+func (a *admission) stalled(now time.Time, window time.Duration) (bool, time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.deferStart.IsZero() {
+		return false, 0
+	}
+	streak := now.Sub(a.deferStart)
+	if streak < window || now.Sub(a.lastDefer) > window {
+		return false, 0
+	}
+	return true, streak
 }
 
 // grants reports how many polls were admitted without deferral.

@@ -38,7 +38,7 @@ func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members [
 	sh := sub.shard
 	leadID := members[0].def.ID
 	execID := e.execSeq.Add(1)
-	e.emit(sh, TraceEvent{Kind: TracePollSent, AppletID: leadID, ExecID: execID, HintAt: hintAt})
+	e.emit(sh, TraceEvent{Kind: TracePollSent, AppletID: leadID, Service: sub.trigger.Service, ExecID: execID, HintAt: hintAt})
 	if n := len(members) - 1; n > 0 {
 		sh.counters.pollsCoalesced.Add(int64(n))
 	}
@@ -220,9 +220,12 @@ func expandIngredients(tmpl string, ingredients map[string]string) string {
 }
 
 // Handler exposes the engine's HTTP surface: the realtime notification
-// endpoint partner services POST hints to, the stats snapshot, and —
-// when the engine has a metrics registry — GET /metrics (Prometheus
-// text, ?format=json for the JSON snapshot) plus GET /healthz.
+// endpoint partner services POST hints to, the stats snapshot, the
+// readiness probe, and — when the engine has a metrics registry —
+// GET /metrics (Prometheus text, ?format=json for the JSON snapshot)
+// plus GET /healthz and GET /debug/exemplars. With Config.SLO set,
+// GET /debug/slo serves the burn-rate report and GET /debug/slowest
+// the tail-retained spans.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+proto.RealtimePath, e.handleRealtime)
@@ -230,6 +233,14 @@ func (e *Engine) Handler() http.Handler {
 		httpx.WriteJSON(w, http.StatusOK, e.Stats())
 	})
 	obs.Mount(mux, e.metrics)
+	mux.Handle("GET /readyz", e.Readiness())
+	if e.metrics != nil {
+		mux.Handle("GET /debug/exemplars", obs.ExemplarsHandler(e.metrics))
+	}
+	if e.slo != nil {
+		mux.Handle("GET /debug/slo", e.slo)
+		mux.Handle("GET /debug/slowest", e.tail)
+	}
 	return httpx.Chain(mux, httpx.RequestID)
 }
 

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 )
@@ -129,6 +130,12 @@ const (
 	TraceBreakerOpen  TraceKind = "breaker_open"
 	TraceBreakerProbe TraceKind = "breaker_probe"
 	TraceBreakerClose TraceKind = "breaker_close"
+	// SLO alert transitions (Config.SLO): the burn-rate tracker entered
+	// warn, entered page, or cleared back toward ok. Service carries the
+	// affected series ("" = global), Err the burn rates.
+	TraceSLOWarn  TraceKind = "slo_warn"
+	TraceSLOPage  TraceKind = "slo_page"
+	TraceSLOClear TraceKind = "slo_clear"
 )
 
 // TraceEvent records one step of applet execution; the testbed's
@@ -138,6 +145,10 @@ type TraceEvent struct {
 	Time     time.Time
 	Kind     TraceKind
 	AppletID string
+	// Service is the upstream trigger service involved: set on poll_sent
+	// (the polled service) and on slo_* transitions (the affected SLO
+	// series, "" = global).
+	Service string
 	// ExecID ties together every event surfaced by one poll execution
 	// (poll_sent through the final action ack); zero for events outside
 	// a poll (install, remove, hint_received).
@@ -245,6 +256,13 @@ type Config struct {
 	// polls that may be issued back-to-back after idleness). Zero means
 	// max(PollBudgetQPS, 1) — about one second of refill.
 	PollBudgetBurst float64
+	// SLO, when non-nil, enables the burn-rate tracker and tail-based
+	// span store of internal/obs/slo on the span stream (an implicit
+	// SpanRecorder is installed even without Metrics): per-service and
+	// global T2A objectives with ok/warn/page alerting surfaced as
+	// ifttt_slo_* metrics, slo_* trace events, GET /debug/slo, and
+	// GET /debug/slowest. Clock and Metrics default to the engine's own.
+	SLO *slo.Config
 	// Coalesce groups applets with identical trigger configurations
 	// (same service, slug, fields, and user credentials — see
 	// Applet.CoalescedTriggerIdentity) into shared subscriptions: one
@@ -335,6 +353,10 @@ type Engine struct {
 	// are configured.
 	pump    *obs.Pump[TraceEvent]
 	metrics *obs.Registry
+	// slo and tail are the burn-rate tracker and tail-based span store,
+	// set when Config.SLO is non-nil.
+	slo  *slo.Tracker
+	tail *slo.TailStore
 }
 
 // Stats are the engine's monotonic operational counters, exposed on the
@@ -484,9 +506,51 @@ func New(cfg Config) *Engine {
 	if cfg.Metrics != nil {
 		e.metrics = cfg.Metrics
 		e.registerMetrics(cfg.Metrics)
+	}
+	if cfg.SLO != nil {
+		sc := *cfg.SLO
+		if sc.Clock == nil {
+			sc.Clock = cfg.Clock
+		}
+		if sc.Metrics == nil {
+			sc.Metrics = cfg.Metrics
+		}
+		// Surface alert transitions as trace events alongside the
+		// caller's own callback.
+		userTr := sc.OnTransition
+		sc.OnTransition = func(tr slo.Transition) {
+			kind := TraceSLOClear
+			switch tr.To {
+			case slo.StateWarn:
+				kind = TraceSLOWarn
+			case slo.StatePage:
+				kind = TraceSLOPage
+			}
+			e.emit(nil, TraceEvent{Kind: kind, Service: tr.Service,
+				Err: fmt.Sprintf("%s->%s fast %.2fx slow %.2fx", tr.From, tr.To, tr.FastBurn, tr.SlowBurn)})
+			if userTr != nil {
+				userTr(tr)
+			}
+		}
+		e.slo = slo.NewTracker(sc)
+		e.tail = slo.NewTailStore(sc.RetainSpans, e.slo.Objective().Threshold)
+		if cfg.Metrics != nil {
+			e.tail.RegisterMetrics(cfg.Metrics)
+		}
+	}
+	if cfg.Metrics != nil || e.slo != nil {
 		// The implicit span recorder turns the trace stream into the T2A
-		// segment histograms on the registry.
-		rec := NewSpanRecorder(SpanRecorderConfig{Metrics: cfg.Metrics})
+		// segment histograms on the registry and feeds the SLO tracker
+		// and tail store.
+		src := SpanRecorderConfig{Metrics: cfg.Metrics}
+		if e.slo != nil {
+			tracker, tail := e.slo, e.tail
+			src.OnSpan = func(s obs.ExecSpan) {
+				tracker.Observe(s)
+				tail.Offer(s)
+			}
+		}
+		rec := NewSpanRecorder(src)
 		observers = append(observers[:len(observers):len(observers)], rec.Observe)
 	}
 	if len(observers) > 0 {

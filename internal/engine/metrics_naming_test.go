@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// TestMetricsNamingConvention audits every metric the full stack
+// registers — engine scheduler, span recorder, SLO tier, tail store,
+// fault injector — against the repo's naming convention
+// (DESIGN.md, "Metric naming"):
+//
+//   - snake_case: lowercase segments, no leading/trailing/double '_';
+//   - namespaced: ifttt_ (engine/recorder/slo) or faults_ (injector);
+//   - counters end in _total;
+//   - histograms and duration gauges name their unit (_seconds);
+//   - non-counter gauges never end in _total.
+//
+// Registering everything at once also re-proves no two subsystems
+// collide on a name (the registry panics on duplicates).
+func TestMetricsNamingConvention(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := simtime.NewReal()
+	rng := stats.NewRNG(3)
+
+	inj := faults.New(clock, rng.Split("faults"))
+	inj.RegisterMetrics(reg)
+
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           rng.Split("engine"),
+		Doer:          inj.Wrap(stubDoer{}),
+		Metrics:       reg,
+		PollBudgetQPS: 1,
+		Adaptive:      &AdaptiveConfig{},
+		SLO:           &slo.Config{},
+	})
+	defer eng.Stop()
+
+	nameRe := regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+	unitSuffixes := []string{"_seconds", "_members", "_ratio", "_qps"}
+	for _, m := range reg.Snapshot() {
+		if !nameRe.MatchString(m.Name) {
+			t.Errorf("%s: not snake_case", m.Name)
+		}
+		if !strings.HasPrefix(m.Name, "ifttt_") && !strings.HasPrefix(m.Name, "faults_") {
+			t.Errorf("%s: missing ifttt_/faults_ namespace prefix", m.Name)
+		}
+		if m.Help == "" {
+			t.Errorf("%s: no help text", m.Name)
+		}
+		switch m.Type {
+		case "counter":
+			if !strings.HasSuffix(m.Name, "_total") {
+				t.Errorf("%s: counter without _total suffix", m.Name)
+			}
+		case "gauge":
+			if strings.HasSuffix(m.Name, "_total") {
+				t.Errorf("%s: gauge with counter-style _total suffix", m.Name)
+			}
+		case "histogram":
+			hasUnit := false
+			for _, u := range unitSuffixes {
+				if strings.HasSuffix(m.Name, u) {
+					hasUnit = true
+				}
+			}
+			if !hasUnit {
+				t.Errorf("%s: histogram without a unit suffix (want one of %v)", m.Name, unitSuffixes)
+			}
+		default:
+			t.Errorf("%s: unknown metric type %q", m.Name, m.Type)
+		}
+	}
+}

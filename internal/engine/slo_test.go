@@ -1,0 +1,434 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// eventDoer answers every trigger poll with one fresh event whose
+// timestamp lags the current (simulated) time by lag, and every action
+// with a bare 200. Unlike stubDoer it produces executions — and
+// therefore spans — on every poll round.
+type eventDoer struct {
+	clock simtime.Clock
+	lag   time.Duration
+	seq   atomic.Uint64
+}
+
+func (d *eventDoer) Do(req *http.Request) (*http.Response, error) {
+	body := `{}`
+	if strings.HasPrefix(req.URL.Path, "/ifttt/v1/triggers/") {
+		id := d.seq.Add(1)
+		ts := d.clock.Now().Add(-d.lag).Unix()
+		body = fmt.Sprintf(`{"data":[{"meta":{"id":"e%d","timestamp":%d}}]}`, id, ts)
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(body)),
+		Header:     make(http.Header),
+		Request:    req,
+	}, nil
+}
+
+// sloApplet builds an applet on a shared trigger service with a unique
+// trigger identity (distinct field) so subscriptions stay per-applet.
+func sloApplet(i int, service string) Applet {
+	id := fmt.Sprintf("slo%03d", i)
+	return Applet{
+		ID:     id,
+		UserID: "u1",
+		Trigger: ServiceRef{
+			Service: service, BaseURL: "http://svc.sim", Slug: "fired",
+			Fields: map[string]string{"n": id},
+		},
+		Action: ServiceRef{
+			Service: service, BaseURL: "http://svc.sim", Slug: "act",
+		},
+	}
+}
+
+// TestEngineSLOChaosBlackout is the SLO tier's acceptance chaos run: a
+// healthy engine executing continuously, then a five-minute blackout of
+// the ACTION endpoint (polls keep succeeding, deliveries fail), then
+// recovery. Deterministic under simtime, it must drive the burn-rate
+// tracker through ok -> warn -> page on the way down and back to ok on
+// the way up, with the page preceded by a warn and the trace stream
+// carrying the matching slo_* events.
+func TestEngineSLOChaosBlackout(t *testing.T) {
+	const (
+		pollEvery     = 5 * time.Second
+		blackoutStart = 300 * time.Second
+		blackoutEnd   = 600 * time.Second
+	)
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(17)
+	doer := &eventDoer{clock: clock, lag: time.Second}
+
+	inj := faults.New(clock, rng.Split("faults"))
+	inj.AddRule(faults.Rule{
+		// Blackout only action delivery: polls still find events, so
+		// every execution during the window yields a Failed span. (A
+		// trigger-path blackout would be invisible to the SLO tracker —
+		// failed polls produce no executions, hence no spans.)
+		PathPrefix: "/ifttt/v1/actions",
+		Blackouts:  []faults.Window{{Start: blackoutStart, End: blackoutEnd}},
+	})
+
+	var mu sync.Mutex
+	var transitions []slo.Transition
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           rng.Split("engine"),
+		Doer:          inj.Wrap(doer),
+		Poll:          FixedInterval{Interval: pollEvery},
+		DispatchDelay: -1,
+		Shards:        1,
+		ShardWorkers:  1,
+		SLO: &slo.Config{
+			Objective:     slo.Objective{Threshold: time.Minute, Ratio: 0.95},
+			FastWindow:    time.Minute,
+			SlowWindow:    5 * time.Minute,
+			PageBurn:      4,
+			WarnBurn:      1,
+			ClearFraction: 0.5,
+			OnTransition: func(tr slo.Transition) {
+				mu.Lock()
+				transitions = append(transitions, tr)
+				mu.Unlock()
+			},
+		},
+	})
+
+	clock.Run(func() {
+		for i := 0; i < 4; i++ {
+			if err := eng.Install(sloApplet(i, "chaossvc")); err != nil {
+				t.Fatalf("install: %v", err)
+			}
+		}
+		clock.Sleep(1200 * time.Second)
+		eng.Stop()
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	var global []slo.Transition
+	for _, tr := range transitions {
+		if tr.Service == "" {
+			global = append(global, tr)
+		}
+	}
+	if len(global) < 3 {
+		t.Fatalf("global transitions = %d (%+v), want >= 3 (ok->warn->page->...->ok)", len(global), global)
+	}
+	if global[0].From != slo.StateOK || global[0].To != slo.StateWarn {
+		t.Errorf("first transition = %s->%s, want ok->warn", global[0].From, global[0].To)
+	}
+	paged := false
+	for _, tr := range global {
+		if tr.To == slo.StatePage {
+			paged = true
+		}
+	}
+	if !paged {
+		t.Errorf("blackout never paged: %+v", global)
+	}
+	if last := global[len(global)-1]; last.To != slo.StateOK {
+		t.Errorf("last transition = %s->%s, want ->ok (recovery)", last.From, last.To)
+	}
+	// The per-service series for chaossvc followed the same arc.
+	sawSvcPage := false
+	for _, tr := range transitions {
+		if tr.Service == "chaossvc" && tr.To == slo.StatePage {
+			sawSvcPage = true
+		}
+	}
+	if !sawSvcPage {
+		t.Error("per-service series for chaossvc never paged")
+	}
+	// And the tracker converged back to ok.
+	if st := eng.slo.State(); st != slo.StateOK {
+		t.Errorf("final tracker state = %v, want ok", st)
+	}
+}
+
+// TestEngineSLOTraceEvents reruns a shortened blackout and checks the
+// alert transitions surface on the engine's own trace stream (the
+// operational audit trail) with the service attached.
+func TestEngineSLOTraceEvents(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(19)
+	doer := &eventDoer{clock: clock, lag: time.Second}
+	inj := faults.New(clock, rng.Split("faults"))
+	inj.AddRule(faults.Rule{
+		PathPrefix: "/ifttt/v1/actions",
+		Blackouts:  []faults.Window{{Start: 60 * time.Second, End: 300 * time.Second}},
+	})
+
+	var mu sync.Mutex
+	kinds := map[TraceKind]int{}
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           rng.Split("engine"),
+		Doer:          inj.Wrap(doer),
+		Poll:          FixedInterval{Interval: 5 * time.Second},
+		DispatchDelay: -1,
+		Shards:        1,
+		ShardWorkers:  1,
+		SLO: &slo.Config{
+			Objective:     slo.Objective{Threshold: time.Minute, Ratio: 0.95},
+			FastWindow:    time.Minute,
+			SlowWindow:    2 * time.Minute,
+			PageBurn:      4,
+			WarnBurn:      1,
+			ClearFraction: 0.5,
+		},
+		Trace: func(ev TraceEvent) {
+			switch ev.Kind {
+			case TraceSLOWarn, TraceSLOPage, TraceSLOClear:
+				mu.Lock()
+				kinds[ev.Kind]++
+				if ev.Service != "" && ev.Service != "chaossvc" {
+					t.Errorf("slo trace for unexpected service %q", ev.Service)
+				}
+				mu.Unlock()
+			}
+		},
+	})
+	clock.Run(func() {
+		for i := 0; i < 4; i++ {
+			if err := eng.Install(sloApplet(i, "chaossvc")); err != nil {
+				t.Fatalf("install: %v", err)
+			}
+		}
+		clock.Sleep(600 * time.Second)
+		eng.Stop()
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if kinds[TraceSLOWarn] == 0 || kinds[TraceSLOPage] == 0 || kinds[TraceSLOClear] == 0 {
+		t.Errorf("slo trace kinds = %v, want warn, page and clear all present", kinds)
+	}
+}
+
+// TestEngineExemplarResolution checks the exemplar contract end to end:
+// a backlogged service (every event ~10 minutes old) makes every
+// execution breach the objective, so the T2A histogram's exemplars on
+// /metrics must name exec IDs that resolve in /debug/slowest, and
+// /debug/exemplars and /debug/slo must reflect the same executions.
+func TestEngineExemplarResolution(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(23)
+	doer := &eventDoer{clock: clock, lag: 600 * time.Second}
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           rng.Split("engine"),
+		Doer:          doer,
+		Poll:          FixedInterval{Interval: 5 * time.Second},
+		DispatchDelay: -1,
+		Shards:        1,
+		ShardWorkers:  1,
+		Metrics:       obs.NewRegistry(),
+		SLO: &slo.Config{
+			Objective: slo.Objective{Threshold: time.Minute, Ratio: 0.95},
+		},
+	})
+	clock.Run(func() {
+		for i := 0; i < 2; i++ {
+			if err := eng.Install(sloApplet(i, "lagsvc")); err != nil {
+				t.Fatalf("install: %v", err)
+			}
+		}
+		clock.Sleep(60 * time.Second)
+		eng.Stop()
+	})
+	h := eng.Handler()
+
+	// 1. /metrics carries OpenMetrics exemplars on the T2A buckets.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	exRe := regexp.MustCompile(`ifttt_t2a_seconds_bucket\{le="[^"]+"\} \d+ # \{trace_id="(\d+)"\} [0-9.]+ [0-9.]+`)
+	matches := exRe.FindAllStringSubmatch(body, -1)
+	if len(matches) == 0 {
+		t.Fatalf("/metrics has no T2A exemplars:\n%s", body)
+	}
+
+	// 2. Every exemplar trace ID resolves to a span in /debug/slowest.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowest", nil))
+	var views []slo.SpanView
+	if err := json.Unmarshal(rec.Body.Bytes(), &views); err != nil {
+		t.Fatalf("/debug/slowest: %v in %s", err, rec.Body.String())
+	}
+	if len(views) == 0 {
+		t.Fatal("/debug/slowest retained no spans despite 100% breach rate")
+	}
+	retained := map[uint64]bool{}
+	for _, v := range views {
+		retained[v.ExecID] = true
+		if v.T2AS < 60 {
+			t.Errorf("retained span exec %d has t2a %gs, below the 60s threshold", v.ExecID, v.T2AS)
+		}
+	}
+	for _, m := range matches {
+		id, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			t.Fatalf("exemplar trace_id %q not an exec ID: %v", m[1], err)
+		}
+		if !retained[id] {
+			t.Errorf("exemplar trace_id %d not resolvable in /debug/slowest (retained: %v)", id, retained)
+		}
+	}
+
+	// 3. /debug/exemplars serves the same buckets as JSON.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/exemplars", nil))
+	exBody := rec.Body.String()
+	if rec.Code != 200 || !strings.Contains(exBody, "ifttt_t2a_seconds") {
+		t.Errorf("/debug/exemplars: %d %s", rec.Code, exBody)
+	}
+
+	// 4. /debug/slo reports the breaching service in page state.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	var st slo.Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/debug/slo: %v", err)
+	}
+	if len(st.Services) != 1 || st.Services[0].Service != "lagsvc" || st.Services[0].State != "page" {
+		t.Errorf("/debug/slo services = %+v, want lagsvc paging", st.Services)
+	}
+}
+
+// TestAdmissionStalled unit-tests the poll-budget stall detector behind
+// the readiness probe.
+func TestAdmissionStalled(t *testing.T) {
+	a := newAdmission(1, 1)
+	t0 := time.Unix(2000, 0)
+	window := time.Minute
+
+	if ok, _ := a.stalled(t0, window); ok {
+		t.Error("fresh admission reports stalled")
+	}
+	// First reserve grants (full bucket); still not stalled.
+	if d := a.reserve("svc", t0); d != 0 {
+		t.Fatalf("first reserve deferred by %v", d)
+	}
+	if ok, _ := a.stalled(t0, window); ok {
+		t.Error("granting admission reports stalled")
+	}
+	// Burn the bucket: continuous deferrals from t0+1s.
+	now := t0.Add(time.Second)
+	for i := 0; i < 100; i++ {
+		a.reserve("svc", now)
+	}
+	// Streak too short.
+	if ok, _ := a.stalled(now, window); ok {
+		t.Error("stalled after instantaneous deferrals, want streak >= window")
+	}
+	// Keep deferring past the window.
+	now = now.Add(2 * window)
+	a.reserve("svc", now) // tokens refilled? qps=1, 2min => granted
+	// A grant resets the streak.
+	if ok, _ := a.stalled(now.Add(2*window), window); ok {
+		t.Error("stalled after a grant reset the streak")
+	}
+	// Rebuild an unbroken streak spanning the window.
+	for i := 0; i <= 120; i++ {
+		a.reserve("svc", now.Add(time.Duration(i)*time.Second))
+	}
+	end := now.Add(120 * time.Second)
+	ok, streak := a.stalled(end, window)
+	if !ok || streak < window {
+		t.Errorf("stalled = %v streak %v, want true with streak >= %v", ok, streak, window)
+	}
+	// A stale streak (no recent deferrals) is not a current stall.
+	if ok, _ := a.stalled(end.Add(3*window), window); ok {
+		t.Error("stalled long after deferrals stopped, want false")
+	}
+}
+
+// TestReadyzBreakerOutage drives a total outage of the only partner
+// service into open breakers and checks /readyz flips to 503 naming the
+// service, while a healthy engine stays 200.
+func TestReadyzBreakerOutage(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	rng := stats.NewRNG(29)
+	eng := New(Config{
+		Clock:         clock,
+		RNG:           rng.Split("engine"),
+		Doer:          failDoer{},
+		Poll:          FixedInterval{Interval: 5 * time.Second},
+		DispatchDelay: -1,
+		Shards:        1,
+		ShardWorkers:  1,
+		Resilience: ResilienceConfig{
+			BackoffBase:      10 * time.Second,
+			BackoffMax:       time.Minute,
+			BreakerThreshold: 1,
+			ProbeInterval:    10 * time.Minute,
+		},
+	})
+	clock.Run(func() {
+		if err := eng.Install(sloApplet(0, "darksvc")); err != nil {
+			t.Fatalf("install: %v", err)
+		}
+		clock.Sleep(60 * time.Second)
+
+		rec := httptest.NewRecorder()
+		eng.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("/readyz during total outage: %d %s, want 503", rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), "darksvc") {
+			t.Errorf("/readyz reasons omit the dark service: %s", rec.Body.String())
+		}
+		eng.Stop()
+	})
+
+	// Healthy engine: ready.
+	clock2 := simtime.NewSimDefault()
+	healthy := New(Config{
+		Clock:         clock2,
+		RNG:           stats.NewRNG(31),
+		Doer:          stubDoer{},
+		Poll:          FixedInterval{Interval: 5 * time.Second},
+		DispatchDelay: -1,
+	})
+	clock2.Run(func() {
+		if err := healthy.Install(sloApplet(0, "oksvc")); err != nil {
+			t.Fatalf("install: %v", err)
+		}
+		clock2.Sleep(20 * time.Second)
+		rec := httptest.NewRecorder()
+		healthy.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok"`) {
+			t.Errorf("/readyz healthy: %d %s, want 200 ok", rec.Code, rec.Body.String())
+		}
+		healthy.Stop()
+	})
+}
+
+// failDoer fails every request with a transport error.
+type failDoer struct{}
+
+func (failDoer) Do(req *http.Request) (*http.Response, error) {
+	return nil, fmt.Errorf("%s %s: connection refused", req.Method, req.URL)
+}

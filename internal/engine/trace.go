@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -52,7 +53,7 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("ifttt_engine_breaker_probes_total",
 		"Half-open probe polls issued while a breaker was open.",
 		sum(func(c *shardCounters) int64 { return c.breakerProbes.Load() }))
-	reg.GaugeFunc("ifttt_engine_breaker_open",
+	reg.GaugeFunc("ifttt_engine_breakers_open",
 		"Subscriptions whose circuit breaker is currently open or half-open.",
 		func() float64 { return float64(e.breakerOpen.Load()) })
 	// Seconds from 1s to ~4096s: backoff spans BackoffBase..BackoffMax
@@ -114,7 +115,7 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	// Powers of two up to 4096 members: with coalescing off every poll
 	// lands in the first bucket, so the histogram doubles as an A/B
 	// sanity check.
-	e.fanout = reg.Histogram("ifttt_engine_poll_fanout",
+	e.fanout = reg.Histogram("ifttt_engine_poll_fanout_members",
 		"Member applets served per upstream poll.", obs.LogBuckets(1, 4096, 2))
 	reg.GaugeFunc("ifttt_engine_pending_polls", "Entries waiting in the shard timer heaps.", func() float64 {
 		n := 0
@@ -196,6 +197,7 @@ type SpanRecorder struct {
 // pendingExec is one poll execution awaiting its remaining action acks.
 type pendingExec struct {
 	appletID     string
+	service      string // polled trigger service
 	hintAt       time.Time
 	pollSentAt   time.Time
 	pollResultAt time.Time
@@ -256,6 +258,7 @@ func (r *SpanRecorder) Observe(ev TraceEvent) {
 		}
 		r.pending[ev.ExecID] = &pendingExec{
 			appletID:   ev.AppletID,
+			service:    ev.Service,
 			hintAt:     ev.HintAt,
 			pollSentAt: ev.Time,
 		}
@@ -318,20 +321,25 @@ func (r *SpanRecorder) finish(p *pendingExec, ev TraceEvent) {
 		appletID = p.appletID
 	}
 	s := obs.ExecSpan{
-		ExecID:       ev.ExecID,
-		AppletID:     appletID,
-		EventID:      p.eventID,
-		HintAt:       p.hintAt,
-		PollSentAt:   p.pollSentAt,
-		PollResultAt: p.pollResultAt,
-		EventAt:      p.eventAt,
-		ActionSentAt: p.actionSentAt,
-		ActionDoneAt: ev.Time,
-		Failed:       ev.Kind == TraceActionFailed,
-		Err:          ev.Err,
+		ExecID:         ev.ExecID,
+		AppletID:       appletID,
+		EventID:        p.eventID,
+		TriggerService: p.service,
+		HintAt:         p.hintAt,
+		PollSentAt:     p.pollSentAt,
+		PollResultAt:   p.pollResultAt,
+		EventAt:        p.eventAt,
+		ActionSentAt:   p.actionSentAt,
+		ActionDoneAt:   ev.Time,
+		Failed:         ev.Kind == TraceActionFailed,
+		Err:            ev.Err,
 	}
 	if r.metrics != nil {
-		r.t2a.Observe(s.T2A().Seconds())
+		// The exec ID doubles as the exemplar trace ID: a breaching
+		// bucket on /metrics resolves to the retained span at
+		// /debug/slowest via the same decimal ID.
+		r.t2a.ObserveExemplar(s.T2A().Seconds(),
+			strconv.FormatUint(s.ExecID, 10), float64(ev.Time.UnixNano())/1e9)
 		if !s.EventAt.IsZero() {
 			r.pollGap.Observe(s.PollingGap().Seconds())
 		}

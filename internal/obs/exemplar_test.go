@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestHistogramExemplar checks per-bucket exemplar retention: the
+// exemplar lands in the bucket covering the value, the most recent
+// observation per bucket wins, and plain Observe leaves no exemplar.
+func TestHistogramExemplar(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	h.Observe(0.5) // no exemplar
+	h.ObserveExemplar(5, "ex-a", 1000)
+	h.ObserveExemplar(7, "ex-b", 1001) // same bucket, newer: wins
+	h.ObserveExemplar(500, "ex-c", 1002)
+
+	exs := h.Exemplars()
+	if len(exs) != 4 {
+		t.Fatalf("Exemplars() len = %d, want 4 (3 bounds + overflow)", len(exs))
+	}
+	if exs[0] != nil {
+		t.Errorf("bucket le=1 has exemplar %+v from plain Observe, want nil", exs[0])
+	}
+	if exs[1] == nil || exs[1].TraceID != "ex-b" || exs[1].Value != 7 {
+		t.Errorf("bucket le=10 exemplar = %+v, want ex-b value 7", exs[1])
+	}
+	if exs[2] != nil {
+		t.Errorf("bucket le=100 has exemplar %+v, want nil", exs[2])
+	}
+	if exs[3] == nil || exs[3].TraceID != "ex-c" {
+		t.Errorf("overflow bucket exemplar = %+v, want ex-c", exs[3])
+	}
+
+	// Snapshot buckets carry the same exemplars, index-aligned.
+	s := h.Snapshot()
+	if s.Buckets[1].Exemplar == nil || s.Buckets[1].Exemplar.TraceID != "ex-b" {
+		t.Errorf("snapshot bucket 1 exemplar = %+v, want ex-b", s.Buckets[1].Exemplar)
+	}
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4 (ObserveExemplar counts as observation)", s.Count)
+	}
+}
+
+// TestBucketCountExemplarJSON round-trips a bucket with and without an
+// exemplar through the custom JSON codec.
+func TestBucketCountExemplarJSON(t *testing.T) {
+	in := BucketCount{UpperBound: 10, Count: 3,
+		Exemplar: &Exemplar{Value: 7, TraceID: "42", Unix: 1234.5}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BucketCount
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if out.UpperBound != 10 || out.Count != 3 || out.Exemplar == nil ||
+		*out.Exemplar != *in.Exemplar {
+		t.Errorf("round-trip %s -> %+v (exemplar %+v)", data, out, out.Exemplar)
+	}
+
+	plain := BucketCount{UpperBound: 10, Count: 3}
+	data, _ = json.Marshal(plain)
+	if strings.Contains(string(data), "exemplar") {
+		t.Errorf("bucket without exemplar marshals %s, want no exemplar key", data)
+	}
+}
+
+// TestHistogramMergeExemplars checks that Merge carries the newer
+// exemplar per bucket.
+func TestHistogramMergeExemplars(t *testing.T) {
+	a := NewHistogram([]float64{1, 10})
+	b := NewHistogram([]float64{1, 10})
+	a.ObserveExemplar(5, "old", 100)
+	b.ObserveExemplar(6, "new", 200)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if ex := a.Exemplars()[1]; ex == nil || ex.TraceID != "new" {
+		t.Errorf("merged exemplar = %+v, want the newer (ts 200)", ex)
+	}
+}
+
+// TestPrometheusExemplarSyntax checks the OpenMetrics rendering: the
+// exemplar rides the bucket line after a '#', so plain Prometheus text
+// parsers still see a valid 0.0.4 exposition.
+func TestPrometheusExemplarSyntax(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t2a_seconds", "test", []float64{1, 10})
+	h.ObserveExemplar(5, "77", 1234.5)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	want := regexp.MustCompile(`t2a_seconds_bucket\{le="10"\} 2 # \{trace_id="77"\} 5 1234\.500`)
+	if !want.MatchString(text) {
+		t.Errorf("exemplar line missing or malformed in:\n%s", text)
+	}
+	// Buckets without exemplars stay bare.
+	if !regexp.MustCompile(`t2a_seconds_bucket\{le="1"\} 1\n`).MatchString(text) {
+		t.Errorf("bare bucket line missing in:\n%s", text)
+	}
+}
+
+// TestExemplarsHandler checks the /debug/exemplars JSON view: only
+// histograms with exemplars appear, and only their occupied buckets.
+func TestExemplarsHandler(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t2a_seconds", "test", []float64{1, 10})
+	reg.Histogram("empty_seconds", "no exemplars", []float64{1})
+	h.ObserveExemplar(5, "99", 1000)
+
+	rec := httptest.NewRecorder()
+	ExemplarsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/exemplars", nil))
+	var out map[string][]BucketCount
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", rec.Body.String(), err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("exemplars view = %v, want only t2a_seconds", out)
+	}
+	bs := out["t2a_seconds"]
+	if len(bs) != 1 || bs[0].Exemplar == nil || bs[0].Exemplar.TraceID != "99" {
+		t.Errorf("t2a_seconds buckets = %+v, want one bucket with trace 99", bs)
+	}
+}
+
+// TestReadiness checks the aggregator: ready with no checks, degraded
+// with reasons when a check fails, HTTP codes to match.
+func TestReadiness(t *testing.T) {
+	r := NewReadiness()
+	if ok, reasons := r.Evaluate(); !ok || reasons != nil {
+		t.Fatalf("empty readiness = %v %v, want ready", ok, reasons)
+	}
+
+	degraded := false
+	r.Add("breakers", func() (bool, string) {
+		if degraded {
+			return false, "all breakers open for: wemo"
+		}
+		return true, ""
+	})
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("ready probe: code %d body %s", rec.Code, rec.Body.String())
+	}
+
+	degraded = true
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Errorf("degraded probe: code %d, want 503", rec.Code)
+	}
+	var rep struct {
+		Status  string            `json:"status"`
+		Reasons map[string]string `json:"reasons"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "degraded" || !strings.Contains(rep.Reasons["breakers"], "wemo") {
+		t.Errorf("degraded report = %+v", rep)
+	}
+}

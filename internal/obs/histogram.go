@@ -43,6 +43,20 @@ func LogBuckets(lo, hi, factor float64) []float64 {
 	}
 }
 
+// Exemplar links one observation to the execution that produced it:
+// the OpenMetrics escape hatch from "the p99 is bad" to a concrete
+// trace. Each histogram bucket retains its most recent exemplar, so a
+// tail bucket always names a real execution that landed there.
+type Exemplar struct {
+	// Value is the observed value (seconds for latency histograms).
+	Value float64 `json:"value"`
+	// TraceID identifies the producing execution (the engine uses the
+	// decimal ExecID, resolvable against /debug/slowest).
+	TraceID string `json:"trace_id"`
+	// Unix is the observation time in unix seconds (fractional).
+	Unix float64 `json:"ts"`
+}
+
 // Histogram is a fixed-bucket latency histogram with atomic counters:
 // observations are lock-free and safe for concurrent use, so poll
 // workers can record latencies without contending on anything.
@@ -56,6 +70,9 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1, last is overflow
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// exemplars holds each bucket's most recent exemplar (nil until one
+	// is observed); last-writer-wins via atomic pointer stores.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram builds a histogram over the given ascending upper
@@ -70,14 +87,15 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// Binary search for the first bound >= v.
+// bucketIndex returns the index of the bucket covering v: the first
+// bound >= v, or the overflow index len(bounds).
+func (h *Histogram) bucketIndex(v float64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -87,7 +105,11 @@ func (h *Histogram) Observe(v float64) {
 			hi = mid
 		}
 	}
-	h.counts[lo].Add(1)
+	return lo
+}
+
+func (h *Histogram) observe(i int, v float64) {
+	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -96,6 +118,31 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.observe(h.bucketIndex(v), v)
+}
+
+// ObserveExemplar records one value and stamps its bucket's exemplar
+// with the producing trace ID and observation time (unix seconds).
+// The most recent observation per bucket wins.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, unix float64) {
+	i := h.bucketIndex(v)
+	h.observe(i, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Unix: unix})
+}
+
+// Exemplars returns the current per-bucket exemplars, index-aligned
+// with Snapshot().Buckets (last entry is the overflow bucket). Entries
+// are nil for buckets that never saw an ObserveExemplar.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -188,6 +235,11 @@ func (h *Histogram) Merge(o *Histogram) error {
 			h.counts[i].Add(c)
 			n += c
 		}
+		if ex := o.exemplars[i].Load(); ex != nil {
+			if cur := h.exemplars[i].Load(); cur == nil || ex.Unix >= cur.Unix {
+				h.exemplars[i].Store(ex)
+			}
+		}
 	}
 	h.count.Add(n)
 	for {
@@ -200,10 +252,12 @@ func (h *Histogram) Merge(o *Histogram) error {
 }
 
 // BucketCount is one histogram bucket in a snapshot: the cumulative
-// count of observations <= UpperBound (Prometheus "le" semantics).
+// count of observations <= UpperBound (Prometheus "le" semantics),
+// plus the bucket's most recent exemplar when one was recorded.
 type BucketCount struct {
-	UpperBound float64 `json:"-"`
-	Count      int64   `json:"count"`
+	UpperBound float64   `json:"-"`
+	Count      int64     `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MarshalJSON renders the bound as a JSON number, or the Prometheus
@@ -213,19 +267,28 @@ func (b BucketCount) MarshalJSON() ([]byte, error) {
 	if !math.IsInf(b.UpperBound, 1) {
 		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
 	}
-	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+	if b.Exemplar == nil {
+		return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+	}
+	ex, err := json.Marshal(b.Exemplar)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d,"exemplar":%s}`, le, b.Count, ex)), nil
 }
 
 // UnmarshalJSON accepts both the numeric and the "+Inf" string form.
 func (b *BucketCount) UnmarshalJSON(data []byte) error {
 	var raw struct {
-		Le    json.RawMessage `json:"le"`
-		Count int64           `json:"count"`
+		Le       json.RawMessage `json:"le"`
+		Count    int64           `json:"count"`
+		Exemplar *Exemplar       `json:"exemplar"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
 	b.Count = raw.Count
+	b.Exemplar = raw.Exemplar
 	if string(raw.Le) == `"+Inf"` {
 		b.UpperBound = math.Inf(1)
 		return nil
@@ -260,7 +323,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if i < len(h.bounds) {
 			bound = h.bounds[i]
 		}
-		s.Buckets = append(s.Buckets, BucketCount{UpperBound: bound, Count: cum})
+		s.Buckets = append(s.Buckets, BucketCount{
+			UpperBound: bound,
+			Count:      cum,
+			Exemplar:   h.exemplars[i].Load(),
+		})
 	}
 	return s
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -45,4 +46,96 @@ func Mount(mux *http.ServeMux, reg *Registry) {
 		mux.Handle("GET /metrics", reg)
 	}
 	mux.HandleFunc("GET /healthz", Healthz)
+}
+
+// Readiness aggregates named readiness checks into a /readyz endpoint.
+// Unlike /healthz (alive = ok), readiness is conditional: any failing
+// check degrades the endpoint to 503 with the reasons, so orchestrators
+// and load balancers can drain a daemon that is up but cannot usefully
+// serve (every breaker open, poll budget starved, ...).
+type Readiness struct {
+	mu     sync.Mutex
+	checks []readinessCheck
+}
+
+type readinessCheck struct {
+	name string
+	fn   func() (ok bool, reason string)
+}
+
+// NewReadiness returns an empty readiness aggregator; with no checks
+// added it always reports ready.
+func NewReadiness() *Readiness { return &Readiness{} }
+
+// Add registers a named check. fn must be safe for concurrent calls and
+// return ok=false with a human-readable reason when degraded.
+func (r *Readiness) Add(name string, fn func() (ok bool, reason string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checks = append(r.checks, readinessCheck{name: name, fn: fn})
+}
+
+// Evaluate runs every check and returns overall readiness plus a map of
+// failing check name -> reason (nil when ready).
+func (r *Readiness) Evaluate() (bool, map[string]string) {
+	r.mu.Lock()
+	checks := append([]readinessCheck(nil), r.checks...)
+	r.mu.Unlock()
+	var failing map[string]string
+	for _, c := range checks {
+		if ok, reason := c.fn(); !ok {
+			if failing == nil {
+				failing = make(map[string]string)
+			}
+			failing[c.name] = reason
+		}
+	}
+	return failing == nil, failing
+}
+
+// ServeHTTP answers readiness probes: 200 {"status":"ok"} when every
+// check passes, 503 {"status":"degraded","reasons":{...}} otherwise.
+func (r *Readiness) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	ok, reasons := r.Evaluate()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if ok {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	out := struct {
+		Status  string            `json:"status"`
+		Reasons map[string]string `json:"reasons"`
+	}{Status: "degraded", Reasons: reasons}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ExemplarsHandler serves a JSON view of every histogram bucket that
+// currently holds an exemplar: metric name -> buckets with exemplars.
+// It is the machine-readable companion of the OpenMetrics `# {...}`
+// suffixes on /metrics, for tooling that speaks JSON.
+func ExemplarsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		out := make(map[string][]BucketCount)
+		for _, ms := range reg.Snapshot() {
+			if ms.Histogram == nil {
+				continue
+			}
+			var withEx []BucketCount
+			for _, b := range ms.Histogram.Buckets {
+				if b.Exemplar != nil {
+					withEx = append(withEx, b)
+				}
+			}
+			if len(withEx) > 0 {
+				out[ms.Name] = withEx
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 }

@@ -196,6 +196,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		s := m.hist.Snapshot()
 		for _, b := range s.Buckets {
+			// Breaching buckets carry an OpenMetrics exemplar suffix:
+			//   name_bucket{le="x"} N # {trace_id="42"} 612.3 1500000000.000
+			// linking the bucket to the most recent execution that landed
+			// in it (Prometheus text parsers ignore everything after #).
+			if ex := b.Exemplar; ex != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d # {trace_id=%q} %s %s\n",
+					m.name, formatFloat(b.UpperBound), b.Count,
+					ex.TraceID, formatFloat(ex.Value), strconv.FormatFloat(ex.Unix, 'f', 3, 64)); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b.UpperBound), b.Count); err != nil {
 				return err
 			}

@@ -1,0 +1,280 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock is a hand-advanced Clock for deterministic window tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(100_000, 0)} }
+
+// goodSpan / badSpan build spans below and above a 60s threshold.
+func goodSpan(clock Clock) obs.ExecSpan {
+	now := clock.Now()
+	return obs.ExecSpan{
+		TriggerService: "svc",
+		EventAt:        now.Add(-time.Second),
+		PollSentAt:     now,
+		ActionDoneAt:   now,
+	}
+}
+
+func badSpan(clock Clock) obs.ExecSpan {
+	now := clock.Now()
+	return obs.ExecSpan{
+		TriggerService: "svc",
+		EventAt:        now.Add(-10 * time.Minute),
+		PollSentAt:     now,
+		ActionDoneAt:   now,
+	}
+}
+
+// testConfig: 60s objective at 0.9 (budget 0.1), 50s fast window
+// (10s buckets), 100s slow window, page at burn 4, warn at 1.
+func testConfig(clock Clock) Config {
+	return Config{
+		Clock:         clock,
+		Objective:     Objective{Threshold: time.Minute, Ratio: 0.9},
+		FastWindow:    50 * time.Second,
+		SlowWindow:    100 * time.Second,
+		PageBurn:      4,
+		WarnBurn:      1,
+		ClearFraction: 0.5,
+	}
+}
+
+func TestTrackerDefaults(t *testing.T) {
+	tr := NewTracker(Config{Clock: newFakeClock()})
+	obj := tr.Objective()
+	if obj.Threshold != DefaultThreshold || obj.Ratio != DefaultRatio {
+		t.Errorf("default objective = %+v", obj)
+	}
+	if tr.slow != DefaultFastWindow*DefaultSlowWindowFactor {
+		t.Errorf("default slow window = %v, want %v", tr.slow, DefaultFastWindow*DefaultSlowWindowFactor)
+	}
+	if tr.State() != StateOK {
+		t.Errorf("fresh tracker state = %v, want ok", tr.State())
+	}
+}
+
+// TestBurnMath checks the burn-rate arithmetic: burn = badFrac/budget.
+func TestBurnMath(t *testing.T) {
+	clock := newFakeClock()
+	tr := NewTracker(testConfig(clock))
+	// 1 bad of 4 total = 25% bad over a 10% budget: burn 2.5.
+	tr.Observe(badSpan(clock))
+	for i := 0; i < 3; i++ {
+		tr.Observe(goodSpan(clock))
+	}
+	st := tr.Status()
+	if got := st.Global.FastBurn; got < 2.49 || got > 2.51 {
+		t.Errorf("fast burn = %g, want 2.5", got)
+	}
+	if st.Global.FastBad != 1 || st.Global.FastTotal != 4 {
+		t.Errorf("fast window = %d/%d, want 1/4", st.Global.FastBad, st.Global.FastTotal)
+	}
+	// A failed fast span is as bad as a slow one.
+	fail := goodSpan(clock)
+	fail.Failed = true
+	if !tr.Bad(fail) {
+		t.Error("failed span not classified bad")
+	}
+}
+
+// TestStateMachine drives ok -> warn -> page -> warn/ok through a
+// bad burst and recovery, capturing transitions.
+func TestStateMachine(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig(clock)
+	var trs []Transition
+	cfg.OnTransition = func(tr Transition) { trs = append(trs, tr) }
+	tr := NewTracker(cfg)
+
+	// Healthy baseline: fills both windows with good spans.
+	for i := 0; i < 10; i++ {
+		tr.Observe(goodSpan(clock))
+		clock.advance(10 * time.Second)
+	}
+	if tr.State() != StateOK {
+		t.Fatalf("baseline state = %v", tr.State())
+	}
+
+	// 100% bad: burn = 1/0.1 = 10 once bad spans dominate both
+	// windows. First the fast window crosses warn, then page.
+	for i := 0; i < 12; i++ {
+		tr.Observe(badSpan(clock))
+		clock.advance(10 * time.Second)
+	}
+	if tr.State() != StatePage {
+		t.Fatalf("state after sustained badness = %v, want page", tr.State())
+	}
+
+	// Recovery: good spans refill the fast window; the page clears
+	// (hysteresis: only once fast burn < 4*0.5 = 2).
+	for i := 0; i < 20; i++ {
+		tr.Observe(goodSpan(clock))
+		clock.advance(10 * time.Second)
+	}
+	if got := tr.State(); got != StateOK {
+		t.Fatalf("state after recovery = %v, want ok", got)
+	}
+
+	// The transition sequence must pass through warn and page, and the
+	// per-service series ("svc") mirrors the global one.
+	var globalStates, svcStates []State
+	for _, x := range trs {
+		if x.Service == "" {
+			globalStates = append(globalStates, x.To)
+		} else if x.Service == "svc" {
+			svcStates = append(svcStates, x.To)
+		}
+	}
+	sawWarn, sawPage := false, false
+	for _, s := range globalStates {
+		if s == StateWarn {
+			sawWarn = true
+		}
+		if s == StatePage {
+			if !sawWarn {
+				t.Errorf("paged before warning: %v", globalStates)
+			}
+			sawPage = true
+		}
+	}
+	if !sawWarn || !sawPage {
+		t.Errorf("global transitions %v missed warn or page", globalStates)
+	}
+	if len(globalStates) == 0 || globalStates[len(globalStates)-1] != StateOK {
+		t.Errorf("global transitions %v do not end ok", globalStates)
+	}
+	if len(svcStates) == 0 {
+		t.Error("no per-service transitions for svc")
+	}
+}
+
+// TestWindowExpiry checks that silence clears a page purely by time:
+// the ring rotation drops the bad buckets and a scrape-driven
+// evaluation fires the clearing transition.
+func TestWindowExpiry(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig(clock)
+	var trs []Transition
+	cfg.OnTransition = func(tr Transition) { trs = append(trs, tr) }
+	tr := NewTracker(cfg)
+
+	for i := 0; i < 12; i++ {
+		tr.Observe(badSpan(clock))
+		clock.advance(10 * time.Second)
+	}
+	if tr.State() != StatePage {
+		t.Fatalf("state = %v, want page", tr.State())
+	}
+	// No observations for longer than the slow window: both windows
+	// empty out, burn 0, page clears on the next read.
+	clock.advance(200 * time.Second)
+	if got := tr.State(); got != StateOK {
+		t.Errorf("state after silence = %v, want ok", got)
+	}
+	if last := trs[len(trs)-1]; last.Service != "" || last.To != StateOK {
+		t.Errorf("last transition = %+v, want global -> ok", last)
+	}
+}
+
+// TestPerServiceIsolation: a bad service pages its own series without
+// dragging an independent healthy service's series along.
+func TestPerServiceIsolation(t *testing.T) {
+	clock := newFakeClock()
+	tr := NewTracker(testConfig(clock))
+	for i := 0; i < 12; i++ {
+		bad := badSpan(clock)
+		bad.TriggerService = "down"
+		tr.Observe(bad)
+		good := goodSpan(clock)
+		good.TriggerService = "up"
+		tr.Observe(good)
+		clock.advance(10 * time.Second)
+	}
+	st := tr.Status()
+	var downState, upState string
+	for _, s := range st.Services {
+		switch s.Service {
+		case "down":
+			downState = s.State
+		case "up":
+			upState = s.State
+		}
+	}
+	if downState != "page" {
+		t.Errorf("down service state = %q, want page", downState)
+	}
+	if upState != "ok" {
+		t.Errorf("up service state = %q, want ok", upState)
+	}
+	// Global sees a 50% bad mix: burn 5 >= PageBurn 4, so it pages too —
+	// half the fleet failing is a paging condition even if one service
+	// is healthy.
+	if st.Global.State != "page" {
+		t.Errorf("global state = %q, want page (mixed burn 5)", st.Global.State)
+	}
+}
+
+// TestTrackerMetrics checks the registered ifttt_slo_* metrics react.
+func TestTrackerMetrics(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig(clock)
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	tr := NewTracker(cfg)
+	tr.Observe(badSpan(clock))
+	tr.Observe(goodSpan(clock))
+
+	vals := map[string]float64{}
+	for _, ms := range reg.Snapshot() {
+		if ms.Value != nil {
+			vals[ms.Name] = *ms.Value
+		}
+	}
+	if vals["ifttt_slo_executions_total"] != 2 {
+		t.Errorf("executions_total = %g", vals["ifttt_slo_executions_total"])
+	}
+	if vals["ifttt_slo_breaches_total"] != 1 {
+		t.Errorf("breaches_total = %g", vals["ifttt_slo_breaches_total"])
+	}
+	if got := vals["ifttt_slo_fast_burn_ratio"]; got < 4.99 || got > 5.01 {
+		t.Errorf("fast_burn_ratio = %g, want ~5 (50%% bad over 10%% budget)", got)
+	}
+	if vals["ifttt_slo_objective_threshold_seconds"] != 60 {
+		t.Errorf("objective_threshold_seconds = %g", vals["ifttt_slo_objective_threshold_seconds"])
+	}
+	if vals["ifttt_slo_tracked_services"] != 1 {
+		t.Errorf("tracked_services = %g", vals["ifttt_slo_tracked_services"])
+	}
+}
+
+// TestStatusHTTP checks the /debug/slo JSON contract.
+func TestStatusHTTP(t *testing.T) {
+	clock := newFakeClock()
+	tr := NewTracker(testConfig(clock))
+	tr.Observe(badSpan(clock))
+
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad JSON %s: %v", rec.Body.String(), err)
+	}
+	if st.ThresholdSeconds != 60 || st.Ratio != 0.9 {
+		t.Errorf("objective in status = %g %g", st.ThresholdSeconds, st.Ratio)
+	}
+	if len(st.Services) != 1 || st.Services[0].Service != "svc" {
+		t.Errorf("services in status = %+v", st.Services)
+	}
+}

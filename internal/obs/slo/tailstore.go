@@ -1,0 +1,191 @@
+package slo
+
+import (
+	"container/heap"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TailStore is tail-based span retention: a bounded store keeping the
+// full ExecSpan for executions that breach the SLO threshold or fail.
+// The trace ring overwrites uniformly — exactly wrong for debugging,
+// where the interesting spans are the slow and broken ones — so the
+// store admits only breaching spans and, at capacity, evicts the one
+// with the lowest T2A, converging on the worst executions seen.
+type TailStore struct {
+	mu        sync.Mutex
+	capacity  int
+	threshold time.Duration
+	entries   tailHeap
+	seq       uint64
+	evictions int64
+}
+
+type tailEntry struct {
+	t2a  time.Duration
+	seq  uint64 // admission order; tie-break so eviction is deterministic
+	span obs.ExecSpan
+}
+
+// tailHeap is a min-heap on (t2a, seq): the root is the least
+// interesting retained span, the first to go at capacity.
+type tailHeap []tailEntry
+
+func (h tailHeap) Len() int { return len(h) }
+func (h tailHeap) Less(i, j int) bool {
+	if h[i].t2a != h[j].t2a {
+		return h[i].t2a < h[j].t2a
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tailHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tailHeap) Push(x any)   { *h = append(*h, x.(tailEntry)) }
+func (h *tailHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewTailStore builds a store retaining up to capacity spans (<=0
+// means DefaultRetainSpans) whose T2A is >= threshold or that failed.
+func NewTailStore(capacity int, threshold time.Duration) *TailStore {
+	return &TailStore{capacity: RetainSpansOrDefault(capacity), threshold: threshold}
+}
+
+// Offer admits span if it breaches (failed, or T2A >= threshold) and
+// is worse than the current floor; returns whether it was retained.
+func (ts *TailStore) Offer(span obs.ExecSpan) bool {
+	t2a := span.T2A()
+	if !span.Failed && (ts.threshold <= 0 || t2a < ts.threshold) {
+		return false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.entries) >= ts.capacity {
+		if t2a <= ts.entries[0].t2a {
+			ts.evictions++
+			return false
+		}
+		heap.Pop(&ts.entries)
+		ts.evictions++
+	}
+	ts.seq++
+	heap.Push(&ts.entries, tailEntry{t2a: t2a, seq: ts.seq, span: span})
+	return true
+}
+
+// Len returns the number of retained spans.
+func (ts *TailStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.entries)
+}
+
+// Evictions returns how many breaching spans were dropped or displaced
+// because the store was full.
+func (ts *TailStore) Evictions() int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.evictions
+}
+
+// Spans returns the retained spans, worst (highest T2A) first.
+func (ts *TailStore) Spans() []obs.ExecSpan {
+	ts.mu.Lock()
+	entries := append([]tailEntry(nil), ts.entries...)
+	ts.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].t2a != entries[j].t2a {
+			return entries[i].t2a > entries[j].t2a
+		}
+		return entries[i].seq > entries[j].seq
+	})
+	out := make([]obs.ExecSpan, len(entries))
+	for i, e := range entries {
+		out[i] = e.span
+	}
+	return out
+}
+
+// Find returns every retained span carrying execID (one poll execution
+// can surface multiple events, hence multiple spans).
+func (ts *TailStore) Find(execID uint64) []obs.ExecSpan {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var out []obs.ExecSpan
+	for _, e := range ts.entries {
+		if e.span.ExecID == execID {
+			out = append(out, e.span)
+		}
+	}
+	return out
+}
+
+// RegisterMetrics exposes the store's occupancy and eviction count.
+func (ts *TailStore) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("ifttt_slo_retained_spans", "Breaching spans currently retained by the tail store.", func() float64 {
+		return float64(ts.Len())
+	})
+	reg.CounterFunc("ifttt_slo_span_evictions_total", "Breaching spans evicted or rejected because the tail store was full.", ts.Evictions)
+}
+
+// SpanView is the JSON rendering of one retained span, with the
+// segment decomposition pre-computed in seconds.
+type SpanView struct {
+	ExecID       uint64    `json:"exec_id"`
+	AppletID     string    `json:"applet_id"`
+	EventID      string    `json:"event_id,omitempty"`
+	Service      string    `json:"service,omitempty"`
+	T2AS         float64   `json:"t2a_s"`
+	PollingGapS  float64   `json:"polling_gap_s"`
+	PollRTTS     float64   `json:"poll_rtt_s"`
+	ProcessingS  float64   `json:"processing_s"`
+	DeliveryS    float64   `json:"delivery_s"`
+	HintLagS     float64   `json:"hint_lag_s,omitempty"`
+	Failed       bool      `json:"failed,omitempty"`
+	Err          string    `json:"err,omitempty"`
+	EventAt      time.Time `json:"event_at,omitempty"`
+	PollSentAt   time.Time `json:"poll_sent_at,omitempty"`
+	ActionDoneAt time.Time `json:"action_done_at,omitempty"`
+}
+
+// View flattens a span into its JSON form.
+func View(s obs.ExecSpan) SpanView {
+	return SpanView{
+		ExecID:       s.ExecID,
+		AppletID:     s.AppletID,
+		EventID:      s.EventID,
+		Service:      s.TriggerService,
+		T2AS:         s.T2A().Seconds(),
+		PollingGapS:  s.PollingGap().Seconds(),
+		PollRTTS:     s.PollRTT().Seconds(),
+		ProcessingS:  s.Processing().Seconds(),
+		DeliveryS:    s.Delivery().Seconds(),
+		HintLagS:     s.HintLag().Seconds(),
+		Failed:       s.Failed,
+		Err:          s.Err,
+		EventAt:      s.EventAt,
+		PollSentAt:   s.PollSentAt,
+		ActionDoneAt: s.ActionDoneAt,
+	}
+}
+
+// ServeHTTP serves the retained spans, worst first, for /debug/slowest.
+func (ts *TailStore) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	spans := ts.Spans()
+	views := make([]SpanView, len(spans))
+	for i, s := range spans {
+		views[i] = View(s)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := json.NewEncoder(w).Encode(views); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,140 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// spanT2A builds a span with the given exec ID and T2A.
+func spanT2A(id uint64, t2a time.Duration) obs.ExecSpan {
+	base := time.Unix(50_000, 0)
+	return obs.ExecSpan{
+		ExecID:         id,
+		AppletID:       "ap",
+		TriggerService: "svc",
+		EventAt:        base,
+		PollSentAt:     base.Add(t2a),
+		ActionDoneAt:   base.Add(t2a),
+	}
+}
+
+// TestTailStoreAdmission: only breaching or failed spans are admitted.
+func TestTailStoreAdmission(t *testing.T) {
+	ts := NewTailStore(4, time.Minute)
+	if ts.Offer(spanT2A(1, time.Second)) {
+		t.Error("fast healthy span admitted")
+	}
+	if !ts.Offer(spanT2A(2, 2*time.Minute)) {
+		t.Error("breaching span rejected")
+	}
+	fastFail := spanT2A(3, time.Second)
+	fastFail.Failed = true
+	if !ts.Offer(fastFail) {
+		t.Error("failed fast span rejected")
+	}
+	if ts.Len() != 2 {
+		t.Errorf("Len = %d, want 2", ts.Len())
+	}
+}
+
+// TestTailStoreEviction: at capacity the store keeps the worst spans,
+// evicting the lowest-T2A entry, and rejects offers no worse than the
+// current floor.
+func TestTailStoreEviction(t *testing.T) {
+	ts := NewTailStore(3, time.Minute)
+	for i, mins := range []int{2, 3, 4} {
+		if !ts.Offer(spanT2A(uint64(i+1), time.Duration(mins)*time.Minute)) {
+			t.Fatalf("offer %d rejected below capacity", i+1)
+		}
+	}
+	// Worse than the floor (2m): evicts exec 1.
+	if !ts.Offer(spanT2A(10, 10*time.Minute)) {
+		t.Error("worse span rejected at capacity")
+	}
+	// No better than the new floor (3m): rejected.
+	if ts.Offer(spanT2A(11, 3*time.Minute)) {
+		t.Error("floor-equal span admitted at capacity")
+	}
+	if ts.Len() != 3 {
+		t.Errorf("Len = %d, want 3", ts.Len())
+	}
+	// Evictions counts both the displaced exec 1 and the rejected
+	// floor-equal offer: breaching spans lost because the store was full.
+	if ts.Evictions() != 2 {
+		t.Errorf("Evictions = %d, want 2", ts.Evictions())
+	}
+	spans := ts.Spans()
+	if len(spans) != 3 || spans[0].ExecID != 10 || spans[1].ExecID != 3 || spans[2].ExecID != 2 {
+		ids := make([]uint64, len(spans))
+		for i, s := range spans {
+			ids[i] = s.ExecID
+		}
+		t.Errorf("Spans order = %v, want [10 3 2] (worst first)", ids)
+	}
+	if len(ts.Find(3)) != 1 || len(ts.Find(1)) != 0 {
+		t.Errorf("Find: exec 3 present %d, evicted exec 1 present %d", len(ts.Find(3)), len(ts.Find(1)))
+	}
+}
+
+// TestTailStoreHTTP checks the /debug/slowest JSON view.
+func TestTailStoreHTTP(t *testing.T) {
+	ts := NewTailStore(8, time.Minute)
+	ts.Offer(spanT2A(7, 5*time.Minute))
+	fail := spanT2A(8, 2*time.Minute)
+	fail.Failed = true
+	fail.Err = "boom"
+	ts.Offer(fail)
+
+	rec := httptest.NewRecorder()
+	ts.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowest", nil))
+	var views []SpanView
+	if err := json.Unmarshal(rec.Body.Bytes(), &views); err != nil {
+		t.Fatalf("bad JSON %s: %v", rec.Body.String(), err)
+	}
+	if len(views) != 2 || views[0].ExecID != 7 || views[1].ExecID != 8 {
+		t.Fatalf("views = %+v, want exec 7 then 8", views)
+	}
+	if views[0].T2AS != 300 {
+		t.Errorf("exec 7 t2a_s = %g, want 300", views[0].T2AS)
+	}
+	if !views[1].Failed || views[1].Err != "boom" {
+		t.Errorf("exec 8 view = %+v, want failed/boom", views[1])
+	}
+}
+
+// TestTailStoreMetrics checks gauge/counter registration.
+func TestTailStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := NewTailStore(1, time.Minute)
+	ts.RegisterMetrics(reg)
+	ts.Offer(spanT2A(1, 2*time.Minute))
+	ts.Offer(spanT2A(2, 3*time.Minute)) // evicts 1
+
+	vals := map[string]float64{}
+	for _, ms := range reg.Snapshot() {
+		if ms.Value != nil {
+			vals[ms.Name] = *ms.Value
+		}
+	}
+	if vals["ifttt_slo_retained_spans"] != 1 {
+		t.Errorf("retained_spans = %g, want 1", vals["ifttt_slo_retained_spans"])
+	}
+	if vals["ifttt_slo_span_evictions_total"] != 1 {
+		t.Errorf("span_evictions_total = %g, want 1", vals["ifttt_slo_span_evictions_total"])
+	}
+}
+
+// TestTailStoreDefaultCapacity: non-positive capacity falls back.
+func TestTailStoreDefaultCapacity(t *testing.T) {
+	ts := NewTailStore(0, time.Minute)
+	for i := 0; i < DefaultRetainSpans+10; i++ {
+		ts.Offer(spanT2A(uint64(i+1), time.Duration(i+61)*time.Second))
+	}
+	if ts.Len() != DefaultRetainSpans {
+		t.Errorf("Len = %d, want default %d", ts.Len(), DefaultRetainSpans)
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// ts offsets a fixed epoch by d, so span timestamps read as offsets.
+func ts(d time.Duration) time.Time {
+	return time.Unix(10_000, 0).Add(d)
+}
+
+// TestSpanSegments checks the full decomposition on a well-formed
+// span: every segment and their relation to T2A.
+func TestSpanSegments(t *testing.T) {
+	s := ExecSpan{
+		HintAt:       ts(5 * time.Second),
+		EventAt:      ts(0),
+		PollSentAt:   ts(60 * time.Second),
+		PollResultAt: ts(61 * time.Second),
+		ActionSentAt: ts(62 * time.Second),
+		ActionDoneAt: ts(63 * time.Second),
+	}
+	want := []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"PollingGap", s.PollingGap(), 60 * time.Second},
+		{"PollRTT", s.PollRTT(), time.Second},
+		{"Processing", s.Processing(), time.Second},
+		{"Delivery", s.Delivery(), time.Second},
+		{"T2A", s.T2A(), 63 * time.Second},
+		{"HintLag", s.HintLag(), 55 * time.Second},
+	}
+	for _, w := range want {
+		if w.got != w.want {
+			t.Errorf("%s = %v, want %v", w.name, w.got, w.want)
+		}
+	}
+	// The segments tile T2A exactly: gap + rtt + processing + delivery.
+	if sum := s.PollingGap() + s.PollRTT() + s.Processing() + s.Delivery(); sum != s.T2A() {
+		t.Errorf("segments sum to %v, T2A is %v", sum, s.T2A())
+	}
+}
+
+// TestSpanZeroEventAt checks the no-timestamp fallback: services that
+// send no event timestamp yield a zero polling gap, and T2A falls back
+// to the engine-side poll-to-ack measurement.
+func TestSpanZeroEventAt(t *testing.T) {
+	s := ExecSpan{
+		PollSentAt:   ts(10 * time.Second),
+		PollResultAt: ts(11 * time.Second),
+		ActionSentAt: ts(12 * time.Second),
+		ActionDoneAt: ts(14 * time.Second),
+	}
+	if got := s.PollingGap(); got != 0 {
+		t.Errorf("PollingGap with zero EventAt = %v, want 0", got)
+	}
+	if got, want := s.T2A(), 4*time.Second; got != want {
+		t.Errorf("T2A with zero EventAt = %v, want %v (ActionDoneAt-PollSentAt)", got, want)
+	}
+}
+
+// TestSpanZeroHintAt checks that unhinted executions report zero
+// hint lag rather than a bogus epoch-relative duration.
+func TestSpanZeroHintAt(t *testing.T) {
+	s := ExecSpan{PollSentAt: ts(10 * time.Second)}
+	if got := s.HintLag(); got != 0 {
+		t.Errorf("HintLag with zero HintAt = %v, want 0", got)
+	}
+}
+
+// TestSpanClockSkewClamp checks the nonNeg clamp: the protocol's
+// unix-second EventAt granularity can place the event "after" the
+// poll; every segment must clamp to zero instead of going negative.
+func TestSpanClockSkewClamp(t *testing.T) {
+	s := ExecSpan{
+		EventAt:      ts(10*time.Second + 500*time.Millisecond),
+		PollSentAt:   ts(10 * time.Second), // before EventAt: skew
+		PollResultAt: ts(9 * time.Second),  // pathological ordering
+		ActionSentAt: ts(8 * time.Second),
+		ActionDoneAt: ts(7 * time.Second),
+	}
+	for name, got := range map[string]time.Duration{
+		"PollingGap": s.PollingGap(),
+		"PollRTT":    s.PollRTT(),
+		"Processing": s.Processing(),
+		"Delivery":   s.Delivery(),
+		"T2A":        s.T2A(),
+	} {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0 (skew clamp)", name, got)
+		}
+	}
+}
+
+func TestNonNeg(t *testing.T) {
+	if got := nonNeg(-time.Second); got != 0 {
+		t.Errorf("nonNeg(-1s) = %v, want 0", got)
+	}
+	if got := nonNeg(3 * time.Second); got != 3*time.Second {
+		t.Errorf("nonNeg(3s) = %v, want 3s", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/oauth"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/proto"
 	"repro/internal/service"
 	"repro/internal/services"
@@ -105,6 +106,10 @@ type Config struct {
 	// deferring token bucket.
 	PollBudgetQPS   float64
 	PollBudgetBurst float64
+	// SLO forwards to engine.Config.SLO: when non-nil the engine runs
+	// the burn-rate tracker and tail span store of internal/obs/slo on
+	// its span stream (clock and metrics default to the testbed's).
+	SLO *slo.Config
 }
 
 // DefaultShards is the testbed's pinned engine shard count. Experiments
@@ -287,6 +292,7 @@ func New(cfg Config) *Testbed {
 		Adaptive:         cfg.Adaptive,
 		PollBudgetQPS:    cfg.PollBudgetQPS,
 		PollBudgetBurst:  cfg.PollBudgetBurst,
+		SLO:              cfg.SLO,
 		Observers:        cfg.Observers,
 		Metrics:          cfg.Metrics,
 		Trace: func(ev engine.TraceEvent) {

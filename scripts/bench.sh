@@ -7,12 +7,25 @@
 # delta against the newest previous BENCH_N.json is printed so drift is
 # visible directly in the CI log.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_6.json)
+# Usage: scripts/bench.sh [output.json]
+# Without an argument the output name is derived from the newest
+# existing BENCH_N.json (BENCH_<N+1>.json; BENCH_1.json in a bare tree),
+# so the script never silently overwrites a previous run's summary.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_6.json}
+OUT=${1:-}
+if [ -z "$OUT" ]; then
+    LATEST=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+    if [ -n "$LATEST" ]; then
+        N=${LATEST#BENCH_}
+        N=${N%.json}
+        OUT="BENCH_$((N + 1)).json"
+    else
+        OUT=BENCH_1.json
+    fi
+fi
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 

@@ -19,4 +19,29 @@ echo '== engine scale benchmarks (short)'
 go test -run '^$' -bench 'EngineScaleInstall|EngineScale100K|HintRouting|EngineEventThroughput|EngineChaosResilience' \
     -benchtime 1x .
 
+echo '== iftttop console smoke (iftttd + iftttop --once)'
+BIN=$(mktemp -d)
+IFTTTD_PID=""
+cleanup() {
+    [ -n "$IFTTTD_PID" ] && kill "$IFTTTD_PID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+go build -o "$BIN/iftttd" ./cmd/iftttd
+go build -o "$BIN/iftttop" ./cmd/iftttop
+"$BIN/iftttd" -addr 127.0.0.1:18089 -slo-target 120s &
+IFTTTD_PID=$!
+OK=""
+for _ in $(seq 1 50); do
+    if "$BIN/iftttop" -once -addr http://127.0.0.1:18089; then
+        OK=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$OK" ]; then
+    echo 'verify: iftttop never rendered a frame against iftttd' >&2
+    exit 1
+fi
+
 echo 'verify: OK'
