@@ -49,6 +49,12 @@ func main() {
 		coalesce = flag.Bool("coalesce", true, "share one upstream poll across applets with identical triggers (disable for per-applet polling A/B runs)")
 		pprof    = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
 
+		// Push ingestion tier: partner services POST event batches to
+		// POST /v1/push and skip the poll round-trip entirely.
+		push         = flag.Bool("push", false, "mount the push ingress (POST /v1/push) with per-shard bounded queues")
+		ingressQueue = flag.Int("ingress-queue", 0, "per-shard push ingress queue bound in events (0 = 1024 default); overflow answers 429")
+		ingressBatch = flag.Int("ingress-batch", 0, "max co-arriving push deliveries dispatched per consumer wake (0 = 256 default)")
+
 		// Adaptive polling + global upstream-QPS budget.
 		adaptive     = flag.Bool("adaptive", false, "schedule each subscription by its observed event rate (EWMA) instead of a fixed policy")
 		ewmaHalfLife = flag.Duration("ewma-halflife", 0, "adaptive rate-estimate half-life (0 = 5m default)")
@@ -159,6 +165,9 @@ func main() {
 		Shards:           *shards,
 		ShardWorkers:     *workers,
 		Coalesce:         *coalesce,
+		Push:             *push,
+		IngressQueue:     *ingressQueue,
+		IngressBatch:     *ingressBatch,
 		Adaptive:         adCfg,
 		PollBudgetQPS:    *pollQPS,
 		PollBudgetBurst:  *pollBurst,

@@ -75,6 +75,7 @@ type console struct {
 	prevAt    time.Time
 	prevPolls float64
 	prevOK    float64
+	prevPush  float64
 }
 
 // get fetches path and decodes JSON into out. A 404 returns ok=false
@@ -161,7 +162,14 @@ func (c *console) snapshot() (string, error) {
 			okRate = fmt.Sprintf(" (%.1f/s)", (ok-c.prevOK)/dt)
 		}
 	}
-	c.prevAt, c.prevPolls, c.prevOK = now, polls, ok
+	pushEvents := m.value("ifttt_engine_push_events_total")
+	pushRate := ""
+	if !c.prevAt.IsZero() {
+		if dt := now.Sub(c.prevAt).Seconds(); dt > 0 {
+			pushRate = fmt.Sprintf(" (%.1f/s)", (pushEvents-c.prevPush)/dt)
+		}
+	}
+	c.prevAt, c.prevPolls, c.prevOK, c.prevPush = now, polls, ok, pushEvents
 	fmt.Fprintf(&b, "applets %.0f   subscriptions %.0f   pending %.0f   inflight %.0f/%.0fx%.0f\n",
 		m.value("ifttt_engine_applets"), m.value("ifttt_engine_subscriptions"),
 		m.value("ifttt_engine_pending_polls"), m.value("ifttt_engine_inflight_workers"),
@@ -175,6 +183,20 @@ func (c *console) snapshot() (string, error) {
 	fmt.Fprintf(&b, "breakers open %.0f   opens %.0f   closes %.0f   probes %.0f\n",
 		m.value("ifttt_engine_breakers_open"), m.value("ifttt_engine_breaker_opens_total"),
 		m.value("ifttt_engine_breaker_closes_total"), m.value("ifttt_engine_breaker_probes_total"))
+
+	// Push ingress (only mounted with -push: the depth gauge's presence
+	// is how the console detects the tier).
+	if _, havePush := m["ifttt_ingest_queue_depth"]; havePush {
+		polled := m.value("ifttt_engine_events_received_total")
+		share := 0.0
+		if total := pushEvents + polled; total > 0 {
+			share = 100 * pushEvents / total
+		}
+		fmt.Fprintf(&b, "ingress depth %.0f   push events %.0f%s   push share %.1f%%   accepted %.0f   rejected %.0f   unmatched %.0f\n",
+			m.value("ifttt_ingest_queue_depth"), pushEvents, pushRate, share,
+			m.value("ifttt_ingest_accepted_total"), m.value("ifttt_ingest_rejected_total"),
+			m.value("ifttt_ingest_unmatched_total"))
+	}
 
 	// Poll budget (zero-valued without -poll-qps).
 	if qps := m.value("ifttt_engine_poll_budget_qps"); qps > 0 {

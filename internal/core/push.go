@@ -1,0 +1,266 @@
+// Push-vs-poll A/B study: the quantitative case for the push ingestion
+// tier. Both arms run the same skewed population (a hot set producing
+// all the events inside the horizon over a long cold tail) under the
+// same adaptive polling policy and the same per-service QPS budget —
+// sized so hot demand oversubscribes the budget, exactly the regime the
+// paper's Fig 5 measures where polling-gap dominates T2A. The poll arm
+// delivers every event through that saturated poll loop; the push arm
+// additionally POSTs each event to the engine's push ingress the
+// instant it occurs. Per-identity dedup reconciles the two paths, so
+// the push arm's polls become a reconciliation safety net and its T2A
+// collapses from poll-cadence scale to ingress scale: seconds, not poll
+// cycles.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// PushVsPollConfig tunes RunPushVsPoll. Zero fields select the defaults
+// noted on each.
+type PushVsPollConfig struct {
+	Seed uint64
+	// Subs and Hot size the population: Subs subscriptions of which the
+	// first Hot are hot. Defaults 100000 and 10000 — hot demand
+	// (Hot/HotPeriod ≈ 333 events/s) oversubscribes the default budget,
+	// so the poll arm's cadence stretches well past the event period.
+	Subs, Hot int
+	// HotPeriod and ColdPeriod are the event cadences. Defaults 30s and
+	// 4h (cold subscriptions produce no events inside the horizon).
+	HotPeriod, ColdPeriod time.Duration
+	// BudgetQPS is the per-service poll budget both arms share.
+	// Default 200.
+	BudgetQPS float64
+	// Horizon is each arm's simulated run length; spans from its first
+	// half (EWMA warm-up and initial-gap spreading) are discarded.
+	// Default 40m.
+	Horizon time.Duration
+	// IngressQueue and IngressBatch forward to the push arm's
+	// engine.Config. Defaults 4096 and the engine default.
+	IngressQueue, IngressBatch int
+}
+
+// PushVsPollArm is one arm's measurement.
+type PushVsPollArm struct {
+	Push bool
+	// P50/P90/P99 are T2A percentiles in seconds over all events
+	// delivered after warm-up.
+	P50, P90, P99 float64
+	// Events is the number of measured deliveries behind the
+	// percentiles; PushShare is the fraction of them that arrived
+	// through the push ingress (always 0 for the poll arm).
+	Events    int
+	PushShare float64
+	// IngestP50 is the median ingress queue wait of pushed spans in
+	// seconds (the "ingest" segment of the T2A breakdown).
+	IngestP50 float64
+	// MeasuredQPS is the poll rate actually spent; Polls its count.
+	MeasuredQPS float64
+	Polls       int64
+	// Accepted and Rejected are the engine's ingress event counters:
+	// rejected events were shed with 429 and left to the poll path.
+	Accepted, Rejected int64
+}
+
+// PushVsPollResults carries both arms.
+type PushVsPollResults struct {
+	Cfg  PushVsPollConfig
+	Poll PushVsPollArm
+	Push PushVsPollArm
+}
+
+// Speedup is the headline ratio: poll-arm T2A p50 over push-arm T2A
+// p50, the latter floored at one second — event timestamps have
+// unix-second granularity, so sub-second push T2As are measurement
+// noise, and the floor keeps the ratio honest.
+func (r *PushVsPollResults) Speedup() float64 {
+	p := r.Push.P50
+	if p < 1 {
+		p = 1
+	}
+	if p == 0 {
+		return 0
+	}
+	return r.Poll.P50 / p
+}
+
+// RunPushVsPoll runs the two arms and returns their T2A distributions.
+func RunPushVsPoll(cfg PushVsPollConfig) (*PushVsPollResults, error) {
+	if cfg.Subs <= 0 {
+		cfg.Subs = 100_000
+	}
+	if cfg.Hot <= 0 {
+		cfg.Hot = 10_000
+	}
+	if cfg.HotPeriod <= 0 {
+		cfg.HotPeriod = 30 * time.Second
+	}
+	if cfg.ColdPeriod <= 0 {
+		cfg.ColdPeriod = 4 * time.Hour
+	}
+	if cfg.BudgetQPS <= 0 {
+		cfg.BudgetQPS = 200
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 40 * time.Minute
+	}
+	if cfg.IngressQueue <= 0 {
+		cfg.IngressQueue = 4096
+	}
+	res := &PushVsPollResults{Cfg: cfg}
+	var err error
+	if res.Poll, err = runPushVsPollArm(cfg, false); err != nil {
+		return nil, fmt.Errorf("poll arm: %w", err)
+	}
+	if res.Push, err = runPushVsPollArm(cfg, true); err != nil {
+		return nil, fmt.Errorf("push arm: %w", err)
+	}
+	return res, nil
+}
+
+func runPushVsPollArm(cfg PushVsPollConfig, push bool) (PushVsPollArm, error) {
+	clock := simtime.NewSimDefault()
+	doer := NewSkewedLoad(clock, cfg.HotPeriod, cfg.ColdPeriod)
+	cutoff := clock.Now().Add(cfg.Horizon / 2)
+
+	var t2as, ingests []float64
+	pushed := 0
+	rec := engine.NewSpanRecorder(engine.SpanRecorderConfig{
+		OnSpan: func(sp obs.ExecSpan) {
+			if !sp.PollSentAt.After(cutoff) {
+				return
+			}
+			t2as = append(t2as, sp.T2A().Seconds())
+			if sp.Pushed {
+				pushed++
+				ingests = append(ingests, sp.Ingest().Seconds())
+			}
+		},
+	})
+	ecfg := engine.Config{
+		Clock: clock, RNG: stats.NewRNG(cfg.Seed), Doer: doer,
+		DispatchDelay: -1, Shards: 8, ShardWorkers: 8,
+		PollBudgetQPS: cfg.BudgetQPS,
+		// Both arms poll adaptively: the poll arm is the engine's best
+		// non-push configuration, not a strawman; the push arm keeps the
+		// same loop as its reconciliation path.
+		Adaptive: &engine.AdaptiveConfig{
+			HalfLife: 2 * time.Minute, FastFloor: 10 * time.Second,
+			SlowCeiling: 15 * time.Minute, TargetEventsPerPoll: 0.3,
+		},
+		Observers: []func(engine.TraceEvent){rec.Observe},
+	}
+	if push {
+		ecfg.Push = true
+		ecfg.IngressQueue = cfg.IngressQueue
+		ecfg.IngressBatch = cfg.IngressBatch
+	}
+	eng := engine.New(ecfg)
+	var installErr error
+	clock.Run(func() {
+		identities := make([]string, cfg.Hot)
+		markers := make([]string, cfg.Hot)
+		for j := 0; j < cfg.Subs; j++ {
+			a := paretoApplet(j, cfg.Hot)
+			if err := eng.Install(a); err != nil {
+				installErr = err
+				return
+			}
+			if j < cfg.Hot {
+				identities[j] = a.TriggerIdentity()
+				markers[j] = a.Trigger.Fields["n"]
+			}
+		}
+		if push {
+			// Push driver: the partner side of the tier. At every hot tick
+			// it POSTs one batch with the tick's event for each hot
+			// identity — same IDs and timestamps SkewedLoad serves to
+			// polls, so dedup reconciles the paths. In-process against the
+			// engine handler: the study measures the ingestion tier, not a
+			// simulated WAN hop.
+			handler := eng.Handler()
+			ticks := int(cfg.Horizon / cfg.HotPeriod)
+			clock.Go(func() {
+				for k := 1; k < ticks; k++ {
+					clock.Sleep(cfg.HotPeriod)
+					batch := proto.PushBatch{Data: make([]proto.PushDelivery, cfg.Hot)}
+					ts := clock.Now().Unix()
+					for j := 0; j < cfg.Hot; j++ {
+						batch.Data[j] = proto.PushDelivery{
+							TriggerIdentity: identities[j],
+							Events: []proto.TriggerEvent{{Meta: proto.EventMeta{
+								ID:        fmt.Sprintf("%s-%06d", markers[j], k-1),
+								Timestamp: ts,
+							}}},
+						}
+					}
+					body, _ := json.Marshal(batch)
+					req := httptest.NewRequest("POST", proto.PushPath, bytes.NewReader(body))
+					handler.ServeHTTP(httptest.NewRecorder(), req)
+				}
+			})
+		}
+		clock.Sleep(cfg.Horizon)
+		eng.Stop()
+	})
+	if installErr != nil {
+		return PushVsPollArm{}, installErr
+	}
+	st := eng.Stats()
+	arm := PushVsPollArm{
+		Push:        push,
+		Events:      len(t2as),
+		MeasuredQPS: float64(st.Polls) / cfg.Horizon.Seconds(),
+		Polls:       st.Polls,
+		Accepted:    st.IngressAccepted,
+		Rejected:    st.IngressRejected,
+	}
+	if len(t2as) > 0 {
+		arm.P50 = stats.Percentile(t2as, 50)
+		arm.P90 = stats.Percentile(t2as, 90)
+		arm.P99 = stats.Percentile(t2as, 99)
+		arm.PushShare = float64(pushed) / float64(len(t2as))
+	}
+	if len(ingests) > 0 {
+		arm.IngestP50 = stats.Percentile(ingests, 50)
+	}
+	return arm, nil
+}
+
+// FormatPushVsPoll renders the push-vs-poll section of EXPERIMENTS.md.
+func FormatPushVsPoll(r *PushVsPollResults) string {
+	var b strings.Builder
+	b.WriteString("## Push ingestion: T2A in seconds, not poll cycles\n\n")
+	fmt.Fprintf(&b,
+		"%d subscriptions (%d hot at one event/%s) under a %g QPS poll budget — hot demand oversubscribes the budget, "+
+			"so the poll arm's adaptive cadence stretches far past the event period. The push arm runs the identical "+
+			"engine and poll loop plus the push ingress: partners POST each event as it happens, dedup reconciles the "+
+			"paths, and polling becomes the safety net. T2A percentiles over events delivered after warm-up.\n\n",
+		r.Cfg.Subs, r.Cfg.Hot, r.Cfg.HotPeriod, r.Cfg.BudgetQPS)
+	b.WriteString("| Arm | T2A p50 | T2A p90 | T2A p99 | Events | Push share | Ingest p50 | Spent (QPS) | 429 events |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	for _, a := range []PushVsPollArm{r.Poll, r.Push} {
+		name := "adaptive poll"
+		if a.Push {
+			name = "push + poll"
+		}
+		fmt.Fprintf(&b, "| %s | %.1f s | %.1f s | %.1f s | %d | %.0f%% | %.2f s | %.1f | %d |\n",
+			name, a.P50, a.P90, a.P99, a.Events, 100*a.PushShare, a.IngestP50, a.MeasuredQPS, a.Rejected)
+	}
+	fmt.Fprintf(&b, "\nHeadline: push delivers the same events **%.0fx** faster at the median "+
+		"(push-arm p50 floored at the event timestamps' 1 s granularity). The poll arm's p50 is the "+
+		"budget-starved polling gap the paper measured; the push arm's is ingress queueing, which the "+
+		"bounded per-shard queues keep at micro-batch scale.\n", r.Speedup())
+	return b.String()
+}

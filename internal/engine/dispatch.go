@@ -229,6 +229,9 @@ func expandIngredients(tmpl string, ingredients map[string]string) string {
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+proto.RealtimePath, e.handleRealtime)
+	if e.push {
+		mux.HandleFunc("POST "+proto.PushPath, e.handlePush)
+	}
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteJSON(w, http.StatusOK, e.Stats())
 	})

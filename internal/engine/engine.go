@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/simtime"
@@ -124,6 +125,12 @@ const (
 	// TraceConditionSkip marks an event whose action was suppressed by
 	// the applet's conditions.
 	TraceConditionSkip TraceKind = "condition_skip"
+	// TracePushDispatch marks a push-path execution starting (ingress.go):
+	// the analogue of poll_sent+poll_result in one event, since pushed
+	// events need no round-trip. N is the fresh-event count after dedup,
+	// IngestAt when the ingress accepted the batch; action/skip events
+	// follow under the same ExecID exactly as for a poll.
+	TracePushDispatch TraceKind = "push_dispatch"
 	// Breaker transitions (resilience.go): a subscription's circuit
 	// breaker opened after N consecutive failures, a half-open probe
 	// poll was issued, or a successful poll closed the breaker.
@@ -162,6 +169,9 @@ type TraceEvent struct {
 	// HintAt is when a realtime hint rescheduled this poll; set on
 	// poll_sent for hint-provoked executions, zero otherwise.
 	HintAt time.Time
+	// IngestAt is when the push ingress accepted the event batch; set on
+	// push_dispatch, zero otherwise.
+	IngestAt time.Time
 	// N is the number of new events in a poll result.
 	N int
 	// Err holds failure detail for *_failed kinds.
@@ -263,6 +273,24 @@ type Config struct {
 	// ifttt_slo_* metrics, slo_* trace events, GET /debug/slo, and
 	// GET /debug/slowest. Clock and Metrics default to the engine's own.
 	SLO *slo.Config
+	// Push enables the push ingestion tier (internal/ingest): the engine
+	// mounts POST /v1/push, partner services with a push delivery mode
+	// POST fully-formed event batches there, and accepted events dispatch
+	// through per-shard bounded ingress queues without waiting for a poll
+	// round-trip. The poll path keeps running as the reconciliation
+	// safety net — per-applet dedup makes an event seen both ways execute
+	// exactly once.
+	Push bool
+	// IngressQueue bounds each shard's ingress queue in pending push
+	// deliveries; above the bound the ingress answers 429 for the
+	// overflow (counted, never silent). Zero means
+	// ingest.DefaultCapacity.
+	IngressQueue int
+	// IngressBatch caps the push deliveries one ingress consumer wake
+	// hands to dispatch — the micro-batch; co-arriving deliveries for
+	// one subscription within a batch merge into a single execution.
+	// Zero means ingest.DefaultBatch.
+	IngressBatch int
 	// Coalesce groups applets with identical trigger configurations
 	// (same service, slug, fields, and user credentials — see
 	// Applet.CoalescedTriggerIdentity) into shared subscriptions: one
@@ -346,6 +374,13 @@ type Engine struct {
 	// hints counts realtime notifications at the HTTP surface, matched
 	// or not; the per-shard counters cover the poll/dispatch hot path.
 	hints atomic.Int64
+	// Push ingress accounting (ingress.go), in events as seen at the
+	// HTTP surface; per-delivery queue counters live on the shard
+	// queues. push is set when Config.Push enabled the tier.
+	push            bool
+	ingressAccepted atomic.Int64
+	ingressRejected atomic.Int64
+	ingressUnmatch  atomic.Int64
 	// execSeq numbers poll executions; every trace event of one poll
 	// carries the same ExecID.
 	execSeq atomic.Uint64
@@ -395,6 +430,20 @@ type Stats struct {
 	ActionsFailed  int64 `json:"actions_failed"`
 	HintsReceived  int64 `json:"hints_received"`
 	ConditionSkips int64 `json:"condition_skips"`
+	// Push ingestion tier (Config.Push). PushBatches counts
+	// per-subscription push dispatch executions; PushEvents the fresh
+	// events they delivered (after dedup — the push analogue of
+	// EventsReceived). The Ingress* counters account every pushed event
+	// at the front door: accepted into a queue, rejected with 429 by
+	// backpressure, or unmatched to any installed subscription.
+	// IngressDepth is the current queued (plus in-flight) delivery
+	// count, bounded by Config.IngressQueue per shard.
+	PushBatches      int64 `json:"push_batches"`
+	PushEvents       int64 `json:"push_events"`
+	IngressAccepted  int64 `json:"ingress_accepted"`
+	IngressRejected  int64 `json:"ingress_rejected"`
+	IngressUnmatched int64 `json:"ingress_unmatched"`
+	IngressDepth     int64 `json:"ingress_depth"`
 }
 
 // runningApplet is one installed applet's execution state. Scheduling
@@ -501,6 +550,14 @@ func New(cfg Config) *Engine {
 		// (seed, shard count) always yields the same streams.
 		e.shards[i] = newShard(e, i, cfg.RNG.Split(fmt.Sprintf("shard-%d", i)))
 	}
+	if cfg.Push {
+		e.push = true
+		for _, sh := range e.shards {
+			sh := sh
+			sh.ingress = ingest.NewQueue(cfg.Clock, cfg.IngressQueue,
+				cfg.IngressBatch, sh.deliverPush)
+		}
+	}
 
 	observers := cfg.Observers
 	if cfg.Metrics != nil {
@@ -591,6 +648,9 @@ func (e *Engine) emit(sh *shard, ev TraceEvent) {
 		sh.counters.pollFailures.Add(1)
 	case TracePollResult:
 		sh.counters.eventsReceived.Add(int64(ev.N))
+	case TracePushDispatch:
+		sh.counters.pushBatches.Add(1)
+		sh.counters.pushEvents.Add(int64(ev.N))
 	case TraceActionAcked:
 		sh.counters.actionsOK.Add(1)
 	case TraceActionFailed:
@@ -632,6 +692,11 @@ func (e *Engine) Stats() Stats {
 		st.ActionsOK += sh.counters.actionsOK.Load()
 		st.ActionsFailed += sh.counters.actionsFailed.Load()
 		st.ConditionSkips += sh.counters.conditionSkips.Load()
+		st.PushBatches += sh.counters.pushBatches.Load()
+		st.PushEvents += sh.counters.pushEvents.Load()
+		if sh.ingress != nil {
+			st.IngressDepth += sh.ingress.Depth()
+		}
 		sh.mu.Lock()
 		st.Subscriptions += len(sh.subs)
 		sh.mu.Unlock()
@@ -641,6 +706,9 @@ func (e *Engine) Stats() Stats {
 	e.mu.Unlock()
 	st.HintsReceived = e.hints.Load()
 	st.BreakersOpen = e.breakerOpen.Load()
+	st.IngressAccepted = e.ingressAccepted.Load()
+	st.IngressRejected = e.ingressRejected.Load()
+	st.IngressUnmatched = e.ingressUnmatch.Load()
 	if e.admission != nil {
 		st.BudgetGrants = e.admission.grants()
 	}
@@ -758,6 +826,13 @@ func (e *Engine) Stop() {
 	e.stopped.Store(true)
 	for _, sh := range e.shards {
 		sh.stop()
+	}
+	// Retire the ingress queues before the trace pump: their final drain
+	// (which drops — the shards are stopped) may still emit trace events.
+	for _, sh := range e.shards {
+		if sh.ingress != nil {
+			sh.ingress.Close()
+		}
 	}
 	if e.pump != nil {
 		e.pump.Close()

@@ -1,0 +1,217 @@
+// The push ingestion tier (Config.Push): partner services POST
+// fully-formed event batches to /v1/push and the engine dispatches them
+// without a poll round-trip. The flow is
+//
+//	handlePush (HTTP)  →  shard ingress queue (ingest.Queue, bounded)
+//	                   →  deliverPush (consumer actor, micro-batch)
+//	                   →  execPush / dispatchPush (existing action path)
+//
+// Backpressure is explicit: each shard's queue is bounded in pending
+// deliveries, an Offer above the bound rejects, and the whole batch
+// answers 429 with per-event counts — the pushing service keeps the
+// events buffered and the still-running poll path reconciles them
+// later. Exactly-once across the two paths falls out of the per-applet
+// dedupRing: whichever path sees an event ID first marks it, the other
+// path's copy dedups away.
+//
+// Concurrency follows the scheduler's ownership model: the subscription
+// polling flag is claimed (under the shard lock) before dispatching, so
+// a push execution and a poll never run concurrently for one
+// subscription. Deliveries that find the flag taken park on
+// sub.pushPending and the current owner drains them before releasing —
+// nothing accepted into a queue is ever silently lost.
+package engine
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/proto"
+)
+
+// pushItem is one accepted push delivery queued on a shard: the
+// resolved subscription, its events (oldest first, per the push wire
+// contract), and the ingress-accept instant for the span's ingest
+// segment.
+type pushItem struct {
+	sub    *subscription
+	events []proto.TriggerEvent
+	at     time.Time
+}
+
+// handlePush accepts a PushBatch, resolves each delivery's trigger
+// identity to its subscription, and offers it to the owning shard's
+// ingress queue. The response accounts every event: accepted into a
+// queue, rejected by a full queue (the batch then answers 429 so the
+// service backs off and lets polling reconcile), or unmatched to any
+// installed subscription.
+func (e *Engine) handlePush(w http.ResponseWriter, r *http.Request) {
+	var batch proto.PushBatch
+	if err := httpx.ReadJSON(r, &batch); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	now := e.clock.Now()
+	var resp proto.PushResponse
+	for _, d := range batch.Data {
+		if d.TriggerIdentity == "" || len(d.Events) == 0 {
+			continue
+		}
+		var sub *subscription
+		for _, sh := range e.shards {
+			if s, _, _ := sh.byIdentity(d.TriggerIdentity); s != nil {
+				sub = s
+				break
+			}
+		}
+		if sub == nil {
+			resp.Unmatched += len(d.Events)
+			continue
+		}
+		// The decoded events slice is owned by this delivery from here
+		// on (the batch struct is not reused), so no copy is needed.
+		if sub.shard.ingress.Offer(pushItem{sub: sub, events: d.Events, at: now}) {
+			resp.Accepted += len(d.Events)
+		} else {
+			resp.Rejected += len(d.Events)
+		}
+	}
+	e.ingressAccepted.Add(int64(resp.Accepted))
+	e.ingressRejected.Add(int64(resp.Rejected))
+	e.ingressUnmatch.Add(int64(resp.Unmatched))
+	status := http.StatusOK
+	if resp.Rejected > 0 {
+		status = http.StatusTooManyRequests
+	}
+	httpx.WriteJSON(w, status, resp)
+}
+
+// deliverPush is the shard's ingress-consumer callback: one micro-batch
+// of co-arriving deliveries. Deliveries for the same subscription merge
+// into a single execution (adaptive micro-batching — the merge width
+// tracks the arrival rate); distinct subscriptions dispatch
+// sequentially on this consumer, which is what bounds the shard's push
+// concurrency exactly like a poll worker bounds its poll concurrency.
+func (s *shard) deliverPush(batch []pushItem) {
+	for i := range batch {
+		it := &batch[i]
+		if it.sub == nil {
+			continue
+		}
+		events := it.events
+		merged := false
+		for j := i + 1; j < len(batch); j++ {
+			if batch[j].sub == it.sub {
+				if !merged {
+					// Copy before extending: the original slice came from
+					// the HTTP decode and must not alias the next append.
+					events = append(append([]proto.TriggerEvent(nil), events...), batch[j].events...)
+					merged = true
+				} else {
+					events = append(events, batch[j].events...)
+				}
+				batch[j].sub = nil
+			}
+		}
+		s.execPush(it.sub, events, it.at)
+	}
+}
+
+// execPush claims the subscription and dispatches one push delivery,
+// then drains whatever parked on pushPending meanwhile. Runs on the
+// shard's single ingress consumer.
+func (s *shard) execPush(sub *subscription, events []proto.TriggerEvent, at time.Time) {
+	s.mu.Lock()
+	if sub.removed || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	if sub.polling {
+		// A poll worker (or an earlier push still draining) owns the
+		// subscription; park the delivery for the owner to drain.
+		sub.pushPending = append(sub.pushPending, pendingPush{events: events, at: at})
+		s.mu.Unlock()
+		return
+	}
+	sub.polling = true
+	members := append(sub.snap[:0], sub.members...)
+	s.mu.Unlock()
+
+	s.e.dispatchPush(sub, members, events, at)
+
+	s.mu.Lock()
+	sub.snap = members
+	s.drainPushPendingLocked(sub)
+	s.mu.Unlock()
+}
+
+// drainPushPendingLocked dispatches every delivery parked on sub while
+// the caller owned it, then releases the polling flag. Caller holds
+// s.mu and owns sub (sub.polling == true); the lock is dropped around
+// each dispatch round. Both release paths — poll worker and push
+// consumer — funnel through here so the flag can never leak set.
+func (s *shard) drainPushPendingLocked(sub *subscription) {
+	for len(sub.pushPending) > 0 && !sub.removed && !s.stopped {
+		pend := sub.pushPending
+		sub.pushPending = nil
+		members := append(sub.snap[:0], sub.members...)
+		s.mu.Unlock()
+		for _, p := range pend {
+			s.e.dispatchPush(sub, members, p.events, p.at)
+		}
+		s.mu.Lock()
+		sub.snap = members
+	}
+	sub.polling = false
+}
+
+// dispatchPush fans one push delivery out to the subscription's
+// members, mirroring pollSubscription's result half: per-member dedup
+// against the same rings the poll path uses (exactly-once across
+// paths), the engine's dispatch delay, conditions, and the shared
+// action path. events arrive oldest first, so unlike the poll wire no
+// reversal is needed. The caller owns the subscription, so the scratch
+// buffers are safe to reuse.
+func (e *Engine) dispatchPush(sub *subscription, members []*runningApplet, events []proto.TriggerEvent, at time.Time) {
+	sh := sub.shard
+	leadID := members[0].def.ID
+	execID := e.execSeq.Add(1)
+
+	fresh := sub.fresh[:0]
+	ranges := sub.ranges[:0]
+	for _, ra := range members {
+		start := len(fresh)
+		for _, ev := range events {
+			if ev.Meta.ID == "" || !ra.dedup.Add(ev.Meta.ID) {
+				continue
+			}
+			fresh = append(fresh, ev)
+		}
+		ranges = append(ranges, memberRange{ra: ra, start: start, end: len(fresh)})
+	}
+	sub.fresh = fresh
+	sub.ranges = ranges
+
+	e.emit(sh, TraceEvent{Kind: TracePushDispatch, AppletID: leadID,
+		Service: sub.trigger.Service, ExecID: execID, N: len(fresh), IngestAt: at})
+	if len(fresh) == 0 {
+		return
+	}
+	if e.fanout != nil {
+		e.fanout.Observe(float64(len(members)))
+	}
+	if e.dispatch > 0 {
+		e.clock.Sleep(e.dispatch)
+	}
+	for _, mr := range ranges {
+		a := &mr.ra.def
+		for _, ev := range fresh[mr.start:mr.end] {
+			if !conditionsAllow(a.Conditions, e.clock.Now(), ev.Ingredients) {
+				e.emit(sh, TraceEvent{Kind: TraceConditionSkip, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID})
+				continue
+			}
+			e.dispatchAction(mr.ra, ev, execID)
+		}
+	}
+}

@@ -38,6 +38,7 @@ func TestMetricsNamingConvention(t *testing.T) {
 		RNG:           rng.Split("engine"),
 		Doer:          inj.Wrap(stubDoer{}),
 		Metrics:       reg,
+		Push:          true,
 		PollBudgetQPS: 1,
 		Adaptive:      &AdaptiveConfig{},
 		SLO:           &slo.Config{},

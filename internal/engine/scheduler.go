@@ -24,6 +24,12 @@ import (
 	"time"
 )
 
+// pushYield is how far a poll worker defers a subscription it found
+// owned by a push execution; small enough that poll cadence is
+// effectively unaffected, large enough that the retry does not busy-spin
+// against a long push dispatch.
+const pushYield = 100 * time.Millisecond
+
 // pollEntry is one subscription's pending poll in a shard's timer heap.
 type pollEntry struct {
 	due time.Time
@@ -183,6 +189,15 @@ func (s *shard) worker() {
 			s.mu.Unlock()
 			continue
 		}
+		if sub.polling {
+			// The push ingress consumer owns the subscription
+			// (ingress.go); polling it now would race the scratch
+			// buffers and double-execute. Retry shortly — the push path
+			// never reschedules polls, so the entry must be re-queued.
+			s.scheduleLocked(sub, s.e.clock.Now().Add(pushYield))
+			s.mu.Unlock()
+			continue
+		}
 		// Admission: a scheduled poll charges the upstream service's
 		// token bucket. When the bucket is empty the poll is deferred —
 		// rescheduled to the exact instant its reserved token accrues —
@@ -229,8 +244,10 @@ func (s *shard) worker() {
 		ok, events := s.e.pollSubscription(sub, hintAt, members, prep)
 
 		s.mu.Lock()
-		sub.polling = false
 		sub.snap = members
+		// Dispatch any push deliveries that parked while this poll held
+		// the subscription, then release the polling flag (ingress.go).
+		s.drainPushPendingLocked(sub)
 		due, brEv := s.nextPollDueLocked(sub, ok, events)
 		s.scheduleLocked(sub, due)
 		s.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/ingest"
 	"repro/internal/proto"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -23,9 +24,12 @@ import (
 //
 // The mutable scheduling fields (members, entry, polling, removed,
 // hintAt, prep, leadID) are guarded by the owning shard's mutex. rng
-// and the scratch fields are touched only by the single worker that has
-// the subscription in flight — a subscription is never scheduled while
-// polling.
+// and the scratch fields are touched only by the single actor that has
+// the subscription in flight: polling is the execution-ownership flag —
+// set by a poll worker or by the push ingress consumer (ingress.go)
+// under the shard lock before dispatching, cleared (after draining
+// pushPending) when done — so a subscription never executes on two
+// goroutines at once and the scratch buffers need no further locking.
 type subscription struct {
 	key     string     // grouping key, presented on the wire as trigger_identity
 	shard   *shard
@@ -66,12 +70,27 @@ type subscription struct {
 	reserved  bool
 	pollCount int64
 
+	// pushPending parks push deliveries that arrived while another
+	// execution (poll or push) owned the subscription; the owner drains
+	// it before releasing the polling flag, so pushed events are never
+	// lost to the ownership race and never dispatch concurrently.
+	// Guarded by the shard's mutex.
+	pushPending []pendingPush
+
 	// Worker-owned scratch, reused across polls so the steady-state poll
 	// path allocates nothing for the common empty-result case.
 	resp   proto.TriggerPollResponse
 	fresh  []proto.TriggerEvent
 	ranges []memberRange
 	snap   []*runningApplet
+}
+
+// pendingPush is one deferred push delivery: events for a subscription
+// that was mid-execution when they arrived, plus their ingress-accept
+// instant for the span's ingest segment.
+type pendingPush struct {
+	events []proto.TriggerEvent
+	at     time.Time
 }
 
 // memberRange marks one member's slice of a poll's shared fresh-event
@@ -137,6 +156,10 @@ type shard struct {
 	pumpAt    time.Time
 	stopped   bool
 
+	// ingress is the shard's bounded push-delivery queue (ingress.go),
+	// nil unless Config.Push. Set once in New, before any traffic.
+	ingress *ingest.Queue[pushItem]
+
 	counters shardCounters
 }
 
@@ -167,6 +190,11 @@ type shardCounters struct {
 	// Polls the admission controller pushed past their due time because
 	// the upstream service's token bucket was empty (adaptive.go).
 	pollsDeferred atomic.Int64
+
+	// Push-path executions and the fresh events they delivered
+	// (ingress.go); the push analogue of polls/eventsReceived.
+	pushBatches atomic.Int64
+	pushEvents  atomic.Int64
 }
 
 func newShard(e *Engine, id int, rng *stats.RNG) *shard {

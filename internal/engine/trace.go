@@ -94,6 +94,45 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 		sum(func(c *shardCounters) int64 { return c.pollsCoalesced.Load() }))
 	reg.CounterFunc("ifttt_engine_hints_received_total", "Realtime notifications received.",
 		func() int64 { return e.hints.Load() })
+	if e.push {
+		reg.CounterFunc("ifttt_engine_push_batches_total",
+			"Per-subscription push dispatch executions (ingress.go).",
+			sum(func(c *shardCounters) int64 { return c.pushBatches.Load() }))
+		reg.CounterFunc("ifttt_engine_push_events_total",
+			"Fresh trigger events delivered via the push path (the push analogue of events_received).",
+			sum(func(c *shardCounters) int64 { return c.pushEvents.Load() }))
+		reg.CounterFunc("ifttt_ingest_accepted_total",
+			"Pushed events accepted into the shard ingress queues.",
+			func() int64 { return e.ingressAccepted.Load() })
+		reg.CounterFunc("ifttt_ingest_rejected_total",
+			"Pushed events shed with 429 by ingress backpressure.",
+			func() int64 { return e.ingressRejected.Load() })
+		reg.CounterFunc("ifttt_ingest_unmatched_total",
+			"Pushed events that matched no installed subscription.",
+			func() int64 { return e.ingressUnmatch.Load() })
+		reg.CounterFunc("ifttt_ingest_batches_total",
+			"Micro-batches drained by the shard ingress consumers.",
+			func() int64 {
+				var n int64
+				for _, sh := range e.shards {
+					if sh.ingress != nil {
+						n += sh.ingress.Batches()
+					}
+				}
+				return n
+			})
+		reg.GaugeFunc("ifttt_ingest_queue_depth",
+			"Push deliveries queued or in flight across the shard ingress queues (bounded by IngressQueue per shard).",
+			func() float64 {
+				var n int64
+				for _, sh := range e.shards {
+					if sh.ingress != nil {
+						n += sh.ingress.Depth()
+					}
+				}
+				return float64(n)
+			})
+	}
 	reg.CounterFunc("ifttt_engine_trace_drops_total", "Trace events dropped by a full observer ring.",
 		e.TraceDrops)
 
@@ -189,7 +228,9 @@ type SpanRecorder struct {
 	processing *obs.Histogram
 	delivery   *obs.Histogram
 	hintLag    *obs.Histogram
+	ingestLag  *obs.Histogram
 	spans      *obs.Counter
+	pushSpans  *obs.Counter
 	spanFails  *obs.Counter
 	evictions  *obs.Counter
 }
@@ -202,6 +243,10 @@ type pendingExec struct {
 	pollSentAt   time.Time
 	pollResultAt time.Time
 	remaining    int // actions/skips still expected after the poll result
+	// Push-path provenance: pushed executions carry the ingress-accept
+	// instant and both poll timestamps collapse to the dispatch start.
+	pushed   bool
+	ingestAt time.Time
 
 	// Current action in flight (dispatch within an execution is
 	// sequential, so at most one action of an execution is open at a
@@ -241,7 +286,11 @@ func NewSpanRecorder(cfg SpanRecorderConfig) *SpanRecorder {
 			"Action request round-trip to acknowledgement.", b)
 		r.hintLag = reg.Histogram("ifttt_hint_lag_seconds",
 			"Realtime hint to provoked poll latency.", b)
+		r.ingestLag = reg.Histogram("ifttt_ingest_lag_seconds",
+			"Push-path queue wait: ingress accept to dispatch start.", b)
 		r.spans = reg.Counter("ifttt_spans_total", "Execution spans completed.")
+		r.pushSpans = reg.Counter("ifttt_spans_pushed_total",
+			"Execution spans delivered via the push ingestion tier.")
 		r.spanFails = reg.Counter("ifttt_spans_failed_total", "Execution spans that ended in action failure.")
 		r.evictions = reg.Counter("ifttt_span_evictions_total",
 			"Pending executions evicted before completing (lost trace events).")
@@ -253,28 +302,27 @@ func NewSpanRecorder(cfg SpanRecorderConfig) *SpanRecorder {
 func (r *SpanRecorder) Observe(ev TraceEvent) {
 	switch ev.Kind {
 	case TracePollSent:
-		if len(r.pending) >= r.max {
-			r.evictOldest()
-		}
-		r.pending[ev.ExecID] = &pendingExec{
+		r.track(ev.ExecID, &pendingExec{
 			appletID:   ev.AppletID,
 			service:    ev.Service,
 			hintAt:     ev.HintAt,
 			pollSentAt: ev.Time,
+		})
+	case TracePushDispatch:
+		if ev.N == 0 {
+			return // fully deduplicated against the poll path: no span
 		}
-		r.order = append(r.order, ev.ExecID)
-		// The order slice accumulates IDs of executions that completed
-		// normally; compact it once it clearly outgrows the live set so
-		// a long-running engine's recorder stays bounded.
-		if len(r.order) > 2*r.max {
-			live := r.order[:0]
-			for _, id := range r.order {
-				if _, ok := r.pending[id]; ok {
-					live = append(live, id)
-				}
-			}
-			r.order = live
-		}
+		// A push execution has no poll round-trip: both poll timestamps
+		// are the dispatch start, and remaining is known immediately.
+		r.track(ev.ExecID, &pendingExec{
+			appletID:     ev.AppletID,
+			service:      ev.Service,
+			pushed:       true,
+			ingestAt:     ev.IngestAt,
+			pollSentAt:   ev.Time,
+			pollResultAt: ev.Time,
+			remaining:    ev.N,
+		})
 	case TracePollFailed:
 		r.drop(ev.ExecID)
 	case TracePollResult:
@@ -314,6 +362,28 @@ func (r *SpanRecorder) Observe(ev TraceEvent) {
 	}
 }
 
+// track registers a newly started execution, evicting the oldest when
+// the table is full.
+func (r *SpanRecorder) track(execID uint64, p *pendingExec) {
+	if len(r.pending) >= r.max {
+		r.evictOldest()
+	}
+	r.pending[execID] = p
+	r.order = append(r.order, execID)
+	// The order slice accumulates IDs of executions that completed
+	// normally; compact it once it clearly outgrows the live set so
+	// a long-running engine's recorder stays bounded.
+	if len(r.order) > 2*r.max {
+		live := r.order[:0]
+		for _, id := range r.order {
+			if _, ok := r.pending[id]; ok {
+				live = append(live, id)
+			}
+		}
+		r.order = live
+	}
+}
+
 // finish emits the span for the action that just completed.
 func (r *SpanRecorder) finish(p *pendingExec, ev TraceEvent) {
 	appletID := p.actingApplet
@@ -326,11 +396,13 @@ func (r *SpanRecorder) finish(p *pendingExec, ev TraceEvent) {
 		EventID:        p.eventID,
 		TriggerService: p.service,
 		HintAt:         p.hintAt,
+		IngestAt:       p.ingestAt,
 		PollSentAt:     p.pollSentAt,
 		PollResultAt:   p.pollResultAt,
 		EventAt:        p.eventAt,
 		ActionSentAt:   p.actionSentAt,
 		ActionDoneAt:   ev.Time,
+		Pushed:         p.pushed,
 		Failed:         ev.Kind == TraceActionFailed,
 		Err:            ev.Err,
 	}
@@ -340,10 +412,17 @@ func (r *SpanRecorder) finish(p *pendingExec, ev TraceEvent) {
 		// /debug/slowest via the same decimal ID.
 		r.t2a.ObserveExemplar(s.T2A().Seconds(),
 			strconv.FormatUint(s.ExecID, 10), float64(ev.Time.UnixNano())/1e9)
-		if !s.EventAt.IsZero() {
-			r.pollGap.Observe(s.PollingGap().Seconds())
+		if s.Pushed {
+			// Pushed executions have no polling gap or poll RTT;
+			// observing zeros would skew the poll-path histograms.
+			r.ingestLag.Observe(s.Ingest().Seconds())
+			r.pushSpans.Inc()
+		} else {
+			if !s.EventAt.IsZero() {
+				r.pollGap.Observe(s.PollingGap().Seconds())
+			}
+			r.pollRTT.Observe(s.PollRTT().Seconds())
 		}
-		r.pollRTT.Observe(s.PollRTT().Seconds())
 		r.processing.Observe(s.Processing().Seconds())
 		r.delivery.Observe(s.Delivery().Seconds())
 		if !s.HintAt.IsZero() {

@@ -1,0 +1,177 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestQueueDeliversInOrder proves Offer order is preserved through
+// micro-batching and that the counters reconcile.
+func TestQueueDeliversInOrder(t *testing.T) {
+	clock := simtime.NewReal()
+	var mu sync.Mutex
+	var got []int
+	q := NewQueue(clock, 64, 8, func(batch []int) {
+		mu.Lock()
+		got = append(got, batch...)
+		mu.Unlock()
+		if len(batch) > 8 {
+			t.Errorf("batch of %d exceeds maxBatch 8", len(batch))
+		}
+	})
+	defer q.Close()
+	for i := 0; i < 50; i++ {
+		if !q.Offer(i) {
+			t.Fatalf("offer %d rejected below the bound", i)
+		}
+	}
+	q.Sync()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 50 {
+		t.Fatalf("delivered %d items, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d delivered out of order: got %d", i, v)
+		}
+	}
+	if q.Accepted() != 50 || q.Rejected() != 0 || q.Depth() != 0 {
+		t.Fatalf("counters accepted=%d rejected=%d depth=%d, want 50/0/0",
+			q.Accepted(), q.Rejected(), q.Depth())
+	}
+	if q.Batches() == 0 {
+		t.Fatal("no batches counted")
+	}
+}
+
+// TestQueueBoundRejects proves the bound is exact — with the consumer
+// wedged inside deliver, offers beyond capacity are rejected and
+// counted, and depth never exceeds the bound.
+func TestQueueBoundRejects(t *testing.T) {
+	clock := simtime.NewReal()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	q := NewQueue(clock, 8, 4, func(batch []int) {
+		once.Do(func() { close(entered) })
+		<-release
+	})
+	if !q.Offer(0) {
+		t.Fatal("first offer rejected")
+	}
+	<-entered // consumer now holds a batch; its items still count
+
+	accepted, rejected := 1, 0
+	for i := 1; i <= 20; i++ {
+		if q.Offer(i) {
+			accepted++
+		} else {
+			rejected++
+		}
+		if d := q.Depth(); d > 8 {
+			t.Fatalf("depth %d exceeds bound 8", d)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no offers rejected above the bound")
+	}
+	if accepted > 8 {
+		t.Fatalf("accepted %d items, bound is 8", accepted)
+	}
+	close(release)
+	q.Close()
+	if q.Depth() != 0 {
+		t.Fatalf("depth %d after close, want 0", q.Depth())
+	}
+	if got := q.Accepted() + q.Rejected(); got != 21 {
+		t.Fatalf("accepted+rejected = %d, want 21", got)
+	}
+}
+
+// TestQueueCloseDrainsAndRejects proves Close delivers everything
+// already accepted and that later offers are refused.
+func TestQueueCloseDrainsAndRejects(t *testing.T) {
+	clock := simtime.NewReal()
+	var delivered atomic64
+	q := NewQueue(clock, 0, 0, func(batch []int) { delivered.add(int64(len(batch))) })
+	for i := 0; i < 10; i++ {
+		q.Offer(i)
+	}
+	q.Close()
+	if delivered.load() != 10 {
+		t.Fatalf("delivered %d before close completed, want 10", delivered.load())
+	}
+	if q.Offer(99) {
+		t.Fatal("offer accepted after close")
+	}
+}
+
+// TestQueueConcurrentProducers hammers Offer from several goroutines
+// (run with -race) and checks full accounting: every offer is either
+// delivered or rejected, nothing is lost or duplicated.
+func TestQueueConcurrentProducers(t *testing.T) {
+	clock := simtime.NewReal()
+	const producers, perProducer = 4, 2000
+	var delivered atomic64
+	var q *Queue[int]
+	q = NewQueue(clock, 128, 16, func(batch []int) {
+		delivered.add(int64(len(batch)))
+		if d := q.Depth(); d > 128 {
+			t.Errorf("depth %d exceeds bound 128", d)
+		}
+	})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Offer(p*perProducer + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	q.Close()
+	total := int64(producers * perProducer)
+	if got := q.Accepted() + q.Rejected(); got != total {
+		t.Fatalf("accepted+rejected = %d, want %d", got, total)
+	}
+	if delivered.load() != q.Accepted() {
+		t.Fatalf("delivered %d, accepted %d", delivered.load(), q.Accepted())
+	}
+}
+
+// TestQueueUnderSimClock proves the consumer is a well-formed simtime
+// actor: offers made inside Run are delivered before the simulation
+// can otherwise quiesce, and Close leaves no parked actor behind.
+func TestQueueUnderSimClock(t *testing.T) {
+	clock := simtime.NewSimDefault()
+	var delivered int // consumer-goroutine only until Close returns
+	var q *Queue[int]
+	q = NewQueue(clock, 16, 4, func(batch []int) { delivered += len(batch) })
+	clock.Run(func() {
+		for i := 0; i < 10; i++ {
+			q.Offer(i)
+		}
+		q.Sync()
+		if delivered != 10 {
+			t.Errorf("delivered %d after Sync, want 10", delivered)
+		}
+		q.Close()
+	})
+	if delivered != 10 {
+		t.Fatalf("delivered %d, want 10", delivered)
+	}
+}
+
+// atomic64 is a tiny helper avoiding sync/atomic boilerplate in tests.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -24,6 +24,11 @@ type ExecSpan struct {
 	// HintAt is when a realtime hint provoked this poll (zero for
 	// ordinary scheduled polls).
 	HintAt time.Time
+	// IngestAt is when the engine's push ingress accepted the event
+	// batch (zero for polled executions). For pushed spans PollSentAt
+	// and PollResultAt both mark the dispatch start — there is no poll
+	// round-trip — so the segment methods decompose cleanly either way.
+	IngestAt time.Time
 	// PollSentAt / PollResultAt bracket the poll round-trip.
 	PollSentAt   time.Time
 	PollResultAt time.Time
@@ -34,6 +39,9 @@ type ExecSpan struct {
 	ActionSentAt time.Time
 	ActionDoneAt time.Time
 
+	// Pushed marks an execution delivered through the push ingestion
+	// tier rather than surfaced by a poll.
+	Pushed bool
 	// Failed marks an action that errored; Err carries the detail.
 	Failed bool
 	Err    string
@@ -83,6 +91,15 @@ func (s ExecSpan) T2A() time.Duration {
 		return nonNeg(s.ActionDoneAt.Sub(s.PollSentAt))
 	}
 	return nonNeg(s.ActionDoneAt.Sub(s.EventAt))
+}
+
+// Ingest is the push-path queue wait: ingress accept to dispatch
+// start. Zero for polled executions.
+func (s ExecSpan) Ingest() time.Duration {
+	if s.IngestAt.IsZero() {
+		return 0
+	}
+	return nonNeg(s.PollSentAt.Sub(s.IngestAt))
 }
 
 // HintLag is the realtime-hint-to-poll latency, zero for unhinted

@@ -176,6 +176,35 @@ type RealtimeNotification struct {
 	Data []RealtimeHint `json:"data"`
 }
 
+// PushDelivery carries fully-formed trigger events for one trigger
+// identity from a partner service to the engine's push ingress. Unlike
+// a RealtimeNotification it is not a hint: the events themselves ride
+// in the body, so the engine can dispatch without a poll round-trip.
+// Events are ordered oldest first (the opposite of the poll wire, which
+// is newest first) so the engine applies them in occurrence order.
+type PushDelivery struct {
+	TriggerIdentity string         `json:"trigger_identity"`
+	Events          []TriggerEvent `json:"events"`
+}
+
+// PushBatch is the body a trigger service POSTs to the engine's push
+// ingress endpoint: one delivery per trigger identity with fresh
+// events.
+type PushBatch struct {
+	Data []PushDelivery `json:"data"`
+}
+
+// PushResponse reports, in events, how much of a PushBatch the engine
+// enqueued. Rejected counts events shed by ingress backpressure (the
+// batch answers 429); the service keeps them buffered and the poll path
+// reconciles. Unmatched counts events for identities with no installed
+// subscription.
+type PushResponse struct {
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	Unmatched int `json:"unmatched"`
+}
+
 // StatusResponse answers the engine's health check.
 type StatusResponse struct {
 	OK bool `json:"ok"`
@@ -202,6 +231,11 @@ const (
 
 	// RealtimePath is served by the engine host.
 	RealtimePath = "/v1/notifications"
+
+	// PushPath is the engine's push ingress: services with a push
+	// delivery mode POST PushBatch bodies here instead of (or in
+	// addition to) realtime hints.
+	PushPath = "/v1/push"
 )
 
 // TriggerURL returns the poll URL for a trigger slug under baseURL.

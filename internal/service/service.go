@@ -11,6 +11,7 @@ package service
 import (
 	"fmt"
 	"log/slog"
+	"net/http"
 	"sync"
 
 	"repro/internal/httpx"
@@ -64,6 +65,21 @@ type RealtimeConfig struct {
 	ServiceKey string
 }
 
+// PushConfig wires a service to the engine's push ingress so that
+// Publish delivers the buffered events themselves — not just a hint —
+// straight to the engine (proto.PushBatch on proto.PushPath). A 429
+// response is the engine shedding load: the events stay in the
+// service's buffer and the engine's poll path reconciles them later, so
+// push mode never needs its own retry queue.
+type PushConfig struct {
+	// URL is the engine's push ingress endpoint.
+	URL string
+	// Client performs the POST (live http.Client or simnet client).
+	Client *httpx.Client
+	// ServiceKey authenticates the delivery.
+	ServiceKey string
+}
+
 // Config assembles a Service.
 type Config struct {
 	// Name identifies the service in logs and event IDs.
@@ -76,6 +92,11 @@ type Config struct {
 	OAuth *oauth.Server
 	// Realtime optionally enables realtime hints on Publish.
 	Realtime *RealtimeConfig
+	// Push optionally enables push delivery on Publish: every buffered
+	// event is also POSTed to the engine's push ingress. Composes with
+	// Realtime (the hint then mostly serves as the paper-faithful
+	// control arm; the engine dedups the two paths).
+	Push *PushConfig
 	// Retention overrides DefaultRetention when positive.
 	Retention int
 	// Logger receives debug output; nil disables logging.
@@ -89,6 +110,12 @@ type Stats struct {
 	EventsPublished int64
 	Actions         int64
 	RealtimeHints   int64
+	// Push delivery accounting (Config.Push): batches POSTed to the
+	// engine, and the per-event accept/reject split the engine answered
+	// with (rejected events wait for the poll path to reconcile).
+	PushDeliveries     int64
+	PushEventsAccepted int64
+	PushEventsRejected int64
 }
 
 // Service implements the partner-service side of the IFTTT protocol.
@@ -98,6 +125,7 @@ type Service struct {
 	serviceKey string
 	oauth      *oauth.Server
 	realtime   *RealtimeConfig
+	push       *PushConfig
 	retention  int
 	log        *slog.Logger
 
@@ -138,6 +166,7 @@ func New(cfg Config) *Service {
 		serviceKey: cfg.ServiceKey,
 		oauth:      cfg.OAuth,
 		realtime:   cfg.Realtime,
+		push:       cfg.Push,
 		retention:  retention,
 		log:        cfg.Logger,
 		triggers:   make(map[string]*trigger),
@@ -205,8 +234,11 @@ func (s *Service) Stats() Stats {
 // Publish records a push-mode event on every matching subscription of
 // the named trigger and returns how many subscriptions received it. If
 // realtime is configured, a hint listing the affected subscriptions is
-// sent to the engine (from a separate actor, so Publish never blocks on
-// the network).
+// sent to the engine; if push delivery is configured, the stamped
+// events themselves are POSTed to the engine's push ingress (both from
+// separate actors, so Publish never blocks on the network). The pushed
+// copies carry the same event IDs as the buffered ones, which is what
+// lets the engine deduplicate push against poll.
 func (s *Service) Publish(slug string, ingredients map[string]string) int {
 	s.mu.Lock()
 	t, ok := s.triggers[slug]
@@ -216,26 +248,37 @@ func (s *Service) Publish(slug string, ingredients map[string]string) int {
 	}
 	s.stats.EventsPublished++
 	var hinted []string
+	var deliveries []proto.PushDelivery
 	n := 0
 	for identity, sub := range t.subs {
 		if t.spec.Match != nil && !t.spec.Match(sub.fields, ingredients) {
 			continue
 		}
-		s.appendEventLocked(sub, ingredients)
+		ev := s.appendEventLocked(sub, ingredients)
 		hinted = append(hinted, identity)
+		if s.push != nil {
+			deliveries = append(deliveries, proto.PushDelivery{
+				TriggerIdentity: identity,
+				Events:          []proto.TriggerEvent{ev},
+			})
+		}
 		n++
 	}
-	rt := s.realtime
+	rt, pc := s.realtime, s.push
 	s.mu.Unlock()
 
 	if rt != nil && len(hinted) > 0 {
 		s.sendRealtimeHint(rt, hinted)
 	}
+	if pc != nil && len(deliveries) > 0 {
+		s.sendPush(pc, deliveries)
+	}
 	return n
 }
 
-// appendEventLocked stamps and buffers an event, enforcing retention.
-func (s *Service) appendEventLocked(sub *subscription, ingredients map[string]string) {
+// appendEventLocked stamps and buffers an event, enforcing retention,
+// and returns the stamped event for push delivery.
+func (s *Service) appendEventLocked(sub *subscription, ingredients map[string]string) proto.TriggerEvent {
 	s.seq++
 	ev := proto.TriggerEvent{
 		Ingredients: ingredients,
@@ -248,6 +291,40 @@ func (s *Service) appendEventLocked(sub *subscription, ingredients map[string]st
 	if over := len(sub.events) - s.retention; over > 0 {
 		sub.events = append(sub.events[:0], sub.events[over:]...)
 	}
+	return ev
+}
+
+// sendPush POSTs one batch of per-identity deliveries to the engine's
+// push ingress from a dedicated actor. Failures and 429s are logged and
+// otherwise dropped: the events remain buffered, so the poll path is
+// the retry.
+func (s *Service) sendPush(pc *PushConfig, deliveries []proto.PushDelivery) {
+	s.clock.Go(func() {
+		var resp proto.PushResponse
+		status, err := pc.Client.DoJSON("POST", pc.URL,
+			proto.PushBatch{Data: deliveries}, &resp,
+			httpx.WithHeader(proto.ServiceKeyHeader, pc.ServiceKey))
+		accepted, rejected := int64(resp.Accepted), int64(resp.Rejected)
+		if status == http.StatusTooManyRequests && accepted == 0 && rejected == 0 {
+			// The client only decodes 2xx bodies, so a 429's per-event
+			// split is invisible here; attribute the whole batch to
+			// backpressure (approximate under partial acceptance — the
+			// engine's own ingress counters carry the exact split).
+			for _, d := range deliveries {
+				rejected += int64(len(d.Events))
+			}
+		}
+		s.mu.Lock()
+		s.stats.PushDeliveries++
+		s.stats.PushEventsAccepted += accepted
+		s.stats.PushEventsRejected += rejected
+		s.mu.Unlock()
+		if err != nil && s.log != nil {
+			s.log.Warn("push delivery failed", "service", s.name, "err", err)
+		} else if status >= 300 && status != http.StatusTooManyRequests && s.log != nil {
+			s.log.Warn("push delivery rejected", "service", s.name, "status", status)
+		}
+	})
 }
 
 func (s *Service) sendRealtimeHint(rt *RealtimeConfig, identities []string) {

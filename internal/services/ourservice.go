@@ -16,6 +16,9 @@ type OurServiceConfig struct {
 	// the engine on every buffered event (used by the realtime-API
 	// experiment).
 	Realtime *service.RealtimeConfig
+	// Push, when non-nil, makes the service deliver buffered events to
+	// the engine's push ingress (used by the push-vs-poll experiment).
+	Push *service.PushConfig
 }
 
 // NewOurService builds the paper's self-implemented partner service ❺:
@@ -31,6 +34,7 @@ func NewOurService(cfg OurServiceConfig) *service.Service {
 		Clock:      env.Clock,
 		ServiceKey: env.ServiceKey,
 		Realtime:   cfg.Realtime,
+		Push:       cfg.Push,
 	})
 
 	// Triggers: fed by the proxy's event push. Slugs are namespaced by

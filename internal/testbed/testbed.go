@@ -70,6 +70,17 @@ type Config struct {
 	// OurServiceRealtime makes the self-implemented service send
 	// realtime hints on every event (the §4 realtime-API experiment).
 	OurServiceRealtime bool
+	// Push forwards to engine.Config.Push: mount the push ingress and
+	// run per-shard bounded ingress queues.
+	Push bool
+	// IngressQueue and IngressBatch forward to engine.Config (push
+	// ingress queue bound and micro-batch width; zero = defaults).
+	IngressQueue int
+	IngressBatch int
+	// OurServicePush makes the self-implemented service POST its
+	// buffered events to the engine's push ingress as they happen (the
+	// push-vs-poll experiment). Requires Push.
+	OurServicePush bool
 	// DispatchDelay forwards to engine.Config.DispatchDelay.
 	DispatchDelay time.Duration
 	// Shards forwards to engine.Config.Shards. Zero pins
@@ -256,6 +267,13 @@ func New(cfg Config) *Testbed {
 			ServiceKey: ServiceKey,
 		}
 	}
+	if cfg.OurServicePush {
+		ourCfg.Push = &service.PushConfig{
+			URL:        "http://" + HostEngine + proto.PushPath,
+			Client:     httpx.NewClient(tb.Net.Client(HostOurService), clock, 0),
+			ServiceKey: ServiceKey,
+		}
+	}
 	tb.OurSvc = services.NewOurService(ourCfg)
 
 	// Engine ❼.
@@ -288,6 +306,9 @@ func New(cfg Config) *Testbed {
 		Shards:           shards,
 		ShardWorkers:     cfg.ShardWorkers,
 		Coalesce:         cfg.Coalesce,
+		Push:             cfg.Push,
+		IngressQueue:     cfg.IngressQueue,
+		IngressBatch:     cfg.IngressBatch,
 		Resilience:       cfg.Resilience,
 		Adaptive:         cfg.Adaptive,
 		PollBudgetQPS:    cfg.PollBudgetQPS,

@@ -57,9 +57,18 @@ echo "bench: wrote $OUT"
 PREV=$(ls BENCH_*.json 2>/dev/null | grep -v "^$OUT\$" | sort -t_ -k2 -n | tail -1 || true)
 if [ -n "$PREV" ]; then
     echo "bench: delta vs $PREV (old -> new, % change)"
-    python3 - "$PREV" "$OUT" <<'EOF'
+    # The delta is informational: a malformed or unreadable previous
+    # summary must not fail the bench run, so the python step degrades
+    # to "no baseline" and the shell guard catches anything it missed.
+    if ! python3 - "$PREV" "$OUT" <<'EOF'
 import json, sys
-old = json.load(open(sys.argv[1]))
+try:
+    old = json.load(open(sys.argv[1]))
+    if not isinstance(old, dict):
+        raise ValueError("not a {bench: {unit: value}} object")
+except (OSError, ValueError) as e:
+    print(f"bench: no baseline ({sys.argv[1]} unusable: {e})")
+    sys.exit(0)
 new = json.load(open(sys.argv[2]))
 for bench in sorted(new):
     lines = []
@@ -86,6 +95,9 @@ for bench in sorted(new):
 for bench in sorted(set(old) - set(new)):
     print(f"  {bench}: removed")
 EOF
+    then
+        echo "bench: no baseline (delta against $PREV failed; continuing)"
+    fi
 else
-    echo "bench: no previous BENCH_N.json to diff against"
+    echo "bench: no baseline (no previous BENCH_N.json to diff against)"
 fi

@@ -29,7 +29,9 @@ cleanup() {
 trap cleanup EXIT
 go build -o "$BIN/iftttd" ./cmd/iftttd
 go build -o "$BIN/iftttop" ./cmd/iftttop
-"$BIN/iftttd" -addr 127.0.0.1:18089 -slo-target 120s &
+# -push mounts the ingress so the console's push/ingress line and the
+# ifttt_ingest_* metrics are exercised by the smoke too.
+"$BIN/iftttd" -addr 127.0.0.1:18089 -slo-target 120s -push &
 IFTTTD_PID=$!
 OK=""
 for _ in $(seq 1 50); do
