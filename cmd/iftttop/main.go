@@ -1,12 +1,14 @@
 // Command iftttop is a live terminal console for a running iftttd (or
 // any engine.Handler): top(1) for applet executions. It polls the
 // engine's JSON observability surface — /metrics?format=json,
-// /readyz, /debug/slo, /debug/slowest — and renders breaker states,
-// poll-budget utilization and deferrals, the live cadence and T2A
-// distributions, SLO burn rates with the alert state, and the current
-// slowest executions. Endpoints the engine does not serve (no metrics
-// registry, SLO tier off) degrade to "-" rather than erroring, so the
-// console works against any engine build.
+// /readyz, /debug/slo, /debug/slowest, /v1/cluster — and renders
+// breaker states, poll-budget utilization and deferrals, the live
+// cadence and T2A distributions, SLO burn rates with the alert state,
+// per-node rows when the daemon runs a cluster (-cluster-nodes), and
+// the current slowest executions. Endpoints the engine does not serve
+// (no metrics registry, SLO tier off, single-engine build) degrade to
+// "-" rather than erroring, so the console works against any engine
+// build.
 //
 // Usage:
 //
@@ -24,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 )
@@ -142,6 +145,8 @@ func (c *console) snapshot() (string, error) {
 	haveSLO, _ := c.get("/debug/slo", &status)
 	var slowest []slo.SpanView
 	c.get("/debug/slowest", &slowest)
+	var cst cluster.ClusterStatus
+	haveCluster, _ := c.get("/v1/cluster", &cst)
 
 	now := time.Now()
 	var b strings.Builder
@@ -183,6 +188,23 @@ func (c *console) snapshot() (string, error) {
 	fmt.Fprintf(&b, "breakers open %.0f   opens %.0f   closes %.0f   probes %.0f\n",
 		m.value("ifttt_engine_breakers_open"), m.value("ifttt_engine_breaker_opens_total"),
 		m.value("ifttt_engine_breaker_closes_total"), m.value("ifttt_engine_breaker_probes_total"))
+
+	// Cluster tier (iftttd -cluster-nodes): one row per node. A
+	// single-engine daemon 404s /v1/cluster and the section is skipped.
+	if haveCluster {
+		fmt.Fprintf(&b, "cluster %d nodes   ring %d pts   moves %d   moved applets %d   parked ops %d   failovers %d\n",
+			len(cst.Nodes), cst.RingPoints, cst.Moves, cst.MovedApplets, cst.ParkedOps, cst.Failovers)
+		for _, n := range cst.Nodes {
+			state := "up"
+			if !n.Alive {
+				state = "DOWN"
+			}
+			s := n.Stats
+			fmt.Fprintf(&b, "  %-8s %-4s applets %6d  subs %6d  polls %8d  events %8d  ok %8d  fail %5d  brk %d\n",
+				n.Name, state, s.Applets, s.Subscriptions, s.Polls,
+				s.EventsReceived+s.PushEvents, s.ActionsOK, s.ActionsFailed, s.BreakersOpen)
+		}
+	}
 
 	// Push ingress (only mounted with -push: the depth gauge's presence
 	// is how the console detects the tier).

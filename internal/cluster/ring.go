@@ -1,0 +1,124 @@
+// Package cluster runs N cooperating engine nodes behind a consistent-
+// hash ring keyed on trigger identity: a router forwards installs,
+// push batches, and realtime hints to the owning node, and a
+// coordinator detects node loss and rebalances by migrating
+// subscription snapshots (engine.DetachSubscription /
+// AttachSubscription) to the surviving owners. The nodes are
+// in-process engines — the cluster models the placement, routing, and
+// rebalancing layer, which is where the distributed-systems behaviour
+// lives; swapping the in-process call for an RPC would not change the
+// protocol.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is each node's point count on the ring. More
+// points smooth the placement (stddev of the per-node share shrinks
+// like 1/sqrt(vnodes)) at the cost of a larger sorted array.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring: each node contributes vnodes points
+// (hashes of "name#i"), and a key belongs to the node owning the first
+// point clockwise of the key's hash. Determinism is structural — the
+// points are pure hashes, so the same node set always yields the same
+// placement, regardless of join order. Not safe for concurrent use;
+// the Cluster guards it with its mutex.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by (hash, node)
+	nodes  map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given points-per-node count
+// (0 selects DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	// fnv alone leaves similar short strings ("node0#1", "node0#2")
+	// clustered on the ring, which skews the arc lengths badly; a
+	// splitmix64-style finalizer avalanches them apart.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add inserts a node's virtual points. Adding a present node is a
+// no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes a node's points. Removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner maps a key to its owning node, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: keys past the last point belong to the first
+	}
+	return r.points[i].node
+}
+
+// Nodes lists the member node names, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the number of member nodes; Points the number of virtual
+// points currently on the ring.
+func (r *Ring) Len() int    { return len(r.nodes) }
+func (r *Ring) Points() int { return len(r.points) }

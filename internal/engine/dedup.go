@@ -48,3 +48,27 @@ func (r *dedupRing) Add(id string) bool {
 
 // Len returns the number of remembered IDs.
 func (r *dedupRing) Len() int { return len(r.buf) }
+
+// snapshotIDs returns the remembered IDs oldest-first — the order that,
+// replayed through Add into an empty ring of the same capacity,
+// reproduces this ring exactly. Used by subscription migration.
+func (r *dedupRing) snapshotIDs() []string {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(r.buf))
+	ids = append(ids, r.buf[r.head:]...)
+	ids = append(ids, r.buf[:r.head]...)
+	return ids
+}
+
+// restoreDedupRing rebuilds a ring of the given capacity from an
+// oldest-first ID snapshot. Snapshots longer than the capacity keep
+// only the newest entries, matching what FIFO eviction would have kept.
+func restoreDedupRing(capacity int, ids []string) dedupRing {
+	r := newDedupRing(capacity)
+	for _, id := range ids {
+		r.Add(id)
+	}
+	return r
+}

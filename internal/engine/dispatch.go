@@ -148,10 +148,7 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent, execID
 		User:         proto.UserInfo{ID: a.UserID},
 		Source:       proto.Source{ID: a.ID},
 	}
-	var eventTime time.Time
-	if ev.Meta.Timestamp > 0 {
-		eventTime = time.Unix(ev.Meta.Timestamp, 0)
-	}
+	eventTime := ev.Meta.Time()
 	sh := ra.sub.shard
 	e.emit(sh, TraceEvent{Kind: TraceActionSent, AppletID: a.ID, ExecID: execID, EventID: ev.Meta.ID, EventTime: eventTime})
 
@@ -268,37 +265,45 @@ func (e *Engine) handleRealtime(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, hint := range n.Data {
-		var targets []*subscription
-		var firstID string
-		var nApplets int
-		switch {
-		case hint.TriggerIdentity != "":
-			for _, sh := range e.shards {
-				if sub, first, members := sh.byIdentity(hint.TriggerIdentity); sub != nil {
-					targets = append(targets, sub)
-					firstID = first
-					nApplets = members
-					break
-				}
-			}
-		case hint.UserID != "":
-			// A user-scoped hint covers every applet of that user.
-			targets, firstID, nApplets = e.userSubscriptions(hint.UserID)
-		}
-		ev := TraceEvent{Kind: TraceHintReceived, N: nApplets}
-		if nApplets > 0 {
-			ev.AppletID = firstID
-		}
-		e.emit(nil, ev)
-		for _, sub := range targets {
-			if e.realtime == nil || !e.realtime[sub.trigger.Service] {
-				continue // hint ignored
-			}
-			sub := sub
-			e.clock.AfterFunc(e.rtDelay, func() { e.pokeSubscription(sub) })
-		}
+		e.ApplyHint(hint)
 	}
 	httpx.WriteJSON(w, http.StatusOK, proto.StatusResponse{OK: true})
+}
+
+// ApplyHint processes one realtime hint exactly as the notifications
+// endpoint does — trace + count it, then (for allow-listed services
+// only) schedule the early poll. Exported so a cluster router can
+// forward hints to the owning node without an HTTP round-trip.
+func (e *Engine) ApplyHint(hint proto.RealtimeHint) {
+	var targets []*subscription
+	var firstID string
+	var nApplets int
+	switch {
+	case hint.TriggerIdentity != "":
+		for _, sh := range e.shards {
+			if sub, first, members := sh.byIdentity(hint.TriggerIdentity); sub != nil {
+				targets = append(targets, sub)
+				firstID = first
+				nApplets = members
+				break
+			}
+		}
+	case hint.UserID != "":
+		// A user-scoped hint covers every applet of that user.
+		targets, firstID, nApplets = e.userSubscriptions(hint.UserID)
+	}
+	ev := TraceEvent{Kind: TraceHintReceived, N: nApplets}
+	if nApplets > 0 {
+		ev.AppletID = firstID
+	}
+	e.emit(nil, ev)
+	for _, sub := range targets {
+		if e.realtime == nil || !e.realtime[sub.trigger.Service] {
+			continue // hint ignored
+		}
+		sub := sub
+		e.clock.AfterFunc(e.rtDelay, func() { e.pokeSubscription(sub) })
+	}
 }
 
 // userSubscriptions resolves a user ID to the distinct subscriptions

@@ -163,7 +163,8 @@ type TraceEvent struct {
 	// EventID is the trigger event being acted upon (action kinds).
 	EventID string
 	// EventTime is when the trigger service buffered the event (from the
-	// event's protocol metadata, unix-second granularity); set on
+	// event's protocol metadata — nanosecond precision when the service
+	// publishes "timestamp_ns", whole seconds otherwise); set on
 	// action_sent, zero when the service sent no timestamp.
 	EventTime time.Time
 	// HintAt is when a realtime hint rescheduled this poll; set on

@@ -40,22 +40,40 @@ type pushItem struct {
 	at     time.Time
 }
 
-// handlePush accepts a PushBatch, resolves each delivery's trigger
-// identity to its subscription, and offers it to the owning shard's
-// ingress queue. The response accounts every event: accepted into a
-// queue, rejected by a full queue (the batch then answers 429 so the
-// service backs off and lets polling reconcile), or unmatched to any
-// installed subscription.
+// handlePush accepts a PushBatch over HTTP and feeds it to
+// PushDeliveries; 429 when any event was rejected so the service backs
+// off and lets polling reconcile.
 func (e *Engine) handlePush(w http.ResponseWriter, r *http.Request) {
 	var batch proto.PushBatch
 	if err := httpx.ReadJSON(r, &batch); err != nil {
 		httpx.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	resp := e.PushDeliveries(batch.Data)
+	status := http.StatusOK
+	if resp.Rejected > 0 {
+		status = http.StatusTooManyRequests
+	}
+	httpx.WriteJSON(w, status, resp)
+}
+
+// PushDeliveries resolves each delivery's trigger identity to its
+// subscription and offers it to the owning shard's ingress queue — the
+// body of the /v1/push endpoint, exported so a cluster router can
+// forward routed deliveries without an HTTP round-trip. The response
+// accounts every event: accepted into a queue, rejected by a full
+// queue, or unmatched to any installed subscription. Deliveries hold
+// ownership of their Events slices from here on. Every event of a
+// batch is rejected when the engine was built without Config.Push.
+func (e *Engine) PushDeliveries(ds []proto.PushDelivery) proto.PushResponse {
 	now := e.clock.Now()
 	var resp proto.PushResponse
-	for _, d := range batch.Data {
+	for _, d := range ds {
 		if d.TriggerIdentity == "" || len(d.Events) == 0 {
+			continue
+		}
+		if !e.push {
+			resp.Rejected += len(d.Events)
 			continue
 		}
 		var sub *subscription
@@ -80,11 +98,7 @@ func (e *Engine) handlePush(w http.ResponseWriter, r *http.Request) {
 	e.ingressAccepted.Add(int64(resp.Accepted))
 	e.ingressRejected.Add(int64(resp.Rejected))
 	e.ingressUnmatch.Add(int64(resp.Unmatched))
-	status := http.StatusOK
-	if resp.Rejected > 0 {
-		status = http.StatusTooManyRequests
-	}
-	httpx.WriteJSON(w, status, resp)
+	return resp
 }
 
 // deliverPush is the shard's ingress-consumer callback: one micro-batch

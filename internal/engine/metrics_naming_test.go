@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"regexp"
-	"strings"
 	"testing"
 
 	"repro/internal/faults"
@@ -14,14 +12,9 @@ import (
 
 // TestMetricsNamingConvention audits every metric the full stack
 // registers — engine scheduler, span recorder, SLO tier, tail store,
-// fault injector — against the repo's naming convention
-// (DESIGN.md, "Metric naming"):
-//
-//   - snake_case: lowercase segments, no leading/trailing/double '_';
-//   - namespaced: ifttt_ (engine/recorder/slo) or faults_ (injector);
-//   - counters end in _total;
-//   - histograms and duration gauges name their unit (_seconds);
-//   - non-counter gauges never end in _total.
+// fault injector — against the repo's naming convention via the shared
+// obs.LintMetricNames linter (the cluster tier runs the same linter
+// over its ifttt_cluster_* family in its own package).
 //
 // Registering everything at once also re-proves no two subsystems
 // collide on a name (the registry panics on duplicates).
@@ -45,39 +38,7 @@ func TestMetricsNamingConvention(t *testing.T) {
 	})
 	defer eng.Stop()
 
-	nameRe := regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
-	unitSuffixes := []string{"_seconds", "_members", "_ratio", "_qps"}
-	for _, m := range reg.Snapshot() {
-		if !nameRe.MatchString(m.Name) {
-			t.Errorf("%s: not snake_case", m.Name)
-		}
-		if !strings.HasPrefix(m.Name, "ifttt_") && !strings.HasPrefix(m.Name, "faults_") {
-			t.Errorf("%s: missing ifttt_/faults_ namespace prefix", m.Name)
-		}
-		if m.Help == "" {
-			t.Errorf("%s: no help text", m.Name)
-		}
-		switch m.Type {
-		case "counter":
-			if !strings.HasSuffix(m.Name, "_total") {
-				t.Errorf("%s: counter without _total suffix", m.Name)
-			}
-		case "gauge":
-			if strings.HasSuffix(m.Name, "_total") {
-				t.Errorf("%s: gauge with counter-style _total suffix", m.Name)
-			}
-		case "histogram":
-			hasUnit := false
-			for _, u := range unitSuffixes {
-				if strings.HasSuffix(m.Name, u) {
-					hasUnit = true
-				}
-			}
-			if !hasUnit {
-				t.Errorf("%s: histogram without a unit suffix (want one of %v)", m.Name, unitSuffixes)
-			}
-		default:
-			t.Errorf("%s: unknown metric type %q", m.Name, m.Type)
-		}
+	for _, v := range obs.LintMetricNames(reg.Snapshot()) {
+		t.Error(v)
 	}
 }

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+var lintNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// lintUnitSuffixes are the unit suffixes a histogram name must carry.
+var lintUnitSuffixes = []string{"_seconds", "_members", "_ratio", "_qps"}
+
+// LintMetricNames audits a registry snapshot against the repo's metric
+// naming convention (DESIGN.md, "Metric naming") and returns one
+// violation message per offence:
+//
+//   - snake_case: lowercase segments, no leading/trailing/double '_';
+//   - namespaced: ifttt_ or faults_;
+//   - help text required;
+//   - counters end in _total, gauges never do;
+//   - histograms name their unit (_seconds, _members, _ratio, _qps).
+//
+// Both the engine's and the cluster's naming-convention tests run this
+// same linter, so every new metric family is held to one rule set.
+func LintMetricNames(snap []MetricSnapshot) []string {
+	var violations []string
+	bad := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	for _, m := range snap {
+		if !lintNameRe.MatchString(m.Name) {
+			bad("%s: not snake_case", m.Name)
+		}
+		if !strings.HasPrefix(m.Name, "ifttt_") && !strings.HasPrefix(m.Name, "faults_") {
+			bad("%s: missing ifttt_/faults_ namespace prefix", m.Name)
+		}
+		if m.Help == "" {
+			bad("%s: no help text", m.Name)
+		}
+		switch m.Type {
+		case "counter":
+			if !strings.HasSuffix(m.Name, "_total") {
+				bad("%s: counter without _total suffix", m.Name)
+			}
+		case "gauge":
+			if strings.HasSuffix(m.Name, "_total") {
+				bad("%s: gauge with counter-style _total suffix", m.Name)
+			}
+		case "histogram":
+			hasUnit := false
+			for _, u := range lintUnitSuffixes {
+				if strings.HasSuffix(m.Name, u) {
+					hasUnit = true
+				}
+			}
+			if !hasUnit {
+				bad("%s: histogram without a unit suffix (want one of %v)", m.Name, lintUnitSuffixes)
+			}
+		default:
+			bad("%s: unknown metric type %q", m.Name, m.Type)
+		}
+	}
+	return violations
+}

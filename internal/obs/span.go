@@ -8,9 +8,10 @@ import "time"
 // latency into the paper's segments (Sec 6): how long the event sat in
 // the trigger service's buffer waiting for a poll (the polling gap),
 // the poll round-trip, the engine's internal processing, and the action
-// delivery. EventAt comes from the event's protocol metadata (unix-
-// second granularity — stamped when the trigger service buffered it);
-// all other instants are engine-side trace times.
+// delivery. EventAt comes from the event's protocol metadata — stamped
+// when the trigger service buffered it, at nanosecond precision when
+// the service publishes "timestamp_ns" and floored to whole seconds
+// otherwise; all other instants are engine-side trace times.
 type ExecSpan struct {
 	// ExecID identifies the poll execution the span belongs to; every
 	// event surfaced by one poll shares it.
@@ -47,7 +48,7 @@ type ExecSpan struct {
 	Err    string
 }
 
-// nonNeg clamps clock skew (sub-second EventAt granularity can place
+// nonNeg clamps clock skew (whole-second EventAt granularity can place
 // the poll "before" the event) to zero.
 func nonNeg(d time.Duration) time.Duration {
 	if d < 0 {

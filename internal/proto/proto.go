@@ -23,6 +23,7 @@ package proto
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // Header names used by the protocol.
@@ -84,6 +85,26 @@ type Source struct {
 type EventMeta struct {
 	ID        string `json:"id"`
 	Timestamp int64  `json:"timestamp"` // unix seconds
+	// TimestampNanos optionally carries the occurrence time at
+	// nanosecond precision (unix nanoseconds). The real protocol's
+	// "timestamp" is whole seconds, which floors any sub-second latency
+	// measurement to zero; services that know the precise occurrence
+	// time publish it here so push-path T2A can be measured below one
+	// second. When zero, Timestamp alone is authoritative.
+	TimestampNanos int64 `json:"timestamp_ns,omitempty"`
+}
+
+// Time resolves the event occurrence time, preferring the nanosecond
+// field when present and falling back to the whole-second timestamp.
+// The zero time.Time is returned when neither is set.
+func (m EventMeta) Time() time.Time {
+	if m.TimestampNanos > 0 {
+		return time.Unix(0, m.TimestampNanos)
+	}
+	if m.Timestamp > 0 {
+		return time.Unix(m.Timestamp, 0)
+	}
+	return time.Time{}
 }
 
 // TriggerEvent is one buffered occurrence of a trigger. On the wire its

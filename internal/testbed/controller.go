@@ -119,7 +119,7 @@ func (tb *Testbed) MeasureT2A(spec AppletSpec, opts T2AOptions) ([]time.Duration
 	opts.fill()
 	w := tb.NewWatcher()
 	spec.Watch(tb, w)
-	if err := tb.Engine.Install(spec.Applet(tb)); err != nil {
+	if err := tb.InstallApplet(spec.Applet(tb)); err != nil {
 		return nil, fmt.Errorf("install %s: %w", spec.ID, err)
 	}
 	tb.Clock.Sleep(opts.Settle)
@@ -140,7 +140,7 @@ func (tb *Testbed) MeasureT2A(spec AppletSpec, opts T2AOptions) ([]time.Duration
 		latencies = append(latencies, ta.Sub(tt))
 		tb.Clock.Sleep(stats.SampleDuration(opts.Spacing, spacing))
 	}
-	tb.Engine.Remove(spec.Applet(tb).ID)
+	tb.RemoveApplet(spec.Applet(tb).ID)
 	return latencies, nil
 }
 
@@ -148,7 +148,7 @@ func (tb *Testbed) MeasureT2A(spec AppletSpec, opts T2AOptions) ([]time.Duration
 // fn returns, and waits for full quiescence.
 func (tb *Testbed) Run(fn func()) {
 	tb.Clock.Run(func() {
-		defer tb.Engine.Stop()
+		defer tb.StopEngine()
 		fn()
 	})
 }

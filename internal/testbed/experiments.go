@@ -41,7 +41,7 @@ const ClusterGap = 10 * time.Second
 func (tb *Testbed) RunSequential(spec AppletSpec, n int, period time.Duration) (SequentialResult, error) {
 	w := tb.NewWatcher()
 	spec.Watch(tb, w)
-	if err := tb.Engine.Install(spec.Applet(tb)); err != nil {
+	if err := tb.InstallApplet(spec.Applet(tb)); err != nil {
 		return SequentialResult{}, fmt.Errorf("install %s: %w", spec.ID, err)
 	}
 	tb.Clock.Sleep(16 * time.Minute) // subscription settle
@@ -68,7 +68,7 @@ func (tb *Testbed) RunSequential(spec AppletSpec, n int, period time.Duration) (
 		}
 	}
 	res.Dropped = n - w.Count()
-	tb.Engine.Remove(spec.Applet(tb).ID)
+	tb.RemoveApplet(spec.Applet(tb).ID)
 
 	for _, t := range w.Times() {
 		res.ActionTimes = append(res.ActionTimes, t.Sub(start).Seconds())
@@ -113,10 +113,10 @@ func (tb *Testbed) RunConcurrent(a, b AppletSpec, fire func(tb *Testbed), trials
 	wa, wb := tb.NewWatcher(), tb.NewWatcher()
 	a.Watch(tb, wa)
 	b.Watch(tb, wb)
-	if err := tb.Engine.Install(a.Applet(tb)); err != nil {
+	if err := tb.InstallApplet(a.Applet(tb)); err != nil {
 		return ConcurrentResult{}, err
 	}
-	if err := tb.Engine.Install(b.Applet(tb)); err != nil {
+	if err := tb.InstallApplet(b.Applet(tb)); err != nil {
 		return ConcurrentResult{}, err
 	}
 	tb.Clock.Sleep(16 * time.Minute)
@@ -159,8 +159,8 @@ func (tb *Testbed) RunConcurrent(a, b AppletSpec, fire func(tb *Testbed), trials
 		res.Diff = append(res.Diff, la-lb)
 		tb.Clock.Sleep(stats.SampleDuration(stats.Uniform{Lo: 600, Hi: 3000}, spacing))
 	}
-	tb.Engine.Remove(a.Applet(tb).ID)
-	tb.Engine.Remove(b.Applet(tb).ID)
+	tb.RemoveApplet(a.Applet(tb).ID)
+	tb.RemoveApplet(b.Applet(tb).ID)
 	return res, nil
 }
 
@@ -188,7 +188,7 @@ func (tb *Testbed) RunTimeline() ([]TimelineRow, error) {
 		rowMu.Unlock()
 	}
 
-	if err := tb.Engine.Install(spec.Applet(tb)); err != nil {
+	if err := tb.InstallApplet(spec.Applet(tb)); err != nil {
 		return nil, err
 	}
 	tb.Clock.Sleep(16 * time.Minute)
@@ -220,7 +220,7 @@ func (tb *Testbed) RunTimeline() ([]TimelineRow, error) {
 	spec.Fire(tb)
 	ta := w.WaitFor(target)
 	armed = false
-	tb.Engine.Remove(spec.Applet(tb).ID)
+	tb.RemoveApplet(spec.Applet(tb).ID)
 
 	traces := tb.Traces()
 	for i, ev := range traces {
@@ -302,10 +302,10 @@ func ExplicitLoopApplets(tb *Testbed) (x, y engine.Applet) {
 // window quantifies the waste. Must be called inside Run.
 func (tb *Testbed) RunExplicitLoop(window time.Duration) (LoopResult, error) {
 	x, y := ExplicitLoopApplets(tb)
-	if err := tb.Engine.Install(x); err != nil {
+	if err := tb.InstallApplet(x); err != nil {
 		return LoopResult{}, err
 	}
-	if err := tb.Engine.Install(y); err != nil {
+	if err := tb.InstallApplet(y); err != nil {
 		return LoopResult{}, err
 	}
 	tb.Clock.Sleep(16 * time.Minute) // subscriptions settle
@@ -313,8 +313,8 @@ func (tb *Testbed) RunExplicitLoop(window time.Duration) (LoopResult, error) {
 	before := len(tb.Sheets.Rows(UserID, "mail-log"))
 	tb.Mail.Deliver("kick@ext.sim", UserEmail, "kick", "starts the loop")
 	tb.Clock.Sleep(window)
-	tb.Engine.Remove(x.ID)
-	tb.Engine.Remove(y.ID)
+	tb.RemoveApplet(x.ID)
+	tb.RemoveApplet(y.ID)
 
 	return LoopResult{
 		Executions: len(tb.Sheets.Rows(UserID, "mail-log")) - before,
@@ -331,7 +331,7 @@ func (tb *Testbed) RunExplicitLoop(window time.Duration) (LoopResult, error) {
 func (tb *Testbed) RunImplicitLoop(window time.Duration) (LoopResult, error) {
 	x, _ := ExplicitLoopApplets(tb)
 	x.ID = "implicit-loop-x"
-	if err := tb.Engine.Install(x); err != nil {
+	if err := tb.InstallApplet(x); err != nil {
 		return LoopResult{}, err
 	}
 	tb.Sheets.EnableChangeNotification(UserID, "mail-log", UserEmail)
@@ -340,7 +340,7 @@ func (tb *Testbed) RunImplicitLoop(window time.Duration) (LoopResult, error) {
 	before := len(tb.Sheets.Rows(UserID, "mail-log"))
 	tb.Mail.Deliver("kick@ext.sim", UserEmail, "kick", "starts the loop")
 	tb.Clock.Sleep(window)
-	tb.Engine.Remove(x.ID)
+	tb.RemoveApplet(x.ID)
 	tb.Sheets.DisableChangeNotification(UserID, "mail-log")
 
 	return LoopResult{

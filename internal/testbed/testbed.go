@@ -13,9 +13,11 @@
 package testbed
 
 import (
+	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/devices"
 	"repro/internal/engine"
 	"repro/internal/faults"
@@ -121,6 +123,14 @@ type Config struct {
 	// the burn-rate tracker and tail span store of internal/obs/slo on
 	// its span stream (clock and metrics default to the testbed's).
 	SLO *slo.Config
+	// ClusterNodes, when > 1, replaces the single engine with a
+	// cluster of that many engine nodes behind a consistent-hash ring
+	// (internal/cluster): HostEngine serves the cluster router's
+	// handler, Testbed.Cluster is set, and Testbed.Engine is nil — use
+	// the InstallApplet/RemoveApplet/StopEngine helpers, which work in
+	// both modes. Metrics and SLO move to the cluster layer (per-node
+	// engines cannot share one registry).
+	ClusterNodes int
 }
 
 // DefaultShards is the testbed's pinned engine shard count. Experiments
@@ -160,8 +170,11 @@ type Testbed struct {
 	Proxy      *homenet.Proxy
 	ServerLink *homenet.ServerTap
 
-	// Engine.
-	Engine *engine.Engine
+	// Engine. Exactly one of Engine and Cluster is non-nil
+	// (Config.ClusterNodes selects which); the InstallApplet /
+	// RemoveApplet / StopEngine helpers work against either.
+	Engine  *engine.Engine
+	Cluster *cluster.Cluster
 	// Faults is the injector built from Config.FaultRules (nil when no
 	// rules were given).
 	Faults *faults.Injector
@@ -296,7 +309,7 @@ func New(cfg Config) *Testbed {
 		}
 		engineDoer = tb.Faults.Wrap(engineDoer)
 	}
-	tb.Engine = engine.New(engine.Config{
+	ecfg := engine.Config{
 		Clock:            clock,
 		RNG:              rng.Split("engine"),
 		Doer:             engineDoer,
@@ -321,10 +334,25 @@ func New(cfg Config) *Testbed {
 			tb.traces = append(tb.traces, ev)
 			tb.mu.Unlock()
 		},
-	})
+	}
+	var engineHandler http.Handler
+	if cfg.ClusterNodes > 1 {
+		ecfg.Metrics = nil
+		ecfg.SLO = nil
+		tb.Cluster = cluster.New(cluster.Config{
+			Nodes:   cfg.ClusterNodes,
+			Engine:  ecfg,
+			Metrics: cfg.Metrics,
+		})
+		tb.Cluster.StartCoordinator(0)
+		engineHandler = tb.Cluster.Handler()
+	} else {
+		tb.Engine = engine.New(ecfg)
+		engineHandler = tb.Engine.Handler()
+	}
 
 	// Publish every host on the simulated WAN.
-	tb.Net.AddHost(HostEngine, tb.Engine.Handler())
+	tb.Net.AddHost(HostEngine, engineHandler)
 	tb.Net.AddHost(HostHue, tb.HueSvc.Handler())
 	tb.Net.AddHost(HostWemo, tb.WemoSvc.Handler())
 	tb.Net.AddHost(HostAlexa, tb.AlexaSvc.Handler())
@@ -359,6 +387,34 @@ func hueChangeFromArgs(args map[string]string) devices.StateChange {
 		ch.Effect = &e
 	}
 	return ch
+}
+
+// InstallApplet installs an applet on whichever host the testbed runs:
+// the single engine, or the cluster router (which places it on the ring
+// owner of its trigger identity).
+func (tb *Testbed) InstallApplet(a engine.Applet) error {
+	if tb.Cluster != nil {
+		return tb.Cluster.Install(a)
+	}
+	return tb.Engine.Install(a)
+}
+
+// RemoveApplet removes an applet from whichever host holds it.
+func (tb *Testbed) RemoveApplet(id string) {
+	if tb.Cluster != nil {
+		tb.Cluster.Remove(id)
+		return
+	}
+	tb.Engine.Remove(id)
+}
+
+// StopEngine stops the engine or every cluster node.
+func (tb *Testbed) StopEngine() {
+	if tb.Cluster != nil {
+		tb.Cluster.Stop()
+		return
+	}
+	tb.Engine.Stop()
 }
 
 // Traces returns a snapshot of the engine trace, for timeline assembly.

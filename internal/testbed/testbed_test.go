@@ -495,3 +495,36 @@ func TestSequentialToleratesBatchOverflow(t *testing.T) {
 		t.Fatalf("executed = %d, want 10", len(res2.ActionTimes))
 	}
 }
+
+func TestClusterModeEndToEnd(t *testing.T) {
+	// The full Figure-1 pipeline with the engine replaced by a 3-node
+	// cluster: triggers fire on whichever node owns the applet's
+	// identity and the T2A path is unchanged from the single-engine
+	// testbed.
+	cfg := fast(61)
+	cfg.ClusterNodes = 3
+	tb := New(cfg)
+	if tb.Engine != nil || tb.Cluster == nil {
+		t.Fatal("cluster mode should set Testbed.Cluster and leave Engine nil")
+	}
+	tb.Run(func() {
+		lats, err := tb.MeasureT2A(A1(), T2AOptions{Trials: 3, Settle: time.Minute,
+			Spacing: stats.Constant(60)})
+		if err != nil {
+			t.Errorf("measure: %v", err)
+			return
+		}
+		for _, l := range lats {
+			if l <= 0 || l > 2*time.Minute {
+				t.Errorf("latency %v outside (0, 2m]", l)
+			}
+		}
+	})
+	st := tb.Cluster.Status()
+	if len(st.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(st.Nodes))
+	}
+	if rows := tb.Sheets.Rows(UserID, "switch-log"); len(rows) != 3 {
+		t.Fatalf("spreadsheet rows = %d, want 3", len(rows))
+	}
+}

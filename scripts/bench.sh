@@ -29,7 +29,16 @@ fi
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench . -benchtime 1x -benchmem . | tee "$RAW"
+# Not a pipe into tee: a pipeline's exit status is the last command's,
+# so `go test | tee` would swallow a failed benchmark assertion and the
+# summary would silently omit the failed benchmark's metrics.
+STATUS=0
+go test -run '^$' -bench . -benchtime 1x -benchmem . > "$RAW" 2>&1 || STATUS=$?
+cat "$RAW"
+if [ "$STATUS" -ne 0 ]; then
+    echo "bench: go test -bench failed (exit $STATUS); no summary written" >&2
+    exit "$STATUS"
+fi
 
 # go test -bench lines look like:
 #   BenchmarkName-8   1   123 ns/op   45 B/op   6 allocs/op   7.8 custom_unit
@@ -77,12 +86,18 @@ for bench in sorted(new):
             continue
         ov = old.get(bench, {}).get(unit)
         if ov is None:
-            lines.append(f"    {unit}: (new) {nv:g}")
+            lines.append(f"    {unit}: (added) {nv:g}")
         elif ov == nv:
             continue
         else:
             pct = (nv - ov) / ov * 100 if ov else float("inf")
             lines.append(f"    {unit}: {ov:g} -> {nv:g} ({pct:+.1f}%)")
+    # Units the previous run reported but this one did not: a silently
+    # vanished metric reads like "unchanged" otherwise, which is exactly
+    # how a broken ReportMetric slips through CI.
+    for unit, ov in old.get(bench, {}).items():
+        if unit != "iterations" and unit not in new[bench]:
+            lines.append(f"    {unit}: (removed) was {ov:g}")
     if bench not in old:
         print(f"  {bench}: new benchmark")
     elif not lines:
@@ -93,7 +108,8 @@ for bench in sorted(new):
     for l in lines:
         print(l)
 for bench in sorted(set(old) - set(new)):
-    print(f"  {bench}: removed")
+    print(f"  {bench}: removed (was: " + ", ".join(
+        f"{u}={v:g}" for u, v in sorted(old[bench].items()) if u != "iterations") + ")")
 EOF
     then
         echo "bench: no baseline (delta against $PREV failed; continuing)"

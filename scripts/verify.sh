@@ -15,6 +15,15 @@ go build ./...
 echo '== go test -race ./...'
 go test -race ./...
 
+# The kill-and-rebalance soak is the cluster tier's handoff invariant
+# (no applet+event pair executes twice, none lost) under -race with
+# polls, pushes, node death, and snapshot migration racing. It already
+# ran inside `go test -race ./...` above; -count=2 here re-runs it with
+# a fresh schedule so a lucky interleaving in the suite pass does not
+# mask a handoff race.
+echo '== cluster kill-and-rebalance soak (-race, 4 nodes)'
+go test -race -count=2 -run 'TestClusterKillAndRebalance' ./internal/cluster/
+
 echo '== engine scale benchmarks (short)'
 go test -run '^$' -bench 'EngineScaleInstall|EngineScale100K|HintRouting|EngineEventThroughput|EngineChaosResilience' \
     -benchtime 1x .
@@ -45,5 +54,33 @@ if [ -z "$OK" ]; then
     echo 'verify: iftttop never rendered a frame against iftttd' >&2
     exit 1
 fi
+kill "$IFTTTD_PID" 2>/dev/null || true
+IFTTTD_PID=""
+
+# Same smoke against a 4-node cluster daemon: the console must render
+# the per-node rows (GET /v1/cluster) and the aggregate metric mirrors.
+echo '== iftttop console smoke (cluster mode, 4 nodes)'
+"$BIN/iftttd" -addr 127.0.0.1:18090 -cluster-nodes 4 -push &
+IFTTTD_PID=$!
+OK=""
+for _ in $(seq 1 50); do
+    if FRAME=$("$BIN/iftttop" -once -addr http://127.0.0.1:18090); then
+        OK=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$OK" ]; then
+    echo 'verify: iftttop never rendered a frame against clustered iftttd' >&2
+    exit 1
+fi
+case $FRAME in
+*"cluster 4 nodes"*node3*) ;;
+*)
+    echo 'verify: cluster frame missing per-node rows' >&2
+    printf '%s\n' "$FRAME" >&2
+    exit 1
+    ;;
+esac
 
 echo 'verify: OK'
