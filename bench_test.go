@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/devices"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/homenet"
@@ -1220,6 +1221,76 @@ func BenchmarkEngineClusterChaos(b *testing.B) {
 		}
 		if res.RecoverySeconds > 300 {
 			b.Errorf("T2A recovery took %.0fs, want <= 300s", res.RecoverySeconds)
+		}
+	}
+}
+
+// durableChurnArm runs one arm of BenchmarkEngineDurableChurn: n
+// install/remove churn operations against a fresh engine, journaling to
+// a WAL under dir ("" = durability off), returning the wall-clock time
+// the churn loop took.
+func durableChurnArm(b *testing.B, dir string, n int) time.Duration {
+	b.Helper()
+	clock := simtime.NewSimDefault()
+	cfg := engine.Config{
+		Clock: clock, RNG: stats.NewRNG(1), Doer: benchDoer{},
+		Poll: engine.FixedInterval{Interval: time.Hour}, DispatchDelay: -1,
+	}
+	var st *durable.Store
+	if dir != "" {
+		var err error
+		st, err = durable.Open(durable.Options{Dir: dir, Clock: clock})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Journal = st
+	}
+	eng := engine.New(cfg)
+	if st != nil {
+		if err := st.Restore(eng); err != nil {
+			b.Fatal(err)
+		}
+		st.Start()
+	}
+	var elapsed time.Duration
+	clock.Run(func() {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := eng.Install(benchApplet(i)); err != nil {
+				b.Fatal(err)
+			}
+			// A quarter of installs churn back out, as the paper's 23M
+			// adds over six months imply long-run install/remove cycling.
+			if i%4 == 3 {
+				eng.Remove(fmt.Sprintf("a%06d", i-3))
+			}
+		}
+		elapsed = time.Since(start)
+		eng.Stop()
+		if st != nil {
+			st.Abandon()
+		}
+	})
+	return elapsed
+}
+
+// BenchmarkEngineDurableChurn prices the durability tier on the install
+// path: the same churn workload with the WAL off and on. The journal
+// adds one JSON encode + one write(2) per lifecycle record inside the
+// install critical section, and the acceptance bar is that WAL-on
+// install throughput stays within 2x of WAL-off.
+func BenchmarkEngineDurableChurn(b *testing.B) {
+	const n = 20000
+	for i := 0; i < b.N; i++ {
+		off := durableChurnArm(b, "", n)
+		on := durableChurnArm(b, b.TempDir(), n)
+		offRate := float64(n) / off.Seconds()
+		onRate := float64(n) / on.Seconds()
+		b.ReportMetric(offRate, "wal_off_installs_per_s")
+		b.ReportMetric(onRate, "wal_on_installs_per_s")
+		b.ReportMetric(offRate/onRate, "wal_overhead_x")
+		if offRate > 2*onRate {
+			b.Errorf("WAL-on install throughput %.0f/s is more than 2x below WAL-off %.0f/s", onRate, offRate)
 		}
 	}
 }

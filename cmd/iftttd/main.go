@@ -24,11 +24,13 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/httpx"
@@ -50,6 +52,11 @@ func main() {
 		nodes    = flag.Int("cluster-nodes", 0, "run N engine nodes behind a consistent-hash ring instead of one engine (0/1 = single engine); adds GET /v1/cluster and ifttt_cluster_* metrics")
 		coalesce = flag.Bool("coalesce", true, "share one upstream poll across applets with identical triggers (disable for per-applet polling A/B runs)")
 		pprof    = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
+
+		// Durability: WAL + snapshot crash recovery (internal/durable).
+		walDir       = flag.String("wal-dir", "", "root directory for the durable applet store: installs/removes/checkpoints are write-ahead logged, state snapshots periodically, and a restart recovers everything the directory holds (cluster mode uses one subdirectory per node)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "durable snapshot + WAL-compaction cadence (0 = 5m default; requires -wal-dir)")
+		walFsync     = flag.Bool("wal-fsync", false, "fsync every WAL append: survives machine crashes, not just process death, at a throughput cost")
 
 		// Push ingestion tier: partner services POST event batches to
 		// POST /v1/push and skip the poll round-trip entirely.
@@ -189,6 +196,28 @@ func main() {
 		Handler() http.Handler
 		Stop()
 	}
+	// recoveredIDs lets the -applets bootstrap file coexist with -wal-dir
+	// recovery: definitions the store already brought back are skipped
+	// instead of failing the daemon on a duplicate install.
+	recoveredIDs := map[string]bool{}
+	var stores []*durable.Store
+	openStore := func(dir string, metrics *obs.Registry) *durable.Store {
+		st, err := durable.Open(durable.Options{
+			Dir:              dir,
+			Clock:            clock,
+			Coalesce:         *coalesce,
+			SnapshotInterval: *snapInterval,
+			Fsync:            *walFsync,
+			Logger:           log,
+			Metrics:          metrics,
+		})
+		if err != nil {
+			log.Error("open durable store", "dir", dir, "err", err)
+			os.Exit(1)
+		}
+		stores = append(stores, st)
+		return st
+	}
 	if *nodes > 1 {
 		// Per-node engines cannot share one registry (duplicate names)
 		// or the SLO tier's debug endpoints; the cluster registers
@@ -198,15 +227,54 @@ func main() {
 			log.Warn("slo tier disabled: not supported with -cluster-nodes")
 			ecfg.SLO = nil
 		}
-		c := cluster.New(cluster.Config{
+		ccfg := cluster.Config{
 			Nodes:   *nodes,
 			Engine:  ecfg,
 			Metrics: reg,
 			Logger:  log,
-		})
+		}
+		if *walDir != "" {
+			// One store per node, in a subdirectory keyed by the
+			// deterministic node name; per-node store metrics stay off
+			// (they would collide in the shared registry).
+			nodeStores := map[string]*durable.Store{}
+			ccfg.Journal = func(node string) engine.Journal {
+				st := openStore(filepath.Join(*walDir, node), nil)
+				nodeStores[node] = st
+				return st
+			}
+			ccfg.Restore = func(node string, e *engine.Engine) error {
+				if err := nodeStores[node].Restore(e); err != nil {
+					return err
+				}
+				nodeStores[node].Start()
+				for _, id := range e.Applets() {
+					recoveredIDs[id] = true
+				}
+				subs, applets := nodeStores[node].RecoveredCounts()
+				log.Info("node recovered", "node", node, "subscriptions", subs, "applets", applets)
+				return nil
+			}
+		}
+		c := cluster.New(ccfg)
 		c.StartCoordinator(0)
 		log.Info("cluster mode", "nodes", *nodes)
 		host = c
+	} else if *walDir != "" {
+		st := openStore(*walDir, reg)
+		ecfg.Journal = st
+		eng := engine.New(ecfg)
+		if err := st.Restore(eng); err != nil {
+			log.Error("restore durable state", "dir", *walDir, "err", err)
+			os.Exit(1)
+		}
+		st.Start()
+		for _, id := range eng.Applets() {
+			recoveredIDs[id] = true
+		}
+		subs, applets := st.RecoveredCounts()
+		log.Info("recovered", "dir", *walDir, "subscriptions", subs, "applets", applets)
+		host = eng
 	} else {
 		host = engine.New(ecfg)
 	}
@@ -223,6 +291,10 @@ func main() {
 			os.Exit(1)
 		}
 		for _, a := range defs {
+			if recoveredIDs[a.ID] {
+				log.Info("already recovered", "applet", a.ID, "name", a.Name)
+				continue
+			}
 			if err := host.Install(a); err != nil {
 				log.Error("install", "applet", a.ID, "err", err)
 				os.Exit(1)
@@ -271,6 +343,11 @@ func main() {
 		log.Warn("http drain", "err", err)
 	}
 	host.Stop()
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			log.Warn("close durable store", "err", err)
+		}
+	}
 	log.Info("stopped")
 }
 

@@ -47,6 +47,20 @@ type Config struct {
 	// SpanRecorder (exec IDs are only unique per engine, so spans must
 	// be assembled per node before they can be merged).
 	OnSpan func(node string, sp obs.ExecSpan)
+	// Journal, when non-nil, supplies each node's durability journal
+	// (engine.Config.Journal), called once per node with its name.
+	// Node names are deterministic (node0, node1, ... in creation
+	// order), so a per-node WAL directory keyed by name survives a
+	// whole-cluster restart.
+	Journal func(node string) engine.Journal
+	// Restore, when non-nil, runs right after each node's engine is
+	// built (journaling already wired): the durability tier attaches
+	// the node's recovered subscriptions here. Applets the hook
+	// restores are re-indexed into the cluster's applet directory;
+	// with the same node names and VirtualNodes, ring placement is
+	// deterministic, so each key recovers on its ring owner. A failed
+	// restore is logged and leaves that node empty.
+	Restore func(node string, e *engine.Engine) error
 }
 
 // Node is one engine node: a full scheduler with its own shards,
@@ -87,6 +101,8 @@ type Cluster struct {
 	metrics *obs.Registry
 	log     *slog.Logger
 	onSpan  func(node string, sp obs.ExecSpan)
+	journal func(node string) engine.Journal
+	restore func(node string, e *engine.Engine) error
 
 	mu      sync.Mutex
 	ring    *Ring
@@ -126,6 +142,8 @@ func New(cfg Config) *Cluster {
 		metrics: cfg.Metrics,
 		log:     cfg.Logger,
 		onSpan:  cfg.OnSpan,
+		journal: cfg.Journal,
+		restore: cfg.Restore,
 		ring:    NewRing(cfg.VirtualNodes),
 		byName:  make(map[string]*Node),
 		applets: make(map[string]appletLoc),
@@ -156,7 +174,21 @@ func (c *Cluster) newNodeLocked() *Node {
 		obsrv = append(obsrv, c.tmpl.Observers...)
 		ecfg.Observers = append(obsrv, rec.Observe)
 	}
+	if c.journal != nil {
+		ecfg.Journal = c.journal(name)
+	}
 	node.Engine = engine.New(ecfg)
+	if c.restore != nil {
+		if err := c.restore(name, node.Engine); err != nil {
+			c.warn("node restore failed; starting empty", "node", name, "err", err)
+		} else {
+			// Re-index recovered applets: placement is deterministic
+			// (same names, same ring), so this node owns these keys.
+			for id, key := range node.Engine.AppletKeys() {
+				c.applets[id] = appletLoc{node: node, key: key}
+			}
+		}
+	}
 	c.nodes = append(c.nodes, node)
 	c.byName[name] = node
 	c.ring.Add(name)

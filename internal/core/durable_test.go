@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunDurableChurn(t *testing.T) {
+	r, err := RunDurableChurn(DurableChurnConfig{
+		Seed:             1,
+		Base:             300,
+		Virtual:          12 * time.Minute,
+		Rate:             2,
+		SnapshotInterval: 3 * time.Minute,
+		BenchInstalls:    2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Installs == 0 || r.Removes == 0 {
+		t.Fatalf("churn never ran: %d installs, %d removes", r.Installs, r.Removes)
+	}
+	if !r.RecoveryComplete {
+		t.Errorf("recovery incomplete: %d live at crash, %d recovered", r.LiveAtCrash, r.RecoveredApplets)
+	}
+	if r.DuplicateExecs != 0 {
+		t.Errorf("%d duplicate executions across the crash, want 0", r.DuplicateExecs)
+	}
+	if r.PostRecoveryExecs == 0 {
+		t.Error("no executions after recovery; the post-crash half is vacuous")
+	}
+	if r.Snapshots == 0 {
+		t.Error("no snapshots before the crash; recovery never exercised snapshot+tail")
+	}
+	if r.WALRecords == 0 || r.WALBytes == 0 {
+		t.Error("nothing journaled")
+	}
+	if r.WALOnInstallsPerSec <= 0 || r.WALOffInstallsPerSec <= 0 {
+		t.Fatal("throughput arms did not run")
+	}
+	if s := FormatDurableChurn(r); len(s) == 0 || s[0] != '#' {
+		t.Fatalf("FormatDurableChurn returned %q", s)
+	}
+}

@@ -1,0 +1,113 @@
+// Snapshot files: a full-state image of the engine — every
+// subscription's portable snapshot (the PR 9 migration encoding: dedup
+// rings, EWMA rate, breaker state, parked pushes) plus the retained
+// dedup windows of removed applets — stamped with the WAL position it
+// covers.
+//
+// Consistency does not require stopping the engine. The snapshot
+// procedure reads the WAL's head sequence S first, then exports
+// (Engine.ExportSubscriptions): the journal's ordering contract
+// guarantees every record with seq ≤ S had committed before the export
+// observed it, so recovery loads the snapshot and replays only records
+// with seq > S — idempotently, because a record in the overlap window
+// (appended after the S read but before its subscription was captured)
+// may already be reflected in the image.
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Snapshot is the on-disk full-state image.
+type Snapshot struct {
+	// WALSeq is the journal position this image covers: recovery replays
+	// only records after it.
+	WALSeq uint64 `json:"wal_seq"`
+	// Coalesce records the engine's subscription-key mode; recovery
+	// refuses a snapshot taken under the other mode (the keys would not
+	// match the recovering engine's).
+	Coalesce bool                           `json:"coalesce"`
+	Subs     []*engine.SubscriptionSnapshot `json:"subs"`
+	Retired  []engine.RetiredDedup          `json:"retired,omitempty"`
+}
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".json"
+	// snapKeep is how many snapshot generations survive pruning: the
+	// newest is the working image, the previous one the fallback should
+	// the newest turn out unreadable.
+	snapKeep = 2
+)
+
+// writeSnapshot persists snap atomically (tmp + rename) as
+// snap-<walseq>.json and prunes older generations beyond snapKeep.
+func writeSnapshot(dir string, snap *Snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("durable: encode snapshot: %w", err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, snap.WALSeq, snapSuffix))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: commit snapshot: %w", err)
+	}
+	names := snapshotFiles(dir)
+	for i := 0; i+snapKeep < len(names); i++ {
+		os.Remove(filepath.Join(dir, names[i]))
+	}
+	return nil
+}
+
+// loadSnapshot returns the newest readable snapshot in dir, or nil when
+// none exists. An undecodable newest image falls back to the previous
+// generation rather than failing recovery.
+func loadSnapshot(dir string) (*Snapshot, error) {
+	names := snapshotFiles(dir)
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, names[i]))
+		if err != nil {
+			continue
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			continue
+		}
+		return &snap, nil
+	}
+	return nil, nil
+}
+
+// snapshotFiles lists dir's snapshot files sorted oldest first (the
+// zero-padded fixed-width names make lexical order equal WAL order).
+func snapshotFiles(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, en := range entries {
+		name := en.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		if _, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64); err != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,332 @@
+// Package durable is the engine's persistence tier: an append-only
+// write-ahead log of lifecycle and checkpoint records plus periodic
+// full-state snapshots, giving iftttd (and the cluster's per-node
+// engines) crash-restart recovery of applets, dedup windows, EWMA
+// cadence, breaker state, and parked push deliveries.
+//
+// The WAL is the source of truth between snapshots. Records are framed
+// as
+//
+//	[4-byte little-endian payload length][4-byte CRC32 (IEEE) of payload][JSON payload]
+//
+// and carry a strictly increasing sequence number. Appends go to disk
+// with one write(2) per record — after a process kill (SIGKILL, OOM,
+// panic) every acknowledged record is in the OS page cache and survives;
+// surviving a whole-machine crash additionally needs Options.Fsync,
+// which trades an fsync per append for it. A torn final record (the
+// crash interrupted the write itself) is detected by the length/CRC
+// frame on open and truncated away; everything before it replays.
+//
+// Segments rotate when they outgrow a size bound and at every snapshot;
+// segments wholly covered by the newest snapshot are deleted, so disk
+// usage is bounded by churn-per-snapshot-interval, not lifetime.
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Record op codes.
+const (
+	// OpInstall / OpRemove mirror Engine.Install / Engine.Remove.
+	OpInstall = "install"
+	OpRemove  = "remove"
+	// OpCheckpoint carries the dedup delta of one execution, journaled
+	// before its first action dispatched.
+	OpCheckpoint = "checkpoint"
+	// OpAttach / OpDetach mirror subscription migration: a whole
+	// subscription arriving at or leaving this engine.
+	OpAttach = "attach"
+	OpDetach = "detach"
+)
+
+// Record is one WAL entry. Exactly one of the payload fields is set,
+// selected by Op. Applet definitions lose their Conditions across the
+// journal round-trip (engine.Condition is an interface with no portable
+// encoding); everything else survives verbatim.
+type Record struct {
+	Seq uint64 `json:"seq"`
+	Op  string `json:"op"`
+
+	Applet     *engine.Applet               `json:"applet,omitempty"`     // OpInstall
+	ID         string                       `json:"id,omitempty"`         // OpRemove
+	Checkpoint *engine.Checkpoint           `json:"checkpoint,omitempty"` // OpCheckpoint
+	Attach     *engine.SubscriptionSnapshot `json:"attach,omitempty"`     // OpAttach
+	Key        string                       `json:"key,omitempty"`        // OpDetach
+	AppletIDs  []string                     `json:"applet_ids,omitempty"` // OpDetach
+}
+
+// DefaultSegmentBytes is the segment-size rotation bound.
+const DefaultSegmentBytes = 64 << 20
+
+const (
+	walPrefix = "wal-"
+	walSuffix = ".log"
+	frameHdr  = 8 // length + CRC
+)
+
+// walSegment is one on-disk log file; first is the sequence number of
+// its first record (encoded in the file name).
+type walSegment struct {
+	path  string
+	first uint64
+}
+
+// wal is the append half of the store. All methods are safe for
+// concurrent use.
+type wal struct {
+	mu       sync.Mutex
+	dir      string
+	fsync    bool
+	segBytes int64
+
+	f       *os.File // active segment
+	fBytes  int64    // active segment size
+	seq     uint64   // last assigned sequence number
+	segs    []walSegment
+	scratch []byte
+
+	// Monotonic counters, read via Store metrics.
+	records int64
+	bytes   int64
+}
+
+// openWAL opens (creating if needed) the log in dir, scans every
+// segment validating frames and sequence numbers, truncates a torn
+// tail, and returns the surviving records oldest first. Corruption
+// anywhere cuts the log at that point: later bytes of that segment are
+// truncated away and later segments deleted (append-only logs corrupt
+// at the tail; anything else is operator damage and recovering the
+// prefix is the best available answer).
+func openWAL(dir string, fsync bool, segBytes int64) (*wal, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: wal dir: %w", err)
+	}
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	w := &wal{dir: dir, fsync: fsync, segBytes: segBytes}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: wal dir: %w", err)
+	}
+	for _, en := range entries {
+		name := en.Name()
+		if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		w.segs = append(w.segs, walSegment{path: filepath.Join(dir, name), first: first})
+	}
+	sort.Slice(w.segs, func(i, j int) bool { return w.segs[i].first < w.segs[j].first })
+
+	var records []Record
+	for i := 0; i < len(w.segs); i++ {
+		recs, goodBytes, clean, err := readSegment(w.segs[i].path, w.seq)
+		if err != nil {
+			return nil, nil, err
+		}
+		records = append(records, recs...)
+		if len(recs) > 0 {
+			w.seq = recs[len(recs)-1].Seq
+		}
+		if !clean {
+			// Torn or corrupt frame: cut the log here. Truncate this
+			// segment to its good prefix and drop any later segments.
+			if err := os.Truncate(w.segs[i].path, goodBytes); err != nil {
+				return nil, nil, fmt.Errorf("durable: truncate torn tail: %w", err)
+			}
+			for _, seg := range w.segs[i+1:] {
+				os.Remove(seg.path)
+			}
+			w.segs = w.segs[:i+1]
+			break
+		}
+	}
+
+	// Append into the last segment, or start the first one.
+	if n := len(w.segs); n > 0 {
+		f, err := os.OpenFile(w.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: open segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.f, w.fBytes = f, st.Size()
+	} else if err := w.rotateLocked(); err != nil {
+		return nil, nil, err
+	}
+	return w, records, nil
+}
+
+// readSegment decodes one segment's frames. prevSeq is the last
+// sequence number of the previous segment; a non-increasing sequence is
+// treated as corruption. Returns the decoded records, the byte offset
+// of the first bad frame (== file size when clean), and whether the
+// whole file validated.
+func readSegment(path string, prevSeq uint64) ([]Record, int64, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("durable: read segment: %w", err)
+	}
+	var recs []Record
+	off := int64(0)
+	for int64(len(data))-off >= frameHdr {
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		end := off + frameHdr + int64(n)
+		if n == 0 || end > int64(len(data)) {
+			return recs, off, false, nil
+		}
+		payload := data[off+frameHdr : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, false, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Seq <= prevSeq {
+			return recs, off, false, nil
+		}
+		prevSeq = rec.Seq
+		recs = append(recs, rec)
+		off = end
+	}
+	return recs, off, off == int64(len(data)), nil
+}
+
+// rotateLocked closes the active segment (if any) and starts a new one
+// whose name carries the next sequence number. Caller holds w.mu (or is
+// openWAL before the wal escapes).
+func (w *wal) rotateLocked() error {
+	if w.f != nil {
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.f = nil
+	}
+	seg := walSegment{
+		path:  filepath.Join(w.dir, fmt.Sprintf("%s%020d%s", walPrefix, w.seq+1, walSuffix)),
+		first: w.seq + 1,
+	}
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: new segment: %w", err)
+	}
+	w.f, w.fBytes = f, 0
+	w.segs = append(w.segs, seg)
+	return nil
+}
+
+// append assigns rec the next sequence number and writes its frame with
+// a single write call. The record is durable against process death when
+// append returns; against machine death only with fsync.
+func (w *wal) append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("durable: wal closed")
+	}
+	rec.Seq = w.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("durable: encode record: %w", err)
+	}
+	frame := w.scratch[:0]
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("durable: append: %w", err)
+	}
+	w.scratch = frame
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: fsync: %w", err)
+		}
+	}
+	w.seq = rec.Seq
+	w.fBytes += int64(len(frame))
+	w.records++
+	w.bytes += int64(len(frame))
+	if w.fBytes >= w.segBytes {
+		return w.rotateLocked()
+	}
+	return nil
+}
+
+// lastSeq returns the sequence number of the most recent append (0 when
+// the log is empty).
+func (w *wal) lastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// compact rotates to a fresh segment and deletes every segment wholly
+// covered by a snapshot at upto (all of its records have seq ≤ upto).
+func (w *wal) compact(upto uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("durable: wal closed")
+	}
+	if w.fBytes > 0 {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	kept := w.segs[:0]
+	for i, seg := range w.segs {
+		// Segment i holds records [seg.first, next.first); deletable when
+		// it is not the active segment and its last record is covered.
+		if i+1 < len(w.segs) && w.segs[i+1].first-1 <= upto {
+			os.Remove(seg.path)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	w.segs = append([]walSegment(nil), kept...)
+	return nil
+}
+
+// close releases the active segment. Appends after close fail.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// sizeOnDisk sums the live segments' bytes (telemetry).
+func (w *wal) sizeOnDisk() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total int64
+	for _, seg := range w.segs {
+		if st, err := os.Stat(seg.path); err == nil {
+			total += st.Size()
+		}
+	}
+	return total
+}

@@ -118,6 +118,12 @@ func (e *Engine) pollSubscription(sub *subscription, hintAt time.Time, members [
 		newEvents = ranges[0].end - ranges[0].start
 	}
 
+	// Checkpoint the dedup delta before any action dispatches: after a
+	// crash these events replay as already-seen, so an action issued
+	// below can never be issued again by the recovered engine.
+	if e.journal != nil && len(fresh) > 0 {
+		e.journalCheckpoint(sub, fresh, ranges)
+	}
 	e.emit(sh, TraceEvent{Kind: TracePollResult, AppletID: leadID, ExecID: execID, N: len(fresh)})
 	if len(fresh) > 0 && e.dispatch > 0 {
 		e.clock.Sleep(e.dispatch)
@@ -181,6 +187,12 @@ func (e *Engine) dispatchAction(ra *runningApplet, ev proto.TriggerEvent, execID
 // protocol's DELETE /ifttt/v1/triggers/{slug}/trigger_identity/{id}).
 // It runs once per subscription, when the last member leaves.
 func (e *Engine) deleteUpstream(sub *subscription) {
+	if e.stopped.Load() {
+		// The engine stopped between the spawn and this actor running;
+		// its transports may be mid-teardown, and the subscription state
+		// is about to be discarded anyway.
+		return
+	}
 	url := fmt.Sprintf("%s%s%s/trigger_identity/%s",
 		sub.trigger.BaseURL, proto.TriggersPath, sub.trigger.Slug, sub.key)
 	status, err := e.client.DoJSON("DELETE", url, nil, nil,

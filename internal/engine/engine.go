@@ -292,6 +292,20 @@ type Config struct {
 	// one subscription within a batch merge into a single execution.
 	// Zero means ingest.DefaultBatch.
 	IngressBatch int
+	// Journal, when non-nil, receives an append-only record of every
+	// install, remove, subscription migration, and execution checkpoint
+	// (journal.go) — the hook internal/durable's WAL plugs into.
+	// Lifecycle records are appended before the in-memory commit, so
+	// journal order equals commit order; a failed install append aborts
+	// the install.
+	Journal Journal
+	// RetiredDedup bounds how many removed applets' dedup windows the
+	// engine retains so a reinstall of the same applet ID stays
+	// exactly-once for events the first installation executed. Zero
+	// means DefaultRetiredDedup; negative disables retention (the
+	// pre-durability behaviour: a reinstall starts with an empty
+	// window).
+	RetiredDedup int
 	// Coalesce groups applets with identical trigger configurations
 	// (same service, slug, fields, and user credentials — see
 	// Applet.CoalescedTriggerIdentity) into shared subscriptions: one
@@ -358,8 +372,25 @@ type Engine struct {
 	applets map[string]*runningApplet
 	byUser  map[string]map[string]*runningApplet
 
+	// journal, when set, records durable state changes (journal.go).
+	journal Journal
+	// Retired dedup windows of removed applets (journal.go), FIFO by
+	// removal order. retMu is a leaf lock: safe to take under e.mu or a
+	// shard's mutex, and nothing is acquired while holding it.
+	retMu    sync.Mutex
+	retired  map[string][]string
+	retiredQ []string
+	retCap   int
+
 	shards  []*shard
 	stopped atomic.Bool
+	// delMu serializes Stop against the spawn of upstream-DELETE actors
+	// (Remove's last-member path): once Stop has set stopped under
+	// delMu, no new delete actor starts, so a stopping engine never
+	// issues DELETEs from freshly spawned actors — and under a
+	// simulated clock no actor is left behind after the test's Run
+	// section to trip the deadlock detector.
+	delMu sync.Mutex
 	// fanout, when metrics are registered, records members-per-poll.
 	fanout *obs.Histogram
 	// backoffHist, when metrics are registered, records every
@@ -402,9 +433,9 @@ type Stats struct {
 	// Subscriptions counts the live upstream poll subscriptions; it
 	// equals Applets when coalescing is off and is smaller by the
 	// sharing factor when on.
-	Subscriptions  int   `json:"subscriptions"`
-	Polls          int64 `json:"polls"`
-	PollFailures   int64 `json:"poll_failures"`
+	Subscriptions int   `json:"subscriptions"`
+	Polls         int64 `json:"polls"`
+	PollFailures  int64 `json:"poll_failures"`
 	// Failure classification: transport errors never got an HTTP
 	// response; HTTP errors carry a real (non-200) status.
 	PollErrorsTransport   int64 `json:"poll_errors_transport"`
@@ -505,6 +536,18 @@ func New(cfg Config) *Engine {
 		coalesce:  cfg.Coalesce,
 		applets:   make(map[string]*runningApplet),
 		byUser:    make(map[string]map[string]*runningApplet),
+		journal:   cfg.Journal,
+	}
+	switch {
+	case cfg.RetiredDedup > 0:
+		e.retCap = cfg.RetiredDedup
+	case cfg.RetiredDedup == 0:
+		e.retCap = DefaultRetiredDedup
+	default:
+		e.retCap = 0 // negative: retention disabled
+	}
+	if e.retCap > 0 {
+		e.retired = make(map[string][]string)
 	}
 	res := cfg.Resilience
 	e.resilient = !res.Disable
@@ -760,6 +803,21 @@ func (e *Engine) Install(a Applet) error {
 		e.mu.Unlock()
 		return fmt.Errorf("engine: stopped")
 	}
+	// Journal before commit, inside both critical sections, so the WAL's
+	// record order is the engine's commit order and a crash can never
+	// leave a committed install unjournaled.
+	if e.journal != nil {
+		if err := e.journal.AppendInstall(a); err != nil {
+			sh.mu.Unlock()
+			e.mu.Unlock()
+			return fmt.Errorf("engine: journal install %q: %w", a.ID, err)
+		}
+	}
+	// A reinstall of a removed applet ID resumes its dedup window, so
+	// events the previous installation executed stay executed-once.
+	if ids := e.takeRetiredDedup(a.ID); ids != nil {
+		ra.dedup = restoreDedupRing(e.dedupCap, ids)
+	}
 	sh.joinLocked(ra, key)
 	sh.mu.Unlock()
 	e.applets[a.ID] = ra
@@ -787,6 +845,15 @@ func (e *Engine) Remove(id string) {
 		e.mu.Unlock()
 		return
 	}
+	// Journal the removal before the commit (same ordering argument as
+	// Install); unlike installs, a failed append does not abort — the
+	// user asked for the applet to be gone, and the worst a lost record
+	// costs is a resurrected applet after a crash.
+	if e.journal != nil {
+		if err := e.journal.AppendRemove(id); err != nil && e.log != nil {
+			e.log.Warn("journal remove failed", "applet", id, "err", err)
+		}
+	}
 	delete(e.applets, id)
 	if u := e.byUser[ra.def.UserID]; u != nil {
 		delete(u, id)
@@ -798,12 +865,28 @@ func (e *Engine) Remove(id string) {
 	sh := sub.shard
 	sh.mu.Lock()
 	last := sh.leaveLocked(ra)
+	// Retain the applet's dedup window for a future reinstall. While an
+	// execution owns the subscription its worker may still be feeding
+	// the ring (the member snapshot was taken before this removal), so
+	// hand retention to the owner's release path instead of snapshotting
+	// a ring that is mid-write.
+	if sub.polling {
+		sub.retire = append(sub.retire, ra)
+	} else {
+		e.retainDedup(ra)
+	}
 	sh.mu.Unlock()
 	e.mu.Unlock()
 
 	e.emit(sh, TraceEvent{Kind: TraceRemove, AppletID: id})
 	if last {
-		e.clock.Go(func() { e.deleteUpstream(sub) })
+		// Serialized against Stop under delMu: a stopping engine spawns
+		// no new delete actors (see the field's comment).
+		e.delMu.Lock()
+		if !e.stopped.Load() {
+			e.clock.Go(func() { e.deleteUpstream(sub) })
+		}
+		e.delMu.Unlock()
 	}
 }
 
@@ -818,13 +901,32 @@ func (e *Engine) Applets() []string {
 	return out
 }
 
+// AppletKeys maps every installed applet ID to its subscription key.
+// The cluster re-indexes a node's recovered applets with this after a
+// durable restore.
+func (e *Engine) AppletKeys() map[string]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]string, len(e.applets))
+	for id, ra := range e.applets {
+		out[id] = ra.sub.key
+	}
+	return out
+}
+
 // Stop halts all scheduling. In-flight polls finish their current
 // round; pending ones are abandoned. The engine cannot be restarted.
 // Stop also retires the observer pump after a final drain: under a
 // simulated clock an engine with observers MUST be stopped, or the
 // parked consumer actor trips the simulator's deadlock detector.
 func (e *Engine) Stop() {
+	// Setting stopped under delMu fences Remove's last-member path: after
+	// this section no upstream-DELETE actor can start, and one observed
+	// mid-section has already been spawned (in-flight work finishing its
+	// round, like an in-flight poll).
+	e.delMu.Lock()
 	e.stopped.Store(true)
+	e.delMu.Unlock()
 	for _, sh := range e.shards {
 		sh.stop()
 	}

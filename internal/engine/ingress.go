@@ -177,6 +177,13 @@ func (s *shard) drainPushPendingLocked(sub *subscription) {
 		s.mu.Lock()
 		sub.snap = members
 	}
+	// Members removed while this execution owned the subscription have
+	// final rings now: retain their dedup windows for reinstallation
+	// before anyone else can claim the flag.
+	for _, ra := range sub.retire {
+		s.e.retainDedup(ra)
+	}
+	sub.retire = nil
 	sub.polling = false
 }
 
@@ -211,6 +218,12 @@ func (e *Engine) dispatchPush(sub *subscription, members []*runningApplet, event
 		Service: sub.trigger.Service, ExecID: execID, N: len(fresh), IngestAt: at})
 	if len(fresh) == 0 {
 		return
+	}
+	// Same checkpoint-before-dispatch ordering as the poll path: a
+	// crashed engine never re-executes an event an action was issued
+	// for, whichever path delivered it.
+	if e.journal != nil {
+		e.journalCheckpoint(sub, fresh, ranges)
 	}
 	if e.fanout != nil {
 		e.fanout.Observe(float64(len(members)))

@@ -31,7 +31,7 @@ import (
 // pushPending) when done — so a subscription never executes on two
 // goroutines at once and the scratch buffers need no further locking.
 type subscription struct {
-	key     string     // grouping key, presented on the wire as trigger_identity
+	key     string // grouping key, presented on the wire as trigger_identity
 	shard   *shard
 	rng     *stats.RNG // gap stream, split when the subscription is created
 	trigger ServiceRef // trigger config shared by all members
@@ -76,6 +76,13 @@ type subscription struct {
 	// lost to the ownership race and never dispatch concurrently.
 	// Guarded by the shard's mutex.
 	pushPending []pendingPush
+
+	// retire parks members removed while an execution owned the
+	// subscription: their dedup rings may still be absorbing this
+	// execution's events, so the owner retains them (journal.go) on its
+	// release path, when the rings are final. Guarded by the shard's
+	// mutex.
+	retire []*runningApplet
 
 	// Worker-owned scratch, reused across polls so the steady-state poll
 	// path allocates nothing for the common empty-result case.

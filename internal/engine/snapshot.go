@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/proto"
@@ -61,6 +62,93 @@ type SubscriptionSnapshot struct {
 	PollCount int64
 	// PendingPush are deliveries parked mid-execution at detach time.
 	PendingPush []PendingPushSnapshot
+}
+
+// snapshotSubLocked builds sub's portable snapshot without mutating it.
+// The caller holds the owning shard's mutex and has verified no
+// execution owns the subscription (sub.polling is false), so the member
+// rings and parked deliveries are stable.
+func snapshotSubLocked(sub *subscription) *SubscriptionSnapshot {
+	snap := &SubscriptionSnapshot{
+		Key:        sub.key,
+		Members:    make([]MemberSnapshot, len(sub.members)),
+		Rate:       sub.rate,
+		RateAt:     sub.rateAt,
+		FailStreak: sub.failStreak,
+		PollCount:  sub.pollCount,
+	}
+	for i, ra := range sub.members {
+		snap.Members[i] = MemberSnapshot{
+			Applet:     ra.def,
+			SeenEvents: ra.dedup.snapshotIDs(),
+		}
+	}
+	for _, p := range sub.pushPending {
+		snap.PendingPush = append(snap.PendingPush, PendingPushSnapshot{Events: p.events, At: p.at})
+	}
+	if sub.brState != brClosed {
+		snap.BreakerOpen = true
+	}
+	return snap
+}
+
+// ExportSubscriptions captures a consistent snapshot of every live
+// subscription — without detaching anything; the engine keeps running.
+// This is the periodic-snapshot primitive of the durability tier:
+// combined with the journal's ordering contract (journal.go), a caller
+// that reads the journal's head position *before* exporting gets a
+// snapshot covering every record at or below that position, so replay
+// of the remaining tail only needs to be idempotent, never ordered
+// against the snapshot.
+//
+// Each subscription is captured under its shard's lock after waiting
+// out any in-flight execution (the same sub.polling claim detach and
+// the executors use — but here the flag is only observed, not taken, so
+// the subscription keeps polling the moment the lock drops). Results
+// are sorted by key.
+func (e *Engine) ExportSubscriptions() []*SubscriptionSnapshot {
+	// Taking (and releasing) e.mu once fences all lifecycle records: any
+	// install/remove/attach/detach journaled before the caller read the
+	// journal head had committed inside an e.mu section, so its effect
+	// is visible to the per-shard capture below.
+	e.mu.Lock()
+	nsubs := 0
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		nsubs += len(sh.subs)
+		sh.mu.Unlock()
+	}
+	e.mu.Unlock()
+
+	out := make([]*SubscriptionSnapshot, 0, nsubs)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		keys := make([]string, 0, len(sh.subs))
+		for k := range sh.subs {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
+		for _, k := range keys {
+			for {
+				sh.mu.Lock()
+				sub := sh.subs[k]
+				if sub == nil || sub.removed || len(sub.members) == 0 {
+					sh.mu.Unlock()
+					break // removed while exporting; its journal records cover it
+				}
+				if !sub.polling {
+					snap := snapshotSubLocked(sub)
+					sh.mu.Unlock()
+					out = append(out, snap)
+					break
+				}
+				sh.mu.Unlock()
+				e.clock.Sleep(detachRetry)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // SubscriptionKeys lists the wire trigger identities of every live
@@ -131,28 +219,20 @@ func (e *Engine) DetachSubscription(key string) (*SubscriptionSnapshot, error) {
 	// Retire the subscription under the shard lock, mirroring
 	// leaveLocked's last-member path, and capture the snapshot in the
 	// same critical section so no execution can interleave.
-	snap := &SubscriptionSnapshot{
-		Key:        key,
-		Members:    make([]MemberSnapshot, len(sub.members)),
-		Rate:       sub.rate,
-		RateAt:     sub.rateAt,
-		FailStreak: sub.failStreak,
-		PollCount:  sub.pollCount,
-	}
-	for i, ra := range sub.members {
-		snap.Members[i] = MemberSnapshot{
-			Applet:     ra.def,
-			SeenEvents: ra.dedup.snapshotIDs(),
+	snap := snapshotSubLocked(sub)
+	if e.journal != nil {
+		ids := make([]string, len(snap.Members))
+		for i := range snap.Members {
+			ids[i] = snap.Members[i].Applet.ID
 		}
-	}
-	for _, p := range sub.pushPending {
-		snap.PendingPush = append(snap.PendingPush, PendingPushSnapshot{Events: p.events, At: p.at})
+		if err := e.journal.AppendDetach(key, ids); err != nil && e.log != nil {
+			e.log.Warn("journal detach failed", "key", key, "err", err)
+		}
 	}
 	sub.pushPending = nil
 	members := sub.members
 	sub.removed = true
 	if sub.brState != brClosed {
-		snap.BreakerOpen = true
 		sub.brState = brClosed
 		e.breakerOpen.Add(-1)
 	}
@@ -232,6 +312,16 @@ func (e *Engine) AttachSubscription(snap *SubscriptionSnapshot) error {
 		sh.mu.Unlock()
 		e.mu.Unlock()
 		return fmt.Errorf("engine: attach: subscription %q already present", snap.Key)
+	}
+	// Journal the arriving subscription before commit (same ordering as
+	// Install): a node that accepted a migration and then crashed must
+	// resurrect it, or the identity is lost cluster-wide.
+	if e.journal != nil {
+		if err := e.journal.AppendAttach(snap); err != nil {
+			sh.mu.Unlock()
+			e.mu.Unlock()
+			return fmt.Errorf("engine: journal attach %q: %w", snap.Key, err)
+		}
 	}
 	sub := &subscription{
 		key:        snap.Key,

@@ -82,5 +82,65 @@ case $FRAME in
     exit 1
     ;;
 esac
+kill "$IFTTTD_PID" 2>/dev/null || true
+IFTTTD_PID=""
+
+# Durable-store crash smoke: bootstrap applets through -wal-dir, kill -9
+# the daemon mid-flight (no clean close, no final snapshot), restart on
+# the same directory, and require WAL replay to restore the exact applet
+# population with /readyz green. -poll 15m keeps the unreachable dummy
+# trigger URLs from opening breakers during the window.
+echo '== durable WAL kill -9 + restart smoke (iftttd -wal-dir)'
+cat >"$BIN/applets.json" <<'EOF'
+[
+  {"ID": "smoke-a1", "Name": "smoke 1", "UserID": "u1",
+   "Trigger": {"Service": "svc", "BaseURL": "http://127.0.0.1:1", "Slug": "t1"},
+   "Action":  {"Service": "svc", "BaseURL": "http://127.0.0.1:1", "Slug": "act"}},
+  {"ID": "smoke-a2", "Name": "smoke 2", "UserID": "u2",
+   "Trigger": {"Service": "svc", "BaseURL": "http://127.0.0.1:1", "Slug": "t2"},
+   "Action":  {"Service": "svc", "BaseURL": "http://127.0.0.1:1", "Slug": "act"}},
+  {"ID": "smoke-a3", "Name": "smoke 3", "UserID": "u3",
+   "Trigger": {"Service": "svc", "BaseURL": "http://127.0.0.1:1", "Slug": "t3"},
+   "Action":  {"Service": "svc", "BaseURL": "http://127.0.0.1:1", "Slug": "act"}}
+]
+EOF
+"$BIN/iftttd" -addr 127.0.0.1:18091 -poll 15m \
+    -wal-dir "$BIN/wal" -applets "$BIN/applets.json" &
+IFTTTD_PID=$!
+OK=""
+for _ in $(seq 1 50); do
+    if curl -fsS http://127.0.0.1:18091/v1/stats 2>/dev/null | grep -q '"applets":3'; then
+        OK=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$OK" ]; then
+    echo 'verify: iftttd never reported 3 installed applets' >&2
+    exit 1
+fi
+kill -9 "$IFTTTD_PID"
+wait "$IFTTTD_PID" 2>/dev/null || true
+IFTTTD_PID=""
+# Restart WITHOUT -applets: the population must come back from the WAL.
+"$BIN/iftttd" -addr 127.0.0.1:18091 -poll 15m -wal-dir "$BIN/wal" &
+IFTTTD_PID=$!
+OK=""
+for _ in $(seq 1 50); do
+    if curl -fsS http://127.0.0.1:18091/v1/stats 2>/dev/null | grep -q '"applets":3'; then
+        OK=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$OK" ]; then
+    echo 'verify: restart did not recover 3 applets from the WAL' >&2
+    exit 1
+fi
+READY=$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:18091/readyz)
+if [ "$READY" != 200 ]; then
+    echo "verify: /readyz returned $READY after replay" >&2
+    exit 1
+fi
 
 echo 'verify: OK'
